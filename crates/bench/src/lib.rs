@@ -1,0 +1,63 @@
+//! # iguard-bench — the experiment harness
+//!
+//! Regenerates every table and figure of the paper's evaluation. The
+//! modules map to paper artefacts:
+//!
+//! | module | paper artefact |
+//! |---|---|
+//! | [`pathlen`] | Figs. 2 & 7 — path-length overlap motivation |
+//! | [`cpu`] | Figs. 5 & 8 — CPU detection comparison |
+//! | [`testbed`] | Figs. 6 & 9, Table 1, Tables 2–3, §3.2.3, App. B.1 |
+//! | [`candidates`] | Fig. 10 — teacher-candidate study |
+//! | [`data`] | §4's dataset protocol (train / val+20 % / test+20 %) |
+//!
+//! The `figures` binary drives these with one subcommand per artefact;
+//! Criterion benches under `benches/` cover the micro-costs (training,
+//! inference, rule compilation, per-packet pipeline work).
+
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod candidates;
+pub mod cpu;
+pub mod data;
+pub mod pathlen;
+pub mod report;
+pub mod testbed;
+pub mod tune;
+
+pub use cpu::Effort;
+
+/// Runs `f` for every attack in parallel (one OS thread per attack, via
+/// crossbeam scoped threads) and returns results in attack order.
+pub fn per_attack_parallel<T: Send>(
+    attacks: &[iguard_synth::attacks::Attack],
+    f: impl Fn(iguard_synth::attacks::Attack) -> T + Sync,
+) -> Vec<T> {
+    let mut out: Vec<Option<T>> = (0..attacks.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, &attack) in attacks.iter().enumerate() {
+            let f = &f;
+            handles.push((i, scope.spawn(move |_| f(attack))));
+        }
+        for (i, h) in handles {
+            out[i] = Some(h.join().expect("attack worker panicked"));
+        }
+    })
+    .expect("scope failed");
+    out.into_iter().map(|o| o.expect("filled")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iguard_synth::attacks::Attack;
+
+    #[test]
+    fn parallel_preserves_order() {
+        let attacks = [Attack::Mirai, Attack::Aidra, Attack::Bashlite];
+        let names = per_attack_parallel(&attacks, |a| a.name().to_string());
+        assert_eq!(names, vec!["Mirai", "Aidra", "Bashlite"]);
+    }
+}

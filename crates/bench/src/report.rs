@@ -1,0 +1,90 @@
+//! Plain-text table rendering for the `figures` binary.
+
+/// Renders an ASCII table with a header row.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let sep: String = widths
+        .iter()
+        .map(|w| "-".repeat(w + 2))
+        .collect::<Vec<_>>()
+        .join("+");
+    let fmt_row = |cells: &[String]| -> String {
+        cells
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!(" {c:<w$} "))
+            .collect::<Vec<_>>()
+            .join("|")
+    };
+    let mut out = String::new();
+    out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    out.push('\n');
+    out.push_str(&sep);
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats a fraction as a percentage with two decimals.
+pub fn pct(v: f64) -> String {
+    format!("{:.2}%", v * 100.0)
+}
+
+/// Formats a metric with three decimals.
+pub fn m3(v: f64) -> String {
+    format!("{v:.3}")
+}
+
+/// A sparkline-ish histogram row for terminal output.
+pub fn histogram_row(values: &[f64]) -> String {
+    const GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let max = values.iter().cloned().fold(0.0f64, f64::max).max(1e-12);
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / max) * (GLYPHS.len() - 1) as f64).round() as usize;
+            GLYPHS[idx.min(GLYPHS.len() - 1)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            &["attack", "f1"],
+            &[
+                vec!["Mirai".into(), "0.91".into()],
+                vec!["UDP DDoS".into(), "0.876".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("attack"));
+        assert!(lines[2].starts_with(" Mirai"));
+    }
+
+    #[test]
+    fn pct_and_m3_format() {
+        assert_eq!(pct(0.1334), "13.34%");
+        assert_eq!(m3(0.87654), "0.877");
+    }
+
+    #[test]
+    fn histogram_row_scales() {
+        let h = histogram_row(&[0.0, 0.5, 1.0]);
+        assert_eq!(h.chars().count(), 3);
+        assert!(h.ends_with('█'));
+    }
+}

@@ -1,0 +1,47 @@
+//! Validation-set threshold tuning shared by all experiments.
+
+use iguard_metrics::macro_f1;
+
+/// Sweeps thresholds over the quantiles of `val_scores` and returns the
+/// `(threshold, macro_f1)` maximising macro F1 against `val_truth`
+/// (predicting malicious when `score > threshold`).
+pub fn best_threshold(val_scores: &[f64], val_truth: &[bool]) -> (f64, f64) {
+    assert_eq!(val_scores.len(), val_truth.len());
+    assert!(!val_scores.is_empty(), "need validation scores");
+    let mut sorted: Vec<f64> = val_scores.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let mut best = (sorted[0] - 1.0, -1.0f64);
+    let n_cand = 64.min(sorted.len());
+    for i in 0..=n_cand {
+        let idx = (i * (sorted.len() - 1)) / n_cand.max(1);
+        let thr = sorted[idx];
+        let pred: Vec<bool> = val_scores.iter().map(|&s| s > thr).collect();
+        let f1 = macro_f1(val_truth, &pred);
+        if f1 > best.1 {
+            best = (thr, f1);
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_separating_threshold() {
+        let scores = vec![0.1, 0.2, 0.3, 0.8, 0.9, 1.0];
+        let truth = vec![false, false, false, true, true, true];
+        let (thr, f1) = best_threshold(&scores, &truth);
+        assert!((0.3..0.8).contains(&thr), "threshold {thr}");
+        assert_eq!(f1, 1.0);
+    }
+
+    #[test]
+    fn degenerate_scores_still_return() {
+        let scores = vec![0.5; 10];
+        let truth: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let (_, f1) = best_threshold(&scores, &truth);
+        assert!(f1 >= 0.0);
+    }
+}

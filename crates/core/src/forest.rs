@@ -1,0 +1,315 @@
+//! The iGuard forest: guided ensemble + knowledge distillation (§3.2.2).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::guided::{augment, GuidedTree, GuidedTreeConfig};
+use crate::teacher::Teacher;
+
+/// The full iGuard hyper-parameter surface the paper grid-searches:
+/// `(t, Ψ, k, T)` — `T` lives inside the teacher (its RMSE threshold).
+#[derive(Clone, Copy, Debug)]
+pub struct IGuardConfig {
+    /// `t`: number of guided trees.
+    pub n_trees: usize,
+    /// `Ψ`: sub-sample size per tree.
+    pub subsample: usize,
+    /// `k`: augmentation points per node (training) and per leaf
+    /// (distillation).
+    pub k_augment: usize,
+    /// `τ_split` stopping threshold.
+    pub tau_split: f64,
+    /// Split candidates per feature during the information-gain search.
+    pub n_candidates: usize,
+}
+
+impl Default for IGuardConfig {
+    fn default() -> Self {
+        Self { n_trees: 20, subsample: 256, k_augment: 32, tau_split: 1e-2, n_candidates: 8 }
+    }
+}
+
+/// A trained (and optionally distilled) iGuard forest.
+#[derive(Clone)]
+pub struct IGuardForest {
+    trees: Vec<GuidedTree>,
+    bounds: Vec<(f32, f32)>,
+    distilled: bool,
+    /// Vote-fraction threshold: predict malicious when more than this
+    /// fraction of trees vote malicious. 0.5 = the paper's plain majority;
+    /// tuned on validation like the other thresholds in the pipeline.
+    vote_threshold: f64,
+}
+
+impl IGuardForest {
+    /// Autoencoder-guided training (paper §3.2.1): grows `t` guided trees
+    /// on Ψ-sub-samples of the benign training set under the teacher.
+    pub fn fit(
+        data: &[Vec<f32>],
+        teacher: &mut dyn Teacher,
+        cfg: &IGuardConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(!data.is_empty(), "cannot fit on empty data");
+        assert!(cfg.n_trees > 0, "need at least one tree");
+        assert!(cfg.subsample > 1, "subsample must exceed 1");
+        let bounds = feature_bounds(data);
+        let psi = cfg.subsample.min(data.len());
+        let tree_cfg = GuidedTreeConfig {
+            max_depth: (psi as f64).log2().ceil() as usize,
+            k_augment: cfg.k_augment,
+            tau_split: cfg.tau_split,
+            n_candidates: cfg.n_candidates,
+        };
+        let all: Vec<usize> = (0..data.len()).collect();
+        let trees = (0..cfg.n_trees)
+            .map(|_| {
+                let sample: Vec<usize> = all.choose_multiple(rng, psi).copied().collect();
+                GuidedTree::fit(data, &sample, &bounds, teacher, &tree_cfg, rng)
+            })
+            .collect();
+        Self { trees, bounds, distilled: false, vote_threshold: 0.5 }
+    }
+
+    /// Knowledge distillation (paper §3.2.2): routes every training sample
+    /// through every tree, augments each leaf with points from the leaf's
+    /// feature ranges, and labels the leaf with the teacher's vote over
+    /// the expected reconstruction errors (Eq. 5–6).
+    ///
+    /// Deviation from the paper's literal text: augmentation *tops up*
+    /// each leaf to `k_augment` samples rather than unconditionally adding
+    /// `k_augment`. Synthetic points draw each feature independently, so
+    /// they sit far off the benign manifold and carry large reconstruction
+    /// errors; added unconditionally they dominate Eq. 5's expectation and
+    /// flip leaves that hundreds of real benign samples route to.
+    /// Augmentation's role — making *sparse and empty* leaves labelable —
+    /// is preserved.
+    pub fn distill(
+        &mut self,
+        data: &[Vec<f32>],
+        teacher: &mut dyn Teacher,
+        k_augment: usize,
+        rng: &mut impl Rng,
+    ) {
+        for tree in &mut self.trees {
+            // Bucket training samples per leaf.
+            let mut buckets: Vec<Vec<Vec<f32>>> = vec![Vec::new(); tree.n_leaves()];
+            for x in data {
+                buckets[tree.leaf_of(x)].push(x.clone());
+            }
+            for (leaf_id, bucket) in buckets.into_iter().enumerate() {
+                let mut set = bucket;
+                let top_up = k_augment.saturating_sub(set.len()).max(if set.is_empty() {
+                    1
+                } else {
+                    0
+                });
+                // Top-up points sample the leaf's *volume* (paper footnote
+                // 7's bounds distribution): a sparse leaf whose box is
+                // mostly off the benign manifold should read as malicious
+                // even though a handful of benign samples routed into it.
+                set.extend(augment(&tree.leaves[leaf_id].bounds, top_up, rng));
+                tree.leaves[leaf_id].label = Some(teacher.vote_on_set(&set));
+            }
+        }
+        self.distilled = true;
+    }
+
+    /// Whether distillation has labelled every leaf.
+    pub fn is_distilled(&self) -> bool {
+        self.distilled
+    }
+
+    /// Vote of leaf labels over the `t` trees: malicious when the
+    /// malicious-vote fraction exceeds [`Self::vote_threshold`]
+    /// (`label(x) = majority_vote(label_leaf)` at the default 0.5, §3.2.2).
+    ///
+    /// # Panics
+    /// Panics if called before [`Self::distill`].
+    pub fn predict(&self, x: &[f32]) -> bool {
+        assert!(self.distilled, "predict called before distillation");
+        let mal = self
+            .trees
+            .iter()
+            .filter(|t| t.predict(x).expect("undistilled leaf"))
+            .count();
+        mal >= self.votes_needed()
+    }
+
+    /// The smallest malicious-vote count that crosses the vote threshold.
+    pub fn votes_needed(&self) -> usize {
+        ((self.vote_threshold * self.trees.len() as f64).floor() as usize + 1)
+            .min(self.trees.len())
+    }
+
+    /// Current vote-fraction threshold.
+    pub fn vote_threshold(&self) -> f64 {
+        self.vote_threshold
+    }
+
+    /// Overrides the vote-fraction threshold (validation tuning). Values
+    /// are clamped to [0, 1).
+    pub fn set_vote_threshold(&mut self, v: f64) {
+        self.vote_threshold = v.clamp(0.0, 0.999_999);
+    }
+
+    /// Continuous score: the fraction of trees voting malicious — used for
+    /// the AUC metrics.
+    pub fn score(&self, x: &[f32]) -> f64 {
+        assert!(self.distilled, "score called before distillation");
+        let mal = self
+            .trees
+            .iter()
+            .filter(|t| t.predict(x).expect("undistilled leaf"))
+            .count();
+        mal as f64 / self.trees.len() as f64
+    }
+
+    /// Batch predictions.
+    pub fn predictions(&self, xs: &[Vec<f32>]) -> Vec<bool> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+    /// Batch scores.
+    pub fn scores(&self, xs: &[Vec<f32>]) -> Vec<f64> {
+        xs.iter().map(|x| self.score(x)).collect()
+    }
+
+    /// Global feature bounds seen at fit time.
+    pub fn bounds(&self) -> &[(f32, f32)] {
+        &self.bounds
+    }
+
+    pub fn trees(&self) -> &[GuidedTree] {
+        &self.trees
+    }
+
+    /// Total leaves across trees (a proxy for model size).
+    pub fn total_leaves(&self) -> usize {
+        self.trees.iter().map(|t| t.n_leaves()).sum()
+    }
+}
+
+/// Per-feature (min, max) over a dataset, widened so max is exclusive-safe.
+pub fn feature_bounds(data: &[Vec<f32>]) -> Vec<(f32, f32)> {
+    assert!(!data.is_empty());
+    let dim = data[0].len();
+    let mut bounds = vec![(f32::INFINITY, f32::NEG_INFINITY); dim];
+    for x in data {
+        for (b, &v) in bounds.iter_mut().zip(x) {
+            b.0 = b.0.min(v);
+            b.1 = b.1.max(v);
+        }
+    }
+    // Widen degenerate / exact bounds slightly so every training point lies
+    // strictly inside `[lo, hi)`. The widening must survive f32 rounding
+    // even for large constant features (e.g. TTL = 64), so it scales with
+    // the magnitude of the bound, not just the span.
+    for b in &mut bounds {
+        let span = (b.1 - b.0).abs().max(1e-6);
+        let mut new_hi = b.1 + span * 1e-3;
+        if new_hi <= b.1 {
+            new_hi = b.1 + b.1.abs().max(1.0) * 1e-4;
+        }
+        debug_assert!(new_hi > b.1);
+        b.1 = new_hi;
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::teacher::OracleTeacher;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng};
+
+    fn uniform_data(n: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+        (0..n).map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).collect()
+    }
+
+    fn quick_cfg() -> IGuardConfig {
+        IGuardConfig { n_trees: 9, subsample: 128, k_augment: 32, ..Default::default() }
+    }
+
+    #[test]
+    fn learns_oracle_half_plane() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let data = uniform_data(512, &mut rng);
+        let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.55);
+        let mut forest = IGuardForest::fit(&data, &mut teacher, &quick_cfg(), &mut rng);
+        forest.distill(&data, &mut teacher, 32, &mut rng);
+        // Evaluate far from the boundary.
+        let mut correct = 0;
+        let mut total = 0;
+        for _ in 0..200 {
+            let x: Vec<f32> = vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            if (x[0] - 0.55).abs() < 0.1 {
+                continue;
+            }
+            total += 1;
+            if forest.predict(&x) == (x[0] > 0.55) {
+                correct += 1;
+            }
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.9,
+            "accuracy {correct}/{total} too low"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "before distillation")]
+    fn predict_requires_distillation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let data = uniform_data(64, &mut rng);
+        let mut teacher = OracleTeacher(|_: &[f32]| false);
+        let forest = IGuardForest::fit(&data, &mut teacher, &quick_cfg(), &mut rng);
+        let _ = forest.predict(&[0.5, 0.5]);
+    }
+
+    #[test]
+    fn score_is_vote_fraction() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let data = uniform_data(256, &mut rng);
+        let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.5);
+        let mut forest = IGuardForest::fit(&data, &mut teacher, &quick_cfg(), &mut rng);
+        forest.distill(&data, &mut teacher, 16, &mut rng);
+        for x in [[0.1f32, 0.5], [0.9, 0.5]] {
+            let s = forest.score(&x);
+            assert!((0.0..=1.0).contains(&s));
+            assert_eq!(forest.predict(&x), s > 0.5);
+        }
+    }
+
+    #[test]
+    fn all_leaves_labelled_after_distill() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data = uniform_data(256, &mut rng);
+        let mut teacher = OracleTeacher(|x: &[f32]| x[1] > 0.7);
+        let mut forest = IGuardForest::fit(&data, &mut teacher, &quick_cfg(), &mut rng);
+        forest.distill(&data, &mut teacher, 8, &mut rng);
+        for tree in forest.trees() {
+            assert!(tree.leaves.iter().all(|l| l.label.is_some()));
+        }
+    }
+
+    #[test]
+    fn feature_bounds_cover_data() {
+        let data = vec![vec![1.0f32, -5.0], vec![3.0, 2.0]];
+        let b = feature_bounds(&data);
+        assert!(b[0].0 <= 1.0 && b[0].1 > 3.0);
+        assert!(b[1].0 <= -5.0 && b[1].1 > 2.0);
+    }
+
+    #[test]
+    fn pure_benign_teacher_gives_single_leaf_trees() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data = uniform_data(256, &mut rng);
+        let mut teacher = OracleTeacher(|_: &[f32]| false);
+        let mut forest = IGuardForest::fit(&data, &mut teacher, &quick_cfg(), &mut rng);
+        forest.distill(&data, &mut teacher, 8, &mut rng);
+        assert_eq!(forest.total_leaves(), forest.trees().len());
+        assert!(!forest.predict(&[0.5, 0.5]));
+    }
+}

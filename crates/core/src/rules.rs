@@ -1,0 +1,481 @@
+//! Whitelist-rule generation (paper §3.2.3).
+//!
+//! The labelled forest is compiled into axis-aligned hypercubes on which
+//! its vote is constant. The paper describes enumerating the cartesian
+//! product of all leaf boundaries; we compute the same partition by
+//! **adaptive region splitting** — recursively split a region only while
+//! some tree's decision still straddles it — which emits each maximal
+//! constant-vote region directly instead of enumerating grid cells that
+//! would be merged again afterwards. Adjacent same-label cubes are then
+//! greedily merged, and the benign (label-0) cubes become the whitelist:
+//! anything matching no whitelist rule is treated as malicious.
+
+use serde::{Deserialize, Serialize};
+
+use iguard_iforest::tree::Node as IfNode;
+use iguard_iforest::IsolationForest;
+
+use crate::forest::IGuardForest;
+
+/// An axis-aligned box `[lo, hi)` over the feature space.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Hypercube {
+    pub lo: Vec<f32>,
+    pub hi: Vec<f32>,
+}
+
+impl Hypercube {
+    /// Half-open membership test.
+    pub fn contains(&self, x: &[f32]) -> bool {
+        x.iter()
+            .zip(self.lo.iter().zip(&self.hi))
+            .all(|(&v, (&lo, &hi))| v >= lo && v < hi)
+    }
+
+    /// Volume of the box (product of extents).
+    pub fn volume(&self) -> f64 {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(&lo, &hi)| (hi - lo).max(0.0) as f64)
+            .product()
+    }
+
+    fn dims(&self) -> usize {
+        self.lo.len()
+    }
+}
+
+/// Rule-generation failures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleGenError {
+    /// The decomposition exceeded the region budget — the model is too
+    /// fragmented to compile into a rule table of acceptable size.
+    TooManyRegions { budget: usize },
+}
+
+impl std::fmt::Display for RuleGenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuleGenError::TooManyRegions { budget } => {
+                write!(f, "region decomposition exceeded budget of {budget}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuleGenError {}
+
+/// A compiled whitelist rule set.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RuleSet {
+    /// Global feature bounds the rules were compiled within.
+    pub bounds: Vec<(f32, f32)>,
+    /// Benign (label-0) regions, post-merge.
+    pub whitelist: Vec<Hypercube>,
+    /// Constant-vote regions found before dropping malicious ones and
+    /// before merging (a fragmentation measure).
+    pub total_regions: usize,
+}
+
+/// How a region resolves against an ensemble.
+type Resolve<'a> = dyn FnMut(&[f32], &[f32]) -> Result<bool, (usize, f32)> + 'a;
+
+impl RuleSet {
+    /// Compiles a distilled [`IGuardForest`] into whitelist rules.
+    ///
+    /// The region's verdict is the *majority vote*, so the decomposition
+    /// short-circuits: once enough trees have resolved that the remaining
+    /// (straddled) trees cannot change the majority, the region is
+    /// constant and need not be split further. This is what keeps the
+    /// compilation tractable in 13 dimensions.
+    pub fn from_iguard(forest: &IGuardForest, max_regions: usize) -> Result<Self, RuleGenError> {
+        assert!(forest.is_distilled(), "distill the forest before compiling rules");
+        let needed = forest.votes_needed();
+        let mut resolve = |lo: &[f32], hi: &[f32]| -> Result<bool, (usize, f32)> {
+            let mut mal = 0usize;
+            let mut unresolved = 0usize;
+            let mut first_straddle: Option<(usize, f32)> = None;
+            for tree in forest.trees() {
+                match tree.resolve_region(lo, hi) {
+                    Ok(leaf) => {
+                        if tree.leaves[leaf].label.expect("undistilled leaf") {
+                            mal += 1;
+                        }
+                    }
+                    Err(straddle) => {
+                        unresolved += 1;
+                        first_straddle.get_or_insert(straddle);
+                    }
+                }
+            }
+            if mal >= needed {
+                return Ok(true); // malicious vote already locked in
+            }
+            if mal + unresolved < needed {
+                return Ok(false); // benign even if all straddles go malicious
+            }
+            Err(first_straddle.expect("undetermined region must have a straddle"))
+        };
+        Self::compile(forest.bounds().to_vec(), &mut resolve, max_regions)
+    }
+
+    /// Compiles a conventional [`IsolationForest`] (thresholded anomaly
+    /// score) into whitelist rules — how HorusEye-style deployments install
+    /// the baseline iForest in the data plane.
+    ///
+    /// Branch-and-bound: for each tree, the region's attainable path
+    /// length is bounded by exploring both sides of straddled splits; if
+    /// the resulting score interval lies entirely on one side of the
+    /// threshold, the region's verdict is constant without further
+    /// splitting.
+    pub fn from_iforest(
+        forest: &IsolationForest,
+        bounds: &[(f32, f32)],
+        max_regions: usize,
+    ) -> Result<Self, RuleGenError> {
+        let mut resolve = |lo: &[f32], hi: &[f32]| -> Result<bool, (usize, f32)> {
+            let mut path_min = 0.0f64;
+            let mut path_max = 0.0f64;
+            let mut first_straddle: Option<(usize, f32)> = None;
+            for tree in forest.trees() {
+                let b = iforest_path_bounds(tree.root(), lo, hi, 0, &mut first_straddle);
+                path_min += b.0;
+                path_max += b.1;
+            }
+            let n = forest.trees().len() as f64;
+            // Score is decreasing in mean path length.
+            let score_hi = 2f64.powf(-(path_min / n) / forest.c_psi());
+            let score_lo = 2f64.powf(-(path_max / n) / forest.c_psi());
+            if score_lo > forest.threshold() {
+                return Ok(true);
+            }
+            if score_hi <= forest.threshold() {
+                return Ok(false);
+            }
+            Err(first_straddle.expect("undetermined region must have a straddle"))
+        };
+        Self::compile(bounds.to_vec(), &mut resolve, max_regions)
+    }
+
+    /// The shared adaptive decomposition + merge pipeline.
+    ///
+    /// The root region is **unbounded**: tree inference routes every point
+    /// (inside training bounds or not) to some leaf, so the rule table must
+    /// cover the whole feature space to be consistent with the forest. Edge
+    /// rules extend to ±∞ and are intersected with finite field domains
+    /// only when installed into a TCAM.
+    fn compile(
+        bounds: Vec<(f32, f32)>,
+        resolve: &mut Resolve<'_>,
+        max_regions: usize,
+    ) -> Result<Self, RuleGenError> {
+        let dim = bounds.len();
+        let mut stack = vec![Hypercube {
+            lo: vec![f32::NEG_INFINITY; dim],
+            hi: vec![f32::INFINITY; dim],
+        }];
+        let mut benign = Vec::new();
+        let mut total_regions = 0usize;
+        while let Some(cube) = stack.pop() {
+            match resolve(&cube.lo, &cube.hi) {
+                Ok(label) => {
+                    total_regions += 1;
+                    if total_regions > max_regions {
+                        return Err(RuleGenError::TooManyRegions { budget: max_regions });
+                    }
+                    if !label {
+                        benign.push(cube);
+                    }
+                }
+                Err((feature, split)) => {
+                    debug_assert!(
+                        cube.lo[feature] < split && split < cube.hi[feature],
+                        "straddle split must be interior"
+                    );
+                    let mut left = cube.clone();
+                    left.hi[feature] = split;
+                    let mut right = cube;
+                    right.lo[feature] = split;
+                    stack.push(left);
+                    stack.push(right);
+                    if stack.len() > max_regions * 2 {
+                        return Err(RuleGenError::TooManyRegions { budget: max_regions });
+                    }
+                }
+            }
+        }
+        let whitelist = merge_adjacent(benign);
+        Ok(Self { bounds, whitelist, total_regions })
+    }
+
+    /// Number of whitelist rules.
+    pub fn len(&self) -> usize {
+        self.whitelist.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.whitelist.is_empty()
+    }
+
+    /// Whether `x` matches a whitelist rule. No clamping: edge rules are
+    /// unbounded, mirroring forest inference on out-of-range points.
+    pub fn matches(&self, x: &[f32]) -> bool {
+        self.whitelist.iter().any(|c| c.contains(x))
+    }
+
+    /// Hard prediction: malicious iff no whitelist rule matches.
+    pub fn predict(&self, x: &[f32]) -> bool {
+        !self.matches(x)
+    }
+
+    /// Batch predictions.
+    pub fn predictions(&self, xs: &[Vec<f32>]) -> Vec<bool> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+
+}
+
+/// Bounds on the path length a point inside region `[lo, hi)` can attain
+/// in a conventional iTree. Straddled splits explore both children; the
+/// first straddle encountered is recorded for region splitting.
+fn iforest_path_bounds(
+    node: &IfNode,
+    lo: &[f32],
+    hi: &[f32],
+    depth: usize,
+    first_straddle: &mut Option<(usize, f32)>,
+) -> (f64, f64) {
+    match node {
+        IfNode::Leaf { size } => {
+            let p = depth as f64 + iguard_iforest::tree::average_path_length(*size);
+            (p, p)
+        }
+        IfNode::Internal { feature, split, left, right } => {
+            if hi[*feature] <= *split {
+                iforest_path_bounds(left, lo, hi, depth + 1, first_straddle)
+            } else if lo[*feature] >= *split {
+                iforest_path_bounds(right, lo, hi, depth + 1, first_straddle)
+            } else {
+                first_straddle.get_or_insert((*feature, *split));
+                let l = iforest_path_bounds(left, lo, hi, depth + 1, first_straddle);
+                let r = iforest_path_bounds(right, lo, hi, depth + 1, first_straddle);
+                (l.0.min(r.0), l.1.max(r.1))
+            }
+        }
+    }
+}
+
+/// Greedy merging of adjacent same-label boxes: two boxes merge when they
+/// agree on every dimension except one where they abut exactly. Runs to a
+/// fixpoint over all axes.
+///
+/// Implementation: for each axis, boxes are hash-grouped by their
+/// coordinates on every *other* axis; within a group, a sort-and-sweep
+/// along the axis coalesces abutting runs. This is `O(d · n log n)` per
+/// pass, which matters — baseline iForests can decompose into 10⁵ regions.
+pub fn merge_adjacent(mut cubes: Vec<Hypercube>) -> Vec<Hypercube> {
+    use std::collections::HashMap;
+    if cubes.is_empty() {
+        return cubes;
+    }
+    let dims = cubes[0].dims();
+    loop {
+        let mut merged_any = false;
+        for d in 0..dims {
+            // Key = bit patterns of (lo, hi) on all axes except d.
+            let mut groups: HashMap<Vec<u32>, Vec<Hypercube>> = HashMap::new();
+            for cube in cubes.drain(..) {
+                let mut key = Vec::with_capacity(2 * (dims - 1));
+                for a in 0..dims {
+                    if a == d {
+                        continue;
+                    }
+                    key.push(cube.lo[a].to_bits());
+                    key.push(cube.hi[a].to_bits());
+                }
+                groups.entry(key).or_default().push(cube);
+            }
+            // Deterministic output order: sort groups by key.
+            let mut keyed: Vec<(Vec<u32>, Vec<Hypercube>)> = groups.into_iter().collect();
+            keyed.sort_by(|a, b| a.0.cmp(&b.0));
+            for (_, mut group) in keyed {
+                group.sort_by(|a, b| a.lo[d].partial_cmp(&b.lo[d]).unwrap());
+                let mut run: Option<Hypercube> = None;
+                for cube in group {
+                    match run.take() {
+                        None => run = Some(cube),
+                        Some(mut prev) => {
+                            if prev.hi[d] == cube.lo[d] {
+                                prev.hi[d] = cube.hi[d];
+                                merged_any = true;
+                                run = Some(prev);
+                            } else {
+                                cubes.push(prev);
+                                run = Some(cube);
+                            }
+                        }
+                    }
+                }
+                if let Some(prev) = run {
+                    cubes.push(prev);
+                }
+            }
+        }
+        if !merged_any {
+            return cubes;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::IGuardConfig;
+    use crate::teacher::OracleTeacher;
+    use rand::rngs::StdRng;
+    use rand::{Rng as _, SeedableRng};
+
+    fn cube(lo: &[f32], hi: &[f32]) -> Hypercube {
+        Hypercube { lo: lo.to_vec(), hi: hi.to_vec() }
+    }
+
+    #[test]
+    fn contains_is_half_open() {
+        let c = cube(&[0.0, 0.0], &[1.0, 1.0]);
+        assert!(c.contains(&[0.0, 0.5]));
+        assert!(!c.contains(&[1.0, 0.5]));
+        assert!(!c.contains(&[0.5, -0.1]));
+    }
+
+    #[test]
+    fn merge_abutting_boxes() {
+        let merged = merge_adjacent(vec![
+            cube(&[0.0, 0.0], &[0.5, 1.0]),
+            cube(&[0.5, 0.0], &[1.0, 1.0]),
+        ]);
+        assert_eq!(merged, vec![cube(&[0.0, 0.0], &[1.0, 1.0])]);
+    }
+
+    #[test]
+    fn merge_is_transitive_across_passes() {
+        // Three boxes in a row merge into one (needs a second pass).
+        let merged = merge_adjacent(vec![
+            cube(&[0.0], &[1.0]),
+            cube(&[2.0], &[3.0]),
+            cube(&[1.0], &[2.0]),
+        ]);
+        assert_eq!(merged, vec![cube(&[0.0], &[3.0])]);
+    }
+
+    #[test]
+    fn no_merge_across_gap_or_two_axes() {
+        let gap = merge_adjacent(vec![cube(&[0.0], &[1.0]), cube(&[1.5], &[2.0])]);
+        assert_eq!(gap.len(), 2);
+        let diag = merge_adjacent(vec![
+            cube(&[0.0, 0.0], &[1.0, 1.0]),
+            cube(&[1.0, 1.0], &[2.0, 2.0]),
+        ]);
+        assert_eq!(diag.len(), 2);
+    }
+
+    fn trained_forest(rng: &mut StdRng) -> (IGuardForest, Vec<Vec<f32>>) {
+        let data: Vec<Vec<f32>> = (0..512)
+            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
+            .collect();
+        let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.6);
+        let cfg = IGuardConfig { n_trees: 7, subsample: 128, k_augment: 32, ..Default::default() };
+        let mut forest = IGuardForest::fit(&data, &mut teacher, &cfg, rng);
+        forest.distill(&data, &mut teacher, 16, rng);
+        (forest, data)
+    }
+
+    /// The paper's consistency check: rules reproduce the distilled forest.
+    #[test]
+    fn rules_are_consistent_with_forest() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let (forest, _) = trained_forest(&mut rng);
+        let rules = RuleSet::from_iguard(&forest, 100_000).unwrap();
+        let mut agree = 0usize;
+        let n = 1000;
+        for _ in 0..n {
+            let x = vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            if rules.predict(&x) == forest.predict(&x) {
+                agree += 1;
+            }
+        }
+        let c = agree as f64 / n as f64;
+        assert!(c >= 0.99, "consistency {c} below paper's 0.992–0.996 band");
+    }
+
+    #[test]
+    fn whitelist_covers_benign_side() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (forest, _) = trained_forest(&mut rng);
+        let rules = RuleSet::from_iguard(&forest, 100_000).unwrap();
+        assert!(!rules.is_empty());
+        assert!(rules.matches(&[0.2, 0.5]), "benign point must match whitelist");
+        assert!(rules.predict(&[0.9, 0.5]), "malicious point must not match");
+    }
+
+    #[test]
+    fn out_of_range_points_follow_forest_semantics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (forest, _) = trained_forest(&mut rng);
+        let rules = RuleSet::from_iguard(&forest, 100_000).unwrap();
+        // Edge rules are unbounded: far outside the training bounds the
+        // verdict matches the forest's own leaf routing.
+        for x in [[-100.0f32, 0.5], [100.0, 0.5], [0.5, 1e9], [0.5, -1e9]] {
+            assert_eq!(rules.predict(&x), forest.predict(&x), "x = {x:?}");
+        }
+    }
+
+    #[test]
+    fn budget_violation_reported() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (forest, _) = trained_forest(&mut rng);
+        match RuleSet::from_iguard(&forest, 1) {
+            Err(RuleGenError::TooManyRegions { budget: 1 }) => {}
+            other => panic!("expected budget error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn iforest_rules_flag_outliers() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<Vec<f32>> = (0..512)
+            .map(|_| vec![0.5 + rng.gen_range(-0.1..0.1), 0.5 + rng.gen_range(-0.1..0.1)])
+            .collect();
+        let cfg = iguard_iforest::IsolationForestConfig {
+            n_trees: 10,
+            subsample: 64,
+            contamination: 0.05,
+        };
+        let forest = IsolationForest::fit(&data, &cfg, &mut rng);
+        let bounds = vec![(0.0f32, 1.0), (0.0, 1.0)];
+        let rules = RuleSet::from_iforest(&forest, &bounds, 500_000).unwrap();
+        // Consistency with the thresholded forest on in-bounds points.
+        let mut agree = 0;
+        for _ in 0..500 {
+            let x = vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            if rules.predict(&x) == forest.predict(&x) {
+                agree += 1;
+            }
+        }
+        assert!(agree >= 495, "iforest rule consistency {agree}/500");
+    }
+
+    #[test]
+    fn decomposition_partitions_space() {
+        // Regions (kept + dropped) must tile the bounds: check by sampling
+        // that exactly one benign box contains any benign-predicted point.
+        let mut rng = StdRng::seed_from_u64(6);
+        let (forest, _) = trained_forest(&mut rng);
+        let rules = RuleSet::from_iguard(&forest, 100_000).unwrap();
+        for _ in 0..300 {
+            let x = vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
+            let hits = rules.whitelist.iter().filter(|c| c.contains(&x)).count();
+            assert!(hits <= 1, "point {x:?} in {hits} merged boxes");
+        }
+    }
+}

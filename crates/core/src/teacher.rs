@@ -1,0 +1,192 @@
+//! The teacher abstraction: who guides iGuard's training and distillation.
+//!
+//! The paper uses an ensemble of autoencoders (Magnifier instances); the
+//! forest only ever needs two operations from its guide, so we abstract
+//! them behind [`Teacher`]:
+//!
+//! * [`Teacher::predict`] — hard per-sample labels, used during guided
+//!   training to compute node entropies (paper Eq. 1–2);
+//! * [`Teacher::vote_on_set`] — the distillation vote over a *set* of
+//!   samples: each ensemble member averages its reconstruction error over
+//!   the set (Eq. 5) and the weighted member vote labels the set (Eq. 6).
+
+use iguard_models::AnomalyDetector;
+
+/// A guide for iGuard training and distillation.
+pub trait Teacher {
+    /// Hard labels for a batch; `true` = malicious.
+    fn predict(&mut self, xs: &[Vec<f32>]) -> Vec<bool>;
+
+    /// Labels a *set* of samples as one unit via expected scores
+    /// (paper Eq. 5–6). An empty set votes benign.
+    fn vote_on_set(&mut self, xs: &[Vec<f32>]) -> bool;
+}
+
+/// A weighted ensemble of anomaly detectors as teacher — the general form
+/// of the paper's autoencoder ensemble. Weights are normalised to sum to 1;
+/// a sample (or set) is malicious when the weighted member vote exceeds ½.
+pub struct EnsembleTeacher<D: AnomalyDetector> {
+    members: Vec<D>,
+    weights: Vec<f64>,
+}
+
+impl<D: AnomalyDetector> EnsembleTeacher<D> {
+    /// Uniform-weight ensemble.
+    pub fn uniform(members: Vec<D>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let w = 1.0 / members.len() as f64;
+        let weights = vec![w; members.len()];
+        Self { members, weights }
+    }
+
+    /// Explicit weights `w_u` (renormalised).
+    pub fn weighted(members: Vec<D>, weights: Vec<f64>) -> Self {
+        assert_eq!(members.len(), weights.len(), "one weight per member");
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        Self { members, weights: weights.into_iter().map(|w| w / total).collect() }
+    }
+
+    pub fn members_mut(&mut self) -> &mut [D] {
+        &mut self.members
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl<D: AnomalyDetector> Teacher for EnsembleTeacher<D> {
+    fn predict(&mut self, xs: &[Vec<f32>]) -> Vec<bool> {
+        let mut vote = vec![0.0f64; xs.len()];
+        for (u, m) in self.members.iter_mut().enumerate() {
+            let w = self.weights[u];
+            for (v, x) in vote.iter_mut().zip(xs) {
+                if m.predict(x) {
+                    *v += w;
+                }
+            }
+        }
+        vote.into_iter().map(|v| v > 0.5).collect()
+    }
+
+    fn vote_on_set(&mut self, xs: &[Vec<f32>]) -> bool {
+        if xs.is_empty() {
+            return false;
+        }
+        let mut vote = 0.0f64;
+        for (u, m) in self.members.iter_mut().enumerate() {
+            let mean: f64 = xs.iter().map(|x| m.score(x)).sum::<f64>() / xs.len() as f64;
+            if mean > m.threshold() {
+                vote += self.weights[u];
+            }
+        }
+        vote > 0.5
+    }
+}
+
+/// A single detector as teacher (the `r = 1` special case used in most of
+/// the paper's experiments, where the single Magnifier guides iGuard).
+pub struct DetectorTeacher<D: AnomalyDetector>(pub D);
+
+impl<D: AnomalyDetector> Teacher for DetectorTeacher<D> {
+    fn predict(&mut self, xs: &[Vec<f32>]) -> Vec<bool> {
+        xs.iter().map(|x| self.0.predict(x)).collect()
+    }
+
+    fn vote_on_set(&mut self, xs: &[Vec<f32>]) -> bool {
+        if xs.is_empty() {
+            return false;
+        }
+        let mean: f64 = xs.iter().map(|x| self.0.score(x)).sum::<f64>() / xs.len() as f64;
+        mean > self.0.threshold()
+    }
+}
+
+/// A closure-backed oracle teacher for tests and upper-bound ablations.
+pub struct OracleTeacher<F: FnMut(&[f32]) -> bool>(pub F);
+
+impl<F: FnMut(&[f32]) -> bool> Teacher for OracleTeacher<F> {
+    fn predict(&mut self, xs: &[Vec<f32>]) -> Vec<bool> {
+        xs.iter().map(|x| (self.0)(x)).collect()
+    }
+
+    fn vote_on_set(&mut self, xs: &[Vec<f32>]) -> bool {
+        if xs.is_empty() {
+            return false;
+        }
+        let mal = xs.iter().filter(|x| (self.0)(x)).count();
+        2 * mal > xs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal detector: score = first feature, threshold 0.5.
+    struct Stub {
+        threshold: f64,
+    }
+
+    impl AnomalyDetector for Stub {
+        fn name(&self) -> &'static str {
+            "stub"
+        }
+        fn score(&mut self, x: &[f32]) -> f64 {
+            x[0] as f64
+        }
+        fn threshold(&self) -> f64 {
+            self.threshold
+        }
+        fn set_threshold(&mut self, t: f64) {
+            self.threshold = t;
+        }
+    }
+
+    #[test]
+    fn detector_teacher_thresholds_scores() {
+        let mut t = DetectorTeacher(Stub { threshold: 0.5 });
+        let labels = t.predict(&[vec![0.2], vec![0.9]]);
+        assert_eq!(labels, vec![false, true]);
+    }
+
+    #[test]
+    fn detector_teacher_votes_on_mean() {
+        let mut t = DetectorTeacher(Stub { threshold: 0.5 });
+        assert!(!t.vote_on_set(&[vec![0.2], vec![0.3]]));
+        assert!(t.vote_on_set(&[vec![0.2], vec![0.95], vec![0.95]]));
+        assert!(!t.vote_on_set(&[]));
+    }
+
+    #[test]
+    fn ensemble_weighted_vote() {
+        // Member A (weight 0.75) says malicious above 0.5; member B
+        // (weight 0.25) above 0.9. A alone carries the vote.
+        let members = vec![Stub { threshold: 0.5 }, Stub { threshold: 0.9 }];
+        let mut ens = EnsembleTeacher::weighted(members, vec![3.0, 1.0]);
+        let labels = ens.predict(&[vec![0.7], vec![0.95], vec![0.1]]);
+        assert_eq!(labels, vec![true, true, false]);
+    }
+
+    #[test]
+    fn ensemble_tie_is_benign() {
+        // Two members, uniform: one yes + one no = 0.5, not > 0.5.
+        let members = vec![Stub { threshold: 0.5 }, Stub { threshold: 0.9 }];
+        let mut ens = EnsembleTeacher::uniform(members);
+        assert_eq!(ens.predict(&[vec![0.7]]), vec![false]);
+    }
+
+    #[test]
+    fn oracle_majority_on_sets() {
+        let mut o = OracleTeacher(|x: &[f32]| x[0] > 0.0);
+        assert!(o.vote_on_set(&[vec![1.0], vec![1.0], vec![-1.0]]));
+        assert!(!o.vote_on_set(&[vec![1.0], vec![-1.0]])); // tie -> benign
+    }
+}

@@ -1,0 +1,154 @@
+//! Grid search over hyper-parameters (paper §4.1 / §4.2.1).
+//!
+//! iGuard tunes `(t, Ψ, k, T)` and the baseline `(t, Ψ, contamination)`,
+//! each maximising the mean of macro F1, PRAUC and ROCAUC on the
+//! validation set; the testbed variant maximises the memory-aware reward
+//! instead. The tuner is deliberately objective-agnostic: callers supply
+//! the candidate list and an evaluation closure.
+
+use iguard_iforest::IsolationForestConfig;
+
+use crate::forest::IGuardConfig;
+
+/// Exhaustive grid search: evaluates every candidate and returns the
+/// arg-max with its objective value.
+///
+/// # Panics
+/// Panics on an empty candidate list.
+pub fn grid_search<C: Clone>(candidates: &[C], mut eval: impl FnMut(&C) -> f64) -> (C, f64) {
+    assert!(!candidates.is_empty(), "grid search needs candidates");
+    let mut best: Option<(C, f64)> = None;
+    for c in candidates {
+        let v = eval(c);
+        assert!(!v.is_nan(), "objective returned NaN");
+        match &best {
+            Some((_, bv)) if *bv >= v => {}
+            _ => best = Some((c.clone(), v)),
+        }
+    }
+    best.expect("non-empty candidates")
+}
+
+/// The iGuard candidate grid over `(t, Ψ, k)`; the teacher threshold `T`
+/// is swept separately via `threshold_quantiles`.
+#[derive(Clone, Debug)]
+pub struct IGuardGrid {
+    pub n_trees: Vec<usize>,
+    pub subsample: Vec<usize>,
+    pub k_augment: Vec<usize>,
+    /// Benign-RMSE quantiles tried for the teacher threshold `T`.
+    pub threshold_quantiles: Vec<f64>,
+}
+
+impl Default for IGuardGrid {
+    fn default() -> Self {
+        Self {
+            n_trees: vec![7, 15],
+            subsample: vec![64, 128],
+            k_augment: vec![16, 32],
+            threshold_quantiles: vec![0.95, 0.98],
+        }
+    }
+}
+
+impl IGuardGrid {
+    /// Expands the grid into `(config, threshold_quantile)` candidates.
+    pub fn candidates(&self) -> Vec<(IGuardConfig, f64)> {
+        let mut out = Vec::new();
+        for &t in &self.n_trees {
+            for &psi in &self.subsample {
+                for &k in &self.k_augment {
+                    for &q in &self.threshold_quantiles {
+                        out.push((
+                            IGuardConfig {
+                                n_trees: t,
+                                subsample: psi,
+                                k_augment: k,
+                                ..Default::default()
+                            },
+                            q,
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The baseline grid over `(t, Ψ, contamination)`.
+#[derive(Clone, Debug)]
+pub struct IForestGrid {
+    pub n_trees: Vec<usize>,
+    pub subsample: Vec<usize>,
+    pub contamination: Vec<f64>,
+}
+
+impl Default for IForestGrid {
+    fn default() -> Self {
+        Self {
+            n_trees: vec![25, 50, 100],
+            subsample: vec![64, 128, 256],
+            contamination: vec![0.01, 0.05, 0.1],
+        }
+    }
+}
+
+impl IForestGrid {
+    pub fn candidates(&self) -> Vec<IsolationForestConfig> {
+        let mut out = Vec::new();
+        for &t in &self.n_trees {
+            for &psi in &self.subsample {
+                for &c in &self.contamination {
+                    out.push(IsolationForestConfig {
+                        n_trees: t,
+                        subsample: psi,
+                        contamination: c,
+                    });
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_search_finds_argmax() {
+        let candidates = vec![1.0f64, 3.0, 2.0, -5.0];
+        let (best, val) = grid_search(&candidates, |&c| -(c - 2.5).abs());
+        assert_eq!(best, 3.0);
+        assert!((val - (-0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grid_search_prefers_first_on_ties() {
+        let candidates = vec!["a", "b"];
+        let (best, _) = grid_search(&candidates, |_| 1.0);
+        assert_eq!(best, "a");
+    }
+
+    #[test]
+    fn iguard_grid_size_is_product() {
+        let g = IGuardGrid::default();
+        assert_eq!(
+            g.candidates().len(),
+            g.n_trees.len() * g.subsample.len() * g.k_augment.len() * g.threshold_quantiles.len()
+        );
+    }
+
+    #[test]
+    fn iforest_grid_size_is_product() {
+        let g = IForestGrid::default();
+        assert_eq!(g.candidates().len(), 27);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs candidates")]
+    fn empty_grid_rejected() {
+        let _ = grid_search::<u32>(&[], |_| 0.0);
+    }
+}

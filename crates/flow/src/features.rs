@@ -1,0 +1,255 @@
+//! Feature views over flow state.
+//!
+//! Three feature sets appear in the paper:
+//!
+//! * [`FeatureSet::SwitchFl`] — the **13 flow-level features extractable on
+//!   the Tofino data plane** (§4.2): per-flow packet count,
+//!   total/average/std/variance/min/max packet size,
+//!   average/min/variance/std/max inter-packet delay, and flow duration.
+//! * [`FeatureSet::PacketLevel`] — the **4 packet-level features** used to
+//!   classify *early* packets before flow state is reliable (§3.3.1):
+//!   destination port, protocol, packet length, TTL.
+//! * [`FeatureSet::Magnifier`] — the richer CPU-side set (§4.1) used by the
+//!   Magnifier autoencoder: the 13 switch features plus rate and TCP-flag
+//!   statistics that a control plane can compute but a switch cannot.
+
+use crate::packet::Packet;
+use crate::stats::FlowStats;
+
+/// Dimensionality of [`FeatureSet::SwitchFl`].
+pub const SWITCH_FL_DIM: usize = 13;
+/// Dimensionality of [`FeatureSet::PacketLevel`].
+pub const PL_DIM: usize = 4;
+/// Dimensionality of [`FeatureSet::Magnifier`].
+pub const MAGNIFIER_DIM: usize = 21;
+
+/// Which feature view to extract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FeatureSet {
+    /// 13 flow-level features computable in the data plane.
+    SwitchFl,
+    /// 4 packet-level features of a single packet.
+    PacketLevel,
+    /// 21 flow-level features for CPU experiments (Magnifier-grade).
+    Magnifier,
+}
+
+impl FeatureSet {
+    pub fn dim(self) -> usize {
+        match self {
+            FeatureSet::SwitchFl => SWITCH_FL_DIM,
+            FeatureSet::PacketLevel => PL_DIM,
+            FeatureSet::Magnifier => MAGNIFIER_DIM,
+        }
+    }
+
+    /// Human-readable feature names, index-aligned with the vectors.
+    pub fn names(self) -> &'static [&'static str] {
+        match self {
+            FeatureSet::SwitchFl => &[
+                "pkt_count",
+                "total_size",
+                "mean_size",
+                "std_size",
+                "var_size",
+                "min_size",
+                "max_size",
+                "mean_ipd",
+                "min_ipd",
+                "var_ipd",
+                "std_ipd",
+                "max_ipd",
+                "duration",
+            ],
+            FeatureSet::PacketLevel => &["dst_port", "proto", "pkt_len", "ttl"],
+            FeatureSet::Magnifier => &[
+                "pkt_count",
+                "total_size",
+                "mean_size",
+                "std_size",
+                "var_size",
+                "min_size",
+                "max_size",
+                "mean_ipd",
+                "min_ipd",
+                "var_ipd",
+                "std_ipd",
+                "max_ipd",
+                "duration",
+                "pkts_per_sec",
+                "bytes_per_sec",
+                "mean_ttl",
+                "syn_ratio",
+                "ack_ratio",
+                "rst_fin_ratio",
+                "dst_port",
+                "proto",
+            ],
+        }
+    }
+}
+
+/// Extracts the 13 switch flow-level features from accumulated flow state.
+pub fn switch_fl_features(s: &FlowStats) -> Vec<f32> {
+    vec![
+        s.pkt_count as f32,
+        s.total_bytes as f32,
+        s.mean_size() as f32,
+        s.std_size() as f32,
+        s.var_size() as f32,
+        if s.min_size == u16::MAX { 0.0 } else { s.min_size as f32 },
+        s.max_size as f32,
+        s.mean_ipd_secs() as f32,
+        s.min_ipd_secs() as f32,
+        s.var_ipd() as f32,
+        s.std_ipd() as f32,
+        s.max_ipd_secs() as f32,
+        s.duration_secs() as f32,
+    ]
+}
+
+/// Extracts the 4 packet-level features from a single packet.
+pub fn packet_level_features(p: &Packet) -> Vec<f32> {
+    vec![p.five.dst_port as f32, p.five.proto as f32, p.wire_len as f32, p.ttl as f32]
+}
+
+/// Extracts the 21 Magnifier-grade features from accumulated flow state.
+pub fn magnifier_features(s: &FlowStats) -> Vec<f32> {
+    let mut v = switch_fl_features(s);
+    let dur = s.duration_secs();
+    // Rates guard against zero-duration (single burst) flows.
+    let pkts_per_sec = if dur > 0.0 { s.pkt_count as f64 / dur } else { s.pkt_count as f64 };
+    let bytes_per_sec = if dur > 0.0 { s.total_bytes as f64 / dur } else { s.total_bytes as f64 };
+    let n = s.pkt_count.max(1) as f64;
+    v.extend_from_slice(&[
+        pkts_per_sec as f32,
+        bytes_per_sec as f32,
+        s.mean_ttl() as f32,
+        (s.syn_count as f64 / n) as f32,
+        (s.ack_count as f64 / n) as f32,
+        (s.rst_fin_count as f64 / n) as f32,
+        s.dst_port as f32,
+        s.proto as f32,
+    ]);
+    v
+}
+
+/// Monotone log-compression for heavy-tailed flow features:
+/// `v ↦ ln(1 + 1000·v)`.
+///
+/// Packet sizes, counts, delays and durations span 4–6 decades; min-max
+/// scaling raw values squashes the low end (a 2 ms flood IPD and a 0.5 s
+/// keep-alive IPD both land within 0.1 % of zero), starving both the
+/// autoencoders and the tree splits of resolution exactly where attacks
+/// live. Because the map is strictly monotone, any axis-aligned rule
+/// learned in log space (`ln(1+1000·v) < c`) is realizable on raw switch
+/// values as `v < (e^c − 1)/1000` — the data plane never computes a log.
+pub fn log_compress(v: f32) -> f32 {
+    (1.0 + 1000.0 * v.max(0.0)).ln()
+}
+
+/// Applies [`log_compress`] to every element in place.
+pub fn log_compress_vec(v: &mut [f32]) {
+    for x in v {
+        *x = log_compress(*x);
+    }
+}
+
+/// Extracts the requested flow-level feature view; panics for
+/// [`FeatureSet::PacketLevel`], which needs a packet, not flow state.
+pub fn flow_features(set: FeatureSet, s: &FlowStats) -> Vec<f32> {
+    match set {
+        FeatureSet::SwitchFl => switch_fl_features(s),
+        FeatureSet::Magnifier => magnifier_features(s),
+        FeatureSet::PacketLevel => {
+            panic!("packet-level features are extracted per packet, not per flow")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::five_tuple::{FiveTuple, PROTO_UDP};
+    use crate::packet::TcpFlags;
+
+    fn flow() -> FlowStats {
+        let mk = |ts_ms: u64, len: u16| Packet {
+            ts_ns: ts_ms * 1_000_000,
+            five: FiveTuple::new(1, 2, 1000, 53, PROTO_UDP),
+            wire_len: len,
+            ttl: 64,
+            flags: TcpFlags::default(),
+        };
+        let mut s = FlowStats::from_first_packet(&mk(0, 100));
+        s.update(&mk(10, 200));
+        s.update(&mk(20, 300));
+        s
+    }
+
+    #[test]
+    fn dims_match_declared_constants() {
+        let s = flow();
+        assert_eq!(switch_fl_features(&s).len(), SWITCH_FL_DIM);
+        assert_eq!(magnifier_features(&s).len(), MAGNIFIER_DIM);
+        let p = Packet {
+            ts_ns: 0,
+            five: FiveTuple::new(1, 2, 3, 4, 6),
+            wire_len: 60,
+            ttl: 64,
+            flags: TcpFlags::default(),
+        };
+        assert_eq!(packet_level_features(&p).len(), PL_DIM);
+    }
+
+    #[test]
+    fn names_align_with_dims() {
+        for set in [FeatureSet::SwitchFl, FeatureSet::PacketLevel, FeatureSet::Magnifier] {
+            assert_eq!(set.names().len(), set.dim(), "{set:?}");
+        }
+    }
+
+    #[test]
+    fn switch_features_values() {
+        let v = switch_fl_features(&flow());
+        assert_eq!(v[0], 3.0); // pkt_count
+        assert_eq!(v[1], 600.0); // total
+        assert_eq!(v[2], 200.0); // mean
+        assert_eq!(v[5], 100.0); // min
+        assert_eq!(v[6], 300.0); // max
+        assert!((v[7] - 0.01).abs() < 1e-6); // mean IPD 10 ms
+        assert!((v[12] - 0.02).abs() < 1e-6); // duration 20 ms
+    }
+
+    #[test]
+    fn magnifier_features_extend_switch_features() {
+        let s = flow();
+        let sw = switch_fl_features(&s);
+        let mg = magnifier_features(&s);
+        assert_eq!(&mg[..SWITCH_FL_DIM], &sw[..]);
+        // pkts_per_sec = 3 / 0.02 = 150
+        assert!((mg[13] - 150.0).abs() < 1e-3);
+        assert_eq!(mg[19], 53.0); // dst_port
+        assert_eq!(mg[20], PROTO_UDP as f32);
+    }
+
+    #[test]
+    fn magnifier_rates_safe_for_zero_duration() {
+        let p = Packet {
+            ts_ns: 0,
+            five: FiveTuple::new(1, 2, 3, 4, 6),
+            wire_len: 60,
+            ttl: 64,
+            flags: TcpFlags::default(),
+        };
+        let s = FlowStats::from_first_packet(&p);
+        let v = magnifier_features(&s);
+        assert!(v.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "per packet")]
+    fn flow_features_rejects_packet_level() {
+        let _ = flow_features(FeatureSet::PacketLevel, &flow());
+    }
+}

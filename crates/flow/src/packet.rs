@@ -1,0 +1,246 @@
+//! The parsed packet record flowing through generators and the emulator.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::five_tuple::{FiveTuple, PROTO_TCP, PROTO_UDP};
+use crate::wire::{self, ethernet, ipv4, tcp, udp, EtherType, WireError};
+
+/// TCP flags in a compact, serde-friendly form.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TcpFlags {
+    pub syn: bool,
+    pub ack: bool,
+    pub fin: bool,
+    pub rst: bool,
+    pub psh: bool,
+}
+
+impl TcpFlags {
+    pub fn from_byte(b: u8) -> Self {
+        Self {
+            fin: b & tcp::flags::FIN != 0,
+            syn: b & tcp::flags::SYN != 0,
+            rst: b & tcp::flags::RST != 0,
+            psh: b & tcp::flags::PSH != 0,
+            ack: b & tcp::flags::ACK != 0,
+        }
+    }
+
+    pub fn to_byte(self) -> u8 {
+        let mut b = 0;
+        if self.fin {
+            b |= tcp::flags::FIN;
+        }
+        if self.syn {
+            b |= tcp::flags::SYN;
+        }
+        if self.rst {
+            b |= tcp::flags::RST;
+        }
+        if self.psh {
+            b |= tcp::flags::PSH;
+        }
+        if self.ack {
+            b |= tcp::flags::ACK;
+        }
+        b
+    }
+
+    /// A bare SYN (connection attempt).
+    pub fn syn_only() -> Self {
+        Self { syn: true, ..Default::default() }
+    }
+}
+
+/// One packet of a trace: timestamp, flow identity, and the header fields
+/// the iGuard pipeline consumes. `wire_len` is the on-the-wire length
+/// including the Ethernet header (what a switch counter sees).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Packet {
+    /// Nanoseconds since trace start.
+    pub ts_ns: u64,
+    pub five: FiveTuple,
+    /// Total on-the-wire length in bytes (Ethernet + IP + L4 + payload).
+    pub wire_len: u16,
+    pub ttl: u8,
+    pub flags: TcpFlags,
+}
+
+impl Packet {
+    /// L4 payload length implied by `wire_len` for this protocol, saturating
+    /// at zero for sub-minimum lengths.
+    pub fn payload_len(&self) -> u16 {
+        let overhead = ethernet::ETHERNET_HEADER_LEN
+            + ipv4::IPV4_HEADER_LEN
+            + if self.five.proto == PROTO_TCP {
+                tcp::TCP_HEADER_LEN
+            } else if self.five.proto == PROTO_UDP {
+                udp::UDP_HEADER_LEN
+            } else {
+                8 // ICMP header
+            };
+        self.wire_len.saturating_sub(overhead as u16)
+    }
+
+    /// Serialises the packet to wire bytes (Ethernet + IPv4 + TCP/UDP with
+    /// valid checksums and a zero-filled payload). ICMP and other protocols
+    /// are emitted with a raw 8-byte L4 stub.
+    pub fn to_bytes(&self) -> Bytes {
+        let payload_len = self.payload_len() as usize;
+        let l4_len = payload_len
+            + if self.five.proto == PROTO_TCP {
+                tcp::TCP_HEADER_LEN
+            } else if self.five.proto == PROTO_UDP {
+                udp::UDP_HEADER_LEN
+            } else {
+                8
+            };
+        let total = ethernet::ETHERNET_HEADER_LEN + ipv4::IPV4_HEADER_LEN + l4_len;
+        let mut buf = vec![0u8; total];
+        ethernet::emit(
+            &mut buf,
+            [0x02, 0, 0, 0, 0, 0x01],
+            [0x02, 0, 0, 0, 0, 0x02],
+            EtherType::Ipv4,
+        );
+        let ip_start = ethernet::ETHERNET_HEADER_LEN;
+        ipv4::emit(
+            &mut buf[ip_start..],
+            &ipv4::Ipv4Repr {
+                src_ip: self.five.src_ip,
+                dst_ip: self.five.dst_ip,
+                protocol: self.five.proto,
+                ttl: self.ttl,
+                identification: (self.ts_ns & 0xFFFF) as u16,
+                payload_len: l4_len as u16,
+            },
+        );
+        let l4_start = ip_start + ipv4::IPV4_HEADER_LEN;
+        if self.five.proto == PROTO_TCP {
+            tcp::emit(
+                &mut buf[l4_start..],
+                &tcp::TcpRepr {
+                    src_port: self.five.src_port,
+                    dst_port: self.five.dst_port,
+                    seq: 0,
+                    ack: 0,
+                    flags: self.flags.to_byte(),
+                    window: 65535,
+                },
+                self.five.src_ip,
+                self.five.dst_ip,
+                payload_len,
+            );
+        } else if self.five.proto == PROTO_UDP {
+            udp::emit(
+                &mut buf[l4_start..],
+                self.five.src_port,
+                self.five.dst_port,
+                self.five.src_ip,
+                self.five.dst_ip,
+                payload_len,
+            );
+        }
+        Bytes::from(buf)
+    }
+
+    /// Parses wire bytes back into a packet record, validating the IPv4
+    /// header checksum. `ts_ns` is supplied by the capture clock.
+    pub fn from_bytes(ts_ns: u64, data: &[u8]) -> Result<Self, WireError> {
+        let eth = ethernet::EthernetFrame::new_checked(data)?;
+        if eth.ethertype() != EtherType::Ipv4 {
+            return Err(WireError::Unsupported);
+        }
+        let ip = ipv4::Ipv4Packet::new_checked(eth.payload())?;
+        if !ip.verify_checksum() {
+            return Err(WireError::BadChecksum);
+        }
+        let (src_port, dst_port, flags) = match ip.protocol() {
+            PROTO_TCP => {
+                let seg = tcp::TcpSegment::new_checked(ip.payload())?;
+                (seg.src_port(), seg.dst_port(), TcpFlags::from_byte(seg.flags()))
+            }
+            PROTO_UDP => {
+                let dg = udp::UdpDatagram::new_checked(ip.payload())?;
+                (dg.src_port(), dg.dst_port(), TcpFlags::default())
+            }
+            _ => (0, 0, TcpFlags::default()),
+        };
+        Ok(Self {
+            ts_ns,
+            five: FiveTuple::new(ip.src_ip(), ip.dst_ip(), src_port, dst_port, ip.protocol()),
+            wire_len: data.len() as u16,
+            ttl: ip.ttl(),
+            flags,
+        })
+    }
+}
+
+// Re-export so downstream code can name the error without reaching into wire.
+pub use wire::WireError as PacketParseError;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tcp_packet() -> Packet {
+        Packet {
+            ts_ns: 1_000,
+            five: FiveTuple::new(0x0A000001, 0xC0A80101, 51234, 443, PROTO_TCP),
+            wire_len: 120,
+            ttl: 64,
+            flags: TcpFlags { syn: true, ack: true, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn tcp_bytes_roundtrip() {
+        let p = tcp_packet();
+        let bytes = p.to_bytes();
+        assert_eq!(bytes.len(), p.wire_len as usize);
+        let q = Packet::from_bytes(p.ts_ns, &bytes).unwrap();
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn udp_bytes_roundtrip() {
+        let p = Packet {
+            ts_ns: 5,
+            five: FiveTuple::new(1, 2, 5353, 53, PROTO_UDP),
+            wire_len: 80,
+            ttl: 128,
+            flags: TcpFlags::default(),
+        };
+        let q = Packet::from_bytes(5, &p.to_bytes()).unwrap();
+        assert_eq!(q, p);
+    }
+
+    #[test]
+    fn payload_len_subtracts_headers() {
+        let p = tcp_packet();
+        // 120 - 14 (eth) - 20 (ip) - 20 (tcp) = 66
+        assert_eq!(p.payload_len(), 66);
+    }
+
+    #[test]
+    fn minimum_size_packet_has_empty_payload() {
+        let p = Packet { wire_len: 40, ..tcp_packet() };
+        assert_eq!(p.payload_len(), 0);
+    }
+
+    #[test]
+    fn corrupted_bytes_rejected() {
+        let p = tcp_packet();
+        let mut bytes = p.to_bytes().to_vec();
+        bytes[ethernet::ETHERNET_HEADER_LEN + 8] ^= 0xFF; // TTL byte
+        assert_eq!(Packet::from_bytes(0, &bytes).unwrap_err(), WireError::BadChecksum);
+    }
+
+    #[test]
+    fn flags_byte_roundtrip() {
+        for b in 0..32u8 {
+            assert_eq!(TcpFlags::from_byte(b).to_byte(), b & 0x1F);
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! Streaming per-flow statistics.
+//!
+//! [`FlowStats`] is the O(1) register state a programmable switch keeps per
+//! flow: packet/byte counters, running min/max, and Welford mean/variance
+//! accumulators for packet size and inter-packet delay. Every update is a
+//! single pass — the same access pattern stateful ALUs implement in
+//! hardware.
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::Packet;
+
+/// Welford online mean/variance accumulator.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    n: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (the switch computes over all observed packets,
+    /// not a sample estimate).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Per-flow feature state, updated one packet at a time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FlowStats {
+    /// Packets observed.
+    pub pkt_count: u64,
+    /// Total wire bytes.
+    pub total_bytes: u64,
+    pub min_size: u16,
+    pub max_size: u16,
+    size: Welford,
+    /// First packet timestamp (ns).
+    pub first_ts_ns: u64,
+    /// Most recent packet timestamp (ns).
+    pub last_ts_ns: u64,
+    /// Minimum inter-packet delay (ns); u64::MAX until two packets seen.
+    pub min_ipd_ns: u64,
+    pub max_ipd_ns: u64,
+    ipd: Welford,
+    ttl_sum: u64,
+    pub syn_count: u64,
+    pub ack_count: u64,
+    pub rst_fin_count: u64,
+    /// Destination port of the first packet (flow orientation).
+    pub dst_port: u16,
+    pub proto: u8,
+    /// TTL of the most recent packet.
+    pub last_ttl: u8,
+}
+
+impl FlowStats {
+    /// Initialises state from the first packet of a flow.
+    pub fn from_first_packet(p: &Packet) -> Self {
+        let mut s = Self {
+            pkt_count: 0,
+            total_bytes: 0,
+            min_size: u16::MAX,
+            max_size: 0,
+            size: Welford::default(),
+            first_ts_ns: p.ts_ns,
+            last_ts_ns: p.ts_ns,
+            min_ipd_ns: u64::MAX,
+            max_ipd_ns: 0,
+            ipd: Welford::default(),
+            ttl_sum: 0,
+            syn_count: 0,
+            ack_count: 0,
+            rst_fin_count: 0,
+            dst_port: p.five.dst_port,
+            proto: p.five.proto,
+            last_ttl: p.ttl,
+        };
+        s.update(p);
+        s
+    }
+
+    /// Records one packet. Timestamps must be non-decreasing; out-of-order
+    /// packets contribute a zero IPD rather than panicking (what a switch
+    /// register pipeline would compute).
+    pub fn update(&mut self, p: &Packet) {
+        if self.pkt_count > 0 {
+            let ipd = p.ts_ns.saturating_sub(self.last_ts_ns);
+            self.min_ipd_ns = self.min_ipd_ns.min(ipd);
+            self.max_ipd_ns = self.max_ipd_ns.max(ipd);
+            self.ipd.push(ipd as f64 / 1e9);
+        }
+        self.pkt_count += 1;
+        self.total_bytes += p.wire_len as u64;
+        self.min_size = self.min_size.min(p.wire_len);
+        self.max_size = self.max_size.max(p.wire_len);
+        self.size.push(p.wire_len as f64);
+        self.last_ts_ns = self.last_ts_ns.max(p.ts_ns);
+        self.ttl_sum += p.ttl as u64;
+        self.last_ttl = p.ttl;
+        if p.flags.syn {
+            self.syn_count += 1;
+        }
+        if p.flags.ack {
+            self.ack_count += 1;
+        }
+        if p.flags.rst || p.flags.fin {
+            self.rst_fin_count += 1;
+        }
+    }
+
+    /// Flow duration in seconds.
+    pub fn duration_secs(&self) -> f64 {
+        (self.last_ts_ns - self.first_ts_ns) as f64 / 1e9
+    }
+
+    pub fn mean_size(&self) -> f64 {
+        self.size.mean()
+    }
+
+    pub fn var_size(&self) -> f64 {
+        self.size.variance()
+    }
+
+    pub fn std_size(&self) -> f64 {
+        self.size.std_dev()
+    }
+
+    /// Mean inter-packet delay in seconds (0 with fewer than two packets).
+    pub fn mean_ipd_secs(&self) -> f64 {
+        self.ipd.mean()
+    }
+
+    pub fn var_ipd(&self) -> f64 {
+        self.ipd.variance()
+    }
+
+    pub fn std_ipd(&self) -> f64 {
+        self.ipd.std_dev()
+    }
+
+    /// Minimum IPD in seconds; 0 until two packets are seen.
+    pub fn min_ipd_secs(&self) -> f64 {
+        if self.min_ipd_ns == u64::MAX {
+            0.0
+        } else {
+            self.min_ipd_ns as f64 / 1e9
+        }
+    }
+
+    pub fn max_ipd_secs(&self) -> f64 {
+        self.max_ipd_ns as f64 / 1e9
+    }
+
+    pub fn mean_ttl(&self) -> f64 {
+        if self.pkt_count == 0 {
+            0.0
+        } else {
+            self.ttl_sum as f64 / self.pkt_count as f64
+        }
+    }
+
+    /// Whether the flow has been idle longer than `timeout_ns` at time `now`.
+    pub fn timed_out(&self, now_ns: u64, timeout_ns: u64) -> bool {
+        now_ns.saturating_sub(self.last_ts_ns) > timeout_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::five_tuple::{FiveTuple, PROTO_TCP};
+    use crate::packet::TcpFlags;
+
+    fn pkt(ts_ms: u64, len: u16) -> Packet {
+        Packet {
+            ts_ns: ts_ms * 1_000_000,
+            five: FiveTuple::new(1, 2, 1000, 80, PROTO_TCP),
+            wire_len: len,
+            ttl: 64,
+            flags: TcpFlags::default(),
+        }
+    }
+
+    #[test]
+    fn welford_matches_two_pass() {
+        let xs = [3.0, 7.0, 7.0, 19.0];
+        let mut w = Welford::default();
+        for &x in &xs {
+            w.push(x);
+        }
+        let mean = xs.iter().sum::<f64>() / 4.0;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 4.0;
+        assert!((w.mean() - mean).abs() < 1e-12);
+        assert!((w.variance() - var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_packet_flow_has_zero_ipd_stats() {
+        let s = FlowStats::from_first_packet(&pkt(10, 100));
+        assert_eq!(s.pkt_count, 1);
+        assert_eq!(s.mean_ipd_secs(), 0.0);
+        assert_eq!(s.min_ipd_secs(), 0.0);
+        assert_eq!(s.duration_secs(), 0.0);
+        assert_eq!(s.mean_size(), 100.0);
+    }
+
+    #[test]
+    fn stats_accumulate_over_packets() {
+        let mut s = FlowStats::from_first_packet(&pkt(0, 100));
+        s.update(&pkt(10, 200));
+        s.update(&pkt(30, 300));
+        assert_eq!(s.pkt_count, 3);
+        assert_eq!(s.total_bytes, 600);
+        assert_eq!(s.min_size, 100);
+        assert_eq!(s.max_size, 300);
+        assert!((s.mean_size() - 200.0).abs() < 1e-9);
+        // IPDs: 10 ms, 20 ms.
+        assert!((s.mean_ipd_secs() - 0.015).abs() < 1e-9);
+        assert!((s.min_ipd_secs() - 0.010).abs() < 1e-9);
+        assert!((s.max_ipd_secs() - 0.020).abs() < 1e-9);
+        assert!((s.duration_secs() - 0.030).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flags_counted() {
+        let mut first = pkt(0, 60);
+        first.flags = TcpFlags::syn_only();
+        let mut s = FlowStats::from_first_packet(&first);
+        let mut p2 = pkt(1, 60);
+        p2.flags = TcpFlags { ack: true, ..Default::default() };
+        s.update(&p2);
+        let mut p3 = pkt(2, 60);
+        p3.flags = TcpFlags { fin: true, ack: true, ..Default::default() };
+        s.update(&p3);
+        assert_eq!(s.syn_count, 1);
+        assert_eq!(s.ack_count, 2);
+        assert_eq!(s.rst_fin_count, 1);
+    }
+
+    #[test]
+    fn out_of_order_timestamp_is_tolerated() {
+        let mut s = FlowStats::from_first_packet(&pkt(10, 100));
+        s.update(&pkt(5, 100)); // earlier timestamp
+        assert_eq!(s.min_ipd_ns, 0);
+        assert_eq!(s.pkt_count, 2);
+    }
+
+    #[test]
+    fn timeout_detection() {
+        let s = FlowStats::from_first_packet(&pkt(0, 100));
+        assert!(!s.timed_out(1_000_000, 2_000_000));
+        assert!(s.timed_out(3_000_001, 2_000_000));
+    }
+
+    #[test]
+    fn mean_ttl_averages() {
+        let mut p1 = pkt(0, 100);
+        p1.ttl = 64;
+        let mut s = FlowStats::from_first_packet(&p1);
+        let mut p2 = pkt(1, 100);
+        p2.ttl = 32;
+        s.update(&p2);
+        assert!((s.mean_ttl() - 48.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,382 @@
+//! The data-plane flow table: double hash tables with bi-hash indexing.
+//!
+//! Models the stateful storage of paper §3.3.1 / Fig. 4:
+//!
+//! * two fixed-size register arrays ("double hash tables") indexed by the
+//!   direction-symmetric [`FiveTuple::bi_hash`] under two different seeds —
+//!   a packet probes table 1 first, then table 2, mitigating collisions;
+//! * a per-flow **packet-count threshold `n`**: flow-level features are
+//!   considered reliable at the n-th packet, at which point the feature
+//!   vector is frozen and handed to classification;
+//! * an **idle timeout `δ`**: a flow idle longer than δ is classified with
+//!   whatever state it has and its storage released;
+//! * an explicit **collision** outcome when both candidate slots hold other
+//!   live flows — the paper's orange execution path.
+
+use serde::{Deserialize, Serialize};
+
+use crate::five_tuple::FiveTuple;
+use crate::packet::Packet;
+use crate::stats::FlowStats;
+
+/// Configuration of the flow table.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FlowTableConfig {
+    /// Slots per hash table (two tables of this size are kept).
+    pub slots_per_table: usize,
+    /// Packet-count threshold `n`: classify at the n-th packet.
+    pub pkt_threshold: u64,
+    /// Idle timeout `δ` in nanoseconds.
+    pub timeout_ns: u64,
+    /// Hash seed of table 1.
+    pub seed1: u64,
+    /// Hash seed of table 2.
+    pub seed2: u64,
+}
+
+impl Default for FlowTableConfig {
+    fn default() -> Self {
+        Self {
+            slots_per_table: 4096,
+            pkt_threshold: 8,
+            timeout_ns: 2_000_000_000, // 2 s
+            seed1: 0x5151_5151,
+            seed2: 0xA3A3_A3A3,
+        }
+    }
+}
+
+/// One slot of a hash table.
+#[derive(Clone, Copy, Debug)]
+struct Slot {
+    key: FiveTuple,
+    stats: FlowStats,
+    /// `None` = unclassified (-1 in the paper), `Some(m)` = classified.
+    label: Option<bool>,
+}
+
+/// The result of observing one packet — maps 1:1 to the coloured packet
+/// execution paths of Fig. 4 (blacklist matching happens upstream in the
+/// switch pipeline, not here).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum InsertOutcome {
+    /// 1..(n−1)-th packet of a tracked flow; state updated (brown path).
+    Early { pkt_count: u64 },
+    /// The n-th packet arrived, or the resident flow timed out: the frozen
+    /// feature state is handed out and the slot awaits a label (blue path).
+    Ready { stats: FlowStats, timed_out: bool },
+    /// The flow was already classified; early decision (purple path).
+    Classified { label: bool },
+    /// Both candidate slots hold other *unclassified* live flows
+    /// (orange path, resident label −1): the packet cannot be tracked.
+    Collision,
+    /// Both slots were occupied but a resident was already classified
+    /// (orange path, resident label 0/1): the resident was evicted and the
+    /// new flow installed.
+    ReplacedClassified { pkt_count: u64 },
+}
+
+/// Double-hash-table flow storage.
+pub struct FlowTable {
+    cfg: FlowTableConfig,
+    table1: Vec<Option<Slot>>,
+    table2: Vec<Option<Slot>>,
+    /// Count of packets that hit the collision path (telemetry).
+    pub collision_packets: u64,
+}
+
+impl FlowTable {
+    pub fn new(cfg: FlowTableConfig) -> Self {
+        assert!(cfg.slots_per_table > 0, "table must have at least one slot");
+        assert!(cfg.pkt_threshold >= 1, "packet threshold must be >= 1");
+        Self {
+            table1: vec![None; cfg.slots_per_table],
+            table2: vec![None; cfg.slots_per_table],
+            cfg,
+            collision_packets: 0,
+        }
+    }
+
+    pub fn config(&self) -> &FlowTableConfig {
+        &self.cfg
+    }
+
+    fn idx1(&self, key: &FiveTuple) -> usize {
+        (key.bi_hash(self.cfg.seed1) % self.cfg.slots_per_table as u64) as usize
+    }
+
+    fn idx2(&self, key: &FiveTuple) -> usize {
+        (key.bi_hash(self.cfg.seed2) % self.cfg.slots_per_table as u64) as usize
+    }
+
+    /// Observes one packet, advancing flow state and reporting which
+    /// execution path it takes. `now_ns` is the packet's arrival time.
+    pub fn observe(&mut self, p: &Packet, now_ns: u64) -> InsertOutcome {
+        let key = p.five.canonical();
+        let i1 = self.idx1(&key);
+        let i2 = self.idx2(&key);
+
+        // Probe for the flow itself first (either table).
+        for (table_id, idx) in [(1usize, i1), (2usize, i2)] {
+            let slot_opt = if table_id == 1 { &mut self.table1[idx] } else { &mut self.table2[idx] };
+            if let Some(slot) = slot_opt {
+                if slot.key == key {
+                    if let Some(label) = slot.label {
+                        return InsertOutcome::Classified { label };
+                    }
+                    // Timeout check before updating: an idle flow is
+                    // classified on whatever state it accumulated.
+                    if slot.stats.timed_out(now_ns, self.cfg.timeout_ns) {
+                        let stats = slot.stats;
+                        // Restart tracking from this packet.
+                        slot.stats = FlowStats::from_first_packet(p);
+                        return InsertOutcome::Ready { stats, timed_out: true };
+                    }
+                    slot.stats.update(p);
+                    if slot.stats.pkt_count >= self.cfg.pkt_threshold {
+                        let stats = slot.stats;
+                        return InsertOutcome::Ready { stats, timed_out: false };
+                    }
+                    return InsertOutcome::Early { pkt_count: slot.stats.pkt_count };
+                }
+            }
+        }
+
+        // Not tracked: find a free slot (table 1 preferred), evicting
+        // timed-out residents.
+        for (table_id, idx) in [(1usize, i1), (2usize, i2)] {
+            let slot_opt = if table_id == 1 { &mut self.table1[idx] } else { &mut self.table2[idx] };
+            let free = match slot_opt {
+                None => true,
+                Some(s) => s.stats.timed_out(now_ns, self.cfg.timeout_ns),
+            };
+            if free {
+                *slot_opt = Some(Slot { key, stats: FlowStats::from_first_packet(p), label: None });
+                return if self.cfg.pkt_threshold == 1 {
+                    let stats = slot_opt.as_ref().unwrap().stats;
+                    InsertOutcome::Ready { stats, timed_out: false }
+                } else {
+                    InsertOutcome::Early { pkt_count: 1 }
+                };
+            }
+        }
+
+        // Both occupied by live foreign flows — the orange path. A
+        // *classified* resident can be evicted (its verdict lives on in the
+        // blacklist/whitelist outcome); an unclassified one cannot.
+        for (table_id, idx) in [(1usize, i1), (2usize, i2)] {
+            let slot_opt = if table_id == 1 { &mut self.table1[idx] } else { &mut self.table2[idx] };
+            if let Some(s) = slot_opt {
+                if s.label.is_some() {
+                    *slot_opt =
+                        Some(Slot { key, stats: FlowStats::from_first_packet(p), label: None });
+                    return InsertOutcome::ReplacedClassified { pkt_count: 1 };
+                }
+            }
+        }
+        self.collision_packets += 1;
+        InsertOutcome::Collision
+    }
+
+    /// Installs a label for a tracked flow (the green loopback path writes
+    /// the class into flow-label storage). Returns false if the flow is not
+    /// resident.
+    pub fn set_label(&mut self, key: &FiveTuple, label: bool) -> bool {
+        let key = key.canonical();
+        let i1 = self.idx1(&key);
+        if let Some(slot) = &mut self.table1[i1] {
+            if slot.key == key {
+                slot.label = Some(label);
+                return true;
+            }
+        }
+        let i2 = self.idx2(&key);
+        if let Some(slot) = &mut self.table2[i2] {
+            if slot.key == key {
+                slot.label = Some(label);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Reads the label of a tracked flow, if any.
+    pub fn label_of(&self, key: &FiveTuple) -> Option<Option<bool>> {
+        let key = key.canonical();
+        if let Some(slot) = &self.table1[self.idx1(&key)] {
+            if slot.key == key {
+                return Some(slot.label);
+            }
+        }
+        if let Some(slot) = &self.table2[self.idx2(&key)] {
+            if slot.key == key {
+                return Some(slot.label);
+            }
+        }
+        None
+    }
+
+    /// Releases the storage of a flow (controller cleanup on digest).
+    /// Returns true if the flow was resident.
+    pub fn clear(&mut self, key: &FiveTuple) -> bool {
+        let key = key.canonical();
+        let i1 = self.idx1(&key);
+        if matches!(&self.table1[i1], Some(s) if s.key == key) {
+            self.table1[i1] = None;
+            return true;
+        }
+        let i2 = self.idx2(&key);
+        if matches!(&self.table2[i2], Some(s) if s.key == key) {
+            self.table2[i2] = None;
+            return true;
+        }
+        false
+    }
+
+    /// Number of occupied slots across both tables.
+    pub fn occupancy(&self) -> usize {
+        self.table1.iter().chain(&self.table2).filter(|s| s.is_some()).count()
+    }
+
+    /// Total slot capacity across both tables.
+    pub fn capacity(&self) -> usize {
+        2 * self.cfg.slots_per_table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::five_tuple::PROTO_TCP;
+    use crate::packet::TcpFlags;
+
+    fn cfg() -> FlowTableConfig {
+        FlowTableConfig {
+            slots_per_table: 64,
+            pkt_threshold: 3,
+            timeout_ns: 1_000_000_000,
+            seed1: 1,
+            seed2: 2,
+        }
+    }
+
+    fn pkt(flow: u16, ts_ms: u64) -> Packet {
+        Packet {
+            ts_ns: ts_ms * 1_000_000,
+            five: FiveTuple::new(0x0A000001, 0xC0A80101, 10_000 + flow, 80, PROTO_TCP),
+            wire_len: 100,
+            ttl: 64,
+            flags: TcpFlags::default(),
+        }
+    }
+
+    #[test]
+    fn flow_progresses_to_threshold() {
+        let mut t = FlowTable::new(cfg());
+        assert_eq!(t.observe(&pkt(1, 0), 0), InsertOutcome::Early { pkt_count: 1 });
+        assert_eq!(t.observe(&pkt(1, 1), 1_000_000), InsertOutcome::Early { pkt_count: 2 });
+        match t.observe(&pkt(1, 2), 2_000_000) {
+            InsertOutcome::Ready { stats, timed_out } => {
+                assert_eq!(stats.pkt_count, 3);
+                assert!(!timed_out);
+            }
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reverse_direction_hits_same_slot() {
+        let mut t = FlowTable::new(cfg());
+        let fwd = pkt(1, 0);
+        let mut rev = pkt(1, 1);
+        rev.five = fwd.five.reversed();
+        rev.ts_ns = 1_000_000;
+        assert_eq!(t.observe(&fwd, 0), InsertOutcome::Early { pkt_count: 1 });
+        assert_eq!(t.observe(&rev, 1_000_000), InsertOutcome::Early { pkt_count: 2 });
+        assert_eq!(t.occupancy(), 1);
+    }
+
+    #[test]
+    fn classified_flow_takes_purple_path() {
+        let mut t = FlowTable::new(cfg());
+        let _ = t.observe(&pkt(1, 0), 0);
+        assert!(t.set_label(&pkt(1, 0).five, true));
+        assert_eq!(t.observe(&pkt(1, 1), 1_000_000), InsertOutcome::Classified { label: true });
+    }
+
+    #[test]
+    fn timeout_freezes_state_and_restarts() {
+        let mut t = FlowTable::new(cfg());
+        let _ = t.observe(&pkt(1, 0), 0);
+        // 2 s later: > 1 s timeout.
+        match t.observe(&pkt(1, 2000), 2_000_000_000) {
+            InsertOutcome::Ready { stats, timed_out } => {
+                assert!(timed_out);
+                assert_eq!(stats.pkt_count, 1);
+            }
+            other => panic!("expected timed-out Ready, got {other:?}"),
+        }
+        // Tracking restarted with the new packet.
+        assert_eq!(t.label_of(&pkt(1, 0).five), Some(None));
+    }
+
+    #[test]
+    fn collision_reported_when_both_tables_full() {
+        let mut small = FlowTableConfig { slots_per_table: 1, ..cfg() };
+        small.pkt_threshold = 100;
+        let mut t = FlowTable::new(small);
+        assert_eq!(t.observe(&pkt(1, 0), 0), InsertOutcome::Early { pkt_count: 1 });
+        assert_eq!(t.observe(&pkt(2, 0), 0), InsertOutcome::Early { pkt_count: 1 });
+        // Third distinct flow: both single-slot tables occupied, unclassified.
+        assert_eq!(t.observe(&pkt(3, 0), 0), InsertOutcome::Collision);
+        assert_eq!(t.collision_packets, 1);
+    }
+
+    #[test]
+    fn classified_resident_evicted_on_collision() {
+        let mut small = FlowTableConfig { slots_per_table: 1, ..cfg() };
+        small.pkt_threshold = 100;
+        let mut t = FlowTable::new(small);
+        let _ = t.observe(&pkt(1, 0), 0);
+        let _ = t.observe(&pkt(2, 0), 0);
+        assert!(t.set_label(&pkt(1, 0).five, false));
+        assert_eq!(t.observe(&pkt(3, 0), 0), InsertOutcome::ReplacedClassified { pkt_count: 1 });
+        // Old resident is gone.
+        assert_eq!(t.label_of(&pkt(1, 0).five), None);
+    }
+
+    #[test]
+    fn clear_releases_slot() {
+        let mut t = FlowTable::new(cfg());
+        let _ = t.observe(&pkt(1, 0), 0);
+        assert_eq!(t.occupancy(), 1);
+        assert!(t.clear(&pkt(1, 0).five));
+        assert_eq!(t.occupancy(), 0);
+        assert!(!t.clear(&pkt(1, 0).five));
+    }
+
+    #[test]
+    fn threshold_one_classifies_first_packet() {
+        let mut c = cfg();
+        c.pkt_threshold = 1;
+        let mut t = FlowTable::new(c);
+        match t.observe(&pkt(1, 0), 0) {
+            InsertOutcome::Ready { stats, .. } => assert_eq!(stats.pkt_count, 1),
+            other => panic!("expected Ready, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timed_out_foreign_resident_is_evicted() {
+        let mut small = FlowTableConfig { slots_per_table: 1, ..cfg() };
+        small.pkt_threshold = 100;
+        let mut t = FlowTable::new(small);
+        let _ = t.observe(&pkt(1, 0), 0);
+        let _ = t.observe(&pkt(2, 0), 0);
+        // 5 s later both residents are stale; a new flow takes a slot.
+        assert_eq!(
+            t.observe(&pkt(3, 5000), 5_000_000_000),
+            InsertOutcome::Early { pkt_count: 1 }
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! RFC 1071 Internet checksum, shared by IPv4/TCP/UDP.
+
+/// One's-complement sum over 16-bit big-endian words, with odd-byte padding.
+pub fn ones_complement_sum(data: &[u8]) -> u32 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += u16::from_be_bytes([*last, 0]) as u32;
+    }
+    sum
+}
+
+/// Folds carries and complements, producing the final checksum field value.
+pub fn finish(mut sum: u32) -> u16 {
+    while sum >> 16 != 0 {
+        sum = (sum & 0xFFFF) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// Computes the RFC 1071 checksum of `data`.
+pub fn checksum(data: &[u8]) -> u16 {
+    finish(ones_complement_sum(data))
+}
+
+/// Pseudo-header contribution for TCP/UDP checksums over IPv4.
+pub fn pseudo_header_sum(src_ip: u32, dst_ip: u32, proto: u8, l4_len: u16) -> u32 {
+    let mut sum = 0u32;
+    sum += (src_ip >> 16) + (src_ip & 0xFFFF);
+    sum += (dst_ip >> 16) + (dst_ip & 0xFFFF);
+    sum += proto as u32;
+    sum += l4_len as u32;
+    sum
+}
+
+/// Verifies that a buffer containing its own checksum field sums to zero.
+pub fn verify(data: &[u8]) -> bool {
+    finish(ones_complement_sum(data)) == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical example from RFC 1071 §3.
+    #[test]
+    fn rfc1071_example() {
+        let data = [0x00u8, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        // Sum = 0x0001 + 0xf203 + 0xf4f5 + 0xf6f7 = 0x2ddf0 -> fold -> 0xddf2
+        assert_eq!(checksum(&data), !0xddf2u16);
+    }
+
+    #[test]
+    fn odd_length_pads_with_zero() {
+        assert_eq!(checksum(&[0xFF]), checksum(&[0xFF, 0x00]));
+    }
+
+    #[test]
+    fn verify_accepts_self_checksummed_buffer() {
+        let mut data = vec![0x45u8, 0x00, 0x00, 0x14, 0x00, 0x00, 0x00, 0x00, 0x40, 0x06, 0, 0];
+        let ck = checksum(&data);
+        data[10..12].copy_from_slice(&ck.to_be_bytes());
+        assert!(verify(&data));
+        data[0] ^= 0x01;
+        assert!(!verify(&data));
+    }
+
+    #[test]
+    fn empty_buffer_checksums_to_ffff() {
+        assert_eq!(checksum(&[]), 0xFFFF);
+    }
+}

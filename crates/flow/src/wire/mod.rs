@@ -1,0 +1,42 @@
+//! Typed wire-format views: Ethernet II, IPv4, TCP, UDP.
+//!
+//! Follows the smoltcp idiom: a header type wraps a byte slice and exposes
+//! typed accessors; emission writes into a caller-provided buffer. Parsing
+//! never copies payload bytes.
+
+pub mod checksum;
+pub mod ethernet;
+pub mod ipv4;
+pub mod tcp;
+pub mod udp;
+
+pub use ethernet::{EtherType, EthernetFrame, ETHERNET_HEADER_LEN};
+pub use ipv4::{Ipv4Packet, IPV4_HEADER_LEN};
+pub use tcp::{TcpSegment, TCP_HEADER_LEN};
+pub use udp::{UdpDatagram, UDP_HEADER_LEN};
+
+/// Errors surfaced while parsing wire formats.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header.
+    Truncated,
+    /// A length field is inconsistent with the buffer.
+    BadLength,
+    /// A checksum failed verification.
+    BadChecksum,
+    /// The version / ethertype / protocol field is not one we support.
+    Unsupported,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "buffer truncated"),
+            WireError::BadLength => write!(f, "inconsistent length field"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::Unsupported => write!(f, "unsupported protocol field"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}

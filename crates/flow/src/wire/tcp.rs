@@ -1,0 +1,172 @@
+//! TCP segment view (fixed 20-byte header, no options).
+
+use super::checksum;
+use super::WireError;
+
+/// Length of a TCP header without options.
+pub const TCP_HEADER_LEN: usize = 20;
+
+/// Zero-copy view over a TCP segment (header + payload).
+#[derive(Debug)]
+pub struct TcpSegment<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> TcpSegment<T> {
+    pub fn new_checked(buffer: T) -> Result<Self, WireError> {
+        let b = buffer.as_ref();
+        if b.len() < TCP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let data_off = (b[12] >> 4) as usize * 4;
+        if data_off < TCP_HEADER_LEN || data_off > b.len() {
+            return Err(WireError::BadLength);
+        }
+        Ok(Self { buffer })
+    }
+
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    pub fn seq(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[4], b[5], b[6], b[7]])
+    }
+
+    pub fn ack(&self) -> u32 {
+        let b = self.buffer.as_ref();
+        u32::from_be_bytes([b[8], b[9], b[10], b[11]])
+    }
+
+    /// Raw flag byte (CWR..FIN).
+    pub fn flags(&self) -> u8 {
+        self.buffer.as_ref()[13]
+    }
+
+    pub fn window(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[14], b[15]])
+    }
+
+    pub fn payload(&self) -> &[u8] {
+        let off = (self.buffer.as_ref()[12] >> 4) as usize * 4;
+        &self.buffer.as_ref()[off..]
+    }
+
+    /// Verifies the TCP checksum given the enclosing IPv4 addresses.
+    pub fn verify_checksum(&self, src_ip: u32, dst_ip: u32) -> bool {
+        let b = self.buffer.as_ref();
+        let sum = checksum::pseudo_header_sum(src_ip, dst_ip, 6, b.len() as u16)
+            + checksum::ones_complement_sum(b);
+        checksum::finish(sum) == 0
+    }
+}
+
+/// Field bundle for emission.
+#[derive(Clone, Copy, Debug)]
+pub struct TcpRepr {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: u8,
+    pub window: u16,
+}
+
+/// Emits a TCP header + checksum over `payload_len` bytes already placed
+/// after the header in `buf`.
+pub fn emit(buf: &mut [u8], repr: &TcpRepr, src_ip: u32, dst_ip: u32, payload_len: usize) {
+    let seg_len = TCP_HEADER_LEN + payload_len;
+    assert!(buf.len() >= seg_len, "buffer too small for TCP segment");
+    buf[0..2].copy_from_slice(&repr.src_port.to_be_bytes());
+    buf[2..4].copy_from_slice(&repr.dst_port.to_be_bytes());
+    buf[4..8].copy_from_slice(&repr.seq.to_be_bytes());
+    buf[8..12].copy_from_slice(&repr.ack.to_be_bytes());
+    buf[12] = (5u8) << 4; // data offset = 5 words
+    buf[13] = repr.flags;
+    buf[14..16].copy_from_slice(&repr.window.to_be_bytes());
+    buf[16..18].copy_from_slice(&[0, 0]); // checksum placeholder
+    buf[18..20].copy_from_slice(&[0, 0]); // urgent pointer
+    let sum = checksum::pseudo_header_sum(src_ip, dst_ip, 6, seg_len as u16)
+        + checksum::ones_complement_sum(&buf[..seg_len]);
+    let ck = checksum::finish(sum);
+    buf[16..18].copy_from_slice(&ck.to_be_bytes());
+}
+
+/// TCP flag bits.
+pub mod flags {
+    pub const FIN: u8 = 0x01;
+    pub const SYN: u8 = 0x02;
+    pub const RST: u8 = 0x04;
+    pub const PSH: u8 = 0x08;
+    pub const ACK: u8 = 0x10;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repr() -> TcpRepr {
+        TcpRepr {
+            src_port: 51234,
+            dst_port: 443,
+            seq: 1000,
+            ack: 2000,
+            flags: flags::SYN | flags::ACK,
+            window: 65535,
+        }
+    }
+
+    #[test]
+    fn emit_then_parse_roundtrips() {
+        let mut buf = vec![0u8; 24];
+        buf[20..].copy_from_slice(b"data");
+        emit(&mut buf, &repr(), 0x0A000001, 0xC0A80101, 4);
+        let s = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert_eq!(s.src_port(), 51234);
+        assert_eq!(s.dst_port(), 443);
+        assert_eq!(s.seq(), 1000);
+        assert_eq!(s.ack(), 2000);
+        assert_eq!(s.flags(), flags::SYN | flags::ACK);
+        assert_eq!(s.window(), 65535);
+        assert_eq!(s.payload(), b"data");
+        assert!(s.verify_checksum(0x0A000001, 0xC0A80101));
+    }
+
+    #[test]
+    fn checksum_covers_pseudo_header() {
+        let mut buf = vec![0u8; 20];
+        emit(&mut buf, &repr(), 0x0A000001, 0xC0A80101, 0);
+        let s = TcpSegment::new_checked(&buf[..]).unwrap();
+        // Wrong source IP must break verification.
+        assert!(!s.verify_checksum(0x0A000002, 0xC0A80101));
+    }
+
+    #[test]
+    fn corrupt_payload_breaks_checksum() {
+        let mut buf = vec![0u8; 25];
+        emit(&mut buf, &repr(), 1, 2, 5);
+        buf[22] ^= 0xFF;
+        let s = TcpSegment::new_checked(&buf[..]).unwrap();
+        assert!(!s.verify_checksum(1, 2));
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(TcpSegment::new_checked(&[0u8; 19][..]).unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let mut buf = vec![0u8; 20];
+        buf[12] = 3 << 4; // 12-byte header: illegal
+        assert_eq!(TcpSegment::new_checked(&buf[..]).unwrap_err(), WireError::BadLength);
+    }
+}

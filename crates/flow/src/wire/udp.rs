@@ -1,0 +1,133 @@
+//! UDP datagram view.
+
+use super::checksum;
+use super::WireError;
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// Zero-copy view over a UDP datagram (header + payload).
+#[derive(Debug)]
+pub struct UdpDatagram<T: AsRef<[u8]>> {
+    buffer: T,
+}
+
+impl<T: AsRef<[u8]>> UdpDatagram<T> {
+    pub fn new_checked(buffer: T) -> Result<Self, WireError> {
+        let b = buffer.as_ref();
+        if b.len() < UDP_HEADER_LEN {
+            return Err(WireError::Truncated);
+        }
+        let len = u16::from_be_bytes([b[4], b[5]]) as usize;
+        if len < UDP_HEADER_LEN || len > b.len() {
+            return Err(WireError::BadLength);
+        }
+        Ok(Self { buffer })
+    }
+
+    pub fn src_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[0], b[1]])
+    }
+
+    pub fn dst_port(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[2], b[3]])
+    }
+
+    /// Header + payload length from the length field.
+    pub fn len(&self) -> u16 {
+        let b = self.buffer.as_ref();
+        u16::from_be_bytes([b[4], b[5]])
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() as usize == UDP_HEADER_LEN
+    }
+
+    pub fn payload(&self) -> &[u8] {
+        &self.buffer.as_ref()[UDP_HEADER_LEN..self.len() as usize]
+    }
+
+    /// Verifies the UDP checksum; a zero checksum means "not computed" and
+    /// verifies trivially, per RFC 768.
+    pub fn verify_checksum(&self, src_ip: u32, dst_ip: u32) -> bool {
+        let b = self.buffer.as_ref();
+        let stored = u16::from_be_bytes([b[6], b[7]]);
+        if stored == 0 {
+            return true;
+        }
+        let len = self.len() as usize;
+        let sum = checksum::pseudo_header_sum(src_ip, dst_ip, 17, len as u16)
+            + checksum::ones_complement_sum(&b[..len]);
+        checksum::finish(sum) == 0
+    }
+}
+
+/// Emits a UDP header + checksum over `payload_len` bytes already placed
+/// after the header in `buf`.
+pub fn emit(buf: &mut [u8], src_port: u16, dst_port: u16, src_ip: u32, dst_ip: u32, payload_len: usize) {
+    let len = UDP_HEADER_LEN + payload_len;
+    assert!(buf.len() >= len, "buffer too small for UDP datagram");
+    buf[0..2].copy_from_slice(&src_port.to_be_bytes());
+    buf[2..4].copy_from_slice(&dst_port.to_be_bytes());
+    buf[4..6].copy_from_slice(&(len as u16).to_be_bytes());
+    buf[6..8].copy_from_slice(&[0, 0]);
+    let sum = checksum::pseudo_header_sum(src_ip, dst_ip, 17, len as u16)
+        + checksum::ones_complement_sum(&buf[..len]);
+    let mut ck = checksum::finish(sum);
+    if ck == 0 {
+        ck = 0xFFFF; // RFC 768: transmitted as all ones if computed as zero
+    }
+    buf[6..8].copy_from_slice(&ck.to_be_bytes());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_then_parse_roundtrips() {
+        let mut buf = vec![0u8; 13];
+        buf[8..].copy_from_slice(b"hello");
+        emit(&mut buf, 5353, 53, 0x0A000001, 0x08080808, 5);
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert_eq!(d.src_port(), 5353);
+        assert_eq!(d.dst_port(), 53);
+        assert_eq!(d.len(), 13);
+        assert_eq!(d.payload(), b"hello");
+        assert!(d.verify_checksum(0x0A000001, 0x08080808));
+    }
+
+    #[test]
+    fn zero_checksum_verifies_trivially() {
+        let mut buf = vec![0u8; 8];
+        emit(&mut buf, 1, 2, 3, 4, 0);
+        buf[6..8].copy_from_slice(&[0, 0]);
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(d.verify_checksum(3, 4));
+    }
+
+    #[test]
+    fn corruption_breaks_checksum() {
+        let mut buf = vec![0u8; 12];
+        buf[8..].copy_from_slice(b"abcd");
+        emit(&mut buf, 1000, 2000, 1, 2, 4);
+        buf[9] ^= 0x55;
+        let d = UdpDatagram::new_checked(&buf[..]).unwrap();
+        assert!(!d.verify_checksum(1, 2));
+    }
+
+    #[test]
+    fn rejects_length_field_beyond_buffer() {
+        let mut buf = vec![0u8; 8];
+        emit(&mut buf, 1, 2, 3, 4, 0);
+        buf[4..6].copy_from_slice(&64u16.to_be_bytes());
+        assert_eq!(UdpDatagram::new_checked(&buf[..]).unwrap_err(), WireError::BadLength);
+    }
+
+    #[test]
+    fn rejects_truncated() {
+        assert_eq!(UdpDatagram::new_checked(&[0u8; 7][..]).unwrap_err(), WireError::Truncated);
+    }
+}

@@ -1,0 +1,152 @@
+//! Threshold-free ranking metrics: ROC AUC and PR AUC.
+//!
+//! Scores follow the convention "higher = more malicious"; `truth[i] = true`
+//! marks a malicious sample.
+
+/// ROC AUC computed exactly via the Mann–Whitney U statistic with midrank
+/// tie handling: `AUC = (Σ ranks of positives − n⁺(n⁺+1)/2) / (n⁺ n⁻)`.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+pub fn roc_auc(truth: &[bool], scores: &[f64]) -> f64 {
+    assert_eq!(truth.len(), scores.len(), "truth/scores length mismatch");
+    let n_pos = truth.iter().filter(|&&t| t).count();
+    let n_neg = truth.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    let mut order: Vec<usize> = (0..truth.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    // Assign midranks to tied scores.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; ties share the average rank.
+        let midrank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if truth[idx] {
+                rank_sum_pos += midrank;
+            }
+        }
+        i = j + 1;
+    }
+    let n_pos = n_pos as f64;
+    let n_neg = n_neg as f64;
+    (rank_sum_pos - n_pos * (n_pos + 1.0) / 2.0) / (n_pos * n_neg)
+}
+
+/// Area under the precision-recall curve using the step-wise (right
+/// Riemann) interpolation that scikit-learn's `average_precision_score`
+/// uses: `AP = Σ (R_k − R_{k−1}) · P_k` over descending score thresholds.
+///
+/// Returns the positive prevalence when there are no positives (degenerate)
+/// or 0.0 for an empty input.
+pub fn pr_auc(truth: &[bool], scores: &[f64]) -> f64 {
+    assert_eq!(truth.len(), scores.len(), "truth/scores length mismatch");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let n_pos = truth.iter().filter(|&&t| t).count();
+    if n_pos == 0 {
+        return 0.0;
+    }
+    let mut order: Vec<usize> = (0..truth.len()).collect();
+    // Descending score.
+    order.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).expect("NaN score"));
+    let mut ap = 0.0f64;
+    let mut tp = 0u64;
+    let mut fp = 0u64;
+    let mut prev_recall = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        // Process a tie-group of equal scores as one threshold.
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        for &idx in &order[i..=j] {
+            if truth[idx] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+        }
+        let recall = tp as f64 / n_pos as f64;
+        let precision = tp as f64 / (tp + fp) as f64;
+        ap += (recall - prev_recall) * precision;
+        prev_recall = recall;
+        i = j + 1;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_gives_auc_one() {
+        let truth = vec![false, false, true, true];
+        let scores = vec![0.1, 0.2, 0.8, 0.9];
+        assert_eq!(roc_auc(&truth, &scores), 1.0);
+        assert_eq!(pr_auc(&truth, &scores), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation_gives_auc_zero() {
+        let truth = vec![true, true, false, false];
+        let scores = vec![0.1, 0.2, 0.8, 0.9];
+        assert_eq!(roc_auc(&truth, &scores), 0.0);
+    }
+
+    #[test]
+    fn all_tied_scores_give_half_roc() {
+        let truth = vec![true, false, true, false];
+        let scores = vec![0.5; 4];
+        assert!((roc_auc(&truth, &scores) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_returns_half() {
+        assert_eq!(roc_auc(&[true, true], &[0.1, 0.9]), 0.5);
+        assert_eq!(roc_auc(&[false, false], &[0.1, 0.9]), 0.5);
+    }
+
+    #[test]
+    fn roc_auc_matches_hand_computation() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}
+        // pairs: (0.8 > 0.6), (0.8 > 0.2), (0.4 < 0.6), (0.4 > 0.2) => 3/4
+        let truth = vec![true, true, false, false];
+        let scores = vec![0.8, 0.4, 0.6, 0.2];
+        assert!((roc_auc(&truth, &scores) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pr_auc_matches_sklearn_example() {
+        // sklearn's doc example: y = [0, 0, 1, 1], scores = [0.1, 0.4, 0.35, 0.8]
+        // average_precision_score = 0.8333...
+        let truth = vec![false, false, true, true];
+        let scores = vec![0.1, 0.4, 0.35, 0.8];
+        assert!((pr_auc(&truth, &scores) - 0.8333333333).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pr_auc_random_scores_near_prevalence() {
+        // With constant scores, AP = prevalence.
+        let truth: Vec<bool> = (0..100).map(|i| i % 5 == 0).collect();
+        let scores = vec![1.0; 100];
+        assert!((pr_auc(&truth, &scores) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_invariant_to_monotone_transform() {
+        let truth = vec![true, false, true, false, true];
+        let scores = vec![0.9, 0.3, 0.7, 0.5, 0.6];
+        let squashed: Vec<f64> = scores.iter().map(|s| s * s * s).collect();
+        assert!((roc_auc(&truth, &scores) - roc_auc(&truth, &squashed)).abs() < 1e-12);
+        assert!((pr_auc(&truth, &scores) - pr_auc(&truth, &squashed)).abs() < 1e-12);
+    }
+}

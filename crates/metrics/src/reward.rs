@@ -1,0 +1,83 @@
+//! Model-selection reward under a switch memory budget (paper §4.2.1).
+
+use crate::auc::{pr_auc, roc_auc};
+use crate::confusion::ConfusionMatrix;
+
+/// The three detection metrics the paper reports per experiment.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct DetectionSummary {
+    pub macro_f1: f64,
+    pub roc_auc: f64,
+    pub pr_auc: f64,
+}
+
+impl DetectionSummary {
+    /// Computes all three metrics from ground truth, hard predictions, and
+    /// continuous scores (higher = more malicious).
+    pub fn compute(truth: &[bool], pred: &[bool], scores: &[f64]) -> Self {
+        Self {
+            macro_f1: ConfusionMatrix::from_predictions(truth, pred).macro_f1(),
+            roc_auc: roc_auc(truth, scores),
+            pr_auc: pr_auc(truth, scores),
+        }
+    }
+
+    /// Unweighted mean of the three metrics (the accuracy term of the
+    /// testbed reward and the CPU grid-search objective of §4.1).
+    pub fn mean(&self) -> f64 {
+        (self.macro_f1 + self.roc_auc + self.pr_auc) / 3.0
+    }
+}
+
+/// The testbed model-selection reward (paper §4.2.1):
+/// `α/3·(F1 + PRAUC + ROCAUC) + (1−α)·(1−ρ)` where `ρ ∈ [0, 1]` is the
+/// fraction of switch resources consumed. The paper uses `α = 0.5`.
+///
+/// # Panics
+/// Panics if `alpha` or `rho` leaves [0, 1].
+pub fn reward(summary: &DetectionSummary, rho: f64, alpha: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&alpha), "alpha must be in [0,1]");
+    assert!((0.0..=1.0).contains(&rho), "rho must be in [0,1]");
+    alpha * summary.mean() + (1.0 - alpha) * (1.0 - rho)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_perfect_detector() {
+        let truth = vec![true, true, false, false];
+        let pred = truth.clone();
+        let scores = vec![1.0, 0.9, 0.1, 0.0];
+        let s = DetectionSummary::compute(&truth, &pred, &scores);
+        assert_eq!(s.macro_f1, 1.0);
+        assert_eq!(s.roc_auc, 1.0);
+        assert_eq!(s.pr_auc, 1.0);
+        assert_eq!(s.mean(), 1.0);
+    }
+
+    #[test]
+    fn reward_balances_accuracy_and_memory() {
+        let s = DetectionSummary { macro_f1: 0.9, roc_auc: 0.9, pr_auc: 0.9 };
+        // α = 0.5: reward = 0.45 + 0.5·(1 − ρ)
+        assert!((reward(&s, 0.0, 0.5) - 0.95).abs() < 1e-12);
+        assert!((reward(&s, 1.0, 0.5) - 0.45).abs() < 1e-12);
+        // A cheaper model with lower accuracy can win.
+        let worse = DetectionSummary { macro_f1: 0.8, roc_auc: 0.8, pr_auc: 0.8 };
+        assert!(reward(&worse, 0.05, 0.5) > reward(&s, 0.4, 0.5));
+    }
+
+    #[test]
+    fn alpha_one_ignores_memory() {
+        let s = DetectionSummary { macro_f1: 0.6, roc_auc: 0.6, pr_auc: 0.6 };
+        assert_eq!(reward(&s, 0.1, 1.0), reward(&s, 0.9, 1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rho")]
+    fn reward_rejects_bad_rho() {
+        let s = DetectionSummary::default();
+        let _ = reward(&s, 1.5, 0.5);
+    }
+}

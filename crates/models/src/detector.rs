@@ -1,0 +1,160 @@
+//! The common anomaly-detector interface and the iForest adapter.
+
+use iguard_iforest::{IsolationForest, IsolationForestConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// An unsupervised anomaly detector: fitted on benign data only, it assigns
+/// each sample a score (higher = more anomalous) and a hard label via a
+/// threshold.
+///
+/// `score` takes `&mut self` because neural detectors cache activations on
+/// the forward pass.
+pub trait AnomalyDetector {
+    /// Human-readable model name (matches paper Fig. 10 labels).
+    fn name(&self) -> &'static str;
+
+    /// Anomaly score of one sample; higher = more anomalous.
+    fn score(&mut self, x: &[f32]) -> f64;
+
+    /// The decision threshold used by [`Self::predict`].
+    fn threshold(&self) -> f64;
+
+    /// Overrides the decision threshold (validation tuning).
+    fn set_threshold(&mut self, t: f64);
+
+    /// Hard label: `true` = malicious.
+    fn predict(&mut self, x: &[f32]) -> bool {
+        self.score(x) > self.threshold()
+    }
+
+    /// Batch scores.
+    fn scores(&mut self, xs: &[Vec<f32>]) -> Vec<f64> {
+        xs.iter().map(|x| self.score(x)).collect()
+    }
+
+    /// Batch labels.
+    fn predictions(&mut self, xs: &[Vec<f32>]) -> Vec<bool> {
+        xs.iter().map(|x| self.predict(x)).collect()
+    }
+}
+
+/// Conventional Isolation Forest behind the common interface (the sixth
+/// candidate of paper Fig. 10 and the baseline of every comparison).
+pub struct IForestDetector {
+    forest: IsolationForest,
+    threshold: f64,
+}
+
+impl IForestDetector {
+    /// Fits an Isolation Forest on benign training data with a
+    /// deterministic internal RNG derived from `seed`.
+    pub fn fit(train: &[Vec<f32>], cfg: &IsolationForestConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let forest = IsolationForest::fit(train, cfg, &mut rng);
+        let threshold = forest.threshold();
+        Self { forest, threshold }
+    }
+
+    pub fn forest(&self) -> &IsolationForest {
+        &self.forest
+    }
+}
+
+impl AnomalyDetector for IForestDetector {
+    fn name(&self) -> &'static str {
+        "iForest"
+    }
+
+    fn score(&mut self, x: &[f32]) -> f64 {
+        self.forest.score(x)
+    }
+
+    fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    fn set_threshold(&mut self, t: f64) {
+        self.threshold = t;
+    }
+}
+
+/// Fits `detector.set_threshold` so that `contamination` of the given
+/// (typically validation) scores exceed it. Shared by every detector.
+pub fn threshold_from_contamination(scores: &mut Vec<f64>, contamination: f64) -> f64 {
+    assert!(!scores.is_empty(), "need scores to fit threshold");
+    assert!((0.0..1.0).contains(&contamination));
+    scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let idx = ((1.0 - contamination) * (scores.len() - 1) as f64).round() as usize;
+    scores[idx.min(scores.len() - 1)]
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A benign cluster around 0.3 with mild spread in `dim` dimensions.
+    pub fn benign(n: usize, dim: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|_| (0..dim).map(|_| 0.3 + rng.gen_range(-0.08..0.08)).collect())
+            .collect()
+    }
+
+    /// Anomalies around 0.85.
+    pub fn anomalies(n: usize, dim: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|_| (0..dim).map(|_| 0.85 + rng.gen_range(-0.05..0.05)).collect())
+            .collect()
+    }
+
+    /// Asserts the detector separates the clusters with AUC-like quality.
+    pub fn assert_separates(det: &mut dyn super::AnomalyDetector, rng: &mut StdRng) {
+        let ben = benign(64, 4, rng);
+        let mal = anomalies(64, 4, rng);
+        let b_mean: f64 = ben.iter().map(|x| det.score(x)).sum::<f64>() / 64.0;
+        let m_mean: f64 = mal.iter().map(|x| det.score(x)).sum::<f64>() / 64.0;
+        assert!(
+            m_mean > b_mean,
+            "{}: anomaly score {m_mean} <= benign {b_mean}",
+            det.name()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn iforest_detector_separates_clusters() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let train = testutil::benign(512, 4, &mut rng);
+        let cfg = IsolationForestConfig { n_trees: 50, subsample: 128, contamination: 0.05 };
+        let mut det = IForestDetector::fit(&train, &cfg, 7);
+        testutil::assert_separates(&mut det, &mut rng);
+    }
+
+    #[test]
+    fn threshold_override_changes_predictions() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let train = testutil::benign(256, 4, &mut rng);
+        let cfg = IsolationForestConfig::default();
+        let mut det = IForestDetector::fit(&train, &cfg, 7);
+        let x = vec![0.3; 4];
+        det.set_threshold(-1.0);
+        assert!(det.predict(&x)); // everything above an impossible threshold
+        det.set_threshold(2.0);
+        assert!(!det.predict(&x));
+    }
+
+    #[test]
+    fn contamination_quantile_threshold() {
+        let mut scores: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let t = threshold_from_contamination(&mut scores, 0.1);
+        assert_eq!(t, 89.0);
+        let above = scores.iter().filter(|&&s| s > t).count();
+        assert_eq!(above, 10);
+    }
+}

@@ -1,0 +1,37 @@
+//! # iguard-models — unsupervised anomaly-detection baselines
+//!
+//! The candidate study of paper Appendix A (Fig. 10) compares six
+//! unsupervised models as potential "teachers" for iGuard. This crate
+//! implements all of them behind one trait:
+//!
+//! * [`detector::AnomalyDetector`] — fit on benign data, score test samples
+//!   (higher = more anomalous), threshold for hard labels.
+//! * [`knn::KnnDetector`] — distance to the k-th nearest benign neighbour.
+//! * [`pca::PcaDetector`] — reconstruction error outside the top-k
+//!   principal subspace (eigen-decomposition via Jacobi rotations).
+//! * [`xmeans::XMeansDetector`] — k-means with BIC-driven cluster splitting
+//!   (Pelleg & Moore); anomaly score = distance to the nearest centroid.
+//! * [`vae::VaeDetector`] — variational autoencoder with the
+//!   reparameterisation trick, scored by reconstruction RMSE.
+//! * [`magnifier::Magnifier`] — the asymmetric autoencoder of HorusEye
+//!   (heavy dilated-convolution encoder, light decoder), the teacher the
+//!   paper selects for iGuard.
+//!
+//! `iguard-iforest` provides the sixth candidate (Isolation Forest); the
+//! [`detector`] module wraps it into the same trait.
+
+#![forbid(unsafe_code)]
+
+pub mod detector;
+pub mod knn;
+pub mod magnifier;
+pub mod pca;
+pub mod vae;
+pub mod xmeans;
+
+pub use detector::{AnomalyDetector, IForestDetector};
+pub use knn::KnnDetector;
+pub use magnifier::Magnifier;
+pub use pca::PcaDetector;
+pub use vae::VaeDetector;
+pub use xmeans::XMeansDetector;

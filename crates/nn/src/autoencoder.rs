@@ -1,0 +1,411 @@
+//! Autoencoders and the weighted ensemble used to guide iGuard.
+//!
+//! An [`Autoencoder`] is trained to reconstruct benign feature vectors; its
+//! per-sample RMSE reconstruction error `RE_u(x)` (paper §3.2.1) is large on
+//! samples unlike the benign training distribution. An
+//! [`AutoencoderEnsemble`] combines `r` autoencoders with weights `w_u`
+//! (Σ w_u = 1) and predicts malicious when the weighted vote
+//! `Σ w_u · 1{RE_u(x) > T_u}` exceeds 0.5.
+
+use rand::Rng;
+
+use crate::layer::{Activation, ActivationLayer, Dense, Layer};
+use crate::loss::per_sample_rmse;
+use crate::matrix::Matrix;
+use crate::network::{Network, TrainConfig};
+use crate::optim::Adam;
+
+/// Architecture of an autoencoder as a list of hidden widths.
+///
+/// `encoder = [h1, h2, ..., latent]`, `decoder = [g1, ..., out=m]` is built
+/// automatically to mirror or to the explicit `decoder` widths for
+/// *asymmetric* autoencoders (Magnifier-style: heavy encoder, light decoder).
+#[derive(Clone, Debug)]
+pub struct AutoencoderSpec {
+    pub input_dim: usize,
+    pub encoder: Vec<usize>,
+    /// Hidden widths of the decoder, *excluding* the final reconstruction
+    /// layer (which is always `input_dim` wide). Empty = direct latent→out.
+    pub decoder: Vec<usize>,
+    pub activation: Activation,
+}
+
+impl AutoencoderSpec {
+    /// Symmetric hourglass: encoder widths mirrored in the decoder.
+    pub fn symmetric(input_dim: usize, encoder: Vec<usize>, activation: Activation) -> Self {
+        assert!(!encoder.is_empty(), "need at least a latent layer");
+        let decoder = encoder[..encoder.len() - 1].iter().rev().copied().collect();
+        Self { input_dim, encoder, decoder, activation }
+    }
+
+    /// Asymmetric autoencoder: explicit, typically smaller decoder.
+    pub fn asymmetric(
+        input_dim: usize,
+        encoder: Vec<usize>,
+        decoder: Vec<usize>,
+        activation: Activation,
+    ) -> Self {
+        assert!(!encoder.is_empty(), "need at least a latent layer");
+        Self { input_dim, encoder, decoder, activation }
+    }
+
+    fn build(&self, rng: &mut impl Rng) -> Network {
+        let mut layers: Vec<Box<dyn Layer>> = Vec::new();
+        let mut width = self.input_dim;
+        for &h in &self.encoder {
+            layers.push(Box::new(Dense::new(width, h, rng)));
+            layers.push(Box::new(ActivationLayer::new(self.activation)));
+            width = h;
+        }
+        for &h in &self.decoder {
+            layers.push(Box::new(Dense::new(width, h, rng)));
+            layers.push(Box::new(ActivationLayer::new(self.activation)));
+            width = h;
+        }
+        // Linear reconstruction head: features are min-max scaled to [0, 1],
+        // and a linear output avoids saturating gradients at the boundaries.
+        layers.push(Box::new(Dense::new(width, self.input_dim, rng)));
+        Network::new(layers)
+    }
+}
+
+/// Training hyper-parameters for an autoencoder.
+#[derive(Clone, Debug)]
+pub struct AeTrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f32,
+    /// Quantile of benign-training reconstruction errors used as the RMSE
+    /// threshold `T_u` (the paper tunes `T` by grid search; the quantile is
+    /// the knob we sweep).
+    pub threshold_quantile: f64,
+}
+
+impl Default for AeTrainConfig {
+    fn default() -> Self {
+        Self { epochs: 60, batch_size: 32, learning_rate: 1e-3, threshold_quantile: 0.98 }
+    }
+}
+
+/// A trained autoencoder with its RMSE threshold `T_u`.
+pub struct Autoencoder {
+    net: Network,
+    threshold: f32,
+    input_dim: usize,
+}
+
+impl Autoencoder {
+    /// Trains an autoencoder on benign data (rows of `train`), then fits the
+    /// threshold as the configured quantile of training reconstruction error.
+    pub fn train(
+        spec: &AutoencoderSpec,
+        train: &Matrix,
+        cfg: &AeTrainConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert_eq!(train.cols(), spec.input_dim, "training width != spec input_dim");
+        assert!(train.rows() > 0, "empty training set");
+        let mut net = spec.build(rng);
+        let mut opt = Adam::new(cfg.learning_rate);
+        let tc = TrainConfig {
+            epochs: cfg.epochs,
+            batch_size: cfg.batch_size,
+            tol: 1e-7,
+            shuffle: true,
+        };
+        net.fit(&train.clone(), train, &mut opt, &tc, rng);
+        let mut ae = Self { net, threshold: 0.0, input_dim: spec.input_dim };
+        let errs = ae.reconstruction_errors(train);
+        ae.threshold = quantile(&errs, cfg.threshold_quantile);
+        ae
+    }
+
+    /// `RE_u(x)` for each row of `data`.
+    pub fn reconstruction_errors(&mut self, data: &Matrix) -> Vec<f32> {
+        assert_eq!(data.cols(), self.input_dim);
+        if data.rows() == 0 {
+            return Vec::new();
+        }
+        let recon = self.net.predict(data);
+        per_sample_rmse(&recon, data)
+    }
+
+    /// The fitted RMSE threshold `T_u`.
+    pub fn threshold(&self) -> f32 {
+        self.threshold
+    }
+
+    /// Overrides the threshold (grid-search tuning).
+    pub fn set_threshold(&mut self, t: f32) {
+        self.threshold = t;
+    }
+
+    /// `label_u(x) = 1{RE_u(x) > T_u}` per row.
+    pub fn labels(&mut self, data: &Matrix) -> Vec<bool> {
+        let t = self.threshold;
+        self.reconstruction_errors(data).into_iter().map(|re| re > t).collect()
+    }
+
+    pub fn param_count(&self) -> usize {
+        self.net.param_count()
+    }
+}
+
+/// Weighted ensemble of autoencoders (paper §3.2.1).
+pub struct AutoencoderEnsemble {
+    members: Vec<Autoencoder>,
+    weights: Vec<f32>,
+}
+
+impl AutoencoderEnsemble {
+    /// Builds an ensemble with uniform weights.
+    pub fn uniform(members: Vec<Autoencoder>) -> Self {
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        let w = 1.0 / members.len() as f32;
+        let weights = vec![w; members.len()];
+        Self { members, weights }
+    }
+
+    /// Builds an ensemble with explicit weights; weights are renormalised to
+    /// sum to 1 as the paper requires.
+    pub fn weighted(members: Vec<Autoencoder>, weights: Vec<f32>) -> Self {
+        assert_eq!(members.len(), weights.len(), "one weight per member");
+        assert!(!members.is_empty(), "ensemble needs at least one member");
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        let total: f32 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let weights = weights.into_iter().map(|w| w / total).collect();
+        Self { members, weights }
+    }
+
+    /// Trains `r` independent autoencoders on the benign training set and
+    /// combines them uniformly.
+    pub fn train(
+        specs: &[AutoencoderSpec],
+        train: &Matrix,
+        cfg: &AeTrainConfig,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let members = specs.iter().map(|s| Autoencoder::train(s, train, cfg, rng)).collect();
+        Self::uniform(members)
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    pub fn members_mut(&mut self) -> &mut [Autoencoder] {
+        &mut self.members
+    }
+
+    pub fn weights(&self) -> &[f32] {
+        &self.weights
+    }
+
+    /// Weighted ensemble prediction per row:
+    /// `1{Σ w_u · 1{RE_u(x) > T_u} > 0.5}` (paper Eq. in §3.2.1).
+    pub fn predict(&mut self, data: &Matrix) -> Vec<bool> {
+        let n = data.rows();
+        let mut score = vec![0.0f32; n];
+        for (u, member) in self.members.iter_mut().enumerate() {
+            let w = self.weights[u];
+            for (s, lab) in score.iter_mut().zip(member.labels(data)) {
+                if lab {
+                    *s += w;
+                }
+            }
+        }
+        score.into_iter().map(|s| s > 0.5).collect()
+    }
+
+    /// Mean reconstruction error per member over `data`
+    /// (`RE_leaf_u` in paper Eq. 5 when `data` is a leaf's sample set).
+    pub fn mean_errors(&mut self, data: &Matrix) -> Vec<f32> {
+        self.members
+            .iter_mut()
+            .map(|m| {
+                let errs = m.reconstruction_errors(data);
+                if errs.is_empty() {
+                    0.0
+                } else {
+                    errs.iter().sum::<f32>() / errs.len() as f32
+                }
+            })
+            .collect()
+    }
+
+    /// The distillation vote over *expected* errors (paper Eq. 6):
+    /// `1{Σ w_u · 1{RE_leaf_u > T_u} > 0.5}`.
+    pub fn vote_on_mean_errors(&mut self, data: &Matrix) -> bool {
+        let means = self.mean_errors(data);
+        let mut s = 0.0;
+        for ((w, m), t) in self
+            .weights
+            .iter()
+            .zip(&means)
+            .zip(self.members.iter().map(|mm| mm.threshold))
+        {
+            if *m > t {
+                s += w;
+            }
+        }
+        s > 0.5
+    }
+
+    /// Continuous anomaly score in [0, 1]: the weighted fraction of members
+    /// voting malicious. Used for AUC-style metrics of the ensemble itself.
+    pub fn score(&mut self, data: &Matrix) -> Vec<f32> {
+        let n = data.rows();
+        let mut score = vec![0.0f32; n];
+        for (u, member) in self.members.iter_mut().enumerate() {
+            let w = self.weights[u];
+            let t = member.threshold;
+            // Smooth margin: normalised RE excess, clamped, keeps ranking
+            // information beyond the binary vote.
+            for (s, re) in score.iter_mut().zip(member.reconstruction_errors(data)) {
+                let margin = if t > 0.0 { (re / t).min(2.0) / 2.0 } else { 1.0 };
+                *s += w * margin;
+            }
+        }
+        score
+    }
+}
+
+/// Empirical quantile (linear interpolation) of a non-empty slice.
+pub fn quantile(values: &[f32], q: f64) -> f32 {
+    assert!(!values.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+    let mut sorted: Vec<f32> = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = (pos - lo as f64) as f32;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn benign_blob(n: usize, rng: &mut StdRng) -> Matrix {
+        // Benign: tight cluster near (0.3, 0.3, 0.3, 0.3).
+        let mut m = Matrix::zeros(n, 4);
+        for v in m.as_mut_slice() {
+            *v = 0.3 + rng.gen_range(-0.05..0.05);
+        }
+        m
+    }
+
+    fn anomalies(n: usize, rng: &mut StdRng) -> Matrix {
+        let mut m = Matrix::zeros(n, 4);
+        for v in m.as_mut_slice() {
+            *v = 0.9 + rng.gen_range(-0.05..0.05);
+        }
+        m
+    }
+
+    fn quick_cfg() -> AeTrainConfig {
+        AeTrainConfig { epochs: 80, batch_size: 16, learning_rate: 5e-3, threshold_quantile: 0.95 }
+    }
+
+    #[test]
+    fn autoencoder_flags_out_of_distribution_samples() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let train = benign_blob(256, &mut rng);
+        let spec = AutoencoderSpec::symmetric(4, vec![3, 2], Activation::Tanh);
+        let mut ae = Autoencoder::train(&spec, &train, &quick_cfg(), &mut rng);
+        let benign_errs = ae.reconstruction_errors(&benign_blob(64, &mut rng));
+        let mal_errs = ae.reconstruction_errors(&anomalies(64, &mut rng));
+        let benign_mean: f32 = benign_errs.iter().sum::<f32>() / 64.0;
+        let mal_mean: f32 = mal_errs.iter().sum::<f32>() / 64.0;
+        assert!(
+            mal_mean > 2.0 * benign_mean,
+            "anomalous RE {mal_mean} should dwarf benign RE {benign_mean}"
+        );
+    }
+
+    #[test]
+    fn threshold_is_training_quantile() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let train = benign_blob(128, &mut rng);
+        let spec = AutoencoderSpec::symmetric(4, vec![2], Activation::Tanh);
+        let mut ae = Autoencoder::train(&spec, &train, &quick_cfg(), &mut rng);
+        let errs = ae.reconstruction_errors(&train);
+        let q95 = quantile(&errs, 0.95);
+        assert!((ae.threshold() - q95).abs() < 1e-5);
+    }
+
+    #[test]
+    fn ensemble_majority_vote_detects_anomalies() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let train = benign_blob(256, &mut rng);
+        let specs = vec![
+            AutoencoderSpec::symmetric(4, vec![3, 2], Activation::Tanh),
+            AutoencoderSpec::asymmetric(4, vec![3, 2], vec![], Activation::Tanh),
+            AutoencoderSpec::symmetric(4, vec![2], Activation::Tanh),
+        ];
+        let mut ens = AutoencoderEnsemble::train(&specs, &train, &quick_cfg(), &mut rng);
+        let mal = anomalies(32, &mut rng);
+        let preds = ens.predict(&mal);
+        let detected = preds.iter().filter(|&&p| p).count();
+        assert!(detected > 24, "detected only {detected}/32 anomalies");
+        let ben = benign_blob(32, &mut rng);
+        let fps = ens.predict(&ben).iter().filter(|&&p| p).count();
+        assert!(fps < 8, "{fps}/32 false positives");
+    }
+
+    #[test]
+    fn weighted_renormalises() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let train = benign_blob(64, &mut rng);
+        let spec = AutoencoderSpec::symmetric(4, vec![2], Activation::Tanh);
+        let cfg = AeTrainConfig { epochs: 5, ..quick_cfg() };
+        let members = vec![
+            Autoencoder::train(&spec, &train, &cfg, &mut rng),
+            Autoencoder::train(&spec, &train, &cfg, &mut rng),
+        ];
+        let ens = AutoencoderEnsemble::weighted(members, vec![2.0, 6.0]);
+        assert!((ens.weights()[0] - 0.25).abs() < 1e-6);
+        assert!((ens.weights()[1] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn vote_on_mean_errors_consistent_with_extreme_data() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let train = benign_blob(128, &mut rng);
+        let spec = AutoencoderSpec::symmetric(4, vec![2], Activation::Tanh);
+        let mut ens = AutoencoderEnsemble::uniform(vec![Autoencoder::train(
+            &spec,
+            &train,
+            &quick_cfg(),
+            &mut rng,
+        )]);
+        assert!(!ens.vote_on_mean_errors(&benign_blob(32, &mut rng)));
+        assert!(ens.vote_on_mean_errors(&anomalies(32, &mut rng)));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [0.0f32, 1.0, 2.0, 3.0];
+        assert_eq!(quantile(&v, 0.0), 0.0);
+        assert_eq!(quantile(&v, 1.0), 3.0);
+        assert!((quantile(&v, 0.5) - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        let _ = quantile(&[], 0.5);
+    }
+}

@@ -1,0 +1,269 @@
+//! One-dimensional dilated convolution.
+//!
+//! Magnifier (HorusEye) uses dilated convolutions in its asymmetric
+//! autoencoder; this layer reproduces that building block for feature
+//! vectors treated as 1-D signals. Input batches are laid out as
+//! `batch x (channels * length)` with channel-major packing, i.e. the first
+//! `length` columns are channel 0, the next `length` columns channel 1, etc.
+
+use rand::Rng;
+
+use crate::layer::Layer;
+use crate::matrix::Matrix;
+
+/// 1-D convolution with dilation and zero ("same") padding.
+pub struct DilatedConv1d {
+    in_channels: usize,
+    out_channels: usize,
+    length: usize,
+    kernel: usize,
+    dilation: usize,
+    /// Weights: `out_channels x (in_channels * kernel)`, kernel-major per input channel.
+    weights: Matrix,
+    bias: Matrix,
+    grad_w: Matrix,
+    grad_b: Matrix,
+    cached_input: Option<Matrix>,
+}
+
+impl DilatedConv1d {
+    /// Creates a dilated conv layer operating on signals of `length` samples.
+    ///
+    /// Output keeps the same spatial length (zero padding), so the flat
+    /// output width is `out_channels * length`.
+    pub fn new(
+        in_channels: usize,
+        out_channels: usize,
+        length: usize,
+        kernel: usize,
+        dilation: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(kernel % 2 == 1, "kernel size must be odd for same padding");
+        assert!(dilation >= 1, "dilation must be >= 1");
+        assert!(length > 0 && in_channels > 0 && out_channels > 0);
+        let fan_in = in_channels * kernel;
+        let limit = (6.0 / (fan_in + out_channels * kernel) as f32).sqrt();
+        let mut weights = Matrix::zeros(out_channels, in_channels * kernel);
+        for v in weights.as_mut_slice() {
+            *v = rng.gen_range(-limit..limit);
+        }
+        Self {
+            in_channels,
+            out_channels,
+            length,
+            kernel,
+            dilation,
+            weights,
+            bias: Matrix::zeros(1, out_channels),
+            grad_w: Matrix::zeros(out_channels, in_channels * kernel),
+            grad_b: Matrix::zeros(1, out_channels),
+            cached_input: None,
+        }
+    }
+
+    fn in_width(&self) -> usize {
+        self.in_channels * self.length
+    }
+
+    fn out_width(&self) -> usize {
+        self.out_channels * self.length
+    }
+
+    /// Receptive-field offset of kernel tap `k` relative to the output
+    /// position, in input samples. Centred kernel: taps span
+    /// `[-(kernel/2)*dilation, +(kernel/2)*dilation]`.
+    fn tap_offset(&self, k: usize) -> isize {
+        (k as isize - (self.kernel / 2) as isize) * self.dilation as isize
+    }
+}
+
+impl Layer for DilatedConv1d {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.in_width(),
+            "conv input width {} != channels*length {}",
+            input.cols(),
+            self.in_width()
+        );
+        self.cached_input = Some(input.clone());
+        let mut out = Matrix::zeros(input.rows(), self.out_width());
+        for b in 0..input.rows() {
+            let x = input.row(b);
+            for oc in 0..self.out_channels {
+                let bias = self.bias[(0, oc)];
+                for t in 0..self.length {
+                    let mut acc = bias;
+                    for ic in 0..self.in_channels {
+                        for k in 0..self.kernel {
+                            let src = t as isize + self.tap_offset(k);
+                            if src < 0 || src >= self.length as isize {
+                                continue; // zero padding
+                            }
+                            let w = self.weights[(oc, ic * self.kernel + k)];
+                            acc += w * x[ic * self.length + src as usize];
+                        }
+                    }
+                    out[(b, oc * self.length + t)] = acc;
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self.cached_input.as_ref().expect("backward before forward");
+        assert_eq!(grad_out.cols(), self.out_width());
+        let mut grad_in = Matrix::zeros(input.rows(), self.in_width());
+        for b in 0..input.rows() {
+            let x = input.row(b);
+            let g = grad_out.row(b);
+            for oc in 0..self.out_channels {
+                for t in 0..self.length {
+                    let go = g[oc * self.length + t];
+                    if go == 0.0 {
+                        continue;
+                    }
+                    self.grad_b[(0, oc)] += go;
+                    for ic in 0..self.in_channels {
+                        for k in 0..self.kernel {
+                            let src = t as isize + self.tap_offset(k);
+                            if src < 0 || src >= self.length as isize {
+                                continue;
+                            }
+                            let src = src as usize;
+                            self.grad_w[(oc, ic * self.kernel + k)] +=
+                                go * x[ic * self.length + src];
+                            grad_in[(b, ic * self.length + src)] +=
+                                go * self.weights[(oc, ic * self.kernel + k)];
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut [f32], &mut [f32])> {
+        vec![
+            (self.weights.as_mut_slice(), self.grad_w.as_mut_slice()),
+            (self.bias.as_mut_slice(), self.grad_b.as_mut_slice()),
+        ]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.as_mut_slice().fill(0.0);
+        self.grad_b.as_mut_slice().fill(0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.out_channels * self.in_channels * self.kernel + self.out_channels
+    }
+
+    fn out_dim(&self, in_dim: usize) -> usize {
+        assert_eq!(in_dim, self.in_width(), "conv stacked after wrong width");
+        self.out_width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// A kernel of [0, 1, 0] with dilation 1 is the identity.
+    #[test]
+    fn identity_kernel_passes_signal_through() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = DilatedConv1d::new(1, 1, 5, 3, 1, &mut rng);
+        conv.weights.as_mut_slice().copy_from_slice(&[0.0, 1.0, 0.0]);
+        conv.bias.as_mut_slice().fill(0.0);
+        let x = Matrix::row_vector(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y.as_slice(), x.as_slice());
+    }
+
+    /// Dilation 2 with kernel [1, 0, 0] reads the sample two to the left.
+    #[test]
+    fn dilation_widens_receptive_field() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = DilatedConv1d::new(1, 1, 5, 3, 2, &mut rng);
+        conv.weights.as_mut_slice().copy_from_slice(&[1.0, 0.0, 0.0]);
+        conv.bias.as_mut_slice().fill(0.0);
+        let x = Matrix::row_vector(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let y = conv.forward(&x);
+        // Output[t] = x[t-2], zero-padded.
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn multiple_channels_sum_contributions() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = DilatedConv1d::new(2, 1, 3, 1, 1, &mut rng);
+        // One-tap kernel per channel: w = [2, 3].
+        conv.weights.as_mut_slice().copy_from_slice(&[2.0, 3.0]);
+        conv.bias.as_mut_slice().fill(1.0);
+        // channel0 = [1,1,1], channel1 = [2,2,2]
+        let x = Matrix::row_vector(&[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        let y = conv.forward(&x);
+        assert_eq!(y.as_slice(), &[9.0, 9.0, 9.0]);
+    }
+
+    /// Finite-difference gradient check over all conv parameters and inputs.
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut conv = DilatedConv1d::new(2, 2, 4, 3, 2, &mut rng);
+        let x = {
+            let mut m = Matrix::zeros(2, 8);
+            for v in m.as_mut_slice() {
+                *v = rng.gen_range(-1.0..1.0);
+            }
+            m
+        };
+        // Loss = sum(y^2) / 2, so dL/dy = y.
+        let loss = |conv: &mut DilatedConv1d, x: &Matrix| -> f32 {
+            let y = conv.forward(x);
+            0.5 * y.as_slice().iter().map(|v| v * v).sum::<f32>()
+        };
+        let y = conv.forward(&x);
+        conv.zero_grads();
+        let grad_in = conv.backward(&y);
+
+        let eps = 1e-3f32;
+        // Check a sample of weight gradients.
+        let analytic_w: Vec<f32> = conv.grad_w.as_slice().to_vec();
+        for idx in [0usize, 3, 7, 11] {
+            let orig = conv.weights.as_mut_slice()[idx];
+            conv.weights.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&mut conv, &x);
+            conv.weights.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&mut conv, &x);
+            conv.weights.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - analytic_w[idx]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "weight {idx}: numeric {numeric} vs analytic {}",
+                analytic_w[idx]
+            );
+        }
+        // Check a sample of input gradients.
+        let mut x2 = x.clone();
+        for idx in [0usize, 5, 10, 15] {
+            let orig = x2.as_slice()[idx];
+            x2.as_mut_slice()[idx] = orig + eps;
+            let lp = loss(&mut conv, &x2);
+            x2.as_mut_slice()[idx] = orig - eps;
+            let lm = loss(&mut conv, &x2);
+            x2.as_mut_slice()[idx] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - grad_in.as_slice()[idx]).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "input {idx}: numeric {numeric} vs analytic {}",
+                grad_in.as_slice()[idx]
+            );
+        }
+    }
+}

@@ -1,0 +1,320 @@
+//! Trainable layers: fully-connected and element-wise activations.
+//!
+//! Layers follow the classic forward/backward contract: `forward` caches
+//! whatever the backward pass needs, `backward` consumes the gradient of the
+//! loss w.r.t. the layer output and returns the gradient w.r.t. the layer
+//! input while accumulating parameter gradients internally.
+
+use rand::Rng;
+
+use crate::matrix::Matrix;
+
+/// A differentiable layer in a [`crate::network::Network`].
+pub trait Layer: Send {
+    /// Computes the layer output for a `batch x in_dim` input.
+    fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Propagates `grad_out` (`batch x out_dim`) back to the input,
+    /// accumulating parameter gradients.
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix;
+
+    /// Flat views of (parameter, gradient) pairs for the optimizer.
+    /// Stateless layers return an empty vec.
+    fn params_and_grads(&mut self) -> Vec<(&mut [f32], &mut [f32])> {
+        Vec::new()
+    }
+
+    /// Zeroes accumulated parameter gradients.
+    fn zero_grads(&mut self) {}
+
+    /// Number of trainable scalars, for reporting.
+    fn param_count(&self) -> usize {
+        0
+    }
+
+    /// Output width given an input width (used to validate stacking).
+    fn out_dim(&self, in_dim: usize) -> usize;
+}
+
+/// Fully-connected layer: `y = x W + b` with `W: in_dim x out_dim`.
+pub struct Dense {
+    weights: Matrix,
+    bias: Matrix,
+    grad_w: Matrix,
+    grad_b: Matrix,
+    cached_input: Option<Matrix>,
+}
+
+impl Dense {
+    /// Glorot/Xavier-uniform initialisation, suitable for the tanh/sigmoid
+    /// and leaky-ReLU mixes used by the autoencoders in this workspace.
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+        assert!(in_dim > 0 && out_dim > 0, "Dense dims must be positive");
+        let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
+        let mut weights = Matrix::zeros(in_dim, out_dim);
+        for v in weights.as_mut_slice() {
+            *v = rng.gen_range(-limit..limit);
+        }
+        Self {
+            weights,
+            bias: Matrix::zeros(1, out_dim),
+            grad_w: Matrix::zeros(in_dim, out_dim),
+            grad_b: Matrix::zeros(1, out_dim),
+            cached_input: None,
+        }
+    }
+
+    /// Builds a dense layer from explicit parameters (tests, serialization).
+    pub fn from_parts(weights: Matrix, bias: Matrix) -> Self {
+        assert_eq!(bias.rows(), 1);
+        assert_eq!(bias.cols(), weights.cols());
+        let (i, o) = weights.shape();
+        Self {
+            weights,
+            bias,
+            grad_w: Matrix::zeros(i, o),
+            grad_b: Matrix::zeros(1, o),
+            cached_input: None,
+        }
+    }
+
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    pub fn bias(&self) -> &Matrix {
+        &self.bias
+    }
+}
+
+impl Layer for Dense {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        assert_eq!(
+            input.cols(),
+            self.weights.rows(),
+            "Dense input width {} != expected {}",
+            input.cols(),
+            self.weights.rows()
+        );
+        self.cached_input = Some(input.clone());
+        input.matmul(&self.weights).add_row_broadcast(&self.bias)
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called before forward");
+        // dL/dW = x^T g, dL/db = column sums of g, dL/dx = g W^T.
+        self.grad_w = self.grad_w.add(&input.t_matmul(grad_out));
+        self.grad_b = self.grad_b.add(&grad_out.sum_rows());
+        grad_out.matmul_t(&self.weights)
+    }
+
+    fn params_and_grads(&mut self) -> Vec<(&mut [f32], &mut [f32])> {
+        vec![
+            (self.weights.as_mut_slice(), self.grad_w.as_mut_slice()),
+            (self.bias.as_mut_slice(), self.grad_b.as_mut_slice()),
+        ]
+    }
+
+    fn zero_grads(&mut self) {
+        self.grad_w.as_mut_slice().fill(0.0);
+        self.grad_b.as_mut_slice().fill(0.0);
+    }
+
+    fn param_count(&self) -> usize {
+        self.weights.rows() * self.weights.cols() + self.bias.cols()
+    }
+
+    fn out_dim(&self, in_dim: usize) -> usize {
+        assert_eq!(in_dim, self.weights.rows(), "Dense stacked after wrong width");
+        self.weights.cols()
+    }
+}
+
+/// Element-wise activation functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    /// Leaky ReLU with slope 0.01 on the negative side.
+    LeakyRelu,
+    Sigmoid,
+    Tanh,
+    /// Exponential linear unit with alpha = 1.
+    Elu,
+    /// Identity — useful as an explicit "linear output" marker.
+    Linear,
+}
+
+impl Activation {
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.01 * x
+                }
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+            Activation::Elu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    x.exp() - 1.0
+                }
+            }
+            Activation::Linear => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the pre-activation input `x` and the
+    /// already-computed output `y` (cheaper for sigmoid/tanh).
+    fn derivative(self, x: f32, y: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.01
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+            Activation::Elu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    y + 1.0
+                }
+            }
+            Activation::Linear => 1.0,
+        }
+    }
+}
+
+/// Stateless element-wise activation layer.
+pub struct ActivationLayer {
+    kind: Activation,
+    cached_input: Option<Matrix>,
+    cached_output: Option<Matrix>,
+}
+
+impl ActivationLayer {
+    pub fn new(kind: Activation) -> Self {
+        Self { kind, cached_input: None, cached_output: None }
+    }
+}
+
+impl Layer for ActivationLayer {
+    fn forward(&mut self, input: &Matrix) -> Matrix {
+        let out = input.map(|v| self.kind.apply(v));
+        self.cached_input = Some(input.clone());
+        self.cached_output = Some(out.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self.cached_input.as_ref().expect("backward before forward");
+        let y = self.cached_output.as_ref().expect("backward before forward");
+        let deriv = x.zip_with(y, |xi, yi| self.kind.derivative(xi, yi));
+        grad_out.hadamard(&deriv)
+    }
+
+    fn out_dim(&self, in_dim: usize) -> usize {
+        in_dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn dense_forward_matches_manual() {
+        let w = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = Matrix::row_vector(&[0.5, -0.5]);
+        let mut layer = Dense::from_parts(w, b);
+        let x = Matrix::row_vector(&[1.0, 1.0]);
+        let y = layer.forward(&x);
+        assert_eq!(y.as_slice(), &[4.5, 5.5]);
+    }
+
+    #[test]
+    fn dense_backward_produces_expected_gradients() {
+        let w = Matrix::from_vec(2, 1, vec![2.0, -1.0]);
+        let b = Matrix::row_vector(&[0.0]);
+        let mut layer = Dense::from_parts(w, b);
+        let x = Matrix::row_vector(&[3.0, 4.0]);
+        let _ = layer.forward(&x);
+        let gx = layer.backward(&Matrix::row_vector(&[1.0]));
+        // dL/dx = g W^T = [2, -1]
+        assert_eq!(gx.as_slice(), &[2.0, -1.0]);
+        let pg = layer.params_and_grads();
+        // dL/dW = x^T g = [3, 4]^T
+        assert_eq!(pg[0].1, &[3.0, 4.0]);
+        assert_eq!(pg[1].1, &[1.0]);
+    }
+
+    #[test]
+    fn zero_grads_clears_accumulation() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut layer = Dense::new(3, 2, &mut rng);
+        let x = Matrix::zeros(4, 3);
+        let _ = layer.forward(&x);
+        let _ = layer.backward(&Matrix::filled(4, 2, 1.0));
+        layer.zero_grads();
+        for (_, g) in layer.params_and_grads() {
+            assert!(g.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn activations_match_definitions() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(2.0), 2.0);
+        assert!((Activation::Sigmoid.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((Activation::Tanh.apply(0.0)).abs() < 1e-6);
+        assert!((Activation::LeakyRelu.apply(-1.0) + 0.01).abs() < 1e-7);
+        assert!((Activation::Elu.apply(-1.0) - (f32::exp(-1.0) - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activation_backward_uses_chain_rule() {
+        let mut layer = ActivationLayer::new(Activation::Relu);
+        let x = Matrix::row_vector(&[-1.0, 2.0]);
+        let _ = layer.forward(&x);
+        let g = layer.backward(&Matrix::row_vector(&[5.0, 5.0]));
+        assert_eq!(g.as_slice(), &[0.0, 5.0]);
+    }
+
+    #[test]
+    fn sigmoid_derivative_peaks_at_zero() {
+        let mut layer = ActivationLayer::new(Activation::Sigmoid);
+        let x = Matrix::row_vector(&[0.0]);
+        let _ = layer.forward(&x);
+        let g = layer.backward(&Matrix::row_vector(&[1.0]));
+        assert!((g.as_slice()[0] - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn glorot_init_within_limits() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let layer = Dense::new(10, 10, &mut rng);
+        let limit = (6.0 / 20.0f32).sqrt();
+        assert!(layer.weights().as_slice().iter().all(|v| v.abs() <= limit));
+        assert!(layer.bias().as_slice().iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,57 @@
+//! # iguard-nn — neural-network substrate for iGuard
+//!
+//! A small, dependency-light neural-network library built from scratch for
+//! the iGuard reproduction. It provides exactly what the paper's pipeline
+//! needs:
+//!
+//! * [`matrix::Matrix`] — dense row-major `f32` matrices with the handful of
+//!   products backpropagation needs.
+//! * [`layer`] — fully-connected layers and element-wise activations, plus
+//!   [`conv::DilatedConv1d`] reproducing the dilated convolutions of the
+//!   Magnifier (HorusEye) autoencoder.
+//! * [`optim`] — SGD (+momentum) and Adam.
+//! * [`network::Network`] — a sequential container with an MSE training loop.
+//! * [`autoencoder`] — trained autoencoders with RMSE thresholds `T_u` and
+//!   the weighted [`autoencoder::AutoencoderEnsemble`] of paper §3.2.1.
+//! * [`scale`] — min-max / standard scalers fitted on benign training data.
+//!
+//! ## Why from scratch?
+//! The offline crate set for this reproduction does not include candle or
+//! linfa. The models involved are tiny (a few thousand parameters), so a
+//! straightforward implementation is fast, auditable, and fully seedable —
+//! every experiment in the benchmark harness is reproducible bit for bit.
+//!
+//! ## Quick example
+//! ```
+//! use iguard_nn::autoencoder::{Autoencoder, AutoencoderSpec, AeTrainConfig};
+//! use iguard_nn::layer::Activation;
+//! use iguard_nn::matrix::Matrix;
+//! use rand::{rngs::StdRng, SeedableRng, Rng};
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! // Benign data: tight cluster.
+//! let mut train = Matrix::zeros(128, 4);
+//! for v in train.as_mut_slice() { *v = 0.5 + rng.gen_range(-0.05..0.05); }
+//! let spec = AutoencoderSpec::symmetric(4, vec![2], Activation::Tanh);
+//! let cfg = AeTrainConfig { epochs: 30, ..Default::default() };
+//! let mut ae = Autoencoder::train(&spec, &train, &cfg, &mut rng);
+//! let errs = ae.reconstruction_errors(&train);
+//! assert_eq!(errs.len(), 128);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod autoencoder;
+pub mod conv;
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod network;
+pub mod optim;
+pub mod scale;
+
+pub use autoencoder::{AeTrainConfig, Autoencoder, AutoencoderEnsemble, AutoencoderSpec};
+pub use layer::Activation;
+pub use matrix::Matrix;
+pub use network::{Network, TrainConfig};
+pub use scale::{MinMaxScaler, StandardScaler};

@@ -1,0 +1,119 @@
+//! Loss functions with analytic gradients.
+
+use crate::matrix::Matrix;
+
+/// Mean-squared-error loss averaged over batch and features:
+/// `L = mean((pred - target)^2)`.
+///
+/// Returns `(loss, dL/dpred)`.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f32, Matrix) {
+    assert_eq!(pred.shape(), target.shape(), "MSE shape mismatch");
+    let n = (pred.rows() * pred.cols()).max(1) as f32;
+    let diff = pred.sub(target);
+    let loss = diff.as_slice().iter().map(|v| v * v).sum::<f32>() / n;
+    let grad = diff.scale(2.0 / n);
+    (loss, grad)
+}
+
+/// Per-sample root-mean-square error across features:
+/// `RE(x) = sqrt(mean_i (pred_i - target_i)^2)` — the reconstruction error
+/// used by the autoencoders in the iGuard pipeline (paper §3.2.1).
+pub fn per_sample_rmse(pred: &Matrix, target: &Matrix) -> Vec<f32> {
+    assert_eq!(pred.shape(), target.shape(), "RMSE shape mismatch");
+    let m = pred.cols().max(1) as f32;
+    (0..pred.rows())
+        .map(|r| {
+            let acc: f32 = pred
+                .row(r)
+                .iter()
+                .zip(target.row(r))
+                .map(|(&p, &t)| (p - t) * (p - t))
+                .sum();
+            (acc / m).sqrt()
+        })
+        .collect()
+}
+
+/// KL divergence between `N(mu, exp(logvar))` and the standard normal, summed
+/// over latent dims and averaged over the batch — the VAE regulariser.
+///
+/// Returns `(kl, dKL/dmu, dKL/dlogvar)`.
+pub fn kl_standard_normal(mu: &Matrix, logvar: &Matrix) -> (f32, Matrix, Matrix) {
+    assert_eq!(mu.shape(), logvar.shape());
+    let batch = mu.rows().max(1) as f32;
+    let mut kl = 0.0;
+    for (&m, &lv) in mu.as_slice().iter().zip(logvar.as_slice()) {
+        kl += -0.5 * (1.0 + lv - m * m - lv.exp());
+    }
+    kl /= batch;
+    let dmu = mu.scale(1.0 / batch);
+    let dlogvar = logvar.map(|lv| -0.5 * (1.0 - lv.exp())).scale(1.0 / batch);
+    (kl, dmu, dlogvar)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_for_identical() {
+        let a = Matrix::row_vector(&[1.0, 2.0, 3.0]);
+        let (l, g) = mse(&a, &a);
+        assert_eq!(l, 0.0);
+        assert!(g.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn mse_matches_hand_computation() {
+        let p = Matrix::row_vector(&[1.0, 2.0]);
+        let t = Matrix::row_vector(&[0.0, 0.0]);
+        let (l, g) = mse(&p, &t);
+        assert!((l - 2.5).abs() < 1e-6); // (1 + 4) / 2
+        assert_eq!(g.as_slice(), &[1.0, 2.0]); // 2 * diff / 2
+    }
+
+    #[test]
+    fn mse_gradient_is_finite_difference() {
+        let mut p = Matrix::row_vector(&[0.3, -0.7, 1.2]);
+        let t = Matrix::row_vector(&[0.1, 0.1, 0.1]);
+        let (_, g) = mse(&p, &t);
+        let eps = 1e-3;
+        for i in 0..3 {
+            let orig = p.as_slice()[i];
+            p.as_mut_slice()[i] = orig + eps;
+            let (lp, _) = mse(&p, &t);
+            p.as_mut_slice()[i] = orig - eps;
+            let (lm, _) = mse(&p, &t);
+            p.as_mut_slice()[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!((numeric - g.as_slice()[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn per_sample_rmse_is_rowwise() {
+        let p = Matrix::from_vec(2, 2, vec![1.0, 1.0, 0.0, 0.0]);
+        let t = Matrix::from_vec(2, 2, vec![0.0, 0.0, 3.0, 4.0]);
+        let re = per_sample_rmse(&p, &t);
+        assert!((re[0] - 1.0).abs() < 1e-6);
+        assert!((re[1] - (12.5f32).sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kl_zero_for_standard_normal_params() {
+        let mu = Matrix::zeros(2, 3);
+        let logvar = Matrix::zeros(2, 3);
+        let (kl, dmu, dlv) = kl_standard_normal(&mu, &logvar);
+        assert!(kl.abs() < 1e-6);
+        assert!(dmu.as_slice().iter().all(|&v| v == 0.0));
+        assert!(dlv.as_slice().iter().all(|&v| v.abs() < 1e-6));
+    }
+
+    #[test]
+    fn kl_positive_away_from_prior() {
+        let mu = Matrix::row_vector(&[2.0]);
+        let logvar = Matrix::row_vector(&[1.0]);
+        let (kl, _, _) = kl_standard_normal(&mu, &logvar);
+        assert!(kl > 0.0);
+    }
+}

@@ -1,0 +1,384 @@
+//! Dense row-major matrix used throughout the network substrate.
+//!
+//! The networks in this workspace are small (tens of units per layer,
+//! thousands of samples), so a straightforward `Vec<f32>` backing store with
+//! cache-friendly row-major loops is both simple and fast enough; no BLAS is
+//! needed or wanted in an offline build.
+
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense `rows x cols` matrix of `f32` in row-major order.
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "buffer length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from a slice of equal-length rows.
+    ///
+    /// # Panics
+    /// Panics if rows have differing lengths.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            assert_eq!(r.len(), cols, "ragged rows: expected {cols}, got {}", r.len());
+            data.extend_from_slice(r);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// A 1 x n row vector.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Self::from_vec(1, values.len(), values.to_vec())
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// (rows, cols) pair, handy for assertions.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Borrow row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Borrow row `r` mutably.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul shape mismatch: {:?} * {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order keeps the inner loop streaming over contiguous rows.
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self^T * rhs` without materialising the transpose.
+    pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "t_matmul shape mismatch: {:?}^T * {:?}",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for r in 0..self.rows {
+            let a_row = self.row(r);
+            let b_row = rhs.row(r);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * rhs^T` without materialising the transpose.
+    pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_t shape mismatch: {:?} * {:?}^T",
+            self.shape(),
+            rhs.shape()
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..rhs.rows {
+                let b_row = rhs.row(j);
+                let mut acc = 0.0;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum; shapes must match.
+    pub fn add(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+
+    /// Element-wise difference; shapes must match.
+    pub fn sub(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product; shapes must match.
+    pub fn hadamard(&self, rhs: &Matrix) -> Matrix {
+        self.zip_with(rhs, |a, b| a * b)
+    }
+
+    /// Element-wise combination of two same-shape matrices.
+    pub fn zip_with(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "element-wise shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Applies `f` to every element, returning a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+
+    /// Multiplies every element by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|v| v * s)
+    }
+
+    /// Adds a 1 x cols row vector to every row (broadcast).
+    pub fn add_row_broadcast(&self, row: &Matrix) -> Matrix {
+        assert_eq!(row.rows, 1, "broadcast operand must be a row vector");
+        assert_eq!(row.cols, self.cols, "broadcast width mismatch");
+        let mut out = self.clone();
+        for r in 0..out.rows {
+            for (o, &b) in out.row_mut(r).iter_mut().zip(&row.data) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Sums the rows into a 1 x cols vector.
+    pub fn sum_rows(&self) -> Matrix {
+        let mut out = Matrix::zeros(1, self.cols);
+        for r in 0..self.rows {
+            for (o, &v) in out.data.iter_mut().zip(self.row(r)) {
+                *o += v;
+            }
+        }
+        out
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements; 0 for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|v| v * v).sum::<f32>().sqrt()
+    }
+
+    /// Copies the rows selected by `indices` into a new matrix.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            out.row_mut(dst).copy_from_slice(self.row(src));
+        }
+        out
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            writeln!(f, "  {:?}", self.row(r))?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  ... ({} more rows)", self.rows - 8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_matches_hand_computation() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), (2, 2));
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn t_matmul_equals_explicit_transpose() {
+        let a = Matrix::from_vec(3, 2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(3, 4, (0..12).map(|v| v as f32).collect());
+        assert_eq!(a.t_matmul(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn matmul_t_equals_explicit_transpose() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let b = Matrix::from_vec(4, 3, (0..12).map(|v| v as f32).collect());
+        assert_eq!(a.matmul_t(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn broadcast_adds_row_to_each_row() {
+        let a = Matrix::zeros(3, 2);
+        let b = Matrix::row_vector(&[1.0, 2.0]);
+        let c = a.add_row_broadcast(&b);
+        for r in 0..3 {
+            assert_eq!(c.row(r), &[1.0, 2.0]);
+        }
+    }
+
+    #[test]
+    fn sum_rows_accumulates_columns() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]);
+        assert_eq!(a.sum_rows().as_slice(), &[11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    fn select_rows_copies_in_order() {
+        let a = Matrix::from_vec(3, 2, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = a.select_rows(&[2, 0]);
+        assert_eq!(s.as_slice(), &[4.0, 5.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn from_rows_builds_row_major() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m[(0, 1)], 2.0);
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(Matrix::zeros(0, 0).mean(), 0.0);
+    }
+}

@@ -1,0 +1,275 @@
+//! Sequential network container and a mini-batch training loop.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::layer::Layer;
+use crate::loss::mse;
+use crate::matrix::Matrix;
+use crate::optim::Optimizer;
+
+/// A feed-forward stack of layers trained end to end.
+pub struct Network {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+/// Configuration for [`Network::fit`].
+#[derive(Clone, Debug)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    /// Stop early when the epoch loss improves by less than this between
+    /// epochs; `0.0` disables early stopping.
+    pub tol: f32,
+    /// Print nothing; kept for parity with typical trainers.
+    pub shuffle: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 60, batch_size: 32, tol: 1e-6, shuffle: true }
+    }
+}
+
+impl Network {
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Self { layers }
+    }
+
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Total trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.param_count()).sum()
+    }
+
+    /// Forward pass through all layers (caches activations for backward).
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x);
+        }
+        x
+    }
+
+    /// Backward pass; returns the gradient w.r.t. the network input.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    pub fn zero_grads(&mut self) {
+        for layer in &mut self.layers {
+            layer.zero_grads();
+        }
+    }
+
+    /// One optimizer step over every layer's parameters.
+    pub fn apply_grads(&mut self, optimizer: &mut dyn Optimizer) {
+        let mut pairs: Vec<(&mut [f32], &mut [f32])> = Vec::new();
+        for layer in &mut self.layers {
+            pairs.extend(layer.params_and_grads());
+        }
+        optimizer.step(&mut pairs);
+    }
+
+    /// Trains the network to regress `targets` from `inputs` under MSE.
+    ///
+    /// Returns the per-epoch mean losses. For autoencoders pass
+    /// `targets = inputs`.
+    pub fn fit(
+        &mut self,
+        inputs: &Matrix,
+        targets: &Matrix,
+        optimizer: &mut dyn Optimizer,
+        cfg: &TrainConfig,
+        rng: &mut impl Rng,
+    ) -> Vec<f32> {
+        assert_eq!(inputs.rows(), targets.rows(), "inputs/targets row mismatch");
+        assert!(inputs.rows() > 0, "cannot train on an empty dataset");
+        assert!(cfg.batch_size > 0, "batch size must be positive");
+        let n = inputs.rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut history = Vec::with_capacity(cfg.epochs);
+        let mut prev_loss = f32::INFINITY;
+        for _ in 0..cfg.epochs {
+            if cfg.shuffle {
+                order.shuffle(rng);
+            }
+            let mut epoch_loss = 0.0;
+            let mut batches = 0usize;
+            for chunk in order.chunks(cfg.batch_size) {
+                let x = inputs.select_rows(chunk);
+                let y = targets.select_rows(chunk);
+                let pred = self.forward(&x);
+                let (loss, grad) = mse(&pred, &y);
+                self.zero_grads();
+                self.backward(&grad);
+                self.apply_grads(optimizer);
+                epoch_loss += loss;
+                batches += 1;
+            }
+            epoch_loss /= batches.max(1) as f32;
+            history.push(epoch_loss);
+            if cfg.tol > 0.0 && (prev_loss - epoch_loss).abs() < cfg.tol {
+                break;
+            }
+            prev_loss = epoch_loss;
+        }
+        history
+    }
+
+    /// Inference without mutating training caches semantics (forward still
+    /// caches, but that is harmless between calls).
+    pub fn predict(&mut self, input: &Matrix) -> Matrix {
+        self.forward(input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::{Activation, ActivationLayer, Dense};
+    use crate::optim::Adam;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn xor_data() -> (Matrix, Matrix) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.0, 1.0],
+            vec![1.0, 0.0],
+            vec![1.0, 1.0],
+        ]);
+        let y = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![0.0]]);
+        (x, y)
+    }
+
+    #[test]
+    fn learns_xor() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Network::new(vec![
+            Box::new(Dense::new(2, 8, &mut rng)),
+            Box::new(ActivationLayer::new(Activation::Tanh)),
+            Box::new(Dense::new(8, 1, &mut rng)),
+            Box::new(ActivationLayer::new(Activation::Sigmoid)),
+        ]);
+        let (x, y) = xor_data();
+        let mut opt = Adam::new(0.05);
+        let cfg = TrainConfig { epochs: 500, batch_size: 4, tol: 0.0, shuffle: true };
+        let hist = net.fit(&x, &y, &mut opt, &cfg, &mut rng);
+        assert!(hist.last().unwrap() < &0.05, "final loss {:?}", hist.last());
+        let pred = net.predict(&x);
+        for (i, want) in [0.0f32, 1.0, 1.0, 0.0].iter().enumerate() {
+            assert!(
+                (pred[(i, 0)] - want).abs() < 0.35,
+                "sample {i}: got {} want {want}",
+                pred[(i, 0)]
+            );
+        }
+    }
+
+    #[test]
+    fn loss_decreases_during_training() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut net = Network::new(vec![
+            Box::new(Dense::new(3, 5, &mut rng)),
+            Box::new(ActivationLayer::new(Activation::Relu)),
+            Box::new(Dense::new(5, 3, &mut rng)),
+        ]);
+        // Identity-reconstruction task.
+        let mut x = Matrix::zeros(64, 3);
+        for v in x.as_mut_slice() {
+            *v = rng.gen_range(0.0..1.0);
+        }
+        let mut opt = Adam::new(0.01);
+        let cfg = TrainConfig { epochs: 40, batch_size: 16, tol: 0.0, shuffle: true };
+        let hist = net.fit(&x.clone(), &x, &mut opt, &cfg, &mut rng);
+        assert!(hist.last().unwrap() < &hist[0], "loss should decrease: {hist:?}");
+    }
+
+    #[test]
+    fn early_stopping_truncates_history() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Network::new(vec![Box::new(Dense::new(2, 2, &mut rng))]);
+        let x = Matrix::zeros(8, 2); // all-zero task converges instantly
+        let mut opt = Adam::new(0.01);
+        let cfg = TrainConfig { epochs: 100, batch_size: 8, tol: 1e-9, shuffle: false };
+        let hist = net.fit(&x.clone(), &x, &mut opt, &cfg, &mut rng);
+        assert!(hist.len() < 100, "expected early stop, ran {} epochs", hist.len());
+    }
+
+    #[test]
+    fn param_count_sums_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let net = Network::new(vec![
+            Box::new(Dense::new(4, 3, &mut rng)),
+            Box::new(ActivationLayer::new(Activation::Relu)),
+            Box::new(Dense::new(3, 2, &mut rng)),
+        ]);
+        assert_eq!(net.param_count(), (4 * 3 + 3) + (3 * 2 + 2));
+    }
+
+    /// End-to-end gradient check through a two-layer network.
+    #[test]
+    fn network_gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut net = Network::new(vec![
+            Box::new(Dense::new(3, 4, &mut rng)),
+            Box::new(ActivationLayer::new(Activation::Tanh)),
+            Box::new(Dense::new(4, 2, &mut rng)),
+        ]);
+        let mut x = Matrix::zeros(5, 3);
+        for v in x.as_mut_slice() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let mut y = Matrix::zeros(5, 2);
+        for v in y.as_mut_slice() {
+            *v = rng.gen_range(-1.0..1.0);
+        }
+        let pred = net.forward(&x);
+        let (_, grad) = mse(&pred, &y);
+        net.zero_grads();
+        net.backward(&grad);
+
+        // Gather analytic gradients, then perturb a few parameters.
+        let analytic: Vec<Vec<f32>> = {
+            let mut pairs: Vec<(&mut [f32], &mut [f32])> = Vec::new();
+            for layer in &mut net.layers {
+                pairs.extend(layer.params_and_grads());
+            }
+            pairs.iter().map(|(_, g)| g.to_vec()).collect()
+        };
+        let eps = 1e-2f32;
+        for tensor in 0..analytic.len() {
+            for idx in [0usize] {
+                if analytic[tensor].len() <= idx {
+                    continue;
+                }
+                let perturb = |net: &mut Network, delta: f32| {
+                    let mut pairs: Vec<(&mut [f32], &mut [f32])> = Vec::new();
+                    for layer in &mut net.layers {
+                        pairs.extend(layer.params_and_grads());
+                    }
+                    pairs[tensor].0[idx] += delta;
+                };
+                perturb(&mut net, eps);
+                let (lp, _) = mse(&net.forward(&x), &y);
+                perturb(&mut net, -2.0 * eps);
+                let (lm, _) = mse(&net.forward(&x), &y);
+                perturb(&mut net, eps);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let a = analytic[tensor][idx];
+                assert!(
+                    (numeric - a).abs() < 5e-2 * (1.0 + numeric.abs()),
+                    "tensor {tensor} idx {idx}: numeric {numeric} vs analytic {a}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Feature scaling fitted on training data and applied everywhere else.
+//!
+//! All models in the workspace (autoencoders, kNN, PCA, …) operate on
+//! min-max-scaled features, mirroring the preprocessing in HorusEye /
+//! Magnifier. The scaler is fitted **only** on the benign training split —
+//! fitting on test data would leak information.
+
+use crate::matrix::Matrix;
+
+/// Min-max scaler mapping each feature to [0, 1] based on training extrema.
+///
+/// Values outside the training range are clamped by default, matching what a
+/// switch pipeline does when a feature saturates its register width.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MinMaxScaler {
+    mins: Vec<f32>,
+    maxs: Vec<f32>,
+    clamp: bool,
+}
+
+impl MinMaxScaler {
+    /// Fits on the rows of `train`.
+    ///
+    /// # Panics
+    /// Panics on an empty training matrix.
+    pub fn fit(train: &Matrix) -> Self {
+        assert!(train.rows() > 0, "cannot fit scaler on empty data");
+        let cols = train.cols();
+        let mut mins = vec![f32::INFINITY; cols];
+        let mut maxs = vec![f32::NEG_INFINITY; cols];
+        for r in 0..train.rows() {
+            for (c, &v) in train.row(r).iter().enumerate() {
+                mins[c] = mins[c].min(v);
+                maxs[c] = maxs[c].max(v);
+            }
+        }
+        Self { mins, maxs, clamp: true }
+    }
+
+    /// Disables clamping of out-of-range values (used when downstream code
+    /// needs the raw linear extrapolation).
+    pub fn without_clamp(mut self) -> Self {
+        self.clamp = false;
+        self
+    }
+
+    pub fn dims(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// Scales one value of feature `c`.
+    pub fn transform_value(&self, c: usize, v: f32) -> f32 {
+        let (lo, hi) = (self.mins[c], self.maxs[c]);
+        let span = hi - lo;
+        let scaled = if span > 0.0 { (v - lo) / span } else { 0.0 };
+        if self.clamp {
+            scaled.clamp(0.0, 1.0)
+        } else {
+            scaled
+        }
+    }
+
+    /// Inverse of [`Self::transform_value`] (ignores clamping).
+    pub fn inverse_value(&self, c: usize, v: f32) -> f32 {
+        let (lo, hi) = (self.mins[c], self.maxs[c]);
+        lo + v * (hi - lo)
+    }
+
+    /// Scales every row of `data`.
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.dims(), "scaler width mismatch");
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = {
+                    let (lo, hi) = (self.mins[c], self.maxs[c]);
+                    let span = hi - lo;
+                    let scaled = if span > 0.0 { (*v - lo) / span } else { 0.0 };
+                    if self.clamp {
+                        scaled.clamp(0.0, 1.0)
+                    } else {
+                        scaled
+                    }
+                };
+            }
+        }
+        out
+    }
+
+    /// Scales a single feature vector.
+    pub fn transform_row(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.dims(), "scaler width mismatch");
+        row.iter().enumerate().map(|(c, &v)| self.transform_value(c, v)).collect()
+    }
+
+    /// Training minimum per feature.
+    pub fn mins(&self) -> &[f32] {
+        &self.mins
+    }
+
+    /// Training maximum per feature.
+    pub fn maxs(&self) -> &[f32] {
+        &self.maxs
+    }
+}
+
+/// Standardising scaler: `(x - mean) / std` per feature.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StandardScaler {
+    means: Vec<f32>,
+    stds: Vec<f32>,
+}
+
+impl StandardScaler {
+    pub fn fit(train: &Matrix) -> Self {
+        assert!(train.rows() > 0, "cannot fit scaler on empty data");
+        let n = train.rows() as f64;
+        let cols = train.cols();
+        let mut means = vec![0.0f64; cols];
+        for r in 0..train.rows() {
+            for (c, &v) in train.row(r).iter().enumerate() {
+                means[c] += v as f64;
+            }
+        }
+        for m in &mut means {
+            *m /= n;
+        }
+        let mut vars = vec![0.0f64; cols];
+        for r in 0..train.rows() {
+            for (c, &v) in train.row(r).iter().enumerate() {
+                let d = v as f64 - means[c];
+                vars[c] += d * d;
+            }
+        }
+        let stds = vars
+            .iter()
+            .map(|&v| {
+                let s = (v / n).sqrt();
+                if s > 0.0 {
+                    s as f32
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Self { means: means.into_iter().map(|m| m as f32).collect(), stds }
+    }
+
+    pub fn transform(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.means.len(), "scaler width mismatch");
+        let mut out = data.clone();
+        for r in 0..out.rows() {
+            for (c, v) in out.row_mut(r).iter_mut().enumerate() {
+                *v = (*v - self.means[c]) / self.stds[c];
+            }
+        }
+        out
+    }
+
+    pub fn means(&self) -> &[f32] {
+        &self.means
+    }
+
+    pub fn stds(&self) -> &[f32] {
+        &self.stds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minmax_maps_train_to_unit_interval() {
+        let train = Matrix::from_rows(&[vec![0.0, 10.0], vec![5.0, 20.0], vec![10.0, 30.0]]);
+        let scaler = MinMaxScaler::fit(&train);
+        let t = scaler.transform(&train);
+        assert_eq!(t.row(0), &[0.0, 0.0]);
+        assert_eq!(t.row(2), &[1.0, 1.0]);
+        assert_eq!(t.row(1), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn minmax_clamps_out_of_range() {
+        let train = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let scaler = MinMaxScaler::fit(&train);
+        let test = Matrix::from_rows(&[vec![-5.0], vec![7.0]]);
+        let t = scaler.transform(&test);
+        assert_eq!(t.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn minmax_without_clamp_extrapolates() {
+        let train = Matrix::from_rows(&[vec![0.0], vec![2.0]]);
+        let scaler = MinMaxScaler::fit(&train).without_clamp();
+        let t = scaler.transform(&Matrix::from_rows(&[vec![4.0]]));
+        assert_eq!(t.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn minmax_constant_feature_maps_to_zero() {
+        let train = Matrix::from_rows(&[vec![7.0], vec![7.0]]);
+        let scaler = MinMaxScaler::fit(&train);
+        let t = scaler.transform(&train);
+        assert!(t.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn minmax_inverse_roundtrips() {
+        let train = Matrix::from_rows(&[vec![2.0, -1.0], vec![8.0, 3.0]]);
+        let scaler = MinMaxScaler::fit(&train);
+        for (c, &v) in [5.0f32, 1.0].iter().enumerate() {
+            let s = scaler.transform_value(c, v);
+            assert!((scaler.inverse_value(c, s) - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn standard_scaler_zero_mean_unit_var() {
+        let train = Matrix::from_rows(&[vec![1.0], vec![3.0], vec![5.0]]);
+        let scaler = StandardScaler::fit(&train);
+        let t = scaler.transform(&train);
+        let mean: f32 = t.as_slice().iter().sum::<f32>() / 3.0;
+        assert!(mean.abs() < 1e-6);
+        let var: f32 = t.as_slice().iter().map(|v| v * v).sum::<f32>() / 3.0;
+        assert!((var - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn standard_scaler_constant_feature_safe() {
+        let train = Matrix::from_rows(&[vec![4.0], vec![4.0]]);
+        let scaler = StandardScaler::fit(&train);
+        let t = scaler.transform(&train);
+        assert!(t.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,36 @@
+//! # iguard-switch — software emulation of the Tofino data plane
+//!
+//! The paper deploys iGuard on an Edgecore 32X (Tofino 1). This crate
+//! emulates the parts of that deployment the evaluation measures:
+//!
+//! * [`tcam`] — ternary match tables: range→ternary prefix expansion per
+//!   field, entry counting, and longest-priority matching — the mechanism
+//!   whitelist rules are installed with and the source of Table 1's TCAM
+//!   numbers.
+//! * [`resources`] — a Tofino-1-like resource model (TCAM/SRAM blocks,
+//!   stateful ALUs, VLIW actions, pipeline stages) that converts an
+//!   installed iGuard configuration into the utilisation percentages of
+//!   Table 1 and the memory fraction ρ of the §4.2.1 reward.
+//! * [`pipeline`] — the per-packet match-action pipeline of Fig. 4 with
+//!   all six execution paths (blacklist, early/brown, threshold/blue,
+//!   collision/orange, early-decision/purple, loopback/green), digest
+//!   emission, and loopback mirroring.
+//! * [`controller`] — the control plane: consumes digests, installs
+//!   blacklist rules (FIFO or LRU eviction), clears flow storage, and
+//!   accounts control-plane bandwidth (App. B.2).
+//! * [`replay`] — trace replay through the pipeline with cycle-accounting
+//!   to estimate throughput and per-packet latency (App. B.1), including a
+//!   HorusEye-style control-plane detour model for comparison.
+
+#![forbid(unsafe_code)]
+
+pub mod controller;
+pub mod pipeline;
+pub mod replay;
+pub mod resources;
+pub mod tcam;
+
+pub use controller::{Controller, ControllerConfig, EvictionPolicy};
+pub use pipeline::{PacketVerdict, Pipeline, PipelineConfig, PathTaken};
+pub use resources::{ResourceModel, ResourceUsage};
+pub use tcam::{RangeEntry, RangeTable, TcamTable, TernaryEntry};

@@ -1,0 +1,204 @@
+//! A Tofino-1-like resource model (paper Table 1 and the ρ of §4.2.1).
+//!
+//! The numbers below are public-knowledge approximations of a Tofino 1
+//! pipeline — enough structure to convert an installed iGuard deployment
+//! into utilisation percentages whose *relationships* (iGuard ≤ baseline,
+//! TCAM dominated by rule count, SRAM by flow-table sizing) match the
+//! paper. Absolute percentages depend on these constants and are not
+//! claimed to match the proprietary hardware exactly.
+
+use serde::{Deserialize, Serialize};
+
+use iguard_flow::table::FlowTableConfig;
+
+use crate::tcam::RangeTable;
+
+/// Pipeline stages in the ingress pipe.
+pub const STAGES: usize = 12;
+/// TCAM blocks per stage.
+pub const TCAM_BLOCKS_PER_STAGE: usize = 24;
+/// Entries per TCAM block.
+pub const TCAM_ENTRIES_PER_BLOCK: usize = 512;
+/// Bits matched per TCAM block slice.
+pub const TCAM_SLICE_BITS: usize = 44;
+/// SRAM blocks per stage.
+pub const SRAM_BLOCKS_PER_STAGE: usize = 80;
+/// Bytes per SRAM block (1024 × 128-bit words).
+pub const SRAM_BLOCK_BYTES: usize = 1024 * 16;
+/// Stateful ALUs per stage.
+pub const SALUS_PER_STAGE: usize = 4;
+/// VLIW action slots per stage.
+pub const VLIW_PER_STAGE: usize = 32;
+
+/// Per-resource utilisation fractions, as reported in Table 1.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    pub tcam: f64,
+    pub sram: f64,
+    pub salu: f64,
+    pub vliw: f64,
+    pub stages: usize,
+}
+
+impl ResourceUsage {
+    /// The memory fraction ρ fed into the §4.2.1 reward: the mean of the
+    /// four utilisation fractions.
+    pub fn rho(&self) -> f64 {
+        ((self.tcam + self.sram + self.salu + self.vliw) / 4.0).clamp(0.0, 1.0)
+    }
+}
+
+/// Describes a full deployment for resource accounting.
+#[derive(Clone, Debug)]
+pub struct ResourceModel {
+    /// Flow-level whitelist table (13 features).
+    pub fl_tcam_entries: usize,
+    pub fl_key_bits: u32,
+    /// Packet-level whitelist table (4 features).
+    pub pl_tcam_entries: usize,
+    pub pl_key_bits: u32,
+    /// Blacklist exact-match capacity provisioned.
+    pub blacklist_capacity: usize,
+    /// Flow table configuration (register storage).
+    pub flow_table: FlowTableConfig,
+    /// Stateful quantities maintained per flow (one sALU-backed register
+    /// array each): counters, min/max, sums of squares, timestamps, …
+    pub stateful_registers: usize,
+    /// Distinct actions in the pipeline (VLIW slots).
+    pub actions: usize,
+}
+
+impl ResourceModel {
+    /// Builds a model from the two installed whitelist tables and the
+    /// stateful-storage configuration.
+    pub fn for_deployment(
+        fl_table: &RangeTable,
+        pl_table: &RangeTable,
+        flow_table: FlowTableConfig,
+        blacklist_capacity: usize,
+    ) -> Self {
+        Self {
+            fl_tcam_entries: fl_table.len(),
+            fl_key_bits: fl_table.encoded_key_bits(),
+            pl_tcam_entries: pl_table.len(),
+            pl_key_bits: pl_table.encoded_key_bits(),
+            blacklist_capacity,
+            flow_table,
+            // pkt count, byte count, min/max size, size sum & sum-of-squares,
+            // last ts, first ts, ipd min/max, ipd sum & sum-of-squares,
+            // flow label, flow id — the Fig. 4 register arrays.
+            stateful_registers: 14,
+            // parse, blacklist, 6 path actions, feature math, mirror,
+            // digest, forward/drop.
+            actions: 24,
+        }
+    }
+
+    /// Evaluates utilisation against the Tofino-1-like budget.
+    pub fn usage(&self) -> ResourceUsage {
+        // TCAM: each entry consumes ceil(key_bits / 44) block slices.
+        let fl_slices = (self.fl_key_bits as usize).div_ceil(TCAM_SLICE_BITS);
+        let pl_slices = (self.pl_key_bits as usize).div_ceil(TCAM_SLICE_BITS);
+        let tcam_used = self.fl_tcam_entries * fl_slices + self.pl_tcam_entries * pl_slices;
+        let tcam_total = STAGES * TCAM_BLOCKS_PER_STAGE * TCAM_ENTRIES_PER_BLOCK;
+
+        // SRAM: two hash tables of per-flow state (~64 B per slot: 13 B key,
+        // feature accumulators, label) + blacklist exact-match entries
+        // (16 B each) + action/overhead share.
+        let slot_bytes = 64usize;
+        let sram_used = 2 * self.flow_table.slots_per_table * slot_bytes
+            + self.blacklist_capacity * 16;
+        let sram_total = STAGES * SRAM_BLOCKS_PER_STAGE * SRAM_BLOCK_BYTES;
+
+        let salu_total = STAGES * SALUS_PER_STAGE;
+        let vliw_total = STAGES * VLIW_PER_STAGE;
+
+        ResourceUsage {
+            tcam: tcam_used as f64 / tcam_total as f64,
+            sram: sram_used as f64 / sram_total as f64,
+            salu: self.stateful_registers as f64 * 0.67 / salu_total as f64,
+            vliw: self.actions as f64 / vliw_total as f64,
+            stages: STAGES,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tcam::{FieldSpec, RangeEntry, RangeTable};
+
+    fn table_with(entries: usize, fields: Vec<u8>) -> RangeTable {
+        let mut t = RangeTable::new(fields.clone());
+        for i in 0..entries {
+            t.push(RangeEntry {
+                fields: fields.iter().map(|_| (i as u32, i as u32)).collect(),
+                priority: i as u32,
+            });
+        }
+        t
+    }
+
+    fn spec_bits() -> Vec<u8> {
+        let _ = FieldSpec::new(16, 1.0);
+        vec![16; 13]
+    }
+
+    #[test]
+    fn more_rules_means_more_tcam() {
+        let small = table_with(100, spec_bits());
+        let large = table_with(400, spec_bits());
+        let pl = table_with(50, vec![16, 8, 16, 8]);
+        let cfg = FlowTableConfig::default();
+        let u_small = ResourceModel::for_deployment(&small, &pl, cfg, 1024).usage();
+        let u_large = ResourceModel::for_deployment(&large, &pl, cfg, 1024).usage();
+        assert!(u_large.tcam > u_small.tcam);
+        // Non-TCAM resources are rule-count independent.
+        assert_eq!(u_large.sram, u_small.sram);
+        assert_eq!(u_large.salu, u_small.salu);
+        assert_eq!(u_large.vliw, u_small.vliw);
+    }
+
+    #[test]
+    fn key_width_multiplies_slices() {
+        // 13 × 16-bit fields = 208 bits = 5 slices of 44 bits.
+        let t = table_with(100, spec_bits());
+        assert_eq!(t.encoded_key_bits(), 416);
+        let pl = table_with(0, vec![16, 8, 16, 8]);
+        let u = ResourceModel::for_deployment(&t, &pl, FlowTableConfig::default(), 0).usage();
+        let expected = 100.0 * 10.0 / (12.0 * 24.0 * 512.0);
+        assert!((u.tcam - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_flow_table_means_more_sram() {
+        let t = table_with(10, spec_bits());
+        let pl = table_with(5, vec![16, 8, 16, 8]);
+        let small = FlowTableConfig { slots_per_table: 1024, ..Default::default() };
+        let large = FlowTableConfig { slots_per_table: 65536, ..Default::default() };
+        let u1 = ResourceModel::for_deployment(&t, &pl, small, 1024).usage();
+        let u2 = ResourceModel::for_deployment(&t, &pl, large, 1024).usage();
+        assert!(u2.sram > u1.sram);
+    }
+
+    #[test]
+    fn rho_is_mean_of_fractions() {
+        let u = ResourceUsage { tcam: 0.2, sram: 0.1, salu: 0.3, vliw: 0.0, stages: 12 };
+        assert!((u.rho() - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn usage_fractions_reasonable_for_paper_scale() {
+        // A deployment in the ballpark of Table 1 should land at a few
+        // tens of percent at most, not saturate.
+        let fl = table_with(3000, spec_bits());
+        let pl = table_with(500, vec![16, 8, 16, 8]);
+        let cfg = FlowTableConfig { slots_per_table: 32768, ..Default::default() };
+        let u = ResourceModel::for_deployment(&fl, &pl, cfg, 4096).usage();
+        assert!(u.tcam > 0.01 && u.tcam < 0.5, "tcam {}", u.tcam);
+        assert!(u.sram > 0.01 && u.sram < 0.5, "sram {}", u.sram);
+        assert!(u.salu > 0.0 && u.salu < 0.5, "salu {}", u.salu);
+        assert!(u.vliw > 0.0 && u.vliw < 0.5, "vliw {}", u.vliw);
+        assert_eq!(u.stages, 12);
+    }
+}

@@ -1,0 +1,370 @@
+//! Ternary match tables, native range matching, and range→ternary
+//! expansion.
+//!
+//! Whitelist rules are conjunctions of per-field ranges. Two cost models
+//! exist on real hardware:
+//!
+//! * **Prefix expansion** ([`range_to_prefixes`]): a range becomes up to
+//!   `2w − 2` ternary prefixes, and a multi-field rule would need the
+//!   *product* of its fields' prefix counts — prohibitive beyond a couple
+//!   of range fields.
+//! * **Native range match** ([`RangeTable`]): Tofino's TCAM implements
+//!   range matching directly with 4-bit DirtCAM slices at roughly twice
+//!   the bit cost of an exact field, keeping **one entry per rule**. This
+//!   is how 13-range-field whitelist rules are actually installable, and
+//!   it is the cost model the resource accounting (paper Table 1) uses.
+
+use serde::{Deserialize, Serialize};
+
+use iguard_core::rules::RuleSet;
+
+/// Fixed-point encoding of one feature into a TCAM field.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct FieldSpec {
+    /// Field width in bits (≤ 32).
+    pub bits: u8,
+    /// Multiplier applied to the f32 feature before rounding to integer
+    /// (e.g. 1000 to carry milliseconds in an integer field).
+    pub scale: f32,
+}
+
+impl FieldSpec {
+    pub fn new(bits: u8, scale: f32) -> Self {
+        assert!(bits >= 1 && bits <= 32, "field width must be 1..=32 bits");
+        assert!(scale > 0.0, "scale must be positive");
+        Self { bits, scale }
+    }
+
+    /// Largest representable field value.
+    pub fn max_value(&self) -> u32 {
+        if self.bits == 32 {
+            u32::MAX
+        } else {
+            (1u32 << self.bits) - 1
+        }
+    }
+
+    /// Quantises a feature value, saturating at the field width.
+    pub fn quantize(&self, v: f32) -> u32 {
+        if !v.is_finite() {
+            return if v > 0.0 { self.max_value() } else { 0 };
+        }
+        let scaled = (v * self.scale).round();
+        if scaled <= 0.0 {
+            0
+        } else if scaled >= self.max_value() as f32 {
+            self.max_value()
+        } else {
+            scaled as u32
+        }
+    }
+}
+
+/// One ternary entry: per-field (value, mask) pairs. A key matches when
+/// `key & mask == value & mask` for every field.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TernaryEntry {
+    pub fields: Vec<(u32, u32)>,
+    /// Lower number = higher priority.
+    pub priority: u32,
+}
+
+impl TernaryEntry {
+    pub fn matches(&self, key: &[u32]) -> bool {
+        debug_assert_eq!(key.len(), self.fields.len());
+        self.fields
+            .iter()
+            .zip(key)
+            .all(|(&(v, m), &k)| k & m == v & m)
+    }
+}
+
+/// Expands the inclusive integer range `[lo, hi]` within a `width`-bit
+/// field into minimal covering prefixes `(value, mask)`.
+pub fn range_to_prefixes(lo: u32, hi: u32, width: u8) -> Vec<(u32, u32)> {
+    assert!(width >= 1 && width <= 32);
+    let field_max = if width == 32 { u32::MAX } else { (1u32 << width) - 1 };
+    assert!(lo <= hi, "empty range");
+    assert!(hi <= field_max, "range exceeds field width");
+    let mut out = Vec::new();
+    let mut lo = lo as u64;
+    let hi = hi as u64;
+    while lo <= hi {
+        // The largest power-of-two block starting at `lo` that stays ≤ hi.
+        let max_align = if lo == 0 { width as u32 } else { lo.trailing_zeros() };
+        let mut block_bits = max_align.min(width as u32);
+        while block_bits > 0 && lo + (1u64 << block_bits) - 1 > hi {
+            block_bits -= 1;
+        }
+        let mask = if block_bits >= 32 {
+            0
+        } else {
+            (!((1u64 << block_bits) - 1)) as u32 & field_max
+        };
+        out.push((lo as u32, mask));
+        lo += 1u64 << block_bits;
+    }
+    out
+}
+
+/// A ternary table with first-match-by-priority semantics.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TcamTable {
+    entries: Vec<TernaryEntry>,
+    /// Bit width per field (for documentation / slice accounting).
+    pub field_bits: Vec<u8>,
+}
+
+impl TcamTable {
+    pub fn new(field_bits: Vec<u8>) -> Self {
+        Self { entries: Vec::new(), field_bits }
+    }
+
+    pub fn push(&mut self, entry: TernaryEntry) {
+        debug_assert_eq!(entry.fields.len(), self.field_bits.len());
+        self.entries.push(entry);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest-priority (lowest number) matching entry, if any.
+    pub fn lookup(&self, key: &[u32]) -> Option<&TernaryEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.matches(key))
+            .min_by_key(|e| e.priority)
+    }
+
+    /// Sum of field widths — the key width a physical TCAM must slice.
+    pub fn key_bits(&self) -> u32 {
+        self.field_bits.iter().map(|&b| b as u32).sum()
+    }
+}
+
+/// One native-range entry: inclusive `[lo, hi]` per field.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeEntry {
+    pub fields: Vec<(u32, u32)>,
+    /// Lower number = higher priority.
+    pub priority: u32,
+}
+
+impl RangeEntry {
+    pub fn matches(&self, key: &[u32]) -> bool {
+        debug_assert_eq!(key.len(), self.fields.len());
+        self.fields.iter().zip(key).all(|(&(lo, hi), &k)| (lo..=hi).contains(&k))
+    }
+}
+
+/// A TCAM programmed with native range matching (DirtCAM slices): one
+/// entry per rule, regardless of how many fields carry ranges.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RangeTable {
+    entries: Vec<RangeEntry>,
+    /// Bit width per field.
+    pub field_bits: Vec<u8>,
+}
+
+impl RangeTable {
+    pub fn new(field_bits: Vec<u8>) -> Self {
+        Self { entries: Vec::new(), field_bits }
+    }
+
+    pub fn push(&mut self, entry: RangeEntry) {
+        debug_assert_eq!(entry.fields.len(), self.field_bits.len());
+        self.entries.push(entry);
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Highest-priority matching entry, if any.
+    pub fn lookup(&self, key: &[u32]) -> Option<&RangeEntry> {
+        self.entries
+            .iter()
+            .filter(|e| e.matches(key))
+            .min_by_key(|e| e.priority)
+    }
+
+    /// Key width after range encoding: DirtCAM range matching costs about
+    /// twice the bits of an exact match (each 4-bit nibble needs a 16-bit
+    /// one-hot slice arrangement; 2x is the conventional estimate).
+    pub fn encoded_key_bits(&self) -> u32 {
+        self.field_bits.iter().map(|&b| 2 * b as u32).sum()
+    }
+}
+
+/// Compiles a whitelist [`RuleSet`] into a native-range TCAM table: one
+/// entry per hypercube. Infinite bounds saturate at the field domain
+/// edges; half-open `[lo, hi)` feature boxes become inclusive integer
+/// ranges `[q(lo), q(hi) − 1]` (or the full top of the domain when `hi`
+/// saturates).
+pub fn compile_ruleset(rules: &RuleSet, specs: &[FieldSpec]) -> RangeTable {
+    assert_eq!(rules.bounds.len(), specs.len(), "one FieldSpec per feature");
+    let mut table = RangeTable::new(specs.iter().map(|s| s.bits).collect());
+    for (prio, cube) in rules.whitelist.iter().enumerate() {
+        let fields: Vec<(u32, u32)> = cube
+            .lo
+            .iter()
+            .zip(&cube.hi)
+            .zip(specs)
+            .map(|((&lo, &hi), spec)| {
+                let qlo = spec.quantize(lo);
+                let qhi_raw = spec.quantize(hi);
+                let saturated =
+                    hi.is_infinite() || hi * spec.scale >= spec.max_value() as f32;
+                let qhi = if saturated {
+                    spec.max_value()
+                } else if qhi_raw > qlo {
+                    qhi_raw - 1
+                } else {
+                    qlo
+                };
+                (qlo, qhi)
+            })
+            .collect();
+        table.push(RangeEntry { fields, priority: prio as u32 });
+    }
+    table
+}
+
+/// Quantises a feature vector into a TCAM lookup key.
+pub fn quantize_key(x: &[f32], specs: &[FieldSpec]) -> Vec<u32> {
+    assert_eq!(x.len(), specs.len());
+    x.iter().zip(specs).map(|(&v, s)| s.quantize(v)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_exactly(prefixes: &[(u32, u32)], lo: u32, hi: u32, width: u8) {
+        let max = if width == 32 { u32::MAX } else { (1 << width) - 1 };
+        let upper = max.min(hi.saturating_add(4));
+        for v in lo.saturating_sub(4)..=upper {
+            let matched = prefixes.iter().any(|&(val, mask)| v & mask == val & mask);
+            assert_eq!(matched, (lo..=hi).contains(&v), "value {v} in [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn full_range_is_one_entry() {
+        let p = range_to_prefixes(0, 255, 8);
+        assert_eq!(p, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn exact_value_is_full_mask() {
+        let p = range_to_prefixes(7, 7, 8);
+        assert_eq!(p, vec![(7, 0xFF)]);
+    }
+
+    #[test]
+    fn classic_worst_case_range() {
+        // [1, 14] in 4 bits: the textbook 6-entry expansion (2w − 2).
+        let p = range_to_prefixes(1, 14, 4);
+        assert_eq!(p.len(), 6);
+        covers_exactly(&p, 1, 14, 4);
+    }
+
+    #[test]
+    fn random_ranges_cover_exactly() {
+        for &(lo, hi) in &[(0u32, 10u32), (3, 200), (100, 100), (5, 255), (37, 141)] {
+            let p = range_to_prefixes(lo, hi, 8);
+            covers_exactly(&p, lo, hi, 8);
+        }
+    }
+
+    #[test]
+    fn wide_field_range() {
+        let p = range_to_prefixes(1000, 70000, 32);
+        let hit = |val: u32| p.iter().any(|&(v, m)| val & m == v & m);
+        assert!(!hit(999));
+        assert!((1000..=1100).all(hit)); // spot-check the low end
+        assert!(hit(65000));
+        assert!(hit(70000));
+        assert!(!hit(70001));
+    }
+
+    #[test]
+    fn quantize_saturates() {
+        let spec = FieldSpec::new(8, 1.0);
+        assert_eq!(spec.quantize(-5.0), 0);
+        assert_eq!(spec.quantize(300.0), 255);
+        assert_eq!(spec.quantize(42.4), 42);
+        assert_eq!(spec.quantize(f32::INFINITY), 255);
+        assert_eq!(spec.quantize(f32::NEG_INFINITY), 0);
+    }
+
+    #[test]
+    fn quantize_applies_scale() {
+        let spec = FieldSpec::new(16, 1000.0);
+        assert_eq!(spec.quantize(1.5), 1500);
+    }
+
+    #[test]
+    fn table_priority_order() {
+        let mut t = TcamTable::new(vec![8]);
+        t.push(TernaryEntry { fields: vec![(0, 0)], priority: 5 }); // catch-all
+        t.push(TernaryEntry { fields: vec![(7, 0xFF)], priority: 1 });
+        let hit = t.lookup(&[7]).unwrap();
+        assert_eq!(hit.priority, 1);
+        let other = t.lookup(&[9]).unwrap();
+        assert_eq!(other.priority, 5);
+    }
+
+    #[test]
+    fn compiled_ruleset_agrees_with_ruleset() {
+        use iguard_core::rules::Hypercube;
+        // Whitelist: x0 ∈ [0, 100), x1 ∈ [50, 200).
+        let rules = RuleSet {
+            bounds: vec![(0.0, 256.0), (0.0, 256.0)],
+            whitelist: vec![Hypercube {
+                lo: vec![0.0, 50.0],
+                hi: vec![100.0, 200.0],
+            }],
+            total_regions: 2,
+        };
+        let specs = vec![FieldSpec::new(8, 1.0), FieldSpec::new(8, 1.0)];
+        let table = compile_ruleset(&rules, &specs);
+        assert!(!table.is_empty());
+        for probe in [[50.0f32, 100.0], [99.0, 50.0], [100.0, 100.0], [50.0, 200.0], [255.0, 255.0]] {
+            let key = quantize_key(&probe, &specs);
+            let tcam_benign = table.lookup(&key).is_some();
+            assert_eq!(
+                tcam_benign,
+                rules.matches(&probe),
+                "disagreement at {probe:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn infinite_bounds_saturate() {
+        use iguard_core::rules::Hypercube;
+        let rules = RuleSet {
+            bounds: vec![(0.0, 256.0)],
+            whitelist: vec![Hypercube {
+                lo: vec![f32::NEG_INFINITY],
+                hi: vec![f32::INFINITY],
+            }],
+            total_regions: 1,
+        };
+        let specs = vec![FieldSpec::new(8, 1.0)];
+        let table = compile_ruleset(&rules, &specs);
+        assert_eq!(table.len(), 1);
+        assert!(table.lookup(&[0]).is_some());
+        assert!(table.lookup(&[255]).is_some());
+    }
+}

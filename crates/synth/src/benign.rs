@@ -1,0 +1,182 @@
+//! The benign IoT traffic mixture.
+//!
+//! Stands in for the HorusEye normal set and the Sivanathan et al. IoT
+//! traces: a smart-environment's worth of device behaviours. The mixture is
+//! deliberately *wide* in every marginal (packet sizes from keep-alive
+//! minimums to camera MTU-size frames; inter-packet delays from
+//! milliseconds to seconds) so that attack traffic falls **inside** the
+//! marginal ranges — the regime in which isolation depth cannot separate
+//! classes (paper Fig. 2/7) and joint structure must be learned instead.
+
+use rand::Rng;
+
+use iguard_flow::five_tuple::{PROTO_TCP, PROTO_UDP};
+
+use crate::profile::{
+    gen_trace, FlagsModel, FlowProfile, IpdModel, PortModel, ScenarioConfig, SizeModel,
+};
+use crate::trace::Trace;
+
+/// 10.0.0.0/16 device pool.
+pub const DEVICE_IP_BASE: u32 = 0x0A00_0000;
+/// 52.0.0.0/16 cloud endpoints.
+pub const CLOUD_IP_BASE: u32 = 0x3400_0000;
+
+/// Periodic sensor telemetry (MQTT-style): small packets, second-scale
+/// cadence with visible jitter.
+pub fn telemetry() -> FlowProfile {
+    FlowProfile {
+        name: "telemetry",
+        proto: PROTO_TCP,
+        dst_port: PortModel::Fixed(8883),
+        size: SizeModel { mean: 120.0, std: 35.0, min: 60, max: 320 },
+        ipd: IpdModel { mean_ms: 500.0, std_ms: 260.0 },
+        pkts: (4, 16),
+        ttl: 64,
+        ttl_jitter: 0,
+        flags: FlagsModel::conversation(),
+    }
+}
+
+/// Bursty cloud sync / firmware pulls: large packets, short bursts.
+pub fn cloud_sync() -> FlowProfile {
+    FlowProfile {
+        name: "cloud_sync",
+        proto: PROTO_TCP,
+        dst_port: PortModel::Fixed(443),
+        size: SizeModel { mean: 900.0, std: 320.0, min: 200, max: 1500 },
+        ipd: IpdModel { mean_ms: 20.0, std_ms: 14.0 },
+        pkts: (8, 64),
+        ttl: 64,
+        ttl_jitter: 0,
+        flags: FlagsModel::conversation(),
+    }
+}
+
+/// Sporadic DNS chatter.
+pub fn dns() -> FlowProfile {
+    FlowProfile {
+        name: "dns",
+        proto: PROTO_UDP,
+        dst_port: PortModel::Fixed(53),
+        size: SizeModel { mean: 92.0, std: 24.0, min: 60, max: 240 },
+        ipd: IpdModel { mean_ms: 280.0, std_ms: 180.0 },
+        pkts: (2, 6),
+        ttl: 64,
+        ttl_jitter: 0,
+        flags: FlagsModel::none(),
+    }
+}
+
+/// Long-lived keep-alives: tiny packets, ~1 s cadence with jitter.
+pub fn keepalive() -> FlowProfile {
+    FlowProfile {
+        name: "keepalive",
+        proto: PROTO_TCP,
+        dst_port: PortModel::Fixed(443),
+        size: SizeModel { mean: 72.0, std: 14.0, min: 54, max: 140 },
+        ipd: IpdModel { mean_ms: 950.0, std_ms: 420.0 },
+        pkts: (4, 12),
+        ttl: 64,
+        ttl_jitter: 0,
+        flags: FlagsModel::conversation(),
+    }
+}
+
+/// Security-camera stream: sustained MTU-scale UDP.
+pub fn camera_stream() -> FlowProfile {
+    FlowProfile {
+        name: "camera_stream",
+        proto: PROTO_UDP,
+        dst_port: PortModel::Fixed(5004),
+        size: SizeModel { mean: 1100.0, std: 170.0, min: 400, max: 1400 },
+        ipd: IpdModel { mean_ms: 5.0, std_ms: 2.6 },
+        pkts: (32, 192),
+        ttl: 64,
+        ttl_jitter: 0,
+        flags: FlagsModel::none(),
+    }
+}
+
+/// Voice-assistant bursts: medium packets, tens of ms cadence.
+pub fn voice_assistant() -> FlowProfile {
+    FlowProfile {
+        name: "voice_assistant",
+        proto: PROTO_UDP,
+        dst_port: PortModel::Fixed(443),
+        size: SizeModel { mean: 310.0, std: 130.0, min: 80, max: 900 },
+        ipd: IpdModel { mean_ms: 30.0, std_ms: 18.0 },
+        pkts: (16, 64),
+        ttl: 64,
+        ttl_jitter: 0,
+        flags: FlagsModel::none(),
+    }
+}
+
+/// The full weighted device mixture.
+pub fn device_mixture() -> Vec<(FlowProfile, f64)> {
+    vec![
+        (telemetry(), 0.26),
+        (cloud_sync(), 0.16),
+        (dns(), 0.22),
+        (keepalive(), 0.16),
+        (camera_stream(), 0.08),
+        (voice_assistant(), 0.12),
+    ]
+}
+
+/// Generates a benign trace of `flows` flows over `window_secs`.
+pub fn benign_trace(flows: usize, window_secs: f64, rng: &mut impl Rng) -> Trace {
+    let scenario = ScenarioConfig {
+        flows,
+        window_secs,
+        src_base: DEVICE_IP_BASE,
+        src_count: 256,
+        dst_base: CLOUD_IP_BASE,
+        dst_count: 64,
+    };
+    gen_trace(&device_mixture(), &scenario, false, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{extract_flows, ExtractConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn benign_trace_is_all_benign_and_ordered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = benign_trace(200, 5.0, &mut rng);
+        assert!(t.labels.iter().all(|&l| !l));
+        assert!(t.packets.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert!(t.len() > 800, "expected >800 packets, got {}", t.len());
+    }
+
+    #[test]
+    fn mixture_spans_wide_feature_ranges() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = benign_trace(400, 10.0, &mut rng);
+        let flows = extract_flows(&t, &ExtractConfig::default());
+        let sizes: Vec<f32> = flows.features.iter().map(|f| f[2]).collect(); // mean size
+        let lo = sizes.iter().cloned().fold(f32::INFINITY, f32::min);
+        let hi = sizes.iter().cloned().fold(0.0f32, f32::max);
+        assert!(lo < 120.0, "small-packet devices missing (min mean {lo})");
+        assert!(hi > 700.0, "large-packet devices missing (max mean {hi})");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = benign_trace(50, 1.0, &mut StdRng::seed_from_u64(3));
+        let b = benign_trace(50, 1.0, &mut StdRng::seed_from_u64(3));
+        assert_eq!(a.packets, b.packets);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = benign_trace(50, 1.0, &mut StdRng::seed_from_u64(4));
+        let b = benign_trace(50, 1.0, &mut StdRng::seed_from_u64(5));
+        assert_ne!(a.packets, b.packets);
+    }
+}

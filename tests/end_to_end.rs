@@ -1,0 +1,185 @@
+//! Cross-crate integration tests: the full paper pipeline from synthetic
+//! packets to switch verdicts.
+
+use iguard::core::early::EarlyModel;
+use iguard::flow::features::packet_level_features;
+use iguard::prelude::*;
+use iguard::switch::pipeline::PipelineConfig as SwitchPipelineConfig;
+use iguard::switch::replay::{ControlPlaneModel, ReplayConfig};
+use iguard_iforest::IsolationForestConfig as PlForestConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn extract_cfg() -> ExtractConfig {
+    ExtractConfig { log_compress: true, ..Default::default() }
+}
+
+/// Trains the full deployment once for reuse across assertions.
+struct Deployment {
+    forest: IGuardForest,
+    rules: RuleSet,
+    early: EarlyModel,
+}
+
+fn train_deployment(seed: u64) -> (Deployment, LabeledFlows) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cfg = extract_cfg();
+    let train_trace = benign_trace(600, 20.0, &mut rng);
+    let train = extract_flows(&train_trace, &cfg);
+    let mag = Magnifier::fit(
+        &train.features,
+        &MagnifierConfig { epochs: 50, ..Default::default() },
+        &mut rng,
+    );
+    let mut teacher = DetectorTeacher(mag);
+    let ig = IGuardConfig { n_trees: 7, subsample: 64, k_augment: 64, ..Default::default() };
+    let mut forest = IGuardForest::fit(&train.features, &mut teacher, &ig, &mut rng);
+    forest.distill(&train.features, &mut teacher, ig.k_augment, &mut rng);
+    // Calibrate the vote threshold against a labelled validation mix.
+    let val_b = extract_flows(&benign_trace(150, 10.0, &mut rng), &cfg);
+    let val_a = extract_flows(&Attack::UdpDdos.trace(50, 10.0, &mut rng), &cfg);
+    let mut feats = val_b.features.clone();
+    feats.extend(val_a.features.clone());
+    let mut labels = vec![false; val_b.len()];
+    labels.extend(vec![true; val_a.len()]);
+    let scores = forest.scores(&feats);
+    let mut best = (0.25, -1.0);
+    for thr in [0.0, 0.1, 0.2, 0.3, 0.4, 0.5] {
+        let pred: Vec<bool> = scores.iter().map(|&s| s > thr).collect();
+        let f1 = macro_f1(&labels, &pred);
+        if f1 > best.1 {
+            best = (thr, f1);
+        }
+    }
+    forest.set_vote_threshold(best.0);
+    let rules = RuleSet::from_iguard(&forest, 600_000).expect("rule budget");
+
+    // Early-packet model on first-packet PL features.
+    let mut seen = std::collections::HashSet::new();
+    let mut pl = Vec::new();
+    for p in &train_trace.packets {
+        if seen.insert(p.five.canonical()) {
+            pl.push(packet_level_features(p));
+        }
+    }
+    let early = EarlyModel::train(
+        &pl,
+        &PlForestConfig { n_trees: 10, subsample: 64, contamination: 0.05 },
+        600_000,
+        &mut rng,
+    )
+    .expect("PL rules");
+    (Deployment { forest, rules, early }, train)
+}
+
+#[test]
+fn rules_reproduce_forest_on_fresh_traffic() {
+    let (d, _) = train_deployment(101);
+    let mut rng = StdRng::seed_from_u64(9);
+    let cfg = extract_cfg();
+    let mut probes = extract_flows(&benign_trace(150, 8.0, &mut rng), &cfg);
+    probes.extend(extract_flows(&Attack::TcpDdos.trace(60, 8.0, &mut rng), &cfg));
+    let c = consistency(
+        &d.rules.predictions(&probes.features),
+        &d.forest.predictions(&probes.features),
+    );
+    assert!(c >= 0.99, "rule/forest consistency {c} below the paper's band");
+}
+
+#[test]
+fn deployment_detects_flood_on_the_switch() {
+    let (d, _) = train_deployment(102);
+    let mut rng = StdRng::seed_from_u64(10);
+    let benign = benign_trace(200, 12.0, &mut rng);
+    let flood = Attack::UdpDdos.trace(80, 12.0, &mut rng);
+    let trace = Trace::merge(vec![benign, flood]);
+    let mut pipeline = Pipeline::new(
+        SwitchPipelineConfig { log_compress: true, ..Default::default() },
+        d.rules.clone(),
+        d.early.rules.clone(),
+    );
+    let mut controller = Controller::new(ControllerConfig::default());
+    let report = replay(
+        &trace,
+        &mut pipeline,
+        &mut controller,
+        &ReplayConfig { control_plane: ControlPlaneModel::iguard(), ..Default::default() },
+    );
+    let cm = report.confusion();
+    assert!(cm.recall() > 0.5, "per-packet recall {:.3}", cm.recall());
+    assert!(cm.fpr() < 0.5, "per-packet FPR {:.3}", cm.fpr());
+    assert!(pipeline.blacklist_len() > 0, "controller installed no blacklist rules");
+    assert!(report.digests > 0);
+    assert!(report.throughput_gbps > 30.0);
+    assert!(report.avg_latency_ns >= 532.8);
+}
+
+#[test]
+fn controller_blacklist_shortens_detection_path() {
+    let (d, _) = train_deployment(103);
+    let mut rng = StdRng::seed_from_u64(11);
+    // Two identical flood waves: the second should hit blacklist entries
+    // installed during the first.
+    let wave1 = Attack::UdpDdos.trace(40, 6.0, &mut rng);
+    let mut wave2 = wave1.clone();
+    wave2.shift_time(10_000_000_000);
+    let trace = Trace::merge(vec![wave1, wave2]);
+    let mut pipeline = Pipeline::new(
+        SwitchPipelineConfig { log_compress: true, ..Default::default() },
+        d.rules.clone(),
+        d.early.rules.clone(),
+    );
+    let mut controller = Controller::new(ControllerConfig::default());
+    let _ = replay(&trace, &mut pipeline, &mut controller, &ReplayConfig::default());
+    assert!(
+        pipeline.paths.blacklist > 0,
+        "no packet was dropped by an installed blacklist rule"
+    );
+}
+
+#[test]
+fn adversarial_low_rate_changes_flow_durations() {
+    use iguard::synth::adversarial::low_rate;
+    let mut rng = StdRng::seed_from_u64(12);
+    let flood = Attack::TcpDdos.trace(30, 5.0, &mut rng);
+    let slow = low_rate(&flood, 100.0);
+    assert_eq!(slow.len(), flood.len());
+    // Flow *durations* stretch ~100x; the trace envelope grows by the
+    // longest stretched flow on top of the 5 s start window.
+    assert!(
+        slow.duration_secs() > 3.0 * flood.duration_secs(),
+        "slow {} vs orig {}",
+        slow.duration_secs(),
+        flood.duration_secs()
+    );
+}
+
+#[test]
+fn tcam_compilation_agrees_with_rules_on_probes() {
+    use iguard::switch::tcam::{compile_ruleset, quantize_key, FieldSpec};
+    let (d, train) = train_deployment(104);
+    let specs: Vec<FieldSpec> = d
+        .rules
+        .bounds
+        .iter()
+        .map(|&(_, hi)| FieldSpec::new(16, (65_535.0 / hi.max(1e-6)).min(65_535.0)))
+        .collect();
+    let tcam = compile_ruleset(&d.rules, &specs);
+    assert_eq!(tcam.len(), d.rules.len());
+    // Quantisation moves boundaries slightly; demand strong agreement, not
+    // bit-exactness.
+    let mut agree = 0usize;
+    let probes = &train.features[..200.min(train.len())];
+    for f in probes {
+        let key = quantize_key(f, &specs);
+        let tcam_benign = tcam.lookup(&key).is_some();
+        if tcam_benign == d.rules.matches(f) {
+            agree += 1;
+        }
+    }
+    assert!(
+        agree as f64 / probes.len() as f64 > 0.95,
+        "TCAM/rule agreement {agree}/{}",
+        probes.len()
+    );
+}
