@@ -1,8 +1,10 @@
-//! Criterion micro-benchmarks for every per-figure cost centre:
+//! Micro-benchmarks for every per-figure cost centre, on the in-repo
+//! timing harness (`iguard_runtime::timing`, `harness = false`):
 //!
 //! * `training/*` — guided (iGuard) vs conventional (iForest) fitting and
-//!   the teacher's epoch cost (Figs. 5–9 training side, §3.2 complexity
-//!   remark: guided training is random-forest-like, not iForest-like).
+//!   distillation (Figs. 5–9 training side, §3.2 complexity remark:
+//!   guided training is random-forest-like, not iForest-like), plus the
+//!   serial-vs-parallel scaling of the runtime worker pool.
 //! * `inference/*` — forest vote vs compiled-rule match vs TCAM lookup
 //!   (the data-plane story of §3.2.3).
 //! * `rulegen/*` — whitelist compilation (§3.2.3).
@@ -10,9 +12,10 @@
 //!   the wire parser (App. B.1's latency side).
 //! * `features/*` — flow-state update + feature extraction (§3.3.1).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use iguard_runtime::par::with_workers;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::timing::{bench, group};
+use iguard_runtime::Dataset;
 
 use iguard_core::forest::{IGuardConfig, IGuardForest};
 use iguard_core::rules::RuleSet;
@@ -26,94 +29,100 @@ use iguard_switch::pipeline::{Pipeline, PipelineConfig};
 use iguard_switch::tcam::{compile_ruleset, quantize_key, FieldSpec};
 use iguard_synth::benign::benign_trace;
 
-fn uniform_data(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| (0..dim).map(|_| rng.gen_range(0.0..1.0)).collect()).collect()
+fn uniform_data(n: usize, dim: usize, seed: u64) -> Dataset {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut d = Dataset::new(dim);
+    let mut row = vec![0.0f32; dim];
+    for _ in 0..n {
+        for v in &mut row {
+            *v = rng.gen_range(0.0..1.0);
+        }
+        d.push_row(&row);
+    }
+    d
 }
 
-fn training(c: &mut Criterion) {
+fn training() {
+    group("training");
     let data = uniform_data(512, 13, 1);
-    let mut g = c.benchmark_group("training");
-    g.sample_size(10);
-    g.bench_function("iforest_fit_t50_psi128", |b| {
+    let teacher = OracleTeacher(|x: &[f32]| x[0] > 0.7);
+    {
         let cfg = IsolationForestConfig { n_trees: 50, subsample: 128, contamination: 0.1 };
-        b.iter(|| {
-            let mut rng = StdRng::seed_from_u64(2);
+        bench("iforest_fit_t50_psi128", || {
+            let mut rng = Rng::seed_from_u64(2);
             IsolationForest::fit(&data, &cfg, &mut rng)
+        });
+    }
+    let cfg = IGuardConfig { n_trees: 7, subsample: 64, k_augment: 32, ..Default::default() };
+    bench("iguard_fit_t7_psi64", || {
+        let mut rng = Rng::seed_from_u64(3);
+        IGuardForest::fit(&data, &teacher, &cfg, &mut rng)
+    });
+    {
+        let mut rng = Rng::seed_from_u64(4);
+        let forest = IGuardForest::fit(&data, &teacher, &cfg, &mut rng);
+        bench("iguard_distill", || {
+            let mut f = forest.clone();
+            let mut rng = Rng::seed_from_u64(5);
+            f.distill(&data, &teacher, 32, &mut rng);
+            f
+        });
+    }
+
+    // Serial vs parallel scaling of guided training on the worker pool.
+    // The larger forest gives each worker real work per tree.
+    let wide_cfg =
+        IGuardConfig { n_trees: 32, subsample: 128, k_augment: 64, ..Default::default() };
+    let fit_with = |workers: usize| {
+        with_workers(workers, || {
+            let mut rng = Rng::seed_from_u64(6);
+            IGuardForest::fit(&data, &teacher, &wide_cfg, &mut rng)
         })
-    });
-    g.bench_function("iguard_fit_t7_psi64", |b| {
-        let cfg = IGuardConfig { n_trees: 7, subsample: 64, k_augment: 32, ..Default::default() };
-        b.iter(|| {
-            let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.7);
-            let mut rng = StdRng::seed_from_u64(3);
-            IGuardForest::fit(&data, &mut teacher, &cfg, &mut rng)
-        })
-    });
-    g.bench_function("iguard_distill", |b| {
-        let cfg = IGuardConfig { n_trees: 7, subsample: 64, k_augment: 32, ..Default::default() };
-        let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.7);
-        let mut rng = StdRng::seed_from_u64(4);
-        let forest = IGuardForest::fit(&data, &mut teacher, &cfg, &mut rng);
-        b.iter_batched(
-            || forest.clone(),
-            |mut f| {
-                let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.7);
-                let mut rng = StdRng::seed_from_u64(5);
-                f.distill(&data, &mut teacher, 32, &mut rng);
-                f
-            },
-            BatchSize::SmallInput,
-        )
-    });
-    g.finish();
+    };
+    let serial = bench("iguard_fit_t32 (1 worker)", || fit_with(1));
+    let par4 = bench("iguard_fit_t32 (4 workers)", || fit_with(4));
+    println!("   -> speedup at 4 workers: {:.2}x", serial.mean_ns / par4.mean_ns);
 }
 
-fn inference(c: &mut Criterion) {
+fn inference() {
+    group("inference");
     let data = uniform_data(512, 13, 6);
-    let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.7);
-    let mut rng = StdRng::seed_from_u64(7);
+    let teacher = OracleTeacher(|x: &[f32]| x[0] > 0.7);
+    let mut rng = Rng::seed_from_u64(7);
     let cfg = IGuardConfig { n_trees: 7, subsample: 64, k_augment: 32, ..Default::default() };
-    let mut forest = IGuardForest::fit(&data, &mut teacher, &cfg, &mut rng);
-    forest.distill(&data, &mut teacher, 32, &mut rng);
+    let mut forest = IGuardForest::fit(&data, &teacher, &cfg, &mut rng);
+    forest.distill(&data, &teacher, 32, &mut rng);
     let rules = RuleSet::from_iguard(&forest, 400_000).unwrap();
     let specs: Vec<FieldSpec> = (0..13).map(|_| FieldSpec::new(16, 65_535.0)).collect();
     let tcam = compile_ruleset(&rules, &specs);
     let x = vec![0.4f32; 13];
     let key = quantize_key(&x, &specs);
 
-    let mut g = c.benchmark_group("inference");
-    g.bench_function("forest_vote", |b| b.iter(|| forest.predict(std::hint::black_box(&x))));
-    g.bench_function("ruleset_match", |b| b.iter(|| rules.predict(std::hint::black_box(&x))));
-    g.bench_function("tcam_lookup", |b| b.iter(|| tcam.lookup(std::hint::black_box(&key))));
-    g.finish();
+    bench("forest_vote", || forest.predict(std::hint::black_box(&x)));
+    bench("ruleset_match", || rules.predict(std::hint::black_box(&x)));
+    bench("tcam_lookup", || tcam.lookup(std::hint::black_box(&key)));
 }
 
-fn rulegen(c: &mut Criterion) {
+fn rulegen() {
+    group("rulegen");
     let data = uniform_data(512, 13, 8);
-    let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.7);
-    let mut rng = StdRng::seed_from_u64(9);
+    let teacher = OracleTeacher(|x: &[f32]| x[0] > 0.7);
+    let mut rng = Rng::seed_from_u64(9);
     let cfg = IGuardConfig { n_trees: 7, subsample: 64, k_augment: 32, ..Default::default() };
-    let mut forest = IGuardForest::fit(&data, &mut teacher, &cfg, &mut rng);
-    forest.distill(&data, &mut teacher, 32, &mut rng);
-    let mut g = c.benchmark_group("rulegen");
-    g.sample_size(10);
-    g.bench_function("iguard_rules", |b| {
-        b.iter(|| RuleSet::from_iguard(&forest, 400_000).unwrap())
-    });
+    let mut forest = IGuardForest::fit(&data, &teacher, &cfg, &mut rng);
+    forest.distill(&data, &teacher, 32, &mut rng);
+    bench("iguard_rules", || RuleSet::from_iguard(&forest, 400_000).unwrap());
     let iforest = IsolationForest::fit(
         &data,
         &IsolationForestConfig { n_trees: 5, subsample: 32, contamination: 0.1 },
         &mut rng,
     );
     let bounds = iguard_core::forest::feature_bounds(&data);
-    g.bench_function("iforest_rules", |b| {
-        b.iter(|| RuleSet::from_iforest(&iforest, &bounds, 400_000).unwrap())
-    });
-    g.finish();
+    bench("iforest_rules", || RuleSet::from_iforest(&iforest, &bounds, 400_000).unwrap());
 }
 
-fn pipeline(c: &mut Criterion) {
+fn pipeline() {
+    group("pipeline");
     use iguard_core::rules::Hypercube;
     let accept_all = |dim: usize| RuleSet {
         bounds: vec![(0.0, 1.0); dim],
@@ -123,14 +132,13 @@ fn pipeline(c: &mut Criterion) {
         }],
         total_regions: 1,
     };
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = Rng::seed_from_u64(10);
     let trace = benign_trace(200, 5.0, &mut rng);
-    let mut g = c.benchmark_group("pipeline");
-    g.bench_function("per_packet_process", |b| {
+    {
         let mut p = Pipeline::new(PipelineConfig::default(), accept_all(13), accept_all(4));
         let mut c2 = Controller::new(ControllerConfig::default());
         let mut idx = 0usize;
-        b.iter(|| {
+        bench("per_packet_process", || {
             let pkt = &trace.packets[idx % trace.len()];
             idx += 1;
             let out = p.process(pkt);
@@ -138,37 +146,36 @@ fn pipeline(c: &mut Criterion) {
                 p.apply(a);
             }
             out
-        })
-    });
-    g.bench_function("wire_parse_roundtrip", |b| {
-        let pkt = trace.packets[0];
-        let bytes = pkt.to_bytes();
-        b.iter(|| Packet::from_bytes(0, std::hint::black_box(&bytes)).unwrap())
-    });
-    g.finish();
+        });
+    }
+    let pkt = trace.packets[0];
+    let bytes = pkt.to_bytes();
+    bench("wire_parse_roundtrip", || Packet::from_bytes(0, std::hint::black_box(&bytes)).unwrap());
 }
 
-fn features(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(11);
+fn features() {
+    group("features");
+    let mut rng = Rng::seed_from_u64(11);
     let trace = benign_trace(50, 5.0, &mut rng);
-    let mut g = c.benchmark_group("features");
-    g.bench_function("flow_stats_update", |b| {
+    {
         let mut stats = FlowStats::from_first_packet(&trace.packets[0]);
         let mut idx = 1usize;
-        b.iter(|| {
+        bench("flow_stats_update", || {
             stats.update(&trace.packets[idx % trace.len()]);
             idx += 1;
-        })
-    });
-    g.bench_function("switch_fl_extract", |b| {
-        let mut stats = FlowStats::from_first_packet(&trace.packets[0]);
-        for p in trace.packets.iter().take(16).skip(1) {
-            stats.update(p);
-        }
-        b.iter(|| switch_fl_features(std::hint::black_box(&stats)))
-    });
-    g.finish();
+        });
+    }
+    let mut stats = FlowStats::from_first_packet(&trace.packets[0]);
+    for p in trace.packets.iter().take(16).skip(1) {
+        stats.update(p);
+    }
+    bench("switch_fl_extract", || switch_fl_features(std::hint::black_box(&stats)));
 }
 
-criterion_group!(benches, training, inference, rulegen, pipeline, features);
-criterion_main!(benches);
+fn main() {
+    training();
+    inference();
+    rulegen();
+    pipeline();
+    features();
+}

@@ -9,8 +9,7 @@
 //!   for the smaller rule table (Table 1's TCAM column).
 //! * **k** — sweep the augmentation count used in training/distillation.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iguard_runtime::rng::Rng;
 
 use iguard_core::forest::{IGuardConfig, IGuardForest};
 use iguard_core::rules::RuleSet;
@@ -37,7 +36,7 @@ pub struct AblationPoint {
 const BUDGET: usize = 600_000;
 
 fn teacher_for(s: &Scenario, seed: u64) -> Magnifier {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x7E57);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x7E57);
     let mut m = Magnifier::fit(
         &s.train.features,
         &MagnifierConfig { epochs: 60, ..Default::default() },
@@ -71,7 +70,7 @@ pub fn guidance(attack: Attack, seed: u64) -> Vec<AblationPoint> {
     for (label, k, candidates) in
         [("guided (k=64, 8 candidates)", 64usize, 8usize), ("unguided (k=0, 1 candidate)", 0, 1)]
     {
-        let mut teacher = DetectorTeacher(teacher_for(&s, seed));
+        let teacher = DetectorTeacher(teacher_for(&s, seed));
         let cfg = IGuardConfig {
             n_trees: 7,
             subsample: 64,
@@ -79,15 +78,15 @@ pub fn guidance(attack: Attack, seed: u64) -> Vec<AblationPoint> {
             n_candidates: candidates,
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xAB1);
-        let mut forest = IGuardForest::fit(&s.train.features, &mut teacher, &cfg, &mut rng);
-        forest.distill(&s.train.features, &mut teacher, 64, &mut rng);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xAB1);
+        let mut forest = IGuardForest::fit(&s.train.features, &teacher, &cfg, &mut rng);
+        forest.distill(&s.train.features, &teacher, 64, &mut rng);
         let leaves = forest.total_leaves();
         let (summary, rules) = eval_forest(&s, &mut forest);
         out.push(AblationPoint { label: label.into(), summary, rules, total_leaves: leaves });
     }
     // Reference: the raw teacher and the conventional iForest.
-    let mut teacher = teacher_for(&s, seed);
+    let teacher = teacher_for(&s, seed);
     let t_scores = teacher.scores(&s.test.features);
     let t_pred: Vec<bool> = t_scores.iter().map(|&v| v > teacher.threshold()).collect();
     out.push(AblationPoint {
@@ -96,7 +95,7 @@ pub fn guidance(attack: Attack, seed: u64) -> Vec<AblationPoint> {
         rules: None,
         total_leaves: 0,
     });
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xAB2);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xAB2);
     let iforest = IsolationForest::fit(
         &s.train.features,
         &IsolationForestConfig { n_trees: 50, subsample: 128, contamination: 0.1 },
@@ -121,7 +120,7 @@ pub fn tau_split(attack: Attack, seed: u64) -> Vec<AblationPoint> {
     let s = data::build(attack, &ScenarioConfig::testbed(seed));
     let mut out = Vec::new();
     for tau in [0.0f64, 1e-3, 1e-2, 1e-1] {
-        let mut teacher = DetectorTeacher(teacher_for(&s, seed));
+        let teacher = DetectorTeacher(teacher_for(&s, seed));
         let cfg = IGuardConfig {
             n_trees: 7,
             subsample: 64,
@@ -129,9 +128,9 @@ pub fn tau_split(attack: Attack, seed: u64) -> Vec<AblationPoint> {
             tau_split: tau,
             ..Default::default()
         };
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xAB3);
-        let mut forest = IGuardForest::fit(&s.train.features, &mut teacher, &cfg, &mut rng);
-        forest.distill(&s.train.features, &mut teacher, 64, &mut rng);
+        let mut rng = Rng::seed_from_u64(seed ^ 0xAB3);
+        let mut forest = IGuardForest::fit(&s.train.features, &teacher, &cfg, &mut rng);
+        forest.distill(&s.train.features, &teacher, 64, &mut rng);
         let leaves = forest.total_leaves();
         let (summary, rules) = eval_forest(&s, &mut forest);
         out.push(AblationPoint {
@@ -149,12 +148,11 @@ pub fn k_augment(attack: Attack, seed: u64) -> Vec<AblationPoint> {
     let s = data::build(attack, &ScenarioConfig::testbed(seed));
     let mut out = Vec::new();
     for k in [0usize, 16, 64, 256] {
-        let mut teacher = DetectorTeacher(teacher_for(&s, seed));
-        let cfg =
-            IGuardConfig { n_trees: 7, subsample: 64, k_augment: k, ..Default::default() };
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xAB4);
-        let mut forest = IGuardForest::fit(&s.train.features, &mut teacher, &cfg, &mut rng);
-        forest.distill(&s.train.features, &mut teacher, k, &mut rng);
+        let teacher = DetectorTeacher(teacher_for(&s, seed));
+        let cfg = IGuardConfig { n_trees: 7, subsample: 64, k_augment: k, ..Default::default() };
+        let mut rng = Rng::seed_from_u64(seed ^ 0xAB4);
+        let mut forest = IGuardForest::fit(&s.train.features, &teacher, &cfg, &mut rng);
+        forest.distill(&s.train.features, &teacher, k, &mut rng);
         let leaves = forest.total_leaves();
         let (summary, rules) = eval_forest(&s, &mut forest);
         out.push(AblationPoint { label: format!("k = {k}"), summary, rules, total_leaves: leaves });

@@ -100,8 +100,7 @@ fn path_overlap(title: &str, attacks: &[Attack], seed: u64) {
         )
     );
     let mean: f64 = results.iter().map(|r| r.overlap).sum::<f64>() / results.len() as f64;
-    let meanc: f64 =
-        results.iter().map(|r| r.containment).sum::<f64>() / results.len() as f64;
+    let meanc: f64 = results.iter().map(|r| r.containment).sum::<f64>() / results.len() as f64;
     println!("mean overlap {mean:.3}; mean containment {meanc:.3}");
     println!("(paper: \"significant overlap\" — malicious E[h] inside the benign range)\n");
 }
@@ -196,8 +195,10 @@ fn testbed_comparison(title: &str, attacks: &[Attack], seed: u64, effort: Effort
     println!(
         "{}",
         table(
-            &["attack", "iF F1", "iF ROC", "iF PR", "iG F1", "iG ROC", "iG PR", "iG rules",
-              "iF rules"],
+            &[
+                "attack", "iF F1", "iF ROC", "iF PR", "iG F1", "iG ROC", "iG PR", "iG rules",
+                "iF rules"
+            ],
             &rows
         )
     );
@@ -294,10 +295,38 @@ fn adv_rows(
 fn table2(seed: u64, effort: Effort) {
     println!("== Table 2: black-box low-rate & poisoning adversaries (App.) ==");
     let mut rows = Vec::new();
-    rows.extend(adv_rows("Low rate (UDPDDoS 1/100)", Attack::UdpDdos, AttackTransform::LowRate(100.0), 0.0, seed, effort));
-    rows.extend(adv_rows("Low rate (TCPDDoS 1/100)", Attack::TcpDdos, AttackTransform::LowRate(100.0), 0.0, seed, effort));
-    rows.extend(adv_rows("Poison (Mirai 2%)", Attack::Mirai, AttackTransform::None, 0.02, seed, effort));
-    rows.extend(adv_rows("Poison (Mirai 10%)", Attack::Mirai, AttackTransform::None, 0.10, seed, effort));
+    rows.extend(adv_rows(
+        "Low rate (UDPDDoS 1/100)",
+        Attack::UdpDdos,
+        AttackTransform::LowRate(100.0),
+        0.0,
+        seed,
+        effort,
+    ));
+    rows.extend(adv_rows(
+        "Low rate (TCPDDoS 1/100)",
+        Attack::TcpDdos,
+        AttackTransform::LowRate(100.0),
+        0.0,
+        seed,
+        effort,
+    ));
+    rows.extend(adv_rows(
+        "Poison (Mirai 2%)",
+        Attack::Mirai,
+        AttackTransform::None,
+        0.02,
+        seed,
+        effort,
+    ));
+    rows.extend(adv_rows(
+        "Poison (Mirai 10%)",
+        Attack::Mirai,
+        AttackTransform::None,
+        0.10,
+        seed,
+        effort,
+    ));
     println!("{}", table(&["scenario", "model", "macroF1/ROCAUC/PRAUC"], &rows));
     println!("paper shape: iGuard degrades far less than iForest (improvements 22–57%)\n");
 }
@@ -306,10 +335,38 @@ fn table2(seed: u64, effort: Effort) {
 fn table3(seed: u64, effort: Effort) {
     println!("== Table 3: black-box evasion (benign blending) adversaries (App.) ==");
     let mut rows = Vec::new();
-    rows.extend(adv_rows("Evasion (UDPDDoS 1:2)", Attack::UdpDdos, AttackTransform::Evasion(2), 0.0, seed, effort));
-    rows.extend(adv_rows("Evasion (TCPDDoS 1:2)", Attack::TcpDdos, AttackTransform::Evasion(2), 0.0, seed, effort));
-    rows.extend(adv_rows("Evasion (UDPDDoS 1:4)", Attack::UdpDdos, AttackTransform::Evasion(4), 0.0, seed, effort));
-    rows.extend(adv_rows("Evasion (TCPDDoS 1:4)", Attack::TcpDdos, AttackTransform::Evasion(4), 0.0, seed, effort));
+    rows.extend(adv_rows(
+        "Evasion (UDPDDoS 1:2)",
+        Attack::UdpDdos,
+        AttackTransform::Evasion(2),
+        0.0,
+        seed,
+        effort,
+    ));
+    rows.extend(adv_rows(
+        "Evasion (TCPDDoS 1:2)",
+        Attack::TcpDdos,
+        AttackTransform::Evasion(2),
+        0.0,
+        seed,
+        effort,
+    ));
+    rows.extend(adv_rows(
+        "Evasion (UDPDDoS 1:4)",
+        Attack::UdpDdos,
+        AttackTransform::Evasion(4),
+        0.0,
+        seed,
+        effort,
+    ));
+    rows.extend(adv_rows(
+        "Evasion (TCPDDoS 1:4)",
+        Attack::TcpDdos,
+        AttackTransform::Evasion(4),
+        0.0,
+        seed,
+        effort,
+    ));
     println!("{}", table(&["scenario", "model", "macroF1/ROCAUC/PRAUC"], &rows));
     println!("paper shape: iGuard retains detection under blending (improvements 30–80%)\n");
 }
@@ -339,10 +396,12 @@ fn consistency_check(seed: u64, effort: Effort) {
 fn throughput_latency(seed: u64, effort: Effort) {
     println!("== App. B.1: throughput & latency on the emulated 40 Gbps link ==");
     let results = per_attack_parallel(&ALL_ATTACKS, |a| {
-        let scenario = iguard_bench::data::build(a, &iguard_bench::data::ScenarioConfig::testbed(seed));
+        let scenario =
+            iguard_bench::data::build(a, &iguard_bench::data::ScenarioConfig::testbed(seed));
         let d = testbed::train_deployment(&scenario, effort, seed);
         let ig = testbed::replay_iguard(&scenario, &d, ControlPlaneModel::iguard());
-        let he = testbed::replay_iguard(&scenario, &d, ControlPlaneModel::control_plane_detection());
+        let he =
+            testbed::replay_iguard(&scenario, &d, ControlPlaneModel::control_plane_detection());
         (a, ig, he)
     });
     let mut rows = Vec::new();
@@ -359,10 +418,7 @@ fn throughput_latency(seed: u64, effort: Effort) {
         lat += ig.avg_latency_ns;
     }
     let n = results.len() as f64;
-    println!(
-        "{}",
-        table(&["attack", "iGuard Gbps", "CP-detect Gbps", "iGuard latency ns"], &rows)
-    );
+    println!("{}", table(&["attack", "iGuard Gbps", "CP-detect Gbps", "iGuard latency ns"], &rows));
     println!(
         "average: iGuard {:.2} Gbps vs control-plane detection {:.2} Gbps ({:+.1}%), latency {:.1} ns",
         tput / n,

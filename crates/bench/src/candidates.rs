@@ -1,8 +1,7 @@
 //! Candidate-teacher study (paper Appendix A, Fig. 10): macro F1 of six
 //! unsupervised models, fine-tuned on validation, per attack.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iguard_runtime::rng::Rng;
 
 use iguard_iforest::IsolationForestConfig;
 use iguard_metrics::macro_f1;
@@ -32,15 +31,14 @@ fn tune_and_test(det: &mut dyn AnomalyDetector, s: &Scenario) -> f64 {
     let val_scores = det.scores(&s.val.features);
     let (thr, _) = best_threshold(&val_scores, &s.val.labels);
     det.set_threshold(thr);
-    let pred: Vec<bool> =
-        det.scores(&s.test.features).iter().map(|&v| v > thr).collect();
+    let pred: Vec<bool> = det.scores(&s.test.features).iter().map(|&v| v > thr).collect();
     macro_f1(&s.test.labels, &pred)
 }
 
 /// Runs the Fig.-10 comparison for one attack.
 pub fn run_attack(attack: Attack, seed: u64, effort: Effort) -> CandidateResult {
     let s = data::build(attack, &ScenarioConfig::cpu(seed));
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xF16);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xF16);
     let epochs = match effort {
         Effort::Quick => 40,
         Effort::Full => 120,
@@ -54,11 +52,8 @@ pub fn run_attack(attack: Attack, seed: u64, effort: Effort) -> CandidateResult 
         seed,
     );
     let mut xmeans = XMeansDetector::fit(&s.train.features, &XMeansConfig::default(), &mut rng);
-    let mut vae = VaeDetector::fit(
-        &s.train.features,
-        &VaeConfig { epochs, ..Default::default() },
-        &mut rng,
-    );
+    let mut vae =
+        VaeDetector::fit(&s.train.features, &VaeConfig { epochs, ..Default::default() }, &mut rng);
     let mut magnifier = Magnifier::fit(
         &s.train.features,
         &MagnifierConfig { epochs, ..Default::default() },

@@ -1,8 +1,7 @@
 //! CPU experiments (paper §4.1, Figs. 5 and 8): iForest vs Magnifier vs
 //! iGuard on Magnifier-grade flow features, one attack at a time.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iguard_runtime::rng::Rng;
 
 use iguard_core::forest::{IGuardConfig, IGuardForest};
 use iguard_core::teacher::DetectorTeacher;
@@ -43,7 +42,7 @@ pub fn eval_iforest(s: &Scenario, effort: Effort, seed: u64) -> DetectionSummary
     let mut best: Option<(f64, DetectionSummary)> = None;
     for (i, &(t, psi)) in grid.iter().enumerate() {
         let cfg = IsolationForestConfig { n_trees: t, subsample: psi, contamination: 0.1 };
-        let mut rng = StdRng::seed_from_u64(seed ^ (i as u64) << 8);
+        let mut rng = Rng::seed_from_u64(seed ^ (i as u64) << 8);
         let forest = IsolationForest::fit(&s.train.features, &cfg, &mut rng);
         let val_scores = forest.scores(&s.val.features);
         let (thr, val_f1) = best_threshold(&val_scores, &s.val.labels);
@@ -60,11 +59,7 @@ pub fn eval_iforest(s: &Scenario, effort: Effort, seed: u64) -> DetectionSummary
 
 /// Trains Magnifier on benign flows and tunes its RMSE threshold `T` on
 /// validation. Returns the fitted model and its test summary.
-pub fn eval_magnifier(
-    s: &Scenario,
-    effort: Effort,
-    seed: u64,
-) -> (Magnifier, DetectionSummary) {
+pub fn eval_magnifier(s: &Scenario, effort: Effort, seed: u64) -> (Magnifier, DetectionSummary) {
     let cfg = MagnifierConfig {
         epochs: match effort {
             Effort::Quick => 60,
@@ -72,7 +67,7 @@ pub fn eval_magnifier(
         },
         ..Default::default()
     };
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xAE);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xAE);
     let mut mag = Magnifier::fit(&s.train.features, &cfg, &mut rng);
     let val_scores = mag.scores(&s.val.features);
     let (thr, _) = best_threshold(&val_scores, &s.val.labels);
@@ -92,11 +87,15 @@ pub fn eval_iguard(
     seed: u64,
 ) -> DetectionSummary {
     let cfg = match effort {
-        Effort::Quick => IGuardConfig { n_trees: 9, subsample: 128, k_augment: 32, ..Default::default() },
-        Effort::Full => IGuardConfig { n_trees: 15, subsample: 256, k_augment: 64, ..Default::default() },
+        Effort::Quick => {
+            IGuardConfig { n_trees: 9, subsample: 128, k_augment: 32, ..Default::default() }
+        }
+        Effort::Full => {
+            IGuardConfig { n_trees: 15, subsample: 256, k_augment: 64, ..Default::default() }
+        }
     };
     let mut teacher = DetectorTeacher(teacher_model);
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x16);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x16);
     let mut forest = IGuardForest::fit(&s.train.features, &mut teacher, &cfg, &mut rng);
     forest.distill(&s.train.features, &mut teacher, cfg.k_augment, &mut rng);
     // Calibrate the vote threshold on validation (the paper's grid search

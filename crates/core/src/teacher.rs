@@ -9,17 +9,21 @@
 //! * [`Teacher::vote_on_set`] — the distillation vote over a *set* of
 //!   samples: each ensemble member averages its reconstruction error over
 //!   the set (Eq. 5) and the weighted member vote labels the set (Eq. 6).
+//!
+//! Teachers answer through `&self` and are `Sync`: guided trees grow in
+//! parallel across the runtime worker pool, all querying one shared guide.
 
 use iguard_models::AnomalyDetector;
+use iguard_runtime::Dataset;
 
 /// A guide for iGuard training and distillation.
-pub trait Teacher {
+pub trait Teacher: Sync {
     /// Hard labels for a batch; `true` = malicious.
-    fn predict(&mut self, xs: &[Vec<f32>]) -> Vec<bool>;
+    fn predict(&self, xs: &Dataset) -> Vec<bool>;
 
     /// Labels a *set* of samples as one unit via expected scores
     /// (paper Eq. 5–6). An empty set votes benign.
-    fn vote_on_set(&mut self, xs: &[Vec<f32>]) -> bool;
+    fn vote_on_set(&self, xs: &Dataset) -> bool;
 }
 
 /// A weighted ensemble of anomaly detectors as teacher — the general form
@@ -63,11 +67,11 @@ impl<D: AnomalyDetector> EnsembleTeacher<D> {
 }
 
 impl<D: AnomalyDetector> Teacher for EnsembleTeacher<D> {
-    fn predict(&mut self, xs: &[Vec<f32>]) -> Vec<bool> {
-        let mut vote = vec![0.0f64; xs.len()];
-        for (u, m) in self.members.iter_mut().enumerate() {
+    fn predict(&self, xs: &Dataset) -> Vec<bool> {
+        let mut vote = vec![0.0f64; xs.rows()];
+        for (u, m) in self.members.iter().enumerate() {
             let w = self.weights[u];
-            for (v, x) in vote.iter_mut().zip(xs) {
+            for (v, x) in vote.iter_mut().zip(xs.iter_rows()) {
                 if m.predict(x) {
                     *v += w;
                 }
@@ -76,13 +80,13 @@ impl<D: AnomalyDetector> Teacher for EnsembleTeacher<D> {
         vote.into_iter().map(|v| v > 0.5).collect()
     }
 
-    fn vote_on_set(&mut self, xs: &[Vec<f32>]) -> bool {
-        if xs.is_empty() {
+    fn vote_on_set(&self, xs: &Dataset) -> bool {
+        if xs.rows() == 0 {
             return false;
         }
         let mut vote = 0.0f64;
-        for (u, m) in self.members.iter_mut().enumerate() {
-            let mean: f64 = xs.iter().map(|x| m.score(x)).sum::<f64>() / xs.len() as f64;
+        for (u, m) in self.members.iter().enumerate() {
+            let mean: f64 = xs.iter_rows().map(|x| m.score(x)).sum::<f64>() / xs.rows() as f64;
             if mean > m.threshold() {
                 vote += self.weights[u];
             }
@@ -96,39 +100,43 @@ impl<D: AnomalyDetector> Teacher for EnsembleTeacher<D> {
 pub struct DetectorTeacher<D: AnomalyDetector>(pub D);
 
 impl<D: AnomalyDetector> Teacher for DetectorTeacher<D> {
-    fn predict(&mut self, xs: &[Vec<f32>]) -> Vec<bool> {
-        xs.iter().map(|x| self.0.predict(x)).collect()
+    fn predict(&self, xs: &Dataset) -> Vec<bool> {
+        xs.iter_rows().map(|x| self.0.predict(x)).collect()
     }
 
-    fn vote_on_set(&mut self, xs: &[Vec<f32>]) -> bool {
-        if xs.is_empty() {
+    fn vote_on_set(&self, xs: &Dataset) -> bool {
+        if xs.rows() == 0 {
             return false;
         }
-        let mean: f64 = xs.iter().map(|x| self.0.score(x)).sum::<f64>() / xs.len() as f64;
+        let mean: f64 = xs.iter_rows().map(|x| self.0.score(x)).sum::<f64>() / xs.rows() as f64;
         mean > self.0.threshold()
     }
 }
 
 /// A closure-backed oracle teacher for tests and upper-bound ablations.
-pub struct OracleTeacher<F: FnMut(&[f32]) -> bool>(pub F);
+pub struct OracleTeacher<F: Fn(&[f32]) -> bool + Sync>(pub F);
 
-impl<F: FnMut(&[f32]) -> bool> Teacher for OracleTeacher<F> {
-    fn predict(&mut self, xs: &[Vec<f32>]) -> Vec<bool> {
-        xs.iter().map(|x| (self.0)(x)).collect()
+impl<F: Fn(&[f32]) -> bool + Sync> Teacher for OracleTeacher<F> {
+    fn predict(&self, xs: &Dataset) -> Vec<bool> {
+        xs.iter_rows().map(|x| (self.0)(x)).collect()
     }
 
-    fn vote_on_set(&mut self, xs: &[Vec<f32>]) -> bool {
-        if xs.is_empty() {
+    fn vote_on_set(&self, xs: &Dataset) -> bool {
+        if xs.rows() == 0 {
             return false;
         }
-        let mal = xs.iter().filter(|x| (self.0)(x)).count();
-        2 * mal > xs.len()
+        let mal = xs.iter_rows().filter(|x| (self.0)(x)).count();
+        2 * mal > xs.rows()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn rows(rows: &[Vec<f32>]) -> Dataset {
+        Dataset::from_rows(rows)
+    }
 
     /// Minimal detector: score = first feature, threshold 0.5.
     struct Stub {
@@ -139,7 +147,7 @@ mod tests {
         fn name(&self) -> &'static str {
             "stub"
         }
-        fn score(&mut self, x: &[f32]) -> f64 {
+        fn score(&self, x: &[f32]) -> f64 {
             x[0] as f64
         }
         fn threshold(&self) -> f64 {
@@ -152,17 +160,17 @@ mod tests {
 
     #[test]
     fn detector_teacher_thresholds_scores() {
-        let mut t = DetectorTeacher(Stub { threshold: 0.5 });
-        let labels = t.predict(&[vec![0.2], vec![0.9]]);
+        let t = DetectorTeacher(Stub { threshold: 0.5 });
+        let labels = t.predict(&rows(&[vec![0.2], vec![0.9]]));
         assert_eq!(labels, vec![false, true]);
     }
 
     #[test]
     fn detector_teacher_votes_on_mean() {
-        let mut t = DetectorTeacher(Stub { threshold: 0.5 });
-        assert!(!t.vote_on_set(&[vec![0.2], vec![0.3]]));
-        assert!(t.vote_on_set(&[vec![0.2], vec![0.95], vec![0.95]]));
-        assert!(!t.vote_on_set(&[]));
+        let t = DetectorTeacher(Stub { threshold: 0.5 });
+        assert!(!t.vote_on_set(&rows(&[vec![0.2], vec![0.3]])));
+        assert!(t.vote_on_set(&rows(&[vec![0.2], vec![0.95], vec![0.95]])));
+        assert!(!t.vote_on_set(&Dataset::new(1)));
     }
 
     #[test]
@@ -170,8 +178,8 @@ mod tests {
         // Member A (weight 0.75) says malicious above 0.5; member B
         // (weight 0.25) above 0.9. A alone carries the vote.
         let members = vec![Stub { threshold: 0.5 }, Stub { threshold: 0.9 }];
-        let mut ens = EnsembleTeacher::weighted(members, vec![3.0, 1.0]);
-        let labels = ens.predict(&[vec![0.7], vec![0.95], vec![0.1]]);
+        let ens = EnsembleTeacher::weighted(members, vec![3.0, 1.0]);
+        let labels = ens.predict(&rows(&[vec![0.7], vec![0.95], vec![0.1]]));
         assert_eq!(labels, vec![true, true, false]);
     }
 
@@ -179,14 +187,14 @@ mod tests {
     fn ensemble_tie_is_benign() {
         // Two members, uniform: one yes + one no = 0.5, not > 0.5.
         let members = vec![Stub { threshold: 0.5 }, Stub { threshold: 0.9 }];
-        let mut ens = EnsembleTeacher::uniform(members);
-        assert_eq!(ens.predict(&[vec![0.7]]), vec![false]);
+        let ens = EnsembleTeacher::uniform(members);
+        assert_eq!(ens.predict(&rows(&[vec![0.7]])), vec![false]);
     }
 
     #[test]
     fn oracle_majority_on_sets() {
-        let mut o = OracleTeacher(|x: &[f32]| x[0] > 0.0);
-        assert!(o.vote_on_set(&[vec![1.0], vec![1.0], vec![-1.0]]));
-        assert!(!o.vote_on_set(&[vec![1.0], vec![-1.0]])); // tie -> benign
+        let o = OracleTeacher(|x: &[f32]| x[0] > 0.0);
+        assert!(o.vote_on_set(&rows(&[vec![1.0], vec![1.0], vec![-1.0]])));
+        assert!(!o.vote_on_set(&rows(&[vec![1.0], vec![-1.0]]))); // tie -> benign
     }
 }

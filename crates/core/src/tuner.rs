@@ -7,26 +7,29 @@
 //! the candidate list and an evaluation closure.
 
 use iguard_iforest::IsolationForestConfig;
+use iguard_runtime::par;
 
 use crate::forest::IGuardConfig;
 
-/// Exhaustive grid search: evaluates every candidate and returns the
-/// arg-max with its objective value.
+/// Exhaustive grid search: evaluates every candidate — in parallel across
+/// the runtime worker pool — and returns the arg-max with its objective
+/// value. Ties go to the earliest candidate, independent of worker count.
 ///
 /// # Panics
 /// Panics on an empty candidate list.
-pub fn grid_search<C: Clone>(candidates: &[C], mut eval: impl FnMut(&C) -> f64) -> (C, f64) {
+pub fn grid_search<C: Clone + Sync>(candidates: &[C], eval: impl Fn(&C) -> f64 + Sync) -> (C, f64) {
     assert!(!candidates.is_empty(), "grid search needs candidates");
-    let mut best: Option<(C, f64)> = None;
-    for c in candidates {
-        let v = eval(c);
+    let values = par::par_map_range(candidates.len(), |i| eval(&candidates[i]));
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &v) in values.iter().enumerate() {
         assert!(!v.is_nan(), "objective returned NaN");
         match &best {
             Some((_, bv)) if *bv >= v => {}
-            _ => best = Some((c.clone(), v)),
+            _ => best = Some((i, v)),
         }
     }
-    best.expect("non-empty candidates")
+    let (i, v) = best.expect("non-empty candidates");
+    (candidates[i].clone(), v)
 }
 
 /// The iGuard candidate grid over `(t, Ψ, k)`; the teacher threshold `T`
@@ -129,6 +132,18 @@ mod tests {
         let candidates = vec!["a", "b"];
         let (best, _) = grid_search(&candidates, |_| 1.0);
         assert_eq!(best, "a");
+    }
+
+    #[test]
+    fn grid_search_identical_at_any_worker_count() {
+        use iguard_runtime::par::with_workers;
+        let candidates: Vec<f64> = (0..64).map(|i| i as f64 / 64.0).collect();
+        let run = |workers: usize| {
+            with_workers(workers, || grid_search(&candidates, |&c| -(c - 0.37).abs()))
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(2));
+        assert_eq!(serial, run(8));
     }
 
     #[test]

@@ -5,86 +5,86 @@ use iguard_core::forest::{IGuardConfig, IGuardForest};
 use iguard_core::guided::entropy;
 use iguard_core::rules::{merge_adjacent, Hypercube, RuleSet};
 use iguard_core::teacher::OracleTeacher;
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng as _, SeedableRng};
+use iguard_runtime::proptest_lite;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::Dataset;
 
 fn trained_forest(seed: u64, cut: f32) -> IGuardForest {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let data: Vec<Vec<f32>> = (0..256)
-        .map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)])
-        .collect();
-    let mut teacher = OracleTeacher(move |x: &[f32]| x[0] > cut);
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut data = Dataset::new(3);
+    for _ in 0..256 {
+        data.push_row(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+    }
+    let teacher = OracleTeacher(move |x: &[f32]| x[0] > cut);
     let cfg = IGuardConfig { n_trees: 5, subsample: 64, k_augment: 32, ..Default::default() };
-    let mut forest = IGuardForest::fit(&data, &mut teacher, &cfg, &mut rng);
-    forest.distill(&data, &mut teacher, 16, &mut rng);
+    let mut forest = IGuardForest::fit(&data, &teacher, &cfg, &mut rng);
+    forest.distill(&data, &teacher, 16, &mut rng);
     forest
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
+proptest_lite! {
     /// The compiled rule set agrees with the distilled forest everywhere —
     /// including far outside the training bounds.
-    #[test]
-    fn rules_equal_forest(seed in 0u64..50, cut in 0.2f32..0.8) {
+    fn rules_equal_forest(rng, cases = 8) {
+        let seed = rng.gen_range(0u64..50);
+        let cut = rng.gen_range(0.2f32..0.8);
         let forest = trained_forest(seed, cut);
         let rules = RuleSet::from_iguard(&forest, 400_000).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD);
+        let mut probe_rng = Rng::seed_from_u64(seed ^ 0xABCD);
         for _ in 0..200 {
-            let x: Vec<f32> = (0..3).map(|_| rng.gen_range(-2.0..3.0)).collect();
-            prop_assert_eq!(rules.predict(&x), forest.predict(&x), "at {:?}", x);
+            let x: Vec<f32> = (0..3).map(|_| probe_rng.gen_range(-2.0..3.0)).collect();
+            assert_eq!(rules.predict(&x), forest.predict(&x), "at {x:?}");
         }
     }
 
     /// Merged whitelist boxes never overlap: any point lies in ≤ 1 box.
-    #[test]
-    fn whitelist_boxes_disjoint(seed in 0u64..50, cut in 0.2f32..0.8) {
+    fn whitelist_boxes_disjoint(rng, cases = 8) {
+        let seed = rng.gen_range(0u64..50);
+        let cut = rng.gen_range(0.2f32..0.8);
         let forest = trained_forest(seed, cut);
         let rules = RuleSet::from_iguard(&forest, 400_000).unwrap();
-        let mut rng = StdRng::seed_from_u64(seed ^ 0x1234);
+        let mut probe_rng = Rng::seed_from_u64(seed ^ 0x1234);
         for _ in 0..200 {
-            let x: Vec<f32> = (0..3).map(|_| rng.gen_range(0.0..1.0)).collect();
+            let x: Vec<f32> = (0..3).map(|_| probe_rng.gen_range(0.0..1.0)).collect();
             let hits = rules.whitelist.iter().filter(|c| c.contains(&x)).count();
-            prop_assert!(hits <= 1, "{hits} boxes contain {:?}", x);
+            assert!(hits <= 1, "{hits} boxes contain {x:?}");
         }
     }
-}
 
-proptest! {
     /// Merging never changes membership: a point is covered by the merged
     /// set iff it was covered by the original set.
-    #[test]
-    fn merge_preserves_coverage(
-        boxes in proptest::collection::vec((0u8..8, 0u8..8), 1..12),
-        probes in proptest::collection::vec((0.0f32..8.0, 0.0f32..8.0), 20),
-    ) {
+    fn merge_preserves_coverage(rng) {
         // Unit grid cells, possibly duplicated.
-        let cubes: Vec<Hypercube> = boxes
-            .iter()
-            .map(|&(i, j)| Hypercube {
-                lo: vec![i as f32, j as f32],
-                hi: vec![i as f32 + 1.0, j as f32 + 1.0],
+        let n_boxes = rng.gen_range(1usize..12);
+        let cubes: Vec<Hypercube> = (0..n_boxes)
+            .map(|_| {
+                let i = rng.gen_range(0u8..8);
+                let j = rng.gen_range(0u8..8);
+                Hypercube {
+                    lo: vec![i as f32, j as f32],
+                    hi: vec![i as f32 + 1.0, j as f32 + 1.0],
+                }
             })
             .collect();
         let merged = merge_adjacent(cubes.clone());
-        prop_assert!(merged.len() <= cubes.len());
-        for (x, y) in probes {
-            let p = [x, y];
+        assert!(merged.len() <= cubes.len());
+        for _ in 0..20 {
+            let p = [rng.gen_range(0.0f32..8.0), rng.gen_range(0.0f32..8.0)];
             let before = cubes.iter().any(|c| c.contains(&p));
             let after = merged.iter().any(|c| c.contains(&p));
-            prop_assert_eq!(before, after, "coverage changed at {:?}", p);
+            assert_eq!(before, after, "coverage changed at {p:?}");
         }
     }
 
     /// Binary entropy is bounded by [0, 1], symmetric, and zero at purity.
-    #[test]
-    fn entropy_properties(mal in 0usize..100, extra in 0usize..100) {
+    fn entropy_properties(rng, cases = 256) {
+        let mal = rng.gen_range(0usize..100);
+        let extra = rng.gen_range(0usize..100);
         let total = mal + extra;
         let h = entropy(mal, total);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
-        prop_assert!((h - entropy(extra, total)).abs() < 1e-12);
-        prop_assert_eq!(entropy(0, total), 0.0);
-        prop_assert_eq!(entropy(total, total), 0.0);
+        assert!((0.0..=1.0 + 1e-12).contains(&h));
+        assert!((h - entropy(extra, total)).abs() < 1e-12);
+        assert_eq!(entropy(0, total), 0.0);
+        assert_eq!(entropy(total, total), 0.0);
     }
 }

@@ -1,7 +1,5 @@
 //! Flow identity: the classic 5-tuple and the direction-symmetric bi-hash.
 
-use serde::{Deserialize, Serialize};
-
 /// IP protocol numbers this workspace cares about.
 pub const PROTO_ICMP: u8 = 1;
 /// TCP protocol number.
@@ -12,7 +10,7 @@ pub const PROTO_UDP: u8 = 17;
 /// The (src ip, dst ip, src port, dst port, protocol) flow key.
 ///
 /// Serialized as 13 bytes in digests (paper App. B.2: 13 B flow ID).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct FiveTuple {
     pub src_ip: u32,
     pub dst_ip: u32,

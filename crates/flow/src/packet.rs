@@ -1,13 +1,10 @@
 //! The parsed packet record flowing through generators and the emulator.
 
-use bytes::Bytes;
-use serde::{Deserialize, Serialize};
-
 use crate::five_tuple::{FiveTuple, PROTO_TCP, PROTO_UDP};
 use crate::wire::{self, ethernet, ipv4, tcp, udp, EtherType, WireError};
 
-/// TCP flags in a compact, serde-friendly form.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+/// TCP flags in a compact, copyable form.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct TcpFlags {
     pub syn: bool,
     pub ack: bool,
@@ -56,7 +53,7 @@ impl TcpFlags {
 /// One packet of a trace: timestamp, flow identity, and the header fields
 /// the iGuard pipeline consumes. `wire_len` is the on-the-wire length
 /// including the Ethernet header (what a switch counter sees).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Packet {
     /// Nanoseconds since trace start.
     pub ts_ns: u64,
@@ -86,7 +83,7 @@ impl Packet {
     /// Serialises the packet to wire bytes (Ethernet + IPv4 + TCP/UDP with
     /// valid checksums and a zero-filled payload). ICMP and other protocols
     /// are emitted with a raw 8-byte L4 stub.
-    pub fn to_bytes(&self) -> Bytes {
+    pub fn to_bytes(&self) -> Vec<u8> {
         let payload_len = self.payload_len() as usize;
         let l4_len = payload_len
             + if self.five.proto == PROTO_TCP {
@@ -142,7 +139,7 @@ impl Packet {
                 payload_len,
             );
         }
-        Bytes::from(buf)
+        buf
     }
 
     /// Parses wire bytes back into a packet record, validating the IPv4
@@ -232,7 +229,7 @@ mod tests {
     #[test]
     fn corrupted_bytes_rejected() {
         let p = tcp_packet();
-        let mut bytes = p.to_bytes().to_vec();
+        let mut bytes = p.to_bytes();
         bytes[ethernet::ETHERNET_HEADER_LEN + 8] ^= 0xFF; // TTL byte
         assert_eq!(Packet::from_bytes(0, &bytes).unwrap_err(), WireError::BadChecksum);
     }

@@ -6,12 +6,10 @@
 //! single pass — the same access pattern stateful ALUs implement in
 //! hardware.
 
-use serde::{Deserialize, Serialize};
-
 use crate::packet::Packet;
 
 /// Welford online mean/variance accumulator.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct Welford {
     n: u64,
     mean: f64,
@@ -54,7 +52,7 @@ impl Welford {
 }
 
 /// Per-flow feature state, updated one packet at a time.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct FlowStats {
     /// Packets observed.
     pub pkt_count: u64,

@@ -13,14 +13,12 @@
 //! * an explicit **collision** outcome when both candidate slots hold other
 //!   live flows — the paper's orange execution path.
 
-use serde::{Deserialize, Serialize};
-
 use crate::five_tuple::FiveTuple;
 use crate::packet::Packet;
 use crate::stats::FlowStats;
 
 /// Configuration of the flow table.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct FlowTableConfig {
     /// Slots per hash table (two tables of this size are kept).
     pub slots_per_table: usize,
@@ -118,7 +116,8 @@ impl FlowTable {
 
         // Probe for the flow itself first (either table).
         for (table_id, idx) in [(1usize, i1), (2usize, i2)] {
-            let slot_opt = if table_id == 1 { &mut self.table1[idx] } else { &mut self.table2[idx] };
+            let slot_opt =
+                if table_id == 1 { &mut self.table1[idx] } else { &mut self.table2[idx] };
             if let Some(slot) = slot_opt {
                 if slot.key == key {
                     if let Some(label) = slot.label {
@@ -145,7 +144,8 @@ impl FlowTable {
         // Not tracked: find a free slot (table 1 preferred), evicting
         // timed-out residents.
         for (table_id, idx) in [(1usize, i1), (2usize, i2)] {
-            let slot_opt = if table_id == 1 { &mut self.table1[idx] } else { &mut self.table2[idx] };
+            let slot_opt =
+                if table_id == 1 { &mut self.table1[idx] } else { &mut self.table2[idx] };
             let free = match slot_opt {
                 None => true,
                 Some(s) => s.stats.timed_out(now_ns, self.cfg.timeout_ns),
@@ -165,7 +165,8 @@ impl FlowTable {
         // *classified* resident can be evicted (its verdict lives on in the
         // blacklist/whitelist outcome); an unclassified one cannot.
         for (table_id, idx) in [(1usize, i1), (2usize, i2)] {
-            let slot_opt = if table_id == 1 { &mut self.table1[idx] } else { &mut self.table2[idx] };
+            let slot_opt =
+                if table_id == 1 { &mut self.table1[idx] } else { &mut self.table2[idx] };
             if let Some(s) = slot_opt {
                 if s.label.is_some() {
                     *slot_opt =
@@ -374,9 +375,6 @@ mod tests {
         let _ = t.observe(&pkt(1, 0), 0);
         let _ = t.observe(&pkt(2, 0), 0);
         // 5 s later both residents are stale; a new flow takes a slot.
-        assert_eq!(
-            t.observe(&pkt(3, 5000), 5_000_000_000),
-            InsertOutcome::Early { pkt_count: 1 }
-        );
+        assert_eq!(t.observe(&pkt(3, 5000), 5_000_000_000), InsertOutcome::Early { pkt_count: 1 });
     }
 }

@@ -66,7 +66,14 @@ impl<T: AsRef<[u8]>> UdpDatagram<T> {
 
 /// Emits a UDP header + checksum over `payload_len` bytes already placed
 /// after the header in `buf`.
-pub fn emit(buf: &mut [u8], src_port: u16, dst_port: u16, src_ip: u32, dst_ip: u32, payload_len: usize) {
+pub fn emit(
+    buf: &mut [u8],
+    src_port: u16,
+    dst_port: u16,
+    src_ip: u32,
+    dst_ip: u32,
+    payload_len: usize,
+) {
     let len = UDP_HEADER_LEN + payload_len;
     assert!(buf.len() >= len, "buffer too small for UDP datagram");
     buf[0..2].copy_from_slice(&src_port.to_be_bytes());

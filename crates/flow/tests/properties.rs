@@ -1,69 +1,78 @@
-//! Property-based tests for the flow substrate.
+//! Randomized-input tests for the flow substrate, on the in-repo
+//! `proptest_lite` harness (seeded loop, no shrinking).
 
 use iguard_flow::features::log_compress;
 use iguard_flow::five_tuple::FiveTuple;
 use iguard_flow::packet::{Packet, TcpFlags};
 use iguard_flow::stats::FlowStats;
 use iguard_flow::wire::checksum;
-use proptest::prelude::*;
+use iguard_runtime::proptest_lite;
+use iguard_runtime::rng::Rng;
 
-fn arb_five_tuple() -> impl Strategy<Value = FiveTuple> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), prop_oneof![Just(6u8), Just(17u8)])
-        .prop_map(|(a, b, sp, dp, proto)| FiveTuple::new(a, b, sp, dp, proto))
+fn arb_five_tuple(rng: &mut Rng) -> FiveTuple {
+    let proto = if rng.gen_bool(0.5) { 6u8 } else { 17u8 };
+    FiveTuple::new(
+        rng.next_u64() as u32,
+        rng.next_u64() as u32,
+        rng.gen_range(0u16..=u16::MAX),
+        rng.gen_range(0u16..=u16::MAX),
+        proto,
+    )
 }
 
-proptest! {
+proptest_lite! {
     /// The bi-hash never distinguishes a flow from its reverse.
-    #[test]
-    fn bi_hash_direction_symmetric(five in arb_five_tuple(), seed in any::<u64>()) {
-        prop_assert_eq!(five.bi_hash(seed), five.reversed().bi_hash(seed));
+    fn bi_hash_direction_symmetric(rng) {
+        let five = arb_five_tuple(rng);
+        let seed = rng.next_u64();
+        assert_eq!(five.bi_hash(seed), five.reversed().bi_hash(seed));
     }
 
     /// Canonicalisation is idempotent and direction-invariant.
-    #[test]
-    fn canonical_idempotent(five in arb_five_tuple()) {
-        prop_assert_eq!(five.canonical(), five.canonical().canonical());
-        prop_assert_eq!(five.canonical(), five.reversed().canonical());
+    fn canonical_idempotent(rng) {
+        let five = arb_five_tuple(rng);
+        assert_eq!(five.canonical(), five.canonical().canonical());
+        assert_eq!(five.canonical(), five.reversed().canonical());
     }
 
     /// Digest bytes round-trip exactly.
-    #[test]
-    fn digest_roundtrip(five in arb_five_tuple()) {
-        prop_assert_eq!(FiveTuple::from_digest_bytes(&five.to_digest_bytes()), five);
+    fn digest_roundtrip(rng) {
+        let five = arb_five_tuple(rng);
+        assert_eq!(FiveTuple::from_digest_bytes(&five.to_digest_bytes()), five);
     }
 
-    /// A buffer containing its own RFC 1071 checksum always verifies, and
-    /// flipping any byte breaks it (for non-degenerate buffers).
-    #[test]
-    fn checksum_self_verifies(mut data in proptest::collection::vec(any::<u8>(), 4..64)) {
+    /// A buffer containing its own RFC 1071 checksum always verifies.
+    fn checksum_self_verifies(rng) {
+        let len = rng.gen_range(4usize..64);
+        let mut data: Vec<u8> = (0..len).map(|_| rng.gen_range(0u8..=255)).collect();
         data[0] &= 0x7F; // keep a mutation target deterministic
         // Zero a 2-byte field, compute, insert.
         data[2] = 0;
         data[3] = 0;
         let ck = checksum::checksum(&data);
         data[2..4].copy_from_slice(&ck.to_be_bytes());
-        prop_assert!(checksum::verify(&data));
+        assert!(checksum::verify(&data));
     }
 
     /// Packet wire serialisation round-trips for valid TCP/UDP packets.
-    #[test]
-    fn packet_bytes_roundtrip(
-        five in arb_five_tuple(),
-        len in 60u16..1500,
-        ttl in 1u8..=255,
-        ts in any::<u32>(),
-    ) {
-        let p = Packet { ts_ns: ts as u64, five, wire_len: len, ttl, flags: TcpFlags::default() };
+    fn packet_bytes_roundtrip(rng) {
+        let p = Packet {
+            ts_ns: rng.next_u64() as u32 as u64,
+            five: arb_five_tuple(rng),
+            wire_len: rng.gen_range(60u16..1500),
+            ttl: rng.gen_range(1u8..=255),
+            flags: TcpFlags::default(),
+        };
         let q = Packet::from_bytes(p.ts_ns, &p.to_bytes()).unwrap();
-        prop_assert_eq!(p, q);
+        assert_eq!(p, q);
     }
 
     /// Streaming flow stats match a two-pass computation.
-    #[test]
-    fn welford_stats_match_two_pass(
-        sizes in proptest::collection::vec(54u16..1500, 2..40),
-        gaps_ms in proptest::collection::vec(1u64..2000, 1..39),
-    ) {
+    fn welford_stats_match_two_pass(rng) {
+        let sizes: Vec<u16> =
+            (0..rng.gen_range(2usize..40)).map(|_| rng.gen_range(54u16..1500)).collect();
+        let gaps_ms: Vec<u64> =
+            (0..rng.gen_range(1usize..39)).map(|_| rng.gen_range(1u64..2000)).collect();
         let n = sizes.len().min(gaps_ms.len() + 1);
         let five = FiveTuple::new(1, 2, 1000, 80, 6);
         let mut ts = 0u64;
@@ -81,16 +90,17 @@ proptest! {
         let mean: f64 = sizes[..n].iter().map(|&s| s as f64).sum::<f64>() / n as f64;
         let var: f64 =
             sizes[..n].iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / n as f64;
-        prop_assert!((stats.mean_size() - mean).abs() < 1e-6 * mean.max(1.0));
-        prop_assert!((stats.var_size() - var).abs() < 1e-4 * var.max(1.0));
-        prop_assert_eq!(stats.pkt_count, n as u64);
+        assert!((stats.mean_size() - mean).abs() < 1e-6 * mean.max(1.0));
+        assert!((stats.var_size() - var).abs() < 1e-4 * var.max(1.0));
+        assert_eq!(stats.pkt_count, n as u64);
     }
 
     /// Log compression is strictly monotone on non-negative inputs.
-    #[test]
-    fn log_compress_monotone(a in 0.0f32..1e6, b in 0.0f32..1e6) {
+    fn log_compress_monotone(rng) {
+        let a = rng.gen_range(0.0f32..1e6);
+        let b = rng.gen_range(0.0f32..1e6);
         if a < b {
-            prop_assert!(log_compress(a) < log_compress(b));
+            assert!(log_compress(a) < log_compress(b));
         }
     }
 }

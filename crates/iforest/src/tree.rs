@@ -1,6 +1,7 @@
 //! A single isolation tree (iTree) per Liu et al. 2008.
 
-use rand::Rng;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::Dataset;
 
 /// Euler–Mascheroni constant, used by the path-length normaliser.
 pub const EULER_GAMMA: f64 = 0.577_215_664_901_532_9;
@@ -40,9 +41,9 @@ impl IsolationTree {
     /// Grows an iTree on `samples` (row indices into `data`), splitting on a
     /// uniformly random feature at a uniformly random point between the
     /// feature's min and max, until `|X| ≤ 1` or depth `⌈log₂ Ψ⌉`.
-    pub fn fit(data: &[Vec<f32>], sample_indices: &[usize], rng: &mut impl Rng) -> Self {
-        assert!(!data.is_empty(), "cannot fit on empty data");
-        let dim = data[0].len();
+    pub fn fit(data: &Dataset, sample_indices: &[usize], rng: &mut Rng) -> Self {
+        assert!(data.rows() > 0, "cannot fit on empty data");
+        let dim = data.cols();
         assert!(dim > 0, "samples must have at least one feature");
         let psi = sample_indices.len().max(2);
         let max_depth = (psi as f64).log2().ceil() as usize;
@@ -51,12 +52,12 @@ impl IsolationTree {
     }
 
     fn build(
-        data: &[Vec<f32>],
+        data: &Dataset,
         indices: Vec<usize>,
         depth: usize,
         max_depth: usize,
         dim: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Node {
         if indices.len() <= 1 || depth >= max_depth {
             return Node::Leaf { size: indices.len() };
@@ -67,7 +68,7 @@ impl IsolationTree {
             let feature = rng.gen_range(0..dim);
             let (mut lo, mut hi) = (f32::INFINITY, f32::NEG_INFINITY);
             for &i in &indices {
-                let v = data[i][feature];
+                let v = data[(i, feature)];
                 lo = lo.min(v);
                 hi = hi.max(v);
             }
@@ -76,7 +77,7 @@ impl IsolationTree {
             }
             let split = rng.gen_range(lo..hi);
             let (left_idx, right_idx): (Vec<usize>, Vec<usize>) =
-                indices.iter().partition(|&&i| data[i][feature] < split);
+                indices.iter().partition(|&&i| data[(i, feature)] < split);
             if left_idx.is_empty() || right_idx.is_empty() {
                 continue;
             }
@@ -131,12 +132,14 @@ impl IsolationTree {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
-    fn grid_data(n: usize, rng: &mut StdRng) -> Vec<Vec<f32>> {
-        use rand::Rng;
-        (0..n).map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).collect()
+    fn grid_data(n: usize, rng: &mut Rng) -> Dataset {
+        let mut d = Dataset::new(2);
+        for _ in 0..n {
+            d.push_row(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+        }
+        d
     }
 
     #[test]
@@ -160,14 +163,14 @@ mod tests {
 
     #[test]
     fn isolated_outlier_has_short_path() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut data = grid_data(255, &mut rng);
-        data.push(vec![10.0, 10.0]); // far outlier
-        let indices: Vec<usize> = (0..data.len()).collect();
+        data.push_row(&[10.0, 10.0]); // far outlier
+        let indices: Vec<usize> = (0..data.rows()).collect();
         // Average over several trees to smooth randomness.
         let (mut out_len, mut in_len) = (0.0, 0.0);
         for seed in 0..20 {
-            let mut r = StdRng::seed_from_u64(seed);
+            let mut r = Rng::seed_from_u64(seed);
             let tree = IsolationTree::fit(&data, &indices, &mut r);
             out_len += tree.path_length(&[10.0, 10.0]);
             in_len += tree.path_length(&[0.5, 0.5]);
@@ -180,7 +183,7 @@ mod tests {
 
     #[test]
     fn depth_capped_at_log2_psi() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let data = grid_data(256, &mut rng);
         let indices: Vec<usize> = (0..256).collect();
         let tree = IsolationTree::fit(&data, &indices, &mut rng);
@@ -200,9 +203,9 @@ mod tests {
 
     #[test]
     fn duplicate_points_become_one_leaf() {
-        let data = vec![vec![1.0, 1.0]; 32];
+        let data = Dataset::from_rows(&vec![vec![1.0, 1.0]; 32]);
         let indices: Vec<usize> = (0..32).collect();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let tree = IsolationTree::fit(&data, &indices, &mut rng);
         assert_eq!(tree.leaf_count(), 1);
         // Path = 0 edges + c(32).
@@ -211,8 +214,8 @@ mod tests {
 
     #[test]
     fn single_sample_tree() {
-        let data = vec![vec![0.5]];
-        let mut rng = StdRng::seed_from_u64(4);
+        let data = Dataset::from_rows(&[vec![0.5]]);
+        let mut rng = Rng::seed_from_u64(4);
         let tree = IsolationTree::fit(&data, &[0], &mut rng);
         assert_eq!(tree.path_length(&[0.5]), 0.0);
     }

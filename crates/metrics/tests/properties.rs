@@ -1,68 +1,72 @@
-//! Property-based tests for the metric implementations.
+//! Randomized-input tests for the metric implementations, on the in-repo
+//! `proptest_lite` harness (seeded loop, no shrinking).
 
 use iguard_metrics::{consistency, macro_f1, pr_auc, roc_auc, ConfusionMatrix};
-use proptest::prelude::*;
+use iguard_runtime::proptest_lite;
+use iguard_runtime::rng::Rng;
 
-fn labelled_scores() -> impl Strategy<Value = (Vec<bool>, Vec<f64>)> {
-    proptest::collection::vec((any::<bool>(), 0.0f64..1.0), 2..200)
-        .prop_map(|v| v.into_iter().unzip())
+fn labelled_scores(rng: &mut Rng) -> (Vec<bool>, Vec<f64>) {
+    let n = rng.gen_range(2usize..200);
+    (0..n).map(|_| (rng.gen_bool(0.5), rng.gen_range(0.0..1.0))).unzip()
 }
 
-proptest! {
+fn bool_pairs(rng: &mut Rng, lo: usize, hi: usize) -> (Vec<bool>, Vec<bool>) {
+    let n = rng.gen_range(lo..hi);
+    (0..n).map(|_| (rng.gen_bool(0.5), rng.gen_bool(0.5))).unzip()
+}
+
+proptest_lite! {
     /// ROC AUC is bounded and complementing the labels reflects it
     /// around 0.5 (when both classes are present).
-    #[test]
-    fn roc_auc_bounds_and_reflection((truth, scores) in labelled_scores()) {
+    fn roc_auc_bounds_and_reflection(rng) {
+        let (truth, scores) = labelled_scores(rng);
         let auc = roc_auc(&truth, &scores);
-        prop_assert!((0.0..=1.0).contains(&auc));
+        assert!((0.0..=1.0).contains(&auc));
         let n_pos = truth.iter().filter(|&&t| t).count();
         if n_pos > 0 && n_pos < truth.len() {
             let flipped: Vec<bool> = truth.iter().map(|&t| !t).collect();
-            prop_assert!((roc_auc(&flipped, &scores) - (1.0 - auc)).abs() < 1e-9);
+            assert!((roc_auc(&flipped, &scores) - (1.0 - auc)).abs() < 1e-9);
         }
     }
 
     /// AUCs are invariant to a strictly monotone score transform.
-    #[test]
-    fn aucs_monotone_invariant((truth, scores) in labelled_scores()) {
+    fn aucs_monotone_invariant(rng) {
+        let (truth, scores) = labelled_scores(rng);
         let squashed: Vec<f64> = scores.iter().map(|s| (3.0 * s).exp()).collect();
-        prop_assert!((roc_auc(&truth, &scores) - roc_auc(&truth, &squashed)).abs() < 1e-9);
-        prop_assert!((pr_auc(&truth, &scores) - pr_auc(&truth, &squashed)).abs() < 1e-9);
+        assert!((roc_auc(&truth, &scores) - roc_auc(&truth, &squashed)).abs() < 1e-9);
+        assert!((pr_auc(&truth, &scores) - pr_auc(&truth, &squashed)).abs() < 1e-9);
     }
 
     /// PR AUC is bounded by [0, 1].
-    #[test]
-    fn pr_auc_bounds((truth, scores) in labelled_scores()) {
+    fn pr_auc_bounds(rng) {
+        let (truth, scores) = labelled_scores(rng);
         let ap = pr_auc(&truth, &scores);
-        prop_assert!((0.0..=1.0 + 1e-12).contains(&ap));
+        assert!((0.0..=1.0 + 1e-12).contains(&ap));
     }
 
     /// Macro F1 is symmetric in simultaneous class relabelling.
-    #[test]
-    fn macro_f1_class_symmetric(pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..200)) {
-        let (truth, pred): (Vec<bool>, Vec<bool>) = pairs.into_iter().unzip();
+    fn macro_f1_class_symmetric(rng) {
+        let (truth, pred) = bool_pairs(rng, 1, 200);
         let flipped_t: Vec<bool> = truth.iter().map(|&t| !t).collect();
         let flipped_p: Vec<bool> = pred.iter().map(|&p| !p).collect();
-        prop_assert!((macro_f1(&truth, &pred) - macro_f1(&flipped_t, &flipped_p)).abs() < 1e-12);
+        assert!((macro_f1(&truth, &pred) - macro_f1(&flipped_t, &flipped_p)).abs() < 1e-12);
     }
 
     /// Confusion counts always sum to the number of observations, and
     /// accuracy/precision/recall stay in [0, 1].
-    #[test]
-    fn confusion_invariants(pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..200)) {
-        let (truth, pred): (Vec<bool>, Vec<bool>) = pairs.into_iter().unzip();
+    fn confusion_invariants(rng) {
+        let (truth, pred) = bool_pairs(rng, 1, 200);
         let cm = ConfusionMatrix::from_predictions(&truth, &pred);
-        prop_assert_eq!(cm.total() as usize, truth.len());
+        assert_eq!(cm.total() as usize, truth.len());
         for v in [cm.accuracy(), cm.precision(), cm.recall(), cm.f1(), cm.macro_f1(), cm.fpr()] {
-            prop_assert!((0.0..=1.0).contains(&v), "metric {} out of range", v);
+            assert!((0.0..=1.0).contains(&v), "metric {} out of range", v);
         }
     }
 
     /// Consistency is symmetric and equals 1 iff identical.
-    #[test]
-    fn consistency_symmetry(pairs in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..100)) {
-        let (a, b): (Vec<bool>, Vec<bool>) = pairs.into_iter().unzip();
-        prop_assert!((consistency(&a, &b) - consistency(&b, &a)).abs() < 1e-12);
-        prop_assert_eq!(consistency(&a, &a), 1.0);
+    fn consistency_symmetry(rng) {
+        let (a, b) = bool_pairs(rng, 1, 100);
+        assert!((consistency(&a, &b) - consistency(&b, &a)).abs() < 1e-12);
+        assert_eq!(consistency(&a, &a), 1.0);
     }
 }

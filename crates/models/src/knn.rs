@@ -5,6 +5,7 @@
 
 use iguard_nn::matrix::Matrix;
 use iguard_nn::scale::MinMaxScaler;
+use iguard_runtime::Dataset;
 
 use crate::detector::{threshold_from_contamination, AnomalyDetector};
 
@@ -28,7 +29,8 @@ impl Default for KnnConfig {
 
 /// The fitted kNN detector.
 pub struct KnnDetector {
-    refs: Vec<Vec<f32>>,
+    /// Columnar reference set (already min-max scaled).
+    refs: Dataset,
     scaler: MinMaxScaler,
     k: usize,
     threshold: f64,
@@ -39,32 +41,29 @@ impl KnnDetector {
     ///
     /// # Panics
     /// Panics if `train` is empty or `k` is zero.
-    pub fn fit(train: &[Vec<f32>], cfg: &KnnConfig) -> Self {
-        assert!(!train.is_empty(), "empty training set");
+    pub fn fit(train: &Dataset, cfg: &KnnConfig) -> Self {
+        assert!(train.rows() > 0, "empty training set");
         assert!(cfg.k >= 1, "k must be >= 1");
-        let scaler = MinMaxScaler::fit(&Matrix::from_rows(train));
+        let scaler = MinMaxScaler::fit(&Matrix::from_dataset(train));
         // Evenly strided subsample keeps the reference set representative
         // without randomness.
-        let stride = (train.len() / cfg.max_refs.max(1)).max(1);
-        let refs: Vec<Vec<f32>> = train
-            .iter()
-            .step_by(stride)
-            .take(cfg.max_refs)
-            .map(|x| scaler.transform_row(x))
-            .collect();
-        let mut det =
-            Self { refs, scaler, k: cfg.k, threshold: f64::INFINITY };
-        let mut train_scores: Vec<f64> = train.iter().map(|x| det.score_raw(x)).collect();
-        det.threshold = threshold_from_contamination(&mut train_scores, cfg.contamination);
-        det
+        let stride = (train.rows() / cfg.max_refs.max(1)).max(1);
+        let mut refs = Dataset::new(train.cols());
+        for x in train.iter_rows().step_by(stride).take(cfg.max_refs) {
+            refs.push_row(&scaler.transform_row(x));
+        }
+        let det = Self { refs, scaler, k: cfg.k, threshold: f64::INFINITY };
+        let mut train_scores: Vec<f64> = train.iter_rows().map(|x| det.score_raw(x)).collect();
+        let threshold = threshold_from_contamination(&mut train_scores, cfg.contamination);
+        Self { threshold, ..det }
     }
 
     fn score_raw(&self, x: &[f32]) -> f64 {
         let xs = self.scaler.transform_row(x);
-        let k = self.k.min(self.refs.len());
+        let k = self.k.min(self.refs.rows());
         // Maintain the k smallest distances with a small insertion buffer.
         let mut best = vec![f64::INFINITY; k];
-        for r in &self.refs {
+        for r in self.refs.iter_rows() {
             let mut d = 0.0f64;
             for (a, b) in xs.iter().zip(r) {
                 let diff = (*a - *b) as f64;
@@ -89,7 +88,7 @@ impl AnomalyDetector for KnnDetector {
         "kNN"
     }
 
-    fn score(&mut self, x: &[f32]) -> f64 {
+    fn score(&self, x: &[f32]) -> f64 {
         self.score_raw(x)
     }
 
@@ -106,35 +105,34 @@ impl AnomalyDetector for KnnDetector {
 mod tests {
     use super::*;
     use crate::detector::testutil;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     #[test]
     fn separates_clusters() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let train = testutil::benign(512, 4, &mut rng);
-        let mut det = KnnDetector::fit(&train, &KnnConfig::default());
-        testutil::assert_separates(&mut det, &mut rng);
+        let det = KnnDetector::fit(&train, &KnnConfig::default());
+        testutil::assert_separates(&det, &mut rng);
     }
 
     #[test]
     fn training_point_scores_near_zero() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let train = testutil::benign(128, 4, &mut rng);
-        let mut det = KnnDetector::fit(&train, &KnnConfig { k: 1, ..Default::default() });
+        let det = KnnDetector::fit(&train, &KnnConfig { k: 1, ..Default::default() });
         // A sample from the training set has distance 0 to itself.
-        let s = det.score(&train[0].clone());
+        let s = det.score(train.row(0));
         assert!(s < 1e-6, "self-distance {s}");
     }
 
     #[test]
     fn kth_distance_monotone_in_k() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let train = testutil::benign(128, 4, &mut rng);
         let x = vec![0.5; 4];
         let mut prev = 0.0;
         for k in [1, 3, 9] {
-            let mut det = KnnDetector::fit(&train, &KnnConfig { k, ..Default::default() });
+            let det = KnnDetector::fit(&train, &KnnConfig { k, ..Default::default() });
             let s = det.score(&x);
             assert!(s >= prev, "k={k}: {s} < {prev}");
             prev = s;
@@ -143,15 +141,15 @@ mod tests {
 
     #[test]
     fn max_refs_caps_reference_set() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let train = testutil::benign(1000, 4, &mut rng);
         let det = KnnDetector::fit(&train, &KnnConfig { max_refs: 100, ..Default::default() });
-        assert!(det.refs.len() <= 100);
+        assert!(det.refs.rows() <= 100);
     }
 
     #[test]
     #[should_panic(expected = "empty training set")]
     fn rejects_empty_train() {
-        let _ = KnnDetector::fit(&[], &KnnConfig::default());
+        let _ = KnnDetector::fit(&Dataset::new(4), &KnnConfig::default());
     }
 }

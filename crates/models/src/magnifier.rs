@@ -14,7 +14,8 @@ use iguard_nn::matrix::Matrix;
 use iguard_nn::network::{Network, TrainConfig};
 use iguard_nn::optim::Adam;
 use iguard_nn::scale::MinMaxScaler;
-use rand::Rng;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::Dataset;
 
 use crate::detector::{threshold_from_contamination, AnomalyDetector};
 
@@ -61,9 +62,9 @@ pub struct Magnifier {
 
 impl Magnifier {
     /// Trains on benign samples.
-    pub fn fit(train: &[Vec<f32>], cfg: &MagnifierConfig, rng: &mut impl Rng) -> Self {
-        assert!(!train.is_empty(), "empty training set");
-        let x_raw = Matrix::from_rows(train);
+    pub fn fit(train: &Dataset, cfg: &MagnifierConfig, rng: &mut Rng) -> Self {
+        assert!(train.rows() > 0, "empty training set");
+        let x_raw = Matrix::from_dataset(train);
         let scaler = MinMaxScaler::fit(&x_raw);
         let x = scaler.transform(&x_raw);
         let dim = x.cols();
@@ -91,7 +92,7 @@ impl Magnifier {
         };
         net.fit(&x.clone(), &x, &mut opt, &tc, rng);
         let mut mag = Self { scaler, net, threshold: f64::INFINITY, input_dim: dim };
-        let mut scores: Vec<f64> = train.iter().map(|s| mag.score_raw(s)).collect();
+        let mut scores: Vec<f64> = train.iter_rows().map(|s| mag.score_raw(s)).collect();
         // The paper tunes T by grid search; the default is a benign quantile.
         let q = cfg.threshold_quantile.clamp(0.0, 1.0);
         scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -102,18 +103,19 @@ impl Magnifier {
     }
 
     /// Reconstruction errors for a batch of raw (unscaled) samples.
-    pub fn reconstruction_errors(&mut self, xs: &[Vec<f32>]) -> Vec<f64> {
-        if xs.is_empty() {
+    /// Shared-reference inference: many threads can score one Magnifier.
+    pub fn reconstruction_errors(&self, xs: &Dataset) -> Vec<f64> {
+        if xs.rows() == 0 {
             return Vec::new();
         }
-        let x = self.scaler.transform(&Matrix::from_rows(xs));
-        let y = self.net.predict(&x);
+        let x = self.scaler.transform(&Matrix::from_dataset(xs));
+        let y = self.net.infer(&x);
         per_sample_rmse(&y, &x).into_iter().map(|v| v as f64).collect()
     }
 
     /// Mean reconstruction error over a sample set — `RE_leaf` of paper
     /// Eq. 5 when called on a leaf's samples.
-    pub fn mean_reconstruction_error(&mut self, xs: &[Vec<f32>]) -> f64 {
+    pub fn mean_reconstruction_error(&self, xs: &Dataset) -> f64 {
         let errs = self.reconstruction_errors(xs);
         if errs.is_empty() {
             0.0
@@ -136,7 +138,7 @@ impl AnomalyDetector for Magnifier {
         "Magnifier"
     }
 
-    fn score(&mut self, x: &[f32]) -> f64 {
+    fn score(&self, x: &[f32]) -> f64 {
         self.score_raw(x)
     }
 
@@ -150,9 +152,9 @@ impl AnomalyDetector for Magnifier {
 }
 
 impl Magnifier {
-    fn score_raw(&mut self, x: &[f32]) -> f64 {
+    fn score_raw(&self, x: &[f32]) -> f64 {
         assert_eq!(x.len(), self.input_dim, "feature width mismatch");
-        self.reconstruction_errors(&[x.to_vec()])[0]
+        self.reconstruction_errors(&Dataset::from_rows(&[x.to_vec()]))[0]
     }
 }
 
@@ -160,8 +162,7 @@ impl Magnifier {
 mod tests {
     use super::*;
     use crate::detector::testutil;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     fn quick_cfg() -> MagnifierConfig {
         MagnifierConfig { epochs: 50, ..Default::default() }
@@ -169,27 +170,27 @@ mod tests {
 
     #[test]
     fn separates_clusters() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let train = testutil::benign(512, 4, &mut rng);
-        let mut det = Magnifier::fit(&train, &quick_cfg(), &mut rng);
-        testutil::assert_separates(&mut det, &mut rng);
+        let det = Magnifier::fit(&train, &quick_cfg(), &mut rng);
+        testutil::assert_separates(&det, &mut rng);
     }
 
     #[test]
     fn benign_errors_below_threshold_mostly() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let train = testutil::benign(256, 4, &mut rng);
-        let mut det = Magnifier::fit(&train, &quick_cfg(), &mut rng);
-        let flagged = train.iter().filter(|x| det.predict(x)).count();
+        let det = Magnifier::fit(&train, &quick_cfg(), &mut rng);
+        let flagged = train.iter_rows().filter(|x| det.predict(x)).count();
         // 98th-percentile threshold: ~2% of training flagged.
         assert!(flagged <= 16, "flagged {flagged}/256");
     }
 
     #[test]
     fn mean_reconstruction_error_orders_classes() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let train = testutil::benign(512, 4, &mut rng);
-        let mut det = Magnifier::fit(&train, &quick_cfg(), &mut rng);
+        let det = Magnifier::fit(&train, &quick_cfg(), &mut rng);
         let ben = testutil::benign(64, 4, &mut rng);
         let mal = testutil::anomalies(64, 4, &mut rng);
         assert!(det.mean_reconstruction_error(&mal) > det.mean_reconstruction_error(&ben));
@@ -197,27 +198,22 @@ mod tests {
 
     #[test]
     fn empty_batch_is_safe() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let train = testutil::benign(64, 4, &mut rng);
-        let mut det = Magnifier::fit(
-            &train,
-            &MagnifierConfig { epochs: 3, ..Default::default() },
-            &mut rng,
-        );
-        assert!(det.reconstruction_errors(&[]).is_empty());
-        assert_eq!(det.mean_reconstruction_error(&[]), 0.0);
+        let det =
+            Magnifier::fit(&train, &MagnifierConfig { epochs: 3, ..Default::default() }, &mut rng);
+        let empty = Dataset::new(4);
+        assert!(det.reconstruction_errors(&empty).is_empty());
+        assert_eq!(det.mean_reconstruction_error(&empty), 0.0);
     }
 
     #[test]
     #[should_panic(expected = "feature width mismatch")]
     fn rejects_wrong_width() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let train = testutil::benign(64, 4, &mut rng);
-        let mut det = Magnifier::fit(
-            &train,
-            &MagnifierConfig { epochs: 2, ..Default::default() },
-            &mut rng,
-        );
+        let det =
+            Magnifier::fit(&train, &MagnifierConfig { epochs: 2, ..Default::default() }, &mut rng);
         let _ = det.score(&[0.0; 7]);
     }
 }

@@ -8,6 +8,7 @@
 
 use iguard_nn::matrix::Matrix;
 use iguard_nn::scale::StandardScaler;
+use iguard_runtime::Dataset;
 
 use crate::detector::{threshold_from_contamination, AnomalyDetector};
 
@@ -99,15 +100,36 @@ pub struct PcaDetector {
 
 impl PcaDetector {
     /// Fits on benign training samples.
-    pub fn fit(train: &[Vec<f32>], cfg: &PcaConfig) -> Self {
-        assert!(!train.is_empty(), "empty training set");
+    ///
+    /// The covariance is accumulated straight off the columnar [`Dataset`]:
+    /// one pass over the flat row-major buffer, one scratch row for the
+    /// scaled sample — no intermediate row-of-vecs materialisation.
+    pub fn fit(train: &Dataset, cfg: &PcaConfig) -> Self {
+        assert!(train.rows() > 0, "empty training set");
         assert!((0.0..=1.0).contains(&cfg.variance_kept));
-        let x = Matrix::from_rows(train);
-        let scaler = StandardScaler::fit(&x);
-        let xs = scaler.transform(&x);
-        let dim = xs.cols();
-        // Covariance = X^T X / n (data already centred by the scaler).
-        let cov = xs.t_matmul(&xs).scale(1.0 / xs.rows() as f32);
+        let scaler = StandardScaler::fit(&Matrix::from_dataset(train));
+        let dim = train.cols();
+        let n = train.rows();
+        // Covariance = X^T X / n (data already centred by the scaler),
+        // accumulated in f64 row by row off the columnar buffer.
+        let mut acc = vec![0.0f64; dim * dim];
+        for row in train.iter_rows() {
+            let xs = scaler.transform_row(row);
+            for j in 0..dim {
+                let xj = xs[j] as f64;
+                for k in j..dim {
+                    acc[j * dim + k] += xj * xs[k] as f64;
+                }
+            }
+        }
+        let mut cov = Matrix::zeros(dim, dim);
+        for j in 0..dim {
+            for k in j..dim {
+                let v = (acc[j * dim + k] / n as f64) as f32;
+                cov[(j, k)] = v;
+                cov[(k, j)] = v;
+            }
+        }
         let (eigenvalues, vectors) = jacobi_eigen(&cov, 50);
         let total: f64 = eigenvalues.iter().map(|&e| e.max(0.0)).sum();
         let mut kept = 0usize;
@@ -128,7 +150,7 @@ impl PcaDetector {
             }
         }
         let mut det = Self { scaler, components, threshold: f64::INFINITY, n_components: kept };
-        let mut scores: Vec<f64> = train.iter().map(|s| det.score_raw(s)).collect();
+        let mut scores: Vec<f64> = train.iter_rows().map(|s| det.score_raw(s)).collect();
         det.threshold = threshold_from_contamination(&mut scores, cfg.contamination);
         det
     }
@@ -156,7 +178,7 @@ impl AnomalyDetector for PcaDetector {
         "PCA"
     }
 
-    fn score(&mut self, x: &[f32]) -> f64 {
+    fn score(&self, x: &[f32]) -> f64 {
         self.score_raw(x)
     }
 
@@ -172,8 +194,7 @@ impl AnomalyDetector for PcaDetector {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::{Rng, SeedableRng};
+    use iguard_runtime::rng::Rng;
 
     #[test]
     fn jacobi_recovers_diagonal() {
@@ -198,11 +219,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = Matrix::from_rows(&[
-            vec![4.0, 1.0, 0.5],
-            vec![1.0, 3.0, 0.2],
-            vec![0.5, 0.2, 2.0],
-        ]);
+        let a = Matrix::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 0.2], vec![0.5, 0.2, 2.0]]);
         let (_, vecs) = jacobi_eigen(&a, 30);
         let gram = vecs.t_matmul(&vecs);
         for i in 0..3 {
@@ -216,14 +233,17 @@ mod tests {
     /// Data on a 1-D line embedded in 3-D: off-line points score high.
     #[test]
     fn detects_off_subspace_points() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let train: Vec<Vec<f32>> = (0..400)
-            .map(|_| {
-                let t: f32 = rng.gen_range(-1.0..1.0);
-                vec![t, 2.0 * t + rng.gen_range(-0.01..0.01), -t + rng.gen_range(-0.01..0.01)]
-            })
-            .collect();
-        let mut det = PcaDetector::fit(&train, &PcaConfig { variance_kept: 0.9, contamination: 0.02 });
+        let mut rng = Rng::seed_from_u64(1);
+        let mut train = Dataset::new(3);
+        for _ in 0..400 {
+            let t: f32 = rng.gen_range(-1.0..1.0);
+            train.push_row(&[
+                t,
+                2.0 * t + rng.gen_range(-0.01..0.01),
+                -t + rng.gen_range(-0.01..0.01),
+            ]);
+        }
+        let det = PcaDetector::fit(&train, &PcaConfig { variance_kept: 0.9, contamination: 0.02 });
         assert!(det.n_components() < 3, "line data should need < 3 components");
         let on_line = det.score(&[0.5, 1.0, -0.5]);
         let off_line = det.score(&[0.5, -1.0, 0.5]);
@@ -232,12 +252,14 @@ mod tests {
 
     #[test]
     fn full_variance_keeps_all_components_and_zero_error() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let train: Vec<Vec<f32>> =
-            (0..100).map(|_| vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]).collect();
-        let mut det = PcaDetector::fit(&train, &PcaConfig { variance_kept: 1.0, contamination: 0.05 });
+        let mut rng = Rng::seed_from_u64(2);
+        let mut train = Dataset::new(2);
+        for _ in 0..100 {
+            train.push_row(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
+        }
+        let det = PcaDetector::fit(&train, &PcaConfig { variance_kept: 1.0, contamination: 0.05 });
         assert_eq!(det.n_components(), 2);
         // With all components kept, reconstruction is exact.
-        assert!(det.score(&train[3].clone()) < 1e-3);
+        assert!(det.score(train.row(3)) < 1e-3);
     }
 }

@@ -9,7 +9,8 @@ use iguard_nn::loss::{kl_standard_normal, mse, per_sample_rmse};
 use iguard_nn::matrix::Matrix;
 use iguard_nn::optim::{Adam, Optimizer};
 use iguard_nn::scale::MinMaxScaler;
-use rand::Rng;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::Dataset;
 
 use crate::detector::{threshold_from_contamination, AnomalyDetector};
 
@@ -56,9 +57,9 @@ pub struct VaeDetector {
 
 impl VaeDetector {
     /// Trains on benign samples.
-    pub fn fit(train: &[Vec<f32>], cfg: &VaeConfig, rng: &mut impl Rng) -> Self {
-        assert!(!train.is_empty(), "empty training set");
-        let x_raw = Matrix::from_rows(train);
+    pub fn fit(train: &Dataset, cfg: &VaeConfig, rng: &mut Rng) -> Self {
+        assert!(train.rows() > 0, "empty training set");
+        let x_raw = Matrix::from_dataset(train);
         let scaler = MinMaxScaler::fit(&x_raw);
         let x = scaler.transform(&x_raw);
         let dim = x.cols();
@@ -86,12 +87,12 @@ impl VaeDetector {
                 vae.train_step(&xb, cfg.beta, &mut opt, rng);
             }
         }
-        let mut scores: Vec<f64> = train.iter().map(|s| vae.score_raw(s)).collect();
+        let mut scores: Vec<f64> = train.iter_rows().map(|s| vae.score_raw(s)).collect();
         vae.threshold = threshold_from_contamination(&mut scores, cfg.contamination);
         vae
     }
 
-    fn train_step(&mut self, xb: &Matrix, beta: f32, opt: &mut Adam, rng: &mut impl Rng) {
+    fn train_step(&mut self, xb: &Matrix, beta: f32, opt: &mut Adam, rng: &mut Rng) {
         // Forward.
         let h = self.enc_act.forward(&self.enc.forward(xb));
         let mu = self.mu_head.forward(&h);
@@ -137,14 +138,15 @@ impl VaeDetector {
         opt.step(&mut pairs);
     }
 
-    /// Deterministic reconstruction (z = μ) of scaled inputs.
-    fn reconstruct(&mut self, x_scaled: &Matrix) -> Matrix {
-        let h = self.enc_act.forward(&self.enc.forward(x_scaled));
-        let mu = self.mu_head.forward(&h);
-        self.out.forward(&self.dec_act.forward(&self.dec.forward(&mu)))
+    /// Deterministic reconstruction (z = μ) of scaled inputs. Cache-free
+    /// inference, so scoring shares the detector across threads.
+    fn reconstruct(&self, x_scaled: &Matrix) -> Matrix {
+        let h = self.enc_act.infer(&self.enc.infer(x_scaled));
+        let mu = self.mu_head.infer(&h);
+        self.out.infer(&self.dec_act.infer(&self.dec.infer(&mu)))
     }
 
-    fn score_raw(&mut self, x: &[f32]) -> f64 {
+    fn score_raw(&self, x: &[f32]) -> f64 {
         let xs = self.scaler.transform(&Matrix::from_rows(&[x.to_vec()]));
         let y = self.reconstruct(&xs);
         per_sample_rmse(&y, &xs)[0] as f64
@@ -152,7 +154,7 @@ impl VaeDetector {
 }
 
 /// Standard-normal sample via Box–Muller.
-fn gauss01(rng: &mut impl Rng) -> f32 {
+fn gauss01(rng: &mut Rng) -> f32 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     ((-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()) as f32
@@ -163,7 +165,7 @@ impl AnomalyDetector for VaeDetector {
         "VAE"
     }
 
-    fn score(&mut self, x: &[f32]) -> f64 {
+    fn score(&self, x: &[f32]) -> f64 {
         self.score_raw(x)
     }
 
@@ -180,8 +182,7 @@ impl AnomalyDetector for VaeDetector {
 mod tests {
     use super::*;
     use crate::detector::testutil;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     fn quick_cfg() -> VaeConfig {
         VaeConfig { epochs: 40, hidden: 12, latent: 3, ..Default::default() }
@@ -189,40 +190,36 @@ mod tests {
 
     #[test]
     fn separates_clusters() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let train = testutil::benign(512, 4, &mut rng);
-        let mut det = VaeDetector::fit(&train, &quick_cfg(), &mut rng);
-        testutil::assert_separates(&mut det, &mut rng);
+        let det = VaeDetector::fit(&train, &quick_cfg(), &mut rng);
+        testutil::assert_separates(&det, &mut rng);
     }
 
     #[test]
     fn benign_reconstruction_error_is_small() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let train = testutil::benign(512, 4, &mut rng);
-        let mut det = VaeDetector::fit(&train, &quick_cfg(), &mut rng);
+        let det = VaeDetector::fit(&train, &quick_cfg(), &mut rng);
         // The blob is isotropic in 4-D, so a 3-D latent necessarily loses
         // ~one dimension of variance; the bound reflects that floor.
-        let mean: f64 =
-            train.iter().take(64).map(|x| det.score(x)).sum::<f64>() / 64.0;
+        let mean: f64 = train.iter_rows().take(64).map(|x| det.score(x)).sum::<f64>() / 64.0;
         assert!(mean < 0.35, "benign RMSE {mean} too large — VAE failed to train");
     }
 
     #[test]
     fn threshold_flags_contamination_fraction() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let train = testutil::benign(256, 4, &mut rng);
-        let mut det = VaeDetector::fit(
-            &train,
-            &VaeConfig { contamination: 0.1, ..quick_cfg() },
-            &mut rng,
-        );
-        let flagged = train.iter().filter(|x| det.predict(x)).count();
+        let det =
+            VaeDetector::fit(&train, &VaeConfig { contamination: 0.1, ..quick_cfg() }, &mut rng);
+        let flagged = train.iter_rows().filter(|x| det.predict(x)).count();
         assert!((10..=60).contains(&flagged), "flagged {flagged}/256");
     }
 
     #[test]
     fn gauss01_is_standard_normal() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let n = 20_000;
         let xs: Vec<f64> = (0..n).map(|_| gauss01(&mut rng) as f64).collect();
         let mean = xs.iter().sum::<f64>() / n as f64;

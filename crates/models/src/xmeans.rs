@@ -7,7 +7,8 @@
 
 use iguard_nn::matrix::Matrix;
 use iguard_nn::scale::MinMaxScaler;
-use rand::Rng;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::Dataset;
 
 use crate::detector::{threshold_from_contamination, AnomalyDetector};
 
@@ -39,32 +40,32 @@ pub struct XMeansDetector {
 
 /// Lloyd's k-means on scaled rows; returns (centroids, assignment).
 fn kmeans(
-    data: &[Vec<f32>],
+    data: &Dataset,
     k: usize,
     iterations: usize,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> (Vec<Vec<f32>>, Vec<usize>) {
-    let n = data.len();
-    let dim = data[0].len();
+    let n = data.rows();
+    let dim = data.cols();
     let k = k.min(n).max(1);
     // k-means++-lite seeding: first centroid random, rest farthest-point.
     let mut centroids: Vec<Vec<f32>> = Vec::with_capacity(k);
-    centroids.push(data[rng.gen_range(0..n)].clone());
+    centroids.push(data.row(rng.gen_range(0..n)).to_vec());
     while centroids.len() < k {
         let (mut best_i, mut best_d) = (0usize, -1.0f64);
-        for (i, x) in data.iter().enumerate() {
+        for (i, x) in data.iter_rows().enumerate() {
             let d = centroids.iter().map(|c| dist2(x, c)).fold(f64::INFINITY, f64::min);
             if d > best_d {
                 best_d = d;
                 best_i = i;
             }
         }
-        centroids.push(data[best_i].clone());
+        centroids.push(data.row(best_i).to_vec());
     }
     let mut assign = vec![0usize; n];
     for _ in 0..iterations {
         let mut moved = false;
-        for (i, x) in data.iter().enumerate() {
+        for (i, x) in data.iter_rows().enumerate() {
             let (mut best_c, mut best_d) = (0usize, f64::INFINITY);
             for (c, cent) in centroids.iter().enumerate() {
                 let d = dist2(x, cent);
@@ -80,7 +81,7 @@ fn kmeans(
         }
         let mut sums = vec![vec![0.0f64; dim]; centroids.len()];
         let mut counts = vec![0usize; centroids.len()];
-        for (i, x) in data.iter().enumerate() {
+        for (i, x) in data.iter_rows().enumerate() {
             counts[assign[i]] += 1;
             for (s, &v) in sums[assign[i]].iter_mut().zip(x) {
                 *s += v as f64;
@@ -106,14 +107,14 @@ fn dist2(a: &[f32], b: &[f32]) -> f64 {
 
 /// BIC of a spherical-Gaussian mixture model over `points` with the given
 /// centroids/assignment (Pelleg & Moore's formulation).
-fn bic(points: &[Vec<f32>], centroids: &[Vec<f32>], assign: &[usize]) -> f64 {
-    let n = points.len() as f64;
+fn bic(points: &Dataset, centroids: &[Vec<f32>], assign: &[usize]) -> f64 {
+    let n = points.rows() as f64;
     let k = centroids.len() as f64;
-    let dim = points[0].len() as f64;
-    if points.len() <= centroids.len() {
+    let dim = points.cols() as f64;
+    if points.rows() <= centroids.len() {
         return f64::NEG_INFINITY;
     }
-    let rss: f64 = points.iter().zip(assign).map(|(x, &a)| dist2(x, &centroids[a])).sum();
+    let rss: f64 = points.iter_rows().zip(assign).map(|(x, &a)| dist2(x, &centroids[a])).sum();
     let variance = (rss / (n - k)).max(1e-12);
     let mut loglik = 0.0;
     for (c, cent) in centroids.iter().enumerate() {
@@ -132,10 +133,13 @@ fn bic(points: &[Vec<f32>], centroids: &[Vec<f32>], assign: &[usize]) -> f64 {
 
 impl XMeansDetector {
     /// Fits on benign training samples.
-    pub fn fit(train: &[Vec<f32>], cfg: &XMeansConfig, rng: &mut impl Rng) -> Self {
-        assert!(!train.is_empty(), "empty training set");
-        let scaler = MinMaxScaler::fit(&Matrix::from_rows(train));
-        let data: Vec<Vec<f32>> = train.iter().map(|x| scaler.transform_row(x)).collect();
+    pub fn fit(train: &Dataset, cfg: &XMeansConfig, rng: &mut Rng) -> Self {
+        assert!(train.rows() > 0, "empty training set");
+        let scaler = MinMaxScaler::fit(&Matrix::from_dataset(train));
+        let mut data = Dataset::new(train.cols());
+        for x in train.iter_rows() {
+            data.push_row(&scaler.transform_row(x));
+        }
         let (mut centroids, mut assign) = kmeans(&data, cfg.k_init, cfg.iterations, rng);
         // Improve-structure loop: try splitting each cluster in two; keep
         // the split if the local BIC improves. One pass per doubling until
@@ -147,17 +151,14 @@ impl XMeansDetector {
             let mut new_centroids: Vec<Vec<f32>> = Vec::new();
             let mut split_any = false;
             for (c, cent) in centroids.iter().enumerate() {
-                let members: Vec<Vec<f32>> = data
-                    .iter()
-                    .zip(&assign)
-                    .filter(|(_, &a)| a == c)
-                    .map(|(x, _)| x.clone())
-                    .collect();
-                if members.len() < 8 || new_centroids.len() + 2 > cfg.k_max {
+                let member_idx: Vec<usize> =
+                    assign.iter().enumerate().filter(|(_, &a)| a == c).map(|(i, _)| i).collect();
+                let members = data.select_rows(&member_idx);
+                if members.rows() < 8 || new_centroids.len() + 2 > cfg.k_max {
                     new_centroids.push(cent.clone());
                     continue;
                 }
-                let parent_bic = bic(&members, &[cent.clone()], &vec![0; members.len()]);
+                let parent_bic = bic(&members, &[cent.clone()], &vec![0; members.rows()]);
                 let (kids, kid_assign) = kmeans(&members, 2, cfg.iterations, rng);
                 let child_bic = bic(&members, &kids, &kid_assign);
                 if child_bic > parent_bic {
@@ -171,9 +172,9 @@ impl XMeansDetector {
             // Re-assign globally after structural changes.
             let (refined, refined_assign) = {
                 let mut cents = centroids.clone();
-                let mut asg = vec![0usize; data.len()];
+                let mut asg = vec![0usize; data.rows()];
                 for _ in 0..cfg.iterations {
-                    for (i, x) in data.iter().enumerate() {
+                    for (i, x) in data.iter_rows().enumerate() {
                         let (mut bc, mut bd) = (0usize, f64::INFINITY);
                         for (c, cent) in cents.iter().enumerate() {
                             let d = dist2(x, cent);
@@ -184,10 +185,10 @@ impl XMeansDetector {
                         }
                         asg[i] = bc;
                     }
-                    let dim = data[0].len();
+                    let dim = data.cols();
                     let mut sums = vec![vec![0.0f64; dim]; cents.len()];
                     let mut counts = vec![0usize; cents.len()];
-                    for (i, x) in data.iter().enumerate() {
+                    for (i, x) in data.iter_rows().enumerate() {
                         counts[asg[i]] += 1;
                         for (s, &v) in sums[asg[i]].iter_mut().zip(x) {
                             *s += v as f64;
@@ -210,7 +211,7 @@ impl XMeansDetector {
             }
         }
         let mut det = Self { scaler, centroids, threshold: f64::INFINITY };
-        let mut scores: Vec<f64> = train.iter().map(|x| det.score_raw(x)).collect();
+        let mut scores: Vec<f64> = train.iter_rows().map(|x| det.score_raw(x)).collect();
         det.threshold = threshold_from_contamination(&mut scores, cfg.contamination);
         det
     }
@@ -230,7 +231,7 @@ impl AnomalyDetector for XMeansDetector {
         "X-means"
     }
 
-    fn score(&mut self, x: &[f32]) -> f64 {
+    fn score(&self, x: &[f32]) -> f64 {
         self.score_raw(x)
     }
 
@@ -247,24 +248,23 @@ impl AnomalyDetector for XMeansDetector {
 mod tests {
     use super::*;
     use crate::detector::testutil;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     #[test]
     fn separates_clusters() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let train = testutil::benign(512, 4, &mut rng);
-        let mut det = XMeansDetector::fit(&train, &XMeansConfig::default(), &mut rng);
-        testutil::assert_separates(&mut det, &mut rng);
+        let det = XMeansDetector::fit(&train, &XMeansConfig::default(), &mut rng);
+        testutil::assert_separates(&det, &mut rng);
     }
 
     #[test]
     fn finds_multiple_well_separated_clusters() {
-        let mut rng = StdRng::seed_from_u64(2);
-        let mut train = Vec::new();
+        let mut rng = Rng::seed_from_u64(2);
+        let mut train = Dataset::new(2);
         for center in [0.1f32, 0.5, 0.9] {
             for _ in 0..200 {
-                train.push(vec![
+                train.push_row(&[
                     center + rng.gen_range(-0.02..0.02),
                     center + rng.gen_range(-0.02..0.02),
                 ]);
@@ -276,9 +276,9 @@ mod tests {
 
     #[test]
     fn centroid_proximity_scores_low() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let train = testutil::benign(256, 4, &mut rng);
-        let mut det = XMeansDetector::fit(&train, &XMeansConfig::default(), &mut rng);
+        let det = XMeansDetector::fit(&train, &XMeansConfig::default(), &mut rng);
         let near = det.score(&[0.3, 0.3, 0.3, 0.3]);
         let far = det.score(&[0.95, 0.95, 0.95, 0.95]);
         assert!(far > 3.0 * near.max(1e-6));
@@ -286,19 +286,16 @@ mod tests {
 
     #[test]
     fn k_max_is_respected() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let train = testutil::benign(512, 4, &mut rng);
-        let det = XMeansDetector::fit(
-            &train,
-            &XMeansConfig { k_max: 4, ..Default::default() },
-            &mut rng,
-        );
+        let det =
+            XMeansDetector::fit(&train, &XMeansConfig { k_max: 4, ..Default::default() }, &mut rng);
         assert!(det.n_clusters() <= 4);
     }
 
     #[test]
     fn kmeans_partitions_all_points() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let data = testutil::benign(100, 3, &mut rng);
         let (cents, assign) = kmeans(&data, 4, 20, &mut rng);
         assert_eq!(assign.len(), 100);

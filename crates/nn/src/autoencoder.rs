@@ -7,7 +7,7 @@
 //! (Σ w_u = 1) and predicts malicious when the weighted vote
 //! `Σ w_u · 1{RE_u(x) > T_u}` exceeds 0.5.
 
-use rand::Rng;
+use iguard_runtime::rng::Rng;
 
 use crate::layer::{Activation, ActivationLayer, Dense, Layer};
 use crate::loss::per_sample_rmse;
@@ -49,7 +49,7 @@ impl AutoencoderSpec {
         Self { input_dim, encoder, decoder, activation }
     }
 
-    fn build(&self, rng: &mut impl Rng) -> Network {
+    fn build(&self, rng: &mut Rng) -> Network {
         let mut layers: Vec<Box<dyn Layer>> = Vec::new();
         let mut width = self.input_dim;
         for &h in &self.encoder {
@@ -101,7 +101,7 @@ impl Autoencoder {
         spec: &AutoencoderSpec,
         train: &Matrix,
         cfg: &AeTrainConfig,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         assert_eq!(train.cols(), spec.input_dim, "training width != spec input_dim");
         assert!(train.rows() > 0, "empty training set");
@@ -120,13 +120,14 @@ impl Autoencoder {
         ae
     }
 
-    /// `RE_u(x)` for each row of `data`.
-    pub fn reconstruction_errors(&mut self, data: &Matrix) -> Vec<f32> {
+    /// `RE_u(x)` for each row of `data`. Shared-reference inference, so
+    /// ensembles and teachers can score concurrently.
+    pub fn reconstruction_errors(&self, data: &Matrix) -> Vec<f32> {
         assert_eq!(data.cols(), self.input_dim);
         if data.rows() == 0 {
             return Vec::new();
         }
-        let recon = self.net.predict(data);
+        let recon = self.net.infer(data);
         per_sample_rmse(&recon, data)
     }
 
@@ -141,7 +142,7 @@ impl Autoencoder {
     }
 
     /// `label_u(x) = 1{RE_u(x) > T_u}` per row.
-    pub fn labels(&mut self, data: &Matrix) -> Vec<bool> {
+    pub fn labels(&self, data: &Matrix) -> Vec<bool> {
         let t = self.threshold;
         self.reconstruction_errors(data).into_iter().map(|re| re > t).collect()
     }
@@ -184,7 +185,7 @@ impl AutoencoderEnsemble {
         specs: &[AutoencoderSpec],
         train: &Matrix,
         cfg: &AeTrainConfig,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         let members = specs.iter().map(|s| Autoencoder::train(s, train, cfg, rng)).collect();
         Self::uniform(members)
@@ -208,10 +209,10 @@ impl AutoencoderEnsemble {
 
     /// Weighted ensemble prediction per row:
     /// `1{Σ w_u · 1{RE_u(x) > T_u} > 0.5}` (paper Eq. in §3.2.1).
-    pub fn predict(&mut self, data: &Matrix) -> Vec<bool> {
+    pub fn predict(&self, data: &Matrix) -> Vec<bool> {
         let n = data.rows();
         let mut score = vec![0.0f32; n];
-        for (u, member) in self.members.iter_mut().enumerate() {
+        for (u, member) in self.members.iter().enumerate() {
             let w = self.weights[u];
             for (s, lab) in score.iter_mut().zip(member.labels(data)) {
                 if lab {
@@ -224,9 +225,9 @@ impl AutoencoderEnsemble {
 
     /// Mean reconstruction error per member over `data`
     /// (`RE_leaf_u` in paper Eq. 5 when `data` is a leaf's sample set).
-    pub fn mean_errors(&mut self, data: &Matrix) -> Vec<f32> {
+    pub fn mean_errors(&self, data: &Matrix) -> Vec<f32> {
         self.members
-            .iter_mut()
+            .iter()
             .map(|m| {
                 let errs = m.reconstruction_errors(data);
                 if errs.is_empty() {
@@ -240,14 +241,11 @@ impl AutoencoderEnsemble {
 
     /// The distillation vote over *expected* errors (paper Eq. 6):
     /// `1{Σ w_u · 1{RE_leaf_u > T_u} > 0.5}`.
-    pub fn vote_on_mean_errors(&mut self, data: &Matrix) -> bool {
+    pub fn vote_on_mean_errors(&self, data: &Matrix) -> bool {
         let means = self.mean_errors(data);
         let mut s = 0.0;
-        for ((w, m), t) in self
-            .weights
-            .iter()
-            .zip(&means)
-            .zip(self.members.iter().map(|mm| mm.threshold))
+        for ((w, m), t) in
+            self.weights.iter().zip(&means).zip(self.members.iter().map(|mm| mm.threshold))
         {
             if *m > t {
                 s += w;
@@ -258,10 +256,10 @@ impl AutoencoderEnsemble {
 
     /// Continuous anomaly score in [0, 1]: the weighted fraction of members
     /// voting malicious. Used for AUC-style metrics of the ensemble itself.
-    pub fn score(&mut self, data: &Matrix) -> Vec<f32> {
+    pub fn score(&self, data: &Matrix) -> Vec<f32> {
         let n = data.rows();
         let mut score = vec![0.0f32; n];
-        for (u, member) in self.members.iter_mut().enumerate() {
+        for (u, member) in self.members.iter().enumerate() {
             let w = self.weights[u];
             let t = member.threshold;
             // Smooth margin: normalised RE excess, clamped, keeps ranking
@@ -295,10 +293,9 @@ pub fn quantile(values: &[f32], q: f64) -> f32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
-    fn benign_blob(n: usize, rng: &mut StdRng) -> Matrix {
+    fn benign_blob(n: usize, rng: &mut Rng) -> Matrix {
         // Benign: tight cluster near (0.3, 0.3, 0.3, 0.3).
         let mut m = Matrix::zeros(n, 4);
         for v in m.as_mut_slice() {
@@ -307,7 +304,7 @@ mod tests {
         m
     }
 
-    fn anomalies(n: usize, rng: &mut StdRng) -> Matrix {
+    fn anomalies(n: usize, rng: &mut Rng) -> Matrix {
         let mut m = Matrix::zeros(n, 4);
         for v in m.as_mut_slice() {
             *v = 0.9 + rng.gen_range(-0.05..0.05);
@@ -321,10 +318,10 @@ mod tests {
 
     #[test]
     fn autoencoder_flags_out_of_distribution_samples() {
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = Rng::seed_from_u64(9);
         let train = benign_blob(256, &mut rng);
         let spec = AutoencoderSpec::symmetric(4, vec![3, 2], Activation::Tanh);
-        let mut ae = Autoencoder::train(&spec, &train, &quick_cfg(), &mut rng);
+        let ae = Autoencoder::train(&spec, &train, &quick_cfg(), &mut rng);
         let benign_errs = ae.reconstruction_errors(&benign_blob(64, &mut rng));
         let mal_errs = ae.reconstruction_errors(&anomalies(64, &mut rng));
         let benign_mean: f32 = benign_errs.iter().sum::<f32>() / 64.0;
@@ -337,10 +334,10 @@ mod tests {
 
     #[test]
     fn threshold_is_training_quantile() {
-        let mut rng = StdRng::seed_from_u64(10);
+        let mut rng = Rng::seed_from_u64(10);
         let train = benign_blob(128, &mut rng);
         let spec = AutoencoderSpec::symmetric(4, vec![2], Activation::Tanh);
-        let mut ae = Autoencoder::train(&spec, &train, &quick_cfg(), &mut rng);
+        let ae = Autoencoder::train(&spec, &train, &quick_cfg(), &mut rng);
         let errs = ae.reconstruction_errors(&train);
         let q95 = quantile(&errs, 0.95);
         assert!((ae.threshold() - q95).abs() < 1e-5);
@@ -348,14 +345,14 @@ mod tests {
 
     #[test]
     fn ensemble_majority_vote_detects_anomalies() {
-        let mut rng = StdRng::seed_from_u64(12);
+        let mut rng = Rng::seed_from_u64(12);
         let train = benign_blob(256, &mut rng);
         let specs = vec![
             AutoencoderSpec::symmetric(4, vec![3, 2], Activation::Tanh),
             AutoencoderSpec::asymmetric(4, vec![3, 2], vec![], Activation::Tanh),
             AutoencoderSpec::symmetric(4, vec![2], Activation::Tanh),
         ];
-        let mut ens = AutoencoderEnsemble::train(&specs, &train, &quick_cfg(), &mut rng);
+        let ens = AutoencoderEnsemble::train(&specs, &train, &quick_cfg(), &mut rng);
         let mal = anomalies(32, &mut rng);
         let preds = ens.predict(&mal);
         let detected = preds.iter().filter(|&&p| p).count();
@@ -367,7 +364,7 @@ mod tests {
 
     #[test]
     fn weighted_renormalises() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let train = benign_blob(64, &mut rng);
         let spec = AutoencoderSpec::symmetric(4, vec![2], Activation::Tanh);
         let cfg = AeTrainConfig { epochs: 5, ..quick_cfg() };
@@ -382,10 +379,10 @@ mod tests {
 
     #[test]
     fn vote_on_mean_errors_consistent_with_extreme_data() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let train = benign_blob(128, &mut rng);
         let spec = AutoencoderSpec::symmetric(4, vec![2], Activation::Tanh);
-        let mut ens = AutoencoderEnsemble::uniform(vec![Autoencoder::train(
+        let ens = AutoencoderEnsemble::uniform(vec![Autoencoder::train(
             &spec,
             &train,
             &quick_cfg(),

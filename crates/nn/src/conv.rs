@@ -6,7 +6,7 @@
 //! `batch x (channels * length)` with channel-major packing, i.e. the first
 //! `length` columns are channel 0, the next `length` columns channel 1, etc.
 
-use rand::Rng;
+use iguard_runtime::rng::Rng;
 
 use crate::layer::Layer;
 use crate::matrix::Matrix;
@@ -37,7 +37,7 @@ impl DilatedConv1d {
         length: usize,
         kernel: usize,
         dilation: usize,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Self {
         assert!(kernel % 2 == 1, "kernel size must be odd for same padding");
         assert!(dilation >= 1, "dilation must be >= 1");
@@ -80,6 +80,11 @@ impl DilatedConv1d {
 
 impl Layer for DilatedConv1d {
     fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.cached_input = Some(input.clone());
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
         assert_eq!(
             input.cols(),
             self.in_width(),
@@ -87,7 +92,6 @@ impl Layer for DilatedConv1d {
             input.cols(),
             self.in_width()
         );
-        self.cached_input = Some(input.clone());
         let mut out = Matrix::zeros(input.rows(), self.out_width());
         for b in 0..input.rows() {
             let x = input.row(b);
@@ -170,13 +174,12 @@ impl Layer for DilatedConv1d {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     /// A kernel of [0, 1, 0] with dilation 1 is the identity.
     #[test]
     fn identity_kernel_passes_signal_through() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let mut conv = DilatedConv1d::new(1, 1, 5, 3, 1, &mut rng);
         conv.weights.as_mut_slice().copy_from_slice(&[0.0, 1.0, 0.0]);
         conv.bias.as_mut_slice().fill(0.0);
@@ -188,7 +191,7 @@ mod tests {
     /// Dilation 2 with kernel [1, 0, 0] reads the sample two to the left.
     #[test]
     fn dilation_widens_receptive_field() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let mut conv = DilatedConv1d::new(1, 1, 5, 3, 2, &mut rng);
         conv.weights.as_mut_slice().copy_from_slice(&[1.0, 0.0, 0.0]);
         conv.bias.as_mut_slice().fill(0.0);
@@ -200,7 +203,7 @@ mod tests {
 
     #[test]
     fn multiple_channels_sum_contributions() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let mut conv = DilatedConv1d::new(2, 1, 3, 1, 1, &mut rng);
         // One-tap kernel per channel: w = [2, 3].
         conv.weights.as_mut_slice().copy_from_slice(&[2.0, 3.0]);
@@ -214,7 +217,7 @@ mod tests {
     /// Finite-difference gradient check over all conv parameters and inputs.
     #[test]
     fn gradients_match_finite_differences() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng::seed_from_u64(42);
         let mut conv = DilatedConv1d::new(2, 2, 4, 3, 2, &mut rng);
         let x = {
             let mut m = Matrix::zeros(2, 8);

@@ -5,14 +5,19 @@
 //! loss w.r.t. the layer output and returns the gradient w.r.t. the layer
 //! input while accumulating parameter gradients internally.
 
-use rand::Rng;
+use iguard_runtime::rng::Rng;
 
 use crate::matrix::Matrix;
 
 /// A differentiable layer in a [`crate::network::Network`].
-pub trait Layer: Send {
+pub trait Layer: Send + Sync {
     /// Computes the layer output for a `batch x in_dim` input.
     fn forward(&mut self, input: &Matrix) -> Matrix;
+
+    /// Inference-only forward pass: same output as [`Layer::forward`] but
+    /// touches no caches, so it works through a shared reference. This is
+    /// what lets trained models score batches from many threads at once.
+    fn infer(&self, input: &Matrix) -> Matrix;
 
     /// Propagates `grad_out` (`batch x out_dim`) back to the input,
     /// accumulating parameter gradients.
@@ -48,7 +53,7 @@ pub struct Dense {
 impl Dense {
     /// Glorot/Xavier-uniform initialisation, suitable for the tanh/sigmoid
     /// and leaky-ReLU mixes used by the autoencoders in this workspace.
-    pub fn new(in_dim: usize, out_dim: usize, rng: &mut impl Rng) -> Self {
+    pub fn new(in_dim: usize, out_dim: usize, rng: &mut Rng) -> Self {
         assert!(in_dim > 0 && out_dim > 0, "Dense dims must be positive");
         let limit = (6.0 / (in_dim + out_dim) as f32).sqrt();
         let mut weights = Matrix::zeros(in_dim, out_dim);
@@ -89,6 +94,11 @@ impl Dense {
 
 impl Layer for Dense {
     fn forward(&mut self, input: &Matrix) -> Matrix {
+        self.cached_input = Some(input.clone());
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
         assert_eq!(
             input.cols(),
             self.weights.rows(),
@@ -96,15 +106,11 @@ impl Layer for Dense {
             input.cols(),
             self.weights.rows()
         );
-        self.cached_input = Some(input.clone());
         input.matmul(&self.weights).add_row_broadcast(&self.bias)
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward called before forward");
+        let input = self.cached_input.as_ref().expect("backward called before forward");
         // dL/dW = x^T g, dL/db = column sums of g, dL/dx = g W^T.
         self.grad_w = self.grad_w.add(&input.t_matmul(grad_out));
         self.grad_b = self.grad_b.add(&grad_out.sum_rows());
@@ -218,10 +224,14 @@ impl ActivationLayer {
 
 impl Layer for ActivationLayer {
     fn forward(&mut self, input: &Matrix) -> Matrix {
-        let out = input.map(|v| self.kind.apply(v));
+        let out = self.infer(input);
         self.cached_input = Some(input.clone());
         self.cached_output = Some(out.clone());
         out
+    }
+
+    fn infer(&self, input: &Matrix) -> Matrix {
+        input.map(|v| self.kind.apply(v))
     }
 
     fn backward(&mut self, grad_out: &Matrix) -> Matrix {
@@ -239,8 +249,7 @@ impl Layer for ActivationLayer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     #[test]
     fn dense_forward_matches_manual() {
@@ -270,7 +279,7 @@ mod tests {
 
     #[test]
     fn zero_grads_clears_accumulation() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let mut layer = Dense::new(3, 2, &mut rng);
         let x = Matrix::zeros(4, 3);
         let _ = layer.forward(&x);
@@ -311,7 +320,7 @@ mod tests {
 
     #[test]
     fn glorot_init_within_limits() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let layer = Dense::new(10, 10, &mut rng);
         let limit = (6.0 / 20.0f32).sqrt();
         assert!(layer.weights().as_slice().iter().all(|v| v.abs() <= limit));

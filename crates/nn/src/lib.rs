@@ -16,25 +16,26 @@
 //! * [`scale`] — min-max / standard scalers fitted on benign training data.
 //!
 //! ## Why from scratch?
-//! The offline crate set for this reproduction does not include candle or
-//! linfa. The models involved are tiny (a few thousand parameters), so a
-//! straightforward implementation is fast, auditable, and fully seedable —
-//! every experiment in the benchmark harness is reproducible bit for bit.
+//! The workspace builds hermetically — no external crates at all, so no
+//! candle or linfa. The models involved are tiny (a few thousand
+//! parameters), so a straightforward implementation is fast, auditable, and
+//! fully seedable — every experiment in the benchmark harness is
+//! reproducible bit for bit.
 //!
 //! ## Quick example
 //! ```
 //! use iguard_nn::autoencoder::{Autoencoder, AutoencoderSpec, AeTrainConfig};
 //! use iguard_nn::layer::Activation;
 //! use iguard_nn::matrix::Matrix;
-//! use rand::{rngs::StdRng, SeedableRng, Rng};
+//! use iguard_runtime::rng::Rng;
 //!
-//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut rng = Rng::seed_from_u64(7);
 //! // Benign data: tight cluster.
 //! let mut train = Matrix::zeros(128, 4);
 //! for v in train.as_mut_slice() { *v = 0.5 + rng.gen_range(-0.05..0.05); }
 //! let spec = AutoencoderSpec::symmetric(4, vec![2], Activation::Tanh);
 //! let cfg = AeTrainConfig { epochs: 30, ..Default::default() };
-//! let mut ae = Autoencoder::train(&spec, &train, &cfg, &mut rng);
+//! let ae = Autoencoder::train(&spec, &train, &cfg, &mut rng);
 //! let errs = ae.reconstruction_errors(&train);
 //! assert_eq!(errs.len(), 128);
 //! ```

@@ -23,12 +23,8 @@ pub fn per_sample_rmse(pred: &Matrix, target: &Matrix) -> Vec<f32> {
     let m = pred.cols().max(1) as f32;
     (0..pred.rows())
         .map(|r| {
-            let acc: f32 = pred
-                .row(r)
-                .iter()
-                .zip(target.row(r))
-                .map(|(&p, &t)| (p - t) * (p - t))
-                .sum();
+            let acc: f32 =
+                pred.row(r).iter().zip(target.row(r)).map(|(&p, &t)| (p - t) * (p - t)).sum();
             (acc / m).sqrt()
         })
         .collect()

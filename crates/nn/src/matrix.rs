@@ -41,6 +41,12 @@ impl Matrix {
         Self { rows, cols, data }
     }
 
+    /// Copies a runtime [`iguard_runtime::Dataset`] into a matrix of the
+    /// same shape — both are flat row-major `f32`, so this is one memcpy.
+    pub fn from_dataset(d: &iguard_runtime::Dataset) -> Self {
+        Self::from_vec(d.rows(), d.cols(), d.as_slice().to_vec())
+    }
+
     /// Builds a matrix from a slice of equal-length rows.
     ///
     /// # Panics
@@ -102,7 +108,8 @@ impl Matrix {
     /// Panics if inner dimensions disagree.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.rows,
+            self.cols,
+            rhs.rows,
             "matmul shape mismatch: {:?} * {:?}",
             self.shape(),
             rhs.shape()
@@ -128,7 +135,8 @@ impl Matrix {
     /// `self^T * rhs` without materialising the transpose.
     pub fn t_matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.rows, rhs.rows,
+            self.rows,
+            rhs.rows,
             "t_matmul shape mismatch: {:?}^T * {:?}",
             self.shape(),
             rhs.shape()
@@ -153,7 +161,8 @@ impl Matrix {
     /// `self * rhs^T` without materialising the transpose.
     pub fn matmul_t(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
-            self.cols, rhs.cols,
+            self.cols,
+            rhs.cols,
             "matmul_t shape mismatch: {:?} * {:?}^T",
             self.shape(),
             rhs.shape()
@@ -208,11 +217,7 @@ impl Matrix {
 
     /// Applies `f` to every element, returning a new matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&v| f(v)).collect(),
-        }
+        Matrix { rows: self.rows, cols: self.cols, data: self.data.iter().map(|&v| f(v)).collect() }
     }
 
     /// Applies `f` to every element in place.

@@ -1,7 +1,7 @@
 //! Sequential network container and a mini-batch training loop.
 
-use rand::seq::SliceRandom;
-use rand::Rng;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::rng::SliceRandom;
 
 use crate::layer::Layer;
 use crate::loss::mse;
@@ -54,6 +54,17 @@ impl Network {
         x
     }
 
+    /// Inference pass through a shared reference: identical output to
+    /// [`Network::forward`] but cache-free, so a trained network can score
+    /// batches concurrently from many threads.
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for layer in &self.layers {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
     /// Backward pass; returns the gradient w.r.t. the network input.
     pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
         let mut g = grad_out.clone();
@@ -88,7 +99,7 @@ impl Network {
         targets: &Matrix,
         optimizer: &mut dyn Optimizer,
         cfg: &TrainConfig,
-        rng: &mut impl Rng,
+        rng: &mut Rng,
     ) -> Vec<f32> {
         assert_eq!(inputs.rows(), targets.rows(), "inputs/targets row mismatch");
         assert!(inputs.rows() > 0, "cannot train on an empty dataset");
@@ -124,10 +135,9 @@ impl Network {
         history
     }
 
-    /// Inference without mutating training caches semantics (forward still
-    /// caches, but that is harmless between calls).
-    pub fn predict(&mut self, input: &Matrix) -> Matrix {
-        self.forward(input)
+    /// Inference through a shared reference (alias for [`Network::infer`]).
+    pub fn predict(&self, input: &Matrix) -> Matrix {
+        self.infer(input)
     }
 }
 
@@ -136,23 +146,18 @@ mod tests {
     use super::*;
     use crate::layer::{Activation, ActivationLayer, Dense};
     use crate::optim::Adam;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     fn xor_data() -> (Matrix, Matrix) {
-        let x = Matrix::from_rows(&[
-            vec![0.0, 0.0],
-            vec![0.0, 1.0],
-            vec![1.0, 0.0],
-            vec![1.0, 1.0],
-        ]);
+        let x =
+            Matrix::from_rows(&[vec![0.0, 0.0], vec![0.0, 1.0], vec![1.0, 0.0], vec![1.0, 1.0]]);
         let y = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![1.0], vec![0.0]]);
         (x, y)
     }
 
     #[test]
     fn learns_xor() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let mut net = Network::new(vec![
             Box::new(Dense::new(2, 8, &mut rng)),
             Box::new(ActivationLayer::new(Activation::Tanh)),
@@ -176,7 +181,7 @@ mod tests {
 
     #[test]
     fn loss_decreases_during_training() {
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Rng::seed_from_u64(11);
         let mut net = Network::new(vec![
             Box::new(Dense::new(3, 5, &mut rng)),
             Box::new(ActivationLayer::new(Activation::Relu)),
@@ -195,7 +200,7 @@ mod tests {
 
     #[test]
     fn early_stopping_truncates_history() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let mut net = Network::new(vec![Box::new(Dense::new(2, 2, &mut rng))]);
         let x = Matrix::zeros(8, 2); // all-zero task converges instantly
         let mut opt = Adam::new(0.01);
@@ -206,7 +211,7 @@ mod tests {
 
     #[test]
     fn param_count_sums_layers() {
-        let mut rng = StdRng::seed_from_u64(0);
+        let mut rng = Rng::seed_from_u64(0);
         let net = Network::new(vec![
             Box::new(Dense::new(4, 3, &mut rng)),
             Box::new(ActivationLayer::new(Activation::Relu)),
@@ -218,7 +223,7 @@ mod tests {
     /// End-to-end gradient check through a two-layer network.
     #[test]
     fn network_gradients_match_finite_differences() {
-        let mut rng = StdRng::seed_from_u64(21);
+        let mut rng = Rng::seed_from_u64(21);
         let mut net = Network::new(vec![
             Box::new(Dense::new(3, 4, &mut rng)),
             Box::new(ActivationLayer::new(Activation::Tanh)),

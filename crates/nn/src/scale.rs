@@ -158,6 +158,12 @@ impl StandardScaler {
         out
     }
 
+    /// Scales one raw row without building a matrix.
+    pub fn transform_row(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.means.len(), "scaler width mismatch");
+        row.iter().enumerate().map(|(c, &v)| (v - self.means[c]) / self.stds[c]).collect()
+    }
+
     pub fn means(&self) -> &[f32] {
         &self.means
     }

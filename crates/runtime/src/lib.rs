@@ -1,0 +1,31 @@
+//! # iguard-runtime — the hermetic substrate under every other crate
+//!
+//! The workspace builds with **zero external dependencies**; everything the
+//! training/inference loop needs from the ecosystem is re-implemented here,
+//! small and auditable:
+//!
+//! * [`rng`] — a seeded, splittable xoshiro256++ PRNG (SplitMix64 seeding)
+//!   with the uniform / normal / choose / shuffle helpers the models use.
+//!   Child streams ([`rng::Rng::derive`]) make parallel work byte-identical
+//!   at any worker count.
+//! * [`par`] — a scoped parallel map on `std::thread::scope`. Worker count
+//!   defaults to `available_parallelism`, is overridable with the
+//!   `IGUARD_WORKERS` env var, and can be pinned per call tree with
+//!   [`par::with_workers`]. Results always come back in input order.
+//! * [`dataset`] — a columnar (row-major, flat-buffer) [`dataset::Dataset`]
+//!   replacing `Vec<Vec<f32>>` on the batch paths, cache-friendly for
+//!   batched scoring and matrix construction.
+//! * [`proptest_lite`] — a seeded randomized-input test loop (macro
+//!   [`proptest_lite!`]) with shrinking-free failure reporting.
+//! * [`timing`] — a tiny benchmark harness (warmup + calibrated iteration
+//!   count, min/mean/max in ns) for `benches/` targets with
+//!   `harness = false`.
+
+pub mod dataset;
+pub mod par;
+pub mod proptest_lite;
+pub mod rng;
+pub mod timing;
+
+pub use dataset::Dataset;
+pub use rng::{Rng, SliceRandom};

@@ -1,0 +1,176 @@
+//! Scoped parallel map on `std::thread::scope`.
+//!
+//! * Worker count: [`with_workers`] override (per call tree, thread-local)
+//!   → `IGUARD_WORKERS` env var → `available_parallelism()`.
+//! * Results are always returned **in input order**, regardless of which
+//!   worker computed what — callers can rely on positional correspondence.
+//! * Work is distributed through a shared atomic cursor, so uneven task
+//!   costs balance automatically.
+//!
+//! Determinism: the map itself introduces none of its own randomness and
+//! preserves order, so as long as each task draws only from its own derived
+//! RNG stream (see `rng::Rng::derive`), output is byte-identical at any
+//! worker count — `IGUARD_WORKERS=1` and `IGUARD_WORKERS=64` agree.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    static WORKER_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Worker count from the environment: `IGUARD_WORKERS` if set and positive,
+/// else `available_parallelism()`, else 1.
+pub fn env_workers() -> usize {
+    std::env::var("IGUARD_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Worker count in effect on this thread (override, else environment).
+pub fn current_workers() -> usize {
+    WORKER_OVERRIDE.with(|o| o.get()).unwrap_or_else(env_workers)
+}
+
+/// Run `f` with the worker count pinned to `n` for every `par_map` issued
+/// from this thread inside the closure. Used by the determinism tests to
+/// compare 1/2/8-worker runs without racing on the process environment.
+pub fn with_workers<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            WORKER_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let prev = WORKER_OVERRIDE.with(|o| o.replace(Some(n.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Parallel map over `0..n` task indices; results in index order.
+///
+/// The core primitive: slices, datasets, and owned work lists all reduce to
+/// an index space. Falls back to a serial loop when one worker suffices.
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = current_workers().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, U)>> = Mutex::new(Vec::with_capacity(n));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                results.lock().unwrap().extend(local);
+            });
+        }
+    });
+
+    let mut pairs = results.into_inner().unwrap();
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), n);
+    pairs.into_iter().map(|(_, u)| u).collect()
+}
+
+/// Parallel map over a slice; results in input order.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_range(items.len(), |i| f(&items[i]))
+}
+
+/// Parallel map consuming a `Vec`; results in input order.
+pub fn par_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    let slots: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    par_map_range(slots.len(), |i| {
+        let item = slots[i].lock().unwrap().take().expect("each slot taken once");
+        f(item)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = par_map_range(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn slice_and_vec_variants() {
+        let items: Vec<u64> = (0..37).collect();
+        assert_eq!(par_map(&items, |&x| x + 1), (1..38).collect::<Vec<_>>());
+        assert_eq!(par_map_vec(items, |x| x * 2), (0..37).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        assert!(par_map_range(0, |i| i).is_empty());
+        assert_eq!(par_map_range(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn with_workers_pins_and_restores() {
+        assert_eq!(with_workers(3, current_workers), 3);
+        with_workers(2, || {
+            assert_eq!(current_workers(), 2);
+            with_workers(5, || assert_eq!(current_workers(), 5));
+            assert_eq!(current_workers(), 2);
+        });
+    }
+
+    #[test]
+    fn worker_count_does_not_change_results() {
+        let serial = with_workers(1, || par_map_range(64, |i| i as u64 * 3 + 1));
+        let wide = with_workers(8, || par_map_range(64, |i| i as u64 * 3 + 1));
+        assert_eq!(serial, wide);
+    }
+
+    #[test]
+    fn uneven_tasks_balance() {
+        let out = with_workers(4, || {
+            par_map_range(32, |i| {
+                // Skew work toward low indices; order must still hold.
+                let spins = if i < 4 { 200_000 } else { 10 };
+                (0..spins).fold(i as u64, |acc, _| {
+                    acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+                }) ^ i as u64
+            })
+        });
+        let reference = with_workers(1, || {
+            par_map_range(32, |i| {
+                let spins = if i < 4 { 200_000 } else { 10 };
+                (0..spins).fold(i as u64, |acc, _| {
+                    acc.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407)
+                }) ^ i as u64
+            })
+        });
+        assert_eq!(out, reference);
+    }
+}

@@ -109,11 +109,9 @@ impl Controller {
                 }
                 None
             }
-            EvictionPolicy::Lru => self
-                .installed
-                .iter()
-                .min_by_key(|(_, &stamp)| stamp)
-                .map(|(k, _)| *k),
+            EvictionPolicy::Lru => {
+                self.installed.iter().min_by_key(|(_, &stamp)| stamp).map(|(k, _)| *k)
+            }
         }
     }
 
@@ -140,10 +138,7 @@ mod tests {
     use iguard_flow::five_tuple::PROTO_TCP;
 
     fn digest(flow: u16, malicious: bool) -> Digest {
-        Digest {
-            five: FiveTuple::new(1, 2, 1000 + flow, 80, PROTO_TCP),
-            malicious,
-        }
+        Digest { five: FiveTuple::new(1, 2, 1000 + flow, 80, PROTO_TCP), malicious }
     }
 
     fn cfg(cap: usize, policy: EvictionPolicy) -> ControllerConfig {
@@ -213,10 +208,7 @@ mod tests {
     fn digest_overhead_matches_paper_appendix() {
         let mut iguard = Controller::new(ControllerConfig::default());
         for i in 0..50_000u32 {
-            let d = Digest {
-                five: FiveTuple::new(i, 2, 1, 80, PROTO_TCP),
-                malicious: false,
-            };
+            let d = Digest { five: FiveTuple::new(i, 2, 1, 80, PROTO_TCP), malicious: false };
             let _ = iguard.process_digests(vec![d]);
         }
         let kbps = iguard.overhead_kbps(30.0);
@@ -227,10 +219,7 @@ mod tests {
             ..Default::default()
         });
         for i in 0..50_000u32 {
-            let d = Digest {
-                five: FiveTuple::new(i, 2, 1, 80, PROTO_TCP),
-                malicious: false,
-            };
+            let d = Digest { five: FiveTuple::new(i, 2, 1, 80, PROTO_TCP), malicious: false };
             let _ = horuseye.process_digests(vec![d]);
         }
         let ratio = horuseye.overhead_kbps(30.0) / kbps;

@@ -31,6 +31,6 @@ pub mod resources;
 pub mod tcam;
 
 pub use controller::{Controller, ControllerConfig, EvictionPolicy};
-pub use pipeline::{PacketVerdict, Pipeline, PipelineConfig, PathTaken};
+pub use pipeline::{PacketVerdict, PathTaken, Pipeline, PipelineConfig};
 pub use resources::{ResourceModel, ResourceUsage};
 pub use tcam::{RangeEntry, RangeTable, TcamTable, TernaryEntry};

@@ -17,7 +17,6 @@
 //! that bandwidth stall, capping effective throughput.
 
 use iguard_metrics::ConfusionMatrix;
-use serde::{Deserialize, Serialize};
 
 use iguard_synth::trace::Trace;
 
@@ -71,7 +70,7 @@ impl ControlPlaneModel {
 }
 
 /// Replay output.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct ReplayReport {
     pub packets: u64,
     pub bytes: u64,
@@ -199,13 +198,12 @@ pub fn replay(
 mod tests {
     use super::*;
     use crate::controller::ControllerConfig;
-    use crate::pipeline::{PipelineConfig, Pipeline};
+    use crate::pipeline::{Pipeline, PipelineConfig};
     use iguard_core::rules::{Hypercube, RuleSet};
     use iguard_flow::table::FlowTableConfig;
+    use iguard_runtime::rng::Rng;
     use iguard_synth::attacks::Attack;
     use iguard_synth::benign::benign_trace;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn accept_all(dim: usize) -> RuleSet {
         RuleSet {
@@ -249,7 +247,7 @@ mod tests {
 
     #[test]
     fn benign_trace_mostly_forwarded() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let trace = benign_trace(150, 5.0, &mut rng);
         let mut p = pipeline(accept_all(13));
         let mut c = Controller::new(ControllerConfig::default());
@@ -261,7 +259,7 @@ mod tests {
 
     #[test]
     fn flood_attack_blocked_and_blacklisted() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let benign = benign_trace(100, 5.0, &mut rng);
         let attack = Attack::UdpDdos.trace(30, 5.0, &mut rng);
         let trace = iguard_synth::trace::Trace::merge(vec![benign, attack]);
@@ -282,7 +280,7 @@ mod tests {
 
     #[test]
     fn loopback_raises_avg_latency() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let trace = benign_trace(100, 5.0, &mut rng);
         let mut p = pipeline(accept_all(13));
         let mut c = Controller::new(ControllerConfig::default());
@@ -294,7 +292,7 @@ mod tests {
 
     #[test]
     fn data_plane_throughput_beats_control_plane_detour() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let trace = benign_trace(200, 2.0, &mut rng);
         let mk_report = |cp: ControlPlaneModel| {
             let mut p = pipeline(accept_all(13));
@@ -317,7 +315,7 @@ mod tests {
 
     #[test]
     fn wire_exercise_is_lossless() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let trace = benign_trace(40, 1.0, &mut rng);
         let run = |wire: bool| {
             let mut p = pipeline(accept_all(13));

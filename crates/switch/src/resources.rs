@@ -7,8 +7,6 @@
 //! paper. Absolute percentages depend on these constants and are not
 //! claimed to match the proprietary hardware exactly.
 
-use serde::{Deserialize, Serialize};
-
 use iguard_flow::table::FlowTableConfig;
 
 use crate::tcam::RangeTable;
@@ -31,7 +29,7 @@ pub const SALUS_PER_STAGE: usize = 4;
 pub const VLIW_PER_STAGE: usize = 32;
 
 /// Per-resource utilisation fractions, as reported in Table 1.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct ResourceUsage {
     pub tcam: f64,
     pub sram: f64,
@@ -106,8 +104,8 @@ impl ResourceModel {
         // feature accumulators, label) + blacklist exact-match entries
         // (16 B each) + action/overhead share.
         let slot_bytes = 64usize;
-        let sram_used = 2 * self.flow_table.slots_per_table * slot_bytes
-            + self.blacklist_capacity * 16;
+        let sram_used =
+            2 * self.flow_table.slots_per_table * slot_bytes + self.blacklist_capacity * 16;
         let sram_total = STAGES * SRAM_BLOCKS_PER_STAGE * SRAM_BLOCK_BYTES;
 
         let salu_total = STAGES * SALUS_PER_STAGE;

@@ -14,12 +14,10 @@
 //!   is how 13-range-field whitelist rules are actually installable, and
 //!   it is the cost model the resource accounting (paper Table 1) uses.
 
-use serde::{Deserialize, Serialize};
-
 use iguard_core::rules::RuleSet;
 
 /// Fixed-point encoding of one feature into a TCAM field.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct FieldSpec {
     /// Field width in bits (≤ 32).
     pub bits: u8,
@@ -62,7 +60,7 @@ impl FieldSpec {
 
 /// One ternary entry: per-field (value, mask) pairs. A key matches when
 /// `key & mask == value & mask` for every field.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TernaryEntry {
     pub fields: Vec<(u32, u32)>,
     /// Lower number = higher priority.
@@ -72,10 +70,7 @@ pub struct TernaryEntry {
 impl TernaryEntry {
     pub fn matches(&self, key: &[u32]) -> bool {
         debug_assert_eq!(key.len(), self.fields.len());
-        self.fields
-            .iter()
-            .zip(key)
-            .all(|(&(v, m), &k)| k & m == v & m)
+        self.fields.iter().zip(key).all(|(&(v, m), &k)| k & m == v & m)
     }
 }
 
@@ -96,11 +91,8 @@ pub fn range_to_prefixes(lo: u32, hi: u32, width: u8) -> Vec<(u32, u32)> {
         while block_bits > 0 && lo + (1u64 << block_bits) - 1 > hi {
             block_bits -= 1;
         }
-        let mask = if block_bits >= 32 {
-            0
-        } else {
-            (!((1u64 << block_bits) - 1)) as u32 & field_max
-        };
+        let mask =
+            if block_bits >= 32 { 0 } else { (!((1u64 << block_bits) - 1)) as u32 & field_max };
         out.push((lo as u32, mask));
         lo += 1u64 << block_bits;
     }
@@ -108,7 +100,7 @@ pub fn range_to_prefixes(lo: u32, hi: u32, width: u8) -> Vec<(u32, u32)> {
 }
 
 /// A ternary table with first-match-by-priority semantics.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct TcamTable {
     entries: Vec<TernaryEntry>,
     /// Bit width per field (for documentation / slice accounting).
@@ -135,10 +127,7 @@ impl TcamTable {
 
     /// Highest-priority (lowest number) matching entry, if any.
     pub fn lookup(&self, key: &[u32]) -> Option<&TernaryEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.matches(key))
-            .min_by_key(|e| e.priority)
+        self.entries.iter().filter(|e| e.matches(key)).min_by_key(|e| e.priority)
     }
 
     /// Sum of field widths — the key width a physical TCAM must slice.
@@ -148,7 +137,7 @@ impl TcamTable {
 }
 
 /// One native-range entry: inclusive `[lo, hi]` per field.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RangeEntry {
     pub fields: Vec<(u32, u32)>,
     /// Lower number = higher priority.
@@ -164,7 +153,7 @@ impl RangeEntry {
 
 /// A TCAM programmed with native range matching (DirtCAM slices): one
 /// entry per rule, regardless of how many fields carry ranges.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct RangeTable {
     entries: Vec<RangeEntry>,
     /// Bit width per field.
@@ -191,10 +180,7 @@ impl RangeTable {
 
     /// Highest-priority matching entry, if any.
     pub fn lookup(&self, key: &[u32]) -> Option<&RangeEntry> {
-        self.entries
-            .iter()
-            .filter(|e| e.matches(key))
-            .min_by_key(|e| e.priority)
+        self.entries.iter().filter(|e| e.matches(key)).min_by_key(|e| e.priority)
     }
 
     /// Key width after range encoding: DirtCAM range matching costs about
@@ -222,8 +208,7 @@ pub fn compile_ruleset(rules: &RuleSet, specs: &[FieldSpec]) -> RangeTable {
             .map(|((&lo, &hi), spec)| {
                 let qlo = spec.quantize(lo);
                 let qhi_raw = spec.quantize(hi);
-                let saturated =
-                    hi.is_infinite() || hi * spec.scale >= spec.max_value() as f32;
+                let saturated = hi.is_infinite() || hi * spec.scale >= spec.max_value() as f32;
                 let qhi = if saturated {
                     spec.max_value()
                 } else if qhi_raw > qlo {
@@ -330,23 +315,17 @@ mod tests {
         // Whitelist: x0 ∈ [0, 100), x1 ∈ [50, 200).
         let rules = RuleSet {
             bounds: vec![(0.0, 256.0), (0.0, 256.0)],
-            whitelist: vec![Hypercube {
-                lo: vec![0.0, 50.0],
-                hi: vec![100.0, 200.0],
-            }],
+            whitelist: vec![Hypercube { lo: vec![0.0, 50.0], hi: vec![100.0, 200.0] }],
             total_regions: 2,
         };
         let specs = vec![FieldSpec::new(8, 1.0), FieldSpec::new(8, 1.0)];
         let table = compile_ruleset(&rules, &specs);
         assert!(!table.is_empty());
-        for probe in [[50.0f32, 100.0], [99.0, 50.0], [100.0, 100.0], [50.0, 200.0], [255.0, 255.0]] {
+        for probe in [[50.0f32, 100.0], [99.0, 50.0], [100.0, 100.0], [50.0, 200.0], [255.0, 255.0]]
+        {
             let key = quantize_key(&probe, &specs);
             let tcam_benign = table.lookup(&key).is_some();
-            assert_eq!(
-                tcam_benign,
-                rules.matches(&probe),
-                "disagreement at {probe:?}"
-            );
+            assert_eq!(tcam_benign, rules.matches(&probe), "disagreement at {probe:?}");
         }
     }
 
@@ -355,10 +334,7 @@ mod tests {
         use iguard_core::rules::Hypercube;
         let rules = RuleSet {
             bounds: vec![(0.0, 256.0)],
-            whitelist: vec![Hypercube {
-                lo: vec![f32::NEG_INFINITY],
-                hi: vec![f32::INFINITY],
-            }],
+            whitelist: vec![Hypercube { lo: vec![f32::NEG_INFINITY], hi: vec![f32::INFINITY] }],
             total_regions: 1,
         };
         let specs = vec![FieldSpec::new(8, 1.0)];

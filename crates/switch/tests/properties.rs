@@ -1,42 +1,48 @@
-//! Property-based tests for the switch substrate.
+//! Randomized-input tests for the switch substrate, on the in-repo
+//! `proptest_lite` harness (seeded loop, no shrinking).
 
+use iguard_runtime::proptest_lite;
 use iguard_switch::tcam::{range_to_prefixes, FieldSpec};
-use proptest::prelude::*;
 
-proptest! {
+proptest_lite! {
     /// Prefix expansion covers the requested range exactly — every value
     /// inside matches some prefix, every value outside matches none.
-    #[test]
-    fn prefixes_cover_range_exactly(a in 0u32..256, b in 0u32..256) {
+    fn prefixes_cover_range_exactly(rng) {
+        let a = rng.gen_range(0u32..256);
+        let b = rng.gen_range(0u32..256);
         let (lo, hi) = (a.min(b), a.max(b));
         let prefixes = range_to_prefixes(lo, hi, 8);
-        prop_assert!(prefixes.len() <= 14, "8-bit worst case is 2w-2 = 14");
+        assert!(prefixes.len() <= 14, "8-bit worst case is 2w-2 = 14");
         for v in 0u32..256 {
             let matched = prefixes.iter().any(|&(val, mask)| v & mask == val & mask);
-            prop_assert_eq!(matched, (lo..=hi).contains(&v), "value {}", v);
+            assert_eq!(matched, (lo..=hi).contains(&v), "value {}", v);
         }
     }
 
     /// Prefixes within one expansion never overlap (each value matches at
     /// most one prefix).
-    #[test]
-    fn prefixes_disjoint(a in 0u32..1024, b in 0u32..1024) {
+    fn prefixes_disjoint(rng) {
+        let a = rng.gen_range(0u32..1024);
+        let b = rng.gen_range(0u32..1024);
         let (lo, hi) = (a.min(b), a.max(b));
         let prefixes = range_to_prefixes(lo, hi, 10);
         for v in lo..=hi {
             let hits = prefixes.iter().filter(|&&(val, mask)| v & mask == val & mask).count();
-            prop_assert_eq!(hits, 1, "value {} matched {} prefixes", v, hits);
+            assert_eq!(hits, 1, "value {} matched {} prefixes", v, hits);
         }
     }
 
     /// Quantisation is monotone and saturating.
-    #[test]
-    fn quantize_monotone(bits in 4u8..=16, scale in 0.01f32..100.0, a in -10.0f32..1e5, b in -10.0f32..1e5) {
+    fn quantize_monotone(rng) {
+        let bits = rng.gen_range(4u8..=16);
+        let scale = rng.gen_range(0.01f32..100.0);
+        let a = rng.gen_range(-10.0f32..1e5);
+        let b = rng.gen_range(-10.0f32..1e5);
         let spec = FieldSpec::new(bits, scale);
         let (qa, qb) = (spec.quantize(a), spec.quantize(b));
-        prop_assert!(qa <= spec.max_value() && qb <= spec.max_value());
+        assert!(qa <= spec.max_value() && qb <= spec.max_value());
         if a <= b {
-            prop_assert!(qa <= qb, "quantize not monotone: q({a})={qa} > q({b})={qb}");
+            assert!(qa <= qb, "quantize not monotone: q({a})={qa} > q({b})={qb}");
         }
     }
 }

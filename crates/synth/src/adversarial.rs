@@ -11,7 +11,8 @@
 //!   benign-mimicking padding packets at a 1:2 or 1:4 attack:padding ratio,
 //!   dragging every flow-level statistic toward the benign manifold.
 
-use rand::Rng;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::Dataset;
 
 use iguard_flow::packet::{Packet, TcpFlags};
 
@@ -46,8 +47,7 @@ pub fn low_rate(trace: &Trace, factor: f64) -> Trace {
         out.push(q, l);
     }
     // Re-sort: per-flow stretching can reorder packets across flows.
-    let mut zipped: Vec<(Packet, bool)> =
-        out.packets.into_iter().zip(out.labels).collect();
+    let mut zipped: Vec<(Packet, bool)> = out.packets.into_iter().zip(out.labels).collect();
     zipped.sort_by_key(|(p, _)| p.ts_ns);
     let mut sorted = Trace::new();
     for (p, l) in zipped {
@@ -61,23 +61,21 @@ pub fn low_rate(trace: &Trace, factor: f64) -> Trace {
 /// malicious ground truth internally but are *presented as benign* to the
 /// trainer — the caller trains on `features` as if all were normal.
 pub fn poison_training_set(
-    benign_features: &[Vec<f32>],
-    attack_features: &[Vec<f32>],
+    benign_features: &Dataset,
+    attack_features: &Dataset,
     fraction: f64,
-    rng: &mut impl Rng,
-) -> Vec<Vec<f32>> {
+    rng: &mut Rng,
+) -> Dataset {
     assert!((0.0..1.0).contains(&fraction), "poison fraction in [0,1)");
     assert!(!benign_features.is_empty(), "need benign samples");
-    let n_poison = ((benign_features.len() as f64 * fraction)
-        / (1.0 - fraction))
-        .round() as usize;
-    let mut out = benign_features.to_vec();
+    let n_poison = ((benign_features.rows() as f64 * fraction) / (1.0 - fraction)).round() as usize;
+    let mut out = benign_features.clone();
     if attack_features.is_empty() {
         return out;
     }
     for _ in 0..n_poison {
-        let idx = rng.gen_range(0..attack_features.len());
-        out.push(attack_features[idx].clone());
+        let idx = rng.gen_range(0..attack_features.rows());
+        out.push_row(attack_features.row(idx));
     }
     out
 }
@@ -88,7 +86,7 @@ pub fn poison_training_set(
 /// benign-looking envelope, pulling the flow statistics toward the benign
 /// manifold. Padding packets inherit the *malicious* ground truth: they
 /// belong to the attack flow.
-pub fn evasion_blend(trace: &Trace, ratio: u32, rng: &mut impl Rng) -> Trace {
+pub fn evasion_blend(trace: &Trace, ratio: u32, rng: &mut Rng) -> Trace {
     assert!(ratio >= 1, "blend ratio must be >= 1");
     let mut out = Trace::new();
     for (p, &l) in trace.packets.iter().zip(&trace.labels) {
@@ -100,13 +98,13 @@ pub fn evasion_blend(trace: &Trace, ratio: u32, rng: &mut impl Rng) -> Trace {
             let mut pad = *p;
             // Benign-envelope padding: telemetry/sync-like sizes and jitter.
             pad.wire_len = gauss(rng, 420.0, 260.0).clamp(60.0, 1400.0) as u16;
-            pad.ts_ns = p.ts_ns + (k as u64 + 1) * gauss(rng, 12.0, 6.0).max(0.5) as u64 * 1_000_000;
+            pad.ts_ns =
+                p.ts_ns + (k as u64 + 1) * gauss(rng, 12.0, 6.0).max(0.5) as u64 * 1_000_000;
             pad.flags = TcpFlags { ack: pad.flags.syn || pad.flags.ack, ..TcpFlags::default() };
             out.push(pad, true);
         }
     }
-    let mut zipped: Vec<(Packet, bool)> =
-        out.packets.into_iter().zip(out.labels).collect();
+    let mut zipped: Vec<(Packet, bool)> = out.packets.into_iter().zip(out.labels).collect();
     zipped.sort_by_key(|(p, _)| p.ts_ns);
     let mut sorted = Trace::new();
     for (p, l) in zipped {
@@ -122,16 +120,11 @@ pub fn poisoned_training_features(
     benign: &LabeledFlows,
     attack: &LabeledFlows,
     fraction: f64,
-    rng: &mut impl Rng,
-) -> Vec<Vec<f32>> {
+    rng: &mut Rng,
+) -> Dataset {
     let benign_feats = benign.benign_features();
-    let attack_feats: Vec<Vec<f32>> = attack
-        .features
-        .iter()
-        .zip(&attack.labels)
-        .filter(|(_, &l)| l)
-        .map(|(f, _)| f.clone())
-        .collect();
+    let mal_idx: Vec<usize> = (0..attack.len()).filter(|&i| attack.labels[i]).collect();
+    let attack_feats = attack.features.select_rows(&mal_idx);
     poison_training_set(&benign_feats, &attack_feats, fraction, rng)
 }
 
@@ -140,24 +133,26 @@ mod tests {
     use super::*;
     use crate::attacks::Attack;
     use crate::trace::{extract_flows, ExtractConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     #[test]
     fn low_rate_stretches_duration() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let t = Attack::UdpDdos.trace(10, 1.0, &mut rng);
         let slow = low_rate(&t, 100.0);
         assert_eq!(slow.len(), t.len());
         let cfg = ExtractConfig { pkt_threshold: 1_000_000, ..Default::default() };
         let orig = extract_flows(&t, &cfg);
-        let slowed = extract_flows(&slow, &ExtractConfig {
-            pkt_threshold: 1_000_000,
-            timeout_ns: u64::MAX / 2,
-            ..Default::default()
-        });
+        let slowed = extract_flows(
+            &slow,
+            &ExtractConfig {
+                pkt_threshold: 1_000_000,
+                timeout_ns: u64::MAX / 2,
+                ..Default::default()
+            },
+        );
         let dur = |fs: &crate::trace::LabeledFlows| {
-            fs.features.iter().map(|f| f[12] as f64).sum::<f64>() / fs.features.len() as f64
+            fs.features.iter_rows().map(|f| f[12] as f64).sum::<f64>() / fs.features.rows() as f64
         };
         assert!(
             dur(&slowed) > dur(&orig) * 50.0,
@@ -169,7 +164,7 @@ mod tests {
 
     #[test]
     fn low_rate_identity_when_factor_one() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let t = Attack::Mirai.trace(5, 1.0, &mut rng);
         let same = low_rate(&t, 1.0);
         assert_eq!(same.packets, t.packets);
@@ -177,27 +172,27 @@ mod tests {
 
     #[test]
     fn poison_fraction_is_respected() {
-        let benign = vec![vec![0.0]; 900];
-        let attack = vec![vec![1.0]; 500];
-        let mut rng = StdRng::seed_from_u64(3);
+        let benign = Dataset::from_rows(&vec![vec![0.0f32]; 900]);
+        let attack = Dataset::from_rows(&vec![vec![1.0f32]; 500]);
+        let mut rng = Rng::seed_from_u64(3);
         let poisoned = poison_training_set(&benign, &attack, 0.10, &mut rng);
-        let injected = poisoned.len() - 900;
+        let injected = poisoned.rows() - 900;
         // 10 % of final set: 900 / 0.9 = 1000 -> 100 poison.
         assert_eq!(injected, 100);
-        assert!(poisoned[900..].iter().all(|f| f[0] == 1.0));
+        assert!(poisoned.iter_rows().skip(900).all(|f| f[0] == 1.0));
     }
 
     #[test]
     fn poison_zero_is_identity() {
-        let benign = vec![vec![0.0]; 10];
-        let attack = vec![vec![1.0]; 10];
-        let mut rng = StdRng::seed_from_u64(4);
-        assert_eq!(poison_training_set(&benign, &attack, 0.0, &mut rng).len(), 10);
+        let benign = Dataset::from_rows(&vec![vec![0.0f32]; 10]);
+        let attack = Dataset::from_rows(&vec![vec![1.0f32]; 10]);
+        let mut rng = Rng::seed_from_u64(4);
+        assert_eq!(poison_training_set(&benign, &attack, 0.0, &mut rng).rows(), 10);
     }
 
     #[test]
     fn evasion_multiplies_attack_packets() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let t = Attack::TcpDdos.trace(5, 1.0, &mut rng);
         let blended = evasion_blend(&t, 2, &mut rng);
         assert_eq!(blended.len(), t.len() * 3); // 1 original + 2 padding
@@ -207,21 +202,21 @@ mod tests {
 
     #[test]
     fn evasion_moves_mean_size_toward_benign() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         let t = Attack::TcpDdos.trace(30, 2.0, &mut rng); // 62-byte SYNs
         let blended = evasion_blend(&t, 4, &mut rng);
         let cfg = ExtractConfig::default();
         let orig = extract_flows(&t, &cfg);
         let ble = extract_flows(&blended, &cfg);
         let mean_size = |fs: &crate::trace::LabeledFlows| {
-            fs.features.iter().map(|f| f[2] as f64).sum::<f64>() / fs.features.len() as f64
+            fs.features.iter_rows().map(|f| f[2] as f64).sum::<f64>() / fs.features.rows() as f64
         };
         assert!(mean_size(&ble) > mean_size(&orig) + 100.0);
     }
 
     #[test]
     fn evasion_leaves_benign_packets_alone() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let t = crate::benign::benign_trace(20, 1.0, &mut rng);
         let blended = evasion_blend(&t, 4, &mut rng);
         assert_eq!(blended.len(), t.len());

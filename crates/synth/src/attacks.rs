@@ -13,7 +13,7 @@
 //! keylogger beacons) is off the benign manifold — reproducing the overlap
 //! regime of paper Fig. 2/7.
 
-use rand::Rng;
+use iguard_runtime::rng::Rng;
 
 use iguard_flow::five_tuple::{PROTO_ICMP, PROTO_TCP, PROTO_UDP};
 
@@ -254,7 +254,7 @@ impl Attack {
     /// collapses devices into one address), decrement TTL by the router
     /// hop, and widen IPD jitter (queueing) — blending them further into
     /// benign aggregate traffic.
-    pub fn trace(&self, flows: usize, window_secs: f64, rng: &mut impl Rng) -> Trace {
+    pub fn trace(&self, flows: usize, window_secs: f64, rng: &mut Rng) -> Trace {
         let mut profile = self.profile();
         let scenario = if self.is_router_variant() {
             profile.ttl = profile.ttl.saturating_sub(1).max(1);
@@ -286,12 +286,11 @@ mod tests {
     use super::*;
     use crate::benign;
     use crate::trace::{extract_flows, ExtractConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     #[test]
     fn all_attacks_generate_labelled_traffic() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         for attack in ALL_ATTACKS {
             let t = attack.trace(20, 2.0, &mut rng);
             assert!(!t.is_empty(), "{:?} produced no packets", attack);
@@ -309,14 +308,14 @@ mod tests {
 
     #[test]
     fn router_variants_share_source_ip() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let t = Attack::UdpDdosRouter.trace(10, 1.0, &mut rng);
         assert!(t.packets.iter().all(|p| p.five.src_ip == ROUTER_IP));
     }
 
     #[test]
     fn direct_attacks_use_bot_pool() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let t = Attack::Mirai.trace(10, 1.0, &mut rng);
         assert!(t
             .packets
@@ -328,10 +327,10 @@ mod tests {
     /// Fig. 2 overlap premise. Checked on mean packet size.
     #[test]
     fn attack_mean_sizes_inside_benign_range() {
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let benign = benign::benign_trace(400, 10.0, &mut rng);
         let bf = extract_flows(&benign, &ExtractConfig::default());
-        let b_sizes: Vec<f32> = bf.features.iter().map(|f| f[2]).collect();
+        let b_sizes: Vec<f32> = bf.features.column(2).collect();
         let (b_lo, b_hi) = (
             b_sizes.iter().cloned().fold(f32::INFINITY, f32::min),
             b_sizes.iter().cloned().fold(0.0f32, f32::max),
@@ -339,8 +338,7 @@ mod tests {
         for attack in ALL_ATTACKS {
             let t = attack.trace(40, 5.0, &mut rng);
             let af = extract_flows(&t, &ExtractConfig::default());
-            let mean: f32 =
-                af.features.iter().map(|f| f[2]).sum::<f32>() / af.features.len() as f32;
+            let mean: f32 = af.features.column(2).sum::<f32>() / af.features.rows() as f32;
             assert!(
                 mean >= b_lo && mean <= b_hi,
                 "{}: mean size {mean} outside benign [{b_lo}, {b_hi}]",
@@ -351,14 +349,12 @@ mod tests {
 
     #[test]
     fn flood_attacks_have_tighter_ipd_variance_than_benign() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         let cfg = ExtractConfig::default();
         let benign = extract_flows(&benign::benign_trace(300, 10.0, &mut rng), &cfg);
         let attack = extract_flows(&Attack::UdpDdos.trace(50, 5.0, &mut rng), &cfg);
         // Feature 10 = std IPD. Flood tooling is machine-regular.
-        let mean_std = |fs: &Vec<Vec<f32>>| {
-            fs.iter().map(|f| f[10]).sum::<f32>() / fs.len() as f32
-        };
+        let mean_std = |fs: &iguard_runtime::Dataset| fs.column(10).sum::<f32>() / fs.rows() as f32;
         assert!(mean_std(&attack.features) < mean_std(&benign.features));
     }
 }

@@ -8,7 +8,7 @@
 //! marginal ranges — the regime in which isolation depth cannot separate
 //! classes (paper Fig. 2/7) and joint structure must be learned instead.
 
-use rand::Rng;
+use iguard_runtime::rng::Rng;
 
 use iguard_flow::five_tuple::{PROTO_TCP, PROTO_UDP};
 
@@ -126,7 +126,7 @@ pub fn device_mixture() -> Vec<(FlowProfile, f64)> {
 }
 
 /// Generates a benign trace of `flows` flows over `window_secs`.
-pub fn benign_trace(flows: usize, window_secs: f64, rng: &mut impl Rng) -> Trace {
+pub fn benign_trace(flows: usize, window_secs: f64, rng: &mut Rng) -> Trace {
     let scenario = ScenarioConfig {
         flows,
         window_secs,
@@ -142,12 +142,11 @@ pub fn benign_trace(flows: usize, window_secs: f64, rng: &mut impl Rng) -> Trace
 mod tests {
     use super::*;
     use crate::trace::{extract_flows, ExtractConfig};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     #[test]
     fn benign_trace_is_all_benign_and_ordered() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let t = benign_trace(200, 5.0, &mut rng);
         assert!(t.labels.iter().all(|&l| !l));
         assert!(t.packets.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
@@ -156,10 +155,10 @@ mod tests {
 
     #[test]
     fn mixture_spans_wide_feature_ranges() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let t = benign_trace(400, 10.0, &mut rng);
         let flows = extract_flows(&t, &ExtractConfig::default());
-        let sizes: Vec<f32> = flows.features.iter().map(|f| f[2]).collect(); // mean size
+        let sizes: Vec<f32> = flows.features.column(2).collect(); // mean size
         let lo = sizes.iter().cloned().fold(f32::INFINITY, f32::min);
         let hi = sizes.iter().cloned().fold(0.0f32, f32::max);
         assert!(lo < 120.0, "small-packet devices missing (min mean {lo})");
@@ -168,15 +167,15 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let a = benign_trace(50, 1.0, &mut StdRng::seed_from_u64(3));
-        let b = benign_trace(50, 1.0, &mut StdRng::seed_from_u64(3));
+        let a = benign_trace(50, 1.0, &mut Rng::seed_from_u64(3));
+        let b = benign_trace(50, 1.0, &mut Rng::seed_from_u64(3));
         assert_eq!(a.packets, b.packets);
     }
 
     #[test]
     fn different_seeds_differ() {
-        let a = benign_trace(50, 1.0, &mut StdRng::seed_from_u64(4));
-        let b = benign_trace(50, 1.0, &mut StdRng::seed_from_u64(5));
+        let a = benign_trace(50, 1.0, &mut Rng::seed_from_u64(4));
+        let b = benign_trace(50, 1.0, &mut Rng::seed_from_u64(5));
         assert_ne!(a.packets, b.packets);
     }
 }

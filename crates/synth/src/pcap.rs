@@ -123,12 +123,11 @@ mod tests {
     use super::*;
     use crate::attacks::Attack;
     use crate::benign::benign_trace;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     #[test]
     fn roundtrip_preserves_packets() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let trace = benign_trace(30, 2.0, &mut rng);
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).unwrap();
@@ -146,7 +145,7 @@ mod tests {
 
     #[test]
     fn attack_traces_roundtrip_too() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let trace = Attack::TcpDdos.trace(10, 1.0, &mut rng);
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).unwrap();
@@ -173,7 +172,7 @@ mod tests {
 
     #[test]
     fn truncated_record_reported() {
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let trace = benign_trace(5, 1.0, &mut rng);
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).unwrap();
@@ -185,7 +184,7 @@ mod tests {
     fn icmp_packets_survive_where_parseable() {
         // ICMP packets carry a raw 8-byte L4 stub; they should round-trip
         // with ports zeroed.
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let trace = Attack::OsScan.trace(5, 1.0, &mut rng);
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).unwrap();

@@ -6,7 +6,7 @@
 //! length, ports, TTL and TCP flags. Generators sample concrete flows from
 //! profiles; all randomness flows through the caller's RNG.
 
-use rand::Rng;
+use iguard_runtime::rng::Rng;
 
 use iguard_flow::five_tuple::{FiveTuple, PROTO_TCP};
 use iguard_flow::packet::{Packet, TcpFlags};
@@ -23,7 +23,7 @@ pub struct SizeModel {
 }
 
 impl SizeModel {
-    pub fn sample(&self, rng: &mut impl Rng) -> u16 {
+    pub fn sample(&self, rng: &mut Rng) -> u16 {
         let v = gauss(rng, self.mean, self.std);
         (v.round() as i64).clamp(self.min as i64, self.max as i64) as u16
     }
@@ -38,7 +38,7 @@ pub struct IpdModel {
 
 impl IpdModel {
     /// Samples an IPD in nanoseconds, floored at 10 µs.
-    pub fn sample_ns(&self, rng: &mut impl Rng) -> u64 {
+    pub fn sample_ns(&self, rng: &mut Rng) -> u64 {
         let ms = gauss(rng, self.mean_ms, self.std_ms).max(0.01);
         (ms * 1e6) as u64
     }
@@ -56,7 +56,7 @@ pub enum PortModel {
 }
 
 impl PortModel {
-    pub fn sample(&self, rng: &mut impl Rng) -> u16 {
+    pub fn sample(&self, rng: &mut Rng) -> u16 {
         match self {
             PortModel::Fixed(p) => *p,
             PortModel::Choice(ps) => ps[rng.gen_range(0..ps.len())],
@@ -134,13 +134,7 @@ impl FlowProfile {
     /// heavy-tailed — the regime in which density-based detectors like
     /// iForest produce benign false positives while reconstruction models
     /// still fit the structure (paper §3.1's premise).
-    pub fn gen_flow(
-        &self,
-        rng: &mut impl Rng,
-        src_ip: u32,
-        dst_ip: u32,
-        start_ns: u64,
-    ) -> Vec<Packet> {
+    pub fn gen_flow(&self, rng: &mut Rng, src_ip: u32, dst_ip: u32, start_ns: u64) -> Vec<Packet> {
         let size = SizeModel {
             mean: self.size.mean * rng.gen_range(0.8..1.25),
             std: self.size.std * rng.gen_range(0.7..1.4),
@@ -198,7 +192,7 @@ pub fn gen_trace(
     profiles: &[(FlowProfile, f64)],
     scenario: &ScenarioConfig,
     malicious: bool,
-    rng: &mut impl Rng,
+    rng: &mut Rng,
 ) -> Trace {
     assert!(!profiles.is_empty(), "need at least one profile");
     let total_w: f64 = profiles.iter().map(|(_, w)| w).sum();
@@ -231,7 +225,7 @@ pub fn gen_trace(
 }
 
 /// Box–Muller Gaussian sample.
-pub fn gauss(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
+pub fn gauss(rng: &mut Rng, mean: f64, std: f64) -> f64 {
     let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);
     mean + std * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
@@ -241,8 +235,7 @@ pub fn gauss(rng: &mut impl Rng, mean: f64, std: f64) -> f64 {
 mod tests {
     use super::*;
     use iguard_flow::five_tuple::PROTO_UDP;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use iguard_runtime::rng::Rng;
 
     fn profile() -> FlowProfile {
         FlowProfile {
@@ -260,7 +253,7 @@ mod tests {
 
     #[test]
     fn flow_has_requested_length_and_ordering() {
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let pkts = profile().gen_flow(&mut rng, 1, 2, 1000);
         assert_eq!(pkts.len(), 5);
         assert_eq!(pkts[0].ts_ns, 1000);
@@ -271,7 +264,7 @@ mod tests {
 
     #[test]
     fn conversation_flags_sequence() {
-        let mut rng = StdRng::seed_from_u64(2);
+        let mut rng = Rng::seed_from_u64(2);
         let pkts = profile().gen_flow(&mut rng, 1, 2, 0);
         assert!(pkts[0].flags.syn && !pkts[0].flags.ack);
         assert!(pkts[1].flags.ack && !pkts[1].flags.syn);
@@ -282,7 +275,7 @@ mod tests {
     fn syn_probe_sets_syn_on_all() {
         let mut p = profile();
         p.flags = FlagsModel::syn_probe();
-        let mut rng = StdRng::seed_from_u64(3);
+        let mut rng = Rng::seed_from_u64(3);
         let pkts = p.gen_flow(&mut rng, 1, 2, 0);
         assert!(pkts.iter().all(|pk| pk.flags.syn));
     }
@@ -291,7 +284,7 @@ mod tests {
     fn udp_flow_carries_no_flags() {
         let mut p = profile();
         p.proto = PROTO_UDP;
-        let mut rng = StdRng::seed_from_u64(4);
+        let mut rng = Rng::seed_from_u64(4);
         let pkts = p.gen_flow(&mut rng, 1, 2, 0);
         assert!(pkts.iter().all(|pk| pk.flags == TcpFlags::default()));
     }
@@ -299,7 +292,7 @@ mod tests {
     #[test]
     fn sizes_respect_clamps() {
         let m = SizeModel { mean: 100.0, std: 500.0, min: 60, max: 150 };
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = Rng::seed_from_u64(5);
         for _ in 0..1000 {
             let s = m.sample(&mut rng);
             assert!((60..=150).contains(&s));
@@ -308,7 +301,7 @@ mod tests {
 
     #[test]
     fn gauss_statistics() {
-        let mut rng = StdRng::seed_from_u64(6);
+        let mut rng = Rng::seed_from_u64(6);
         let n = 20_000;
         let xs: Vec<f64> = (0..n).map(|_| gauss(&mut rng, 5.0, 2.0)).collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
@@ -319,7 +312,7 @@ mod tests {
 
     #[test]
     fn gen_trace_schedules_within_window() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         let sc = ScenarioConfig {
             flows: 50,
             window_secs: 1.0,
@@ -340,7 +333,7 @@ mod tests {
     fn ttl_jitter_bounded() {
         let mut p = profile();
         p.ttl_jitter = 3;
-        let mut rng = StdRng::seed_from_u64(8);
+        let mut rng = Rng::seed_from_u64(8);
         for _ in 0..100 {
             let pkts = p.gen_flow(&mut rng, 1, 2, 0);
             assert!((61..=67).contains(&pkts[0].ttl));

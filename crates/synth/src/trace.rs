@@ -10,6 +10,8 @@
 
 use std::collections::HashMap;
 
+use iguard_runtime::Dataset;
+
 use iguard_flow::features::{flow_features, FeatureSet};
 use iguard_flow::five_tuple::FiveTuple;
 use iguard_flow::packet::Packet;
@@ -45,10 +47,8 @@ impl Trace {
 
     /// Merges traces into one, sorted by timestamp (stable for ties).
     pub fn merge(traces: Vec<Trace>) -> Trace {
-        let mut zipped: Vec<(Packet, bool)> = traces
-            .into_iter()
-            .flat_map(|t| t.packets.into_iter().zip(t.labels))
-            .collect();
+        let mut zipped: Vec<(Packet, bool)> =
+            traces.into_iter().flat_map(|t| t.packets.into_iter().zip(t.labels)).collect();
         zipped.sort_by_key(|(p, _)| p.ts_ns);
         let mut out = Trace::new();
         for (p, l) in zipped {
@@ -86,16 +86,16 @@ impl Trace {
     }
 }
 
-/// Flow-level dataset: one feature vector + label per flow segment.
+/// Flow-level dataset: one feature row + label per flow segment.
 #[derive(Clone, Debug, Default)]
 pub struct LabeledFlows {
-    pub features: Vec<Vec<f32>>,
+    pub features: Dataset,
     pub labels: Vec<bool>,
 }
 
 impl LabeledFlows {
     pub fn len(&self) -> usize {
-        self.features.len()
+        self.features.rows()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -104,18 +104,14 @@ impl LabeledFlows {
 
     /// Appends another dataset.
     pub fn extend(&mut self, other: LabeledFlows) {
-        self.features.extend(other.features);
+        self.features.extend_rows(&other.features);
         self.labels.extend(other.labels);
     }
 
-    /// Only the benign feature vectors (for fitting scalers / teachers).
-    pub fn benign_features(&self) -> Vec<Vec<f32>> {
-        self.features
-            .iter()
-            .zip(&self.labels)
-            .filter(|(_, &l)| !l)
-            .map(|(f, _)| f.clone())
-            .collect()
+    /// Only the benign feature rows (for fitting scalers / teachers).
+    pub fn benign_features(&self) -> Dataset {
+        let idx: Vec<usize> = (0..self.len()).filter(|&i| !self.labels[i]).collect();
+        self.features.select_rows(&idx)
     }
 
     /// Keeps a random-free, deterministic subset: every k-th sample of the
@@ -126,19 +122,19 @@ impl LabeledFlows {
         let benign = self.labels.iter().filter(|&&l| !l).count();
         let target_mal = ((benign as f64) * frac / (1.0 - frac)).floor() as usize;
         let mut kept_mal = 0usize;
-        let mut features = Vec::with_capacity(self.features.len());
+        let mut keep = Vec::with_capacity(self.len());
         let mut labels = Vec::with_capacity(self.labels.len());
-        for (f, &l) in self.features.iter().zip(&self.labels) {
+        for (i, &l) in self.labels.iter().enumerate() {
             if l {
                 if kept_mal >= target_mal {
                     continue;
                 }
                 kept_mal += 1;
             }
-            features.push(f.clone());
+            keep.push(i);
             labels.push(l);
         }
-        self.features = features;
+        self.features = self.features.select_rows(&keep);
         self.labels = labels;
     }
 }
@@ -183,7 +179,7 @@ pub fn extract_flows(trace: &Trace, cfg: &ExtractConfig) -> LabeledFlows {
         if cfg.log_compress {
             iguard_flow::features::log_compress_vec(&mut f);
         }
-        out.features.push(f);
+        out.features.push_row(&f);
         out.labels.push(o.malicious);
     };
     for (p, &mal) in trace.packets.iter().zip(&trace.labels) {
@@ -260,8 +256,8 @@ mod tests {
         let flows = extract_flows(&t, &cfg);
         // 5 packets: one frozen sample at pkt 3, residual (pkts 4-5) flushed.
         assert_eq!(flows.len(), 2);
-        assert_eq!(flows.features[0][0], 3.0); // pkt_count of first sample
-        assert_eq!(flows.features[1][0], 2.0);
+        assert_eq!(flows.features[(0, 0)], 3.0); // pkt_count of first sample
+        assert_eq!(flows.features[(1, 0)], 2.0);
     }
 
     #[test]
@@ -272,7 +268,7 @@ mod tests {
         let cfg = ExtractConfig { pkt_threshold: 100, ..Default::default() };
         let flows = extract_flows(&t, &cfg);
         assert_eq!(flows.len(), 2);
-        assert!(flows.features.iter().all(|f| f[0] == 1.0));
+        assert!(flows.features.iter_rows().all(|f| f[0] == 1.0));
     }
 
     #[test]
@@ -291,7 +287,7 @@ mod tests {
     fn cap_malicious_fraction_caps() {
         let mut d = LabeledFlows::default();
         for i in 0..100 {
-            d.features.push(vec![i as f32]);
+            d.features.push_row(&[i as f32]);
             d.labels.push(i < 80); // 80 malicious, 20 benign
         }
         d.cap_malicious_fraction(0.2);
@@ -311,7 +307,7 @@ mod tests {
         let cfg = ExtractConfig { pkt_threshold: 2, ..Default::default() };
         let flows = extract_flows(&t, &cfg);
         assert_eq!(flows.len(), 1);
-        assert_eq!(flows.features[0][0], 2.0);
+        assert_eq!(flows.features[(0, 0)], 2.0);
     }
 
     #[test]

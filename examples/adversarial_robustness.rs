@@ -8,34 +8,30 @@
 
 use iguard::prelude::*;
 use iguard::synth::adversarial::{evasion_blend, low_rate, poison_training_set};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iguard_runtime::rng::Rng;
 
-fn train_rules(train_features: &[Vec<f32>], rng: &mut StdRng) -> (IGuardForest, RuleSet) {
-    let mag = Magnifier::fit(
-        train_features,
-        &MagnifierConfig { epochs: 60, ..Default::default() },
-        rng,
-    );
-    let mut teacher = DetectorTeacher(mag);
+fn train_rules(train_features: &iguard_runtime::Dataset, rng: &mut Rng) -> (IGuardForest, RuleSet) {
+    let mag =
+        Magnifier::fit(train_features, &MagnifierConfig { epochs: 60, ..Default::default() }, rng);
+    let teacher = DetectorTeacher(mag);
     let ig = IGuardConfig { n_trees: 7, subsample: 64, k_augment: 64, ..Default::default() };
-    let mut forest = IGuardForest::fit(train_features, &mut teacher, &ig, rng);
-    forest.distill(train_features, &mut teacher, ig.k_augment, rng);
+    let mut forest = IGuardForest::fit(train_features, &teacher, &ig, rng);
+    forest.distill(train_features, &teacher, ig.k_augment, rng);
     forest.set_vote_threshold(0.25);
     let rules = RuleSet::from_iguard(&forest, 400_000).expect("rule budget");
     (forest, rules)
 }
 
 fn eval(rules: &RuleSet, benign: &LabeledFlows, attack: &LabeledFlows) -> (f64, f64) {
-    let recall = attack.features.iter().filter(|f| rules.predict(f)).count() as f64
+    let recall = attack.features.iter_rows().filter(|f| rules.predict(f)).count() as f64
         / attack.len().max(1) as f64;
-    let fpr = benign.features.iter().filter(|f| rules.predict(f)).count() as f64
+    let fpr = benign.features.iter_rows().filter(|f| rules.predict(f)).count() as f64
         / benign.len().max(1) as f64;
     (recall, fpr)
 }
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(55);
+    let mut rng = Rng::seed_from_u64(55);
     let cfg = ExtractConfig { log_compress: true, ..Default::default() };
 
     println!("training the clean deployment...");
@@ -63,14 +59,9 @@ fn main() {
     // benign, then evaluate on native-rate flood.
     println!("\nretraining with a 10% poisoned training set...");
     let poison_src = extract_flows(&Attack::UdpDdos.trace(120, 20.0, &mut rng), &cfg);
-    let poisoned =
-        poison_training_set(&train.features, &poison_src.features, 0.10, &mut rng);
+    let poisoned = poison_training_set(&train.features, &poison_src.features, 0.10, &mut rng);
     let (_pf, prules) = train_rules(&poisoned, &mut rng);
     let (r3, pfpr) = eval(&prules, &benign_test, &native);
-    println!(
-        "poisoned (10%):       recall {:.1}%  (benign FPR {:.1}%)",
-        r3 * 100.0,
-        pfpr * 100.0
-    );
+    println!("poisoned (10%):       recall {:.1}%  (benign FPR {:.1}%)", r3 * 100.0, pfpr * 100.0);
     println!("\npaper shape: detection degrades gracefully, not catastrophically (Tables 2-3)");
 }

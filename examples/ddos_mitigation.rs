@@ -11,11 +11,10 @@ use iguard::prelude::*;
 use iguard::switch::pipeline::PipelineConfig as SwitchPipelineConfig;
 use iguard::switch::replay::{ControlPlaneModel, ReplayConfig};
 use iguard_iforest::IsolationForestConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iguard_runtime::rng::Rng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(21);
+    let mut rng = Rng::seed_from_u64(21);
     let cfg = ExtractConfig { log_compress: true, ..Default::default() };
 
     // Train the full deployment on benign traffic.
@@ -36,7 +35,7 @@ fn main() {
         let val_b = extract_flows(&benign_trace(200, 10.0, &mut rng), &cfg);
         let val_a = extract_flows(&Attack::UdpDdos.trace(60, 10.0, &mut rng), &cfg);
         let mut feats = val_b.features.clone();
-        feats.extend(val_a.features.clone());
+        feats.extend_rows(&val_a.features);
         let mut labels = vec![false; val_b.len()];
         labels.extend(vec![true; val_a.len()]);
         let scores = forest.scores(&feats);
@@ -109,13 +108,13 @@ fn main() {
 }
 
 /// PL features of each flow's first packet.
-fn iguard_bench_first_packets(trace: &Trace) -> Vec<Vec<f32>> {
+fn iguard_bench_first_packets(trace: &Trace) -> iguard_runtime::Dataset {
     use std::collections::HashSet;
     let mut seen = HashSet::new();
-    let mut out = Vec::new();
+    let mut out = iguard_runtime::Dataset::default();
     for p in &trace.packets {
         if seen.insert(p.five.canonical()) {
-            out.push(iguard::flow::features::packet_level_features(p));
+            out.push_row(&iguard::flow::features::packet_level_features(p));
         }
     }
     out

@@ -8,11 +8,10 @@
 //! ```
 
 use iguard::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iguard_runtime::rng::Rng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(33);
+    let mut rng = Rng::seed_from_u64(33);
     let cfg = ExtractConfig { log_compress: true, ..Default::default() };
 
     println!("training once on benign traffic only...");
@@ -33,7 +32,7 @@ fn main() {
         let val_b = extract_flows(&benign_trace(200, 10.0, &mut rng), &cfg);
         let val_a = extract_flows(&Attack::Mirai.trace(60, 10.0, &mut rng), &cfg);
         let mut feats = val_b.features.clone();
-        feats.extend(val_a.features.clone());
+        feats.extend_rows(&val_a.features);
         let mut labels = vec![false; val_b.len()];
         labels.extend(vec![true; val_a.len()]);
         let scores = forest.scores(&feats);
@@ -52,19 +51,14 @@ fn main() {
     println!("  {} whitelist rules\n", rules.len());
 
     let benign_test = extract_flows(&benign_trace(250, 10.0, &mut rng), &cfg);
-    let fp_rate = benign_test.features.iter().filter(|f| rules.predict(f)).count() as f64
+    let fp_rate = benign_test.features.iter_rows().filter(|f| rules.predict(f)).count() as f64
         / benign_test.len() as f64;
 
     println!("{:<22} {:>9} {:>9} {:>9}", "botnet", "flows", "caught", "recall");
-    let family = [
-        Attack::Mirai,
-        Attack::Aidra,
-        Attack::Bashlite,
-        Attack::MiraiRouterFilter,
-    ];
+    let family = [Attack::Mirai, Attack::Aidra, Attack::Bashlite, Attack::MiraiRouterFilter];
     for attack in family {
         let flows = extract_flows(&attack.trace(100, 10.0, &mut rng), &cfg);
-        let caught = flows.features.iter().filter(|f| rules.predict(f)).count();
+        let caught = flows.features.iter_rows().filter(|f| rules.predict(f)).count();
         println!(
             "{:<22} {:>9} {:>9} {:>8.1}%",
             attack.name(),

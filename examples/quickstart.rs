@@ -6,11 +6,10 @@
 //! ```
 
 use iguard::prelude::*;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iguard_runtime::rng::Rng;
 
 fn main() {
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = Rng::seed_from_u64(7);
 
     // 1. Traffic. Benign IoT mixture for training; a Mirai telnet scan as
     //    the threat. Features are the 13 switch-extractable flow stats,
@@ -53,8 +52,8 @@ fn main() {
 
     // 5. Detect.
     let attack_flows = extract_flows(&mirai, &cfg);
-    let caught = attack_flows.features.iter().filter(|f| rules.predict(f)).count();
-    let fps = test_benign.features.iter().filter(|f| rules.predict(f)).count();
+    let caught = attack_flows.features.iter_rows().filter(|f| rules.predict(f)).count();
+    let fps = test_benign.features.iter_rows().filter(|f| rules.predict(f)).count();
     println!(
         "detected {caught}/{} Mirai flow segments; {fps}/{} benign false positives",
         attack_flows.len(),

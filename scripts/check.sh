@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Canonical pre-merge check: tier-1 gate + formatting, fully offline.
+#
+#   scripts/check.sh
+#
+# The workspace has no external dependencies, so every step runs with
+# --offline against an empty registry cache.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== tier-1: cargo build --release --offline =="
+cargo build --release --offline --workspace --all-targets
+
+echo "== tier-1: cargo test -q --offline =="
+cargo test -q --offline --workspace
+
+echo "All checks passed."

@@ -19,9 +19,8 @@
 //!
 //! ```
 //! use iguard::prelude::*;
-//! use rand::{rngs::StdRng, SeedableRng};
 //!
-//! let mut rng = StdRng::seed_from_u64(7);
+//! let mut rng = Rng::seed_from_u64(7);
 //! // 1. Traffic: benign IoT + a Mirai scan, as log-compressed flow features.
 //! let benign = benign_trace(300, 10.0, &mut rng);
 //! let attack = Attack::Mirai.trace(60, 10.0, &mut rng);
@@ -31,18 +30,18 @@
 //! // 2. Teacher: a Magnifier autoencoder trained on benign flows only.
 //! let mag_cfg = MagnifierConfig { epochs: 30, ..Default::default() };
 //! let teacher = Magnifier::fit(&train.features, &mag_cfg, &mut rng);
-//! let mut teacher = DetectorTeacher(teacher);
+//! let teacher = DetectorTeacher(teacher);
 //!
 //! // 3. iGuard: guided training + distillation + whitelist rules.
 //! let ig_cfg = IGuardConfig { n_trees: 5, subsample: 64, ..Default::default() };
-//! let mut forest = IGuardForest::fit(&train.features, &mut teacher, &ig_cfg, &mut rng);
-//! forest.distill(&train.features, &mut teacher, 16, &mut rng);
+//! let mut forest = IGuardForest::fit(&train.features, &teacher, &ig_cfg, &mut rng);
+//! forest.distill(&train.features, &teacher, 16, &mut rng);
 //! let rules = RuleSet::from_iguard(&forest, 100_000).unwrap();
 //!
 //! // 4. Attack flows draw more malicious tree votes than benign ones.
 //! let test = extract_flows(&attack, &cfg);
-//! let mean = |xs: &Vec<Vec<f32>>| -> f64 {
-//!     xs.iter().map(|f| forest.score(f)).sum::<f64>() / xs.len() as f64
+//! let mean = |xs: &Dataset| -> f64 {
+//!     xs.iter_rows().map(|f| forest.score(f)).sum::<f64>() / xs.rows() as f64
 //! };
 //! assert!(mean(&test.features) > mean(&train.features));
 //! # let _ = rules;
@@ -59,8 +58,13 @@ pub use iguard_nn as nn;
 pub use iguard_switch as switch;
 pub use iguard_synth as synth;
 
+pub use iguard_runtime as runtime;
+
 /// The names most applications need.
 pub mod prelude {
+    pub use iguard_runtime::rng::{Rng, SliceRandom};
+    pub use iguard_runtime::Dataset;
+
     pub use iguard_core::early::EarlyModel;
     pub use iguard_core::forest::{IGuardConfig, IGuardForest};
     pub use iguard_core::rules::RuleSet;

@@ -7,8 +7,7 @@ use iguard::prelude::*;
 use iguard::switch::pipeline::PipelineConfig as SwitchPipelineConfig;
 use iguard::switch::replay::{ControlPlaneModel, ReplayConfig};
 use iguard_iforest::IsolationForestConfig as PlForestConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use iguard_runtime::rng::Rng;
 
 fn extract_cfg() -> ExtractConfig {
     ExtractConfig { log_compress: true, ..Default::default() }
@@ -22,7 +21,7 @@ struct Deployment {
 }
 
 fn train_deployment(seed: u64) -> (Deployment, LabeledFlows) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let cfg = extract_cfg();
     let train_trace = benign_trace(600, 20.0, &mut rng);
     let train = extract_flows(&train_trace, &cfg);
@@ -39,7 +38,7 @@ fn train_deployment(seed: u64) -> (Deployment, LabeledFlows) {
     let val_b = extract_flows(&benign_trace(150, 10.0, &mut rng), &cfg);
     let val_a = extract_flows(&Attack::UdpDdos.trace(50, 10.0, &mut rng), &cfg);
     let mut feats = val_b.features.clone();
-    feats.extend(val_a.features.clone());
+    feats.extend_rows(&val_a.features);
     let mut labels = vec![false; val_b.len()];
     labels.extend(vec![true; val_a.len()]);
     let scores = forest.scores(&feats);
@@ -56,10 +55,10 @@ fn train_deployment(seed: u64) -> (Deployment, LabeledFlows) {
 
     // Early-packet model on first-packet PL features.
     let mut seen = std::collections::HashSet::new();
-    let mut pl = Vec::new();
+    let mut pl = iguard_runtime::Dataset::default();
     for p in &train_trace.packets {
         if seen.insert(p.five.canonical()) {
-            pl.push(packet_level_features(p));
+            pl.push_row(&packet_level_features(p));
         }
     }
     let early = EarlyModel::train(
@@ -75,7 +74,7 @@ fn train_deployment(seed: u64) -> (Deployment, LabeledFlows) {
 #[test]
 fn rules_reproduce_forest_on_fresh_traffic() {
     let (d, _) = train_deployment(101);
-    let mut rng = StdRng::seed_from_u64(9);
+    let mut rng = Rng::seed_from_u64(9);
     let cfg = extract_cfg();
     let mut probes = extract_flows(&benign_trace(150, 8.0, &mut rng), &cfg);
     probes.extend(extract_flows(&Attack::TcpDdos.trace(60, 8.0, &mut rng), &cfg));
@@ -89,7 +88,7 @@ fn rules_reproduce_forest_on_fresh_traffic() {
 #[test]
 fn deployment_detects_flood_on_the_switch() {
     let (d, _) = train_deployment(102);
-    let mut rng = StdRng::seed_from_u64(10);
+    let mut rng = Rng::seed_from_u64(10);
     let benign = benign_trace(200, 12.0, &mut rng);
     let flood = Attack::UdpDdos.trace(80, 12.0, &mut rng);
     let trace = Trace::merge(vec![benign, flood]);
@@ -117,7 +116,7 @@ fn deployment_detects_flood_on_the_switch() {
 #[test]
 fn controller_blacklist_shortens_detection_path() {
     let (d, _) = train_deployment(103);
-    let mut rng = StdRng::seed_from_u64(11);
+    let mut rng = Rng::seed_from_u64(11);
     // Two identical flood waves: the second should hit blacklist entries
     // installed during the first.
     let wave1 = Attack::UdpDdos.trace(40, 6.0, &mut rng);
@@ -131,16 +130,13 @@ fn controller_blacklist_shortens_detection_path() {
     );
     let mut controller = Controller::new(ControllerConfig::default());
     let _ = replay(&trace, &mut pipeline, &mut controller, &ReplayConfig::default());
-    assert!(
-        pipeline.paths.blacklist > 0,
-        "no packet was dropped by an installed blacklist rule"
-    );
+    assert!(pipeline.paths.blacklist > 0, "no packet was dropped by an installed blacklist rule");
 }
 
 #[test]
 fn adversarial_low_rate_changes_flow_durations() {
     use iguard::synth::adversarial::low_rate;
-    let mut rng = StdRng::seed_from_u64(12);
+    let mut rng = Rng::seed_from_u64(12);
     let flood = Attack::TcpDdos.trace(30, 5.0, &mut rng);
     let slow = low_rate(&flood, 100.0);
     assert_eq!(slow.len(), flood.len());
@@ -169,17 +165,13 @@ fn tcam_compilation_agrees_with_rules_on_probes() {
     // Quantisation moves boundaries slightly; demand strong agreement, not
     // bit-exactness.
     let mut agree = 0usize;
-    let probes = &train.features[..200.min(train.len())];
-    for f in probes {
+    let n_probes = 200.min(train.len());
+    for f in train.features.iter_rows().take(n_probes) {
         let key = quantize_key(f, &specs);
         let tcam_benign = tcam.lookup(&key).is_some();
         if tcam_benign == d.rules.matches(f) {
             agree += 1;
         }
     }
-    assert!(
-        agree as f64 / probes.len() as f64 > 0.95,
-        "TCAM/rule agreement {agree}/{}",
-        probes.len()
-    );
+    assert!(agree as f64 / n_probes as f64 > 0.95, "TCAM/rule agreement {agree}/{n_probes}");
 }
