@@ -1,0 +1,294 @@
+//! The PR-2 bench reporter: runs the deployment pipeline end-to-end under
+//! telemetry and writes a machine-readable `BENCH_PR2.json` — per-stage
+//! wall-clock timings, rule counts, TCAM occupancy, flow-table pressure,
+//! switch path counts, and the full verified telemetry snapshot.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_report [--smoke] [--seed N] [--out PATH]
+//! ```
+//!
+//! `--smoke` runs one iteration of each stage (CI sanity); the default is
+//! three, reported as min/mean/max. The run aborts if the final telemetry
+//! snapshot fails its invariant checks, so a broken counter can never
+//! produce a plausible-looking baseline file.
+
+use std::time::Instant;
+
+use iguard_core::early::EarlyModel;
+use iguard_core::forest::{IGuardConfig, IGuardForest};
+use iguard_core::rules::RuleSet;
+use iguard_core::teacher::OracleTeacher;
+use iguard_flow::features::packet_level_features;
+use iguard_flow::table::FlowTableConfig;
+use iguard_iforest::IsolationForestConfig;
+use iguard_runtime::rng::Rng;
+use iguard_switch::controller::{Controller, ControllerConfig};
+use iguard_switch::pipeline::{Pipeline, PipelineConfig};
+use iguard_switch::replay::{replay, ReplayConfig, ReplayReport};
+use iguard_switch::resources::ResourceModel;
+use iguard_switch::tcam::{compile_ruleset, FieldSpec, RangeTable};
+use iguard_synth::attacks::Attack;
+use iguard_synth::benign::benign_trace;
+use iguard_synth::trace::{extract_flows, ExtractConfig, Trace};
+use iguard_telemetry::json;
+
+struct Args {
+    smoke: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args { smoke: false, seed: 7, out: "BENCH_PR2.json".into() };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => args.smoke = true,
+            "--seed" => {
+                let v = it.next().expect("--seed needs a value");
+                args.seed = v.parse().expect("--seed must be an integer");
+            }
+            "--out" => args.out = it.next().expect("--out needs a path"),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                eprintln!("usage: bench_report [--smoke] [--seed N] [--out PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+/// Min/mean/max wall-clock of a named stage across iterations.
+struct StageStat {
+    name: &'static str,
+    iters: u64,
+    total_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl StageStat {
+    fn new(name: &'static str) -> Self {
+        Self { name, iters: 0, total_ns: 0, min_ns: u64::MAX, max_ns: 0 }
+    }
+
+    fn time<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let t = Instant::now();
+        let r = f();
+        let ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        self.iters += 1;
+        self.total_ns += ns;
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        r
+    }
+
+    fn to_json(&self, indent: usize) -> String {
+        let mut o = json::Object::new();
+        o.u64("iters", self.iters)
+            .f64("mean_ns", self.total_ns as f64 / self.iters.max(1) as f64)
+            .u64("min_ns", self.min_ns)
+            .u64("max_ns", self.max_ns);
+        o.render(indent)
+    }
+}
+
+/// Everything one scenario iteration produces that the report consumes.
+struct RunArtifacts {
+    fl_rules: RuleSet,
+    pl_rules: RuleSet,
+    fl_tcam: RangeTable,
+    pl_tcam: RangeTable,
+    report: ReplayReport,
+    pipeline: Pipeline,
+}
+
+fn run_scenario(seed: u64, stages: &mut [StageStat]) -> RunArtifacts {
+    let [fit, distill, rulegen_fl, rulegen_pl, tcam_compile, replay_stage] = stages else {
+        panic!("stage list out of sync");
+    };
+    let mut rng = Rng::seed_from_u64(seed);
+    let cfg = ExtractConfig::default();
+    let train_trace = benign_trace(300, 10.0, &mut rng);
+    let train = extract_flows(&train_trace, &cfg);
+
+    // A fixed oracle on IPD regularity (feature 10: std of inter-packet
+    // delay) and oversized packets (feature 2: mean size) stands in for the
+    // autoencoder teacher: flood tooling is machine-regular, benign jitter
+    // is not. Deterministic and cheap, so the reporter benches the iGuard
+    // machinery rather than NN training.
+    let teacher = OracleTeacher(|x: &[f32]| x[10] < 0.0008 || x[2] > 1200.0);
+    let ig = IGuardConfig { n_trees: 7, subsample: 64, k_augment: 64, ..Default::default() };
+    let mut forest = fit.time(|| IGuardForest::fit(&train.features, &teacher, &ig, &mut rng));
+    distill.time(|| forest.distill(&train.features, &teacher, ig.k_augment, &mut rng));
+    let fl_rules =
+        rulegen_fl.time(|| RuleSet::from_iguard(&forest, 600_000).expect("FL rule budget"));
+
+    // Early-packet model on first-packet PL features.
+    let mut seen = std::collections::HashSet::new();
+    let mut pl = iguard_runtime::Dataset::default();
+    for p in &train_trace.packets {
+        if seen.insert(p.five.canonical()) {
+            pl.push_row(&packet_level_features(p));
+        }
+    }
+    let early = rulegen_pl.time(|| {
+        EarlyModel::train(
+            &pl,
+            &IsolationForestConfig { n_trees: 10, subsample: 64, contamination: 0.05 },
+            600_000,
+            &mut rng,
+        )
+        .expect("PL rules")
+    });
+    let pl_rules = early.rules;
+
+    let fl_specs: Vec<FieldSpec> = fl_rules
+        .bounds
+        .iter()
+        .map(|&(_, hi)| FieldSpec::new(16, (65_535.0 / hi.max(1e-6)).min(65_535.0)))
+        .collect();
+    let pl_specs: Vec<FieldSpec> = pl_rules
+        .bounds
+        .iter()
+        .map(|&(_, hi)| FieldSpec::new(16, (65_535.0 / hi.max(1e-6)).min(65_535.0)))
+        .collect();
+    let (fl_tcam, pl_tcam) = tcam_compile
+        .time(|| (compile_ruleset(&fl_rules, &fl_specs), compile_ruleset(&pl_rules, &pl_specs)));
+
+    // Replay a benign + flood mix through the emulated switch.
+    let benign = benign_trace(150, 8.0, &mut rng);
+    let flood = Attack::UdpDdos.trace(60, 8.0, &mut rng);
+    let trace = Trace::merge(vec![benign, flood]);
+    let mut pipeline = Pipeline::new(
+        PipelineConfig {
+            flow_table: FlowTableConfig { pkt_threshold: 4, ..Default::default() },
+            ..Default::default()
+        },
+        fl_rules.clone(),
+        pl_rules.clone(),
+    );
+    let mut controller = Controller::new(ControllerConfig::default());
+    let report = replay_stage
+        .time(|| replay(&trace, &mut pipeline, &mut controller, &ReplayConfig::default()));
+
+    RunArtifacts { fl_rules, pl_rules, fl_tcam, pl_tcam, report, pipeline }
+}
+
+fn main() {
+    let args = parse_args();
+    let iterations = if args.smoke { 1 } else { 3 };
+
+    // Telemetry must be live regardless of the ambient env: the snapshot is
+    // part of the report.
+    iguard_telemetry::set_enabled(true);
+    iguard_telemetry::registry::reset();
+
+    let mut stages = [
+        StageStat::new("fit"),
+        StageStat::new("distill"),
+        StageStat::new("rulegen_fl"),
+        StageStat::new("rulegen_pl"),
+        StageStat::new("tcam_compile"),
+        StageStat::new("replay"),
+    ];
+
+    let mut last = None;
+    for i in 0..iterations {
+        eprintln!("bench_report: iteration {}/{iterations}", i + 1);
+        last = Some(run_scenario(args.seed, &mut stages));
+    }
+    let run = last.expect("at least one iteration");
+
+    let snapshot = iguard_telemetry::registry::snapshot().expect("telemetry enabled");
+    if let Err(e) = snapshot.verify() {
+        eprintln!("bench_report: telemetry invariant violation: {e}");
+        std::process::exit(1);
+    }
+
+    let usage = ResourceModel::for_deployment(
+        &run.fl_tcam,
+        &run.pl_tcam,
+        *run.pipeline.flow_table().config(),
+        ControllerConfig::default().blacklist_capacity,
+    )
+    .usage();
+
+    let mut stages_json = json::Object::new();
+    for s in &stages {
+        stages_json.raw(s.name, s.to_json(2));
+    }
+
+    let mut rules_json = json::Object::new();
+    rules_json
+        .u64("fl_rules", run.fl_rules.len() as u64)
+        .u64("fl_regions", run.fl_rules.total_regions as u64)
+        .u64("pl_rules", run.pl_rules.len() as u64)
+        .u64("pl_regions", run.pl_rules.total_regions as u64);
+
+    let mut tcam_json = json::Object::new();
+    tcam_json
+        .u64("fl_entries", run.fl_tcam.len() as u64)
+        .u64("fl_encoded_key_bits", run.fl_tcam.encoded_key_bits() as u64)
+        .u64("pl_entries", run.pl_tcam.len() as u64)
+        .u64("pl_encoded_key_bits", run.pl_tcam.encoded_key_bits() as u64)
+        .f64("tcam_util", usage.tcam)
+        .f64("sram_util", usage.sram)
+        .f64("salu_util", usage.salu)
+        .f64("vliw_util", usage.vliw)
+        .f64("rho", usage.rho());
+
+    let ft = run.pipeline.flow_table();
+    let mut flow_json = json::Object::new();
+    flow_json
+        .u64("occupancy", ft.occupancy() as u64)
+        .u64("capacity", ft.capacity() as u64)
+        .f64("fill", ft.occupancy() as f64 / ft.capacity() as f64)
+        .u64("collision_packets", ft.collision_packets);
+
+    let paths = run.pipeline.paths;
+    let mut paths_json = json::Object::new();
+    paths_json
+        .u64("blacklist", paths.blacklist)
+        .u64("brown", paths.brown)
+        .u64("blue", paths.blue)
+        .u64("orange", paths.orange)
+        .u64("purple", paths.purple)
+        .u64("green_loopback", paths.green_loopback);
+
+    let r = run.report;
+    let mut replay_json = json::Object::new();
+    replay_json
+        .u64("packets", r.packets)
+        .u64("dropped", r.dropped)
+        .u64("tp", r.tp)
+        .u64("fp", r.fp)
+        .u64("tn", r.tn)
+        .u64("fn", r.fn_)
+        .u64("digests", r.digests)
+        .f64("throughput_gbps", r.throughput_gbps)
+        .f64("avg_latency_ns", r.avg_latency_ns)
+        .u64("blacklist_len", run.pipeline.blacklist_len() as u64)
+        .raw("paths", paths_json.render(2));
+
+    let mut root = json::Object::new();
+    root.str("schema", "iguard-bench-pr2")
+        .u64("version", 1)
+        .u64("seed", args.seed)
+        .bool("smoke", args.smoke)
+        .u64("iterations", iterations as u64)
+        .u64("workers", iguard_runtime::par::current_workers() as u64)
+        .raw("stages", stages_json.render(1))
+        .raw("rules", rules_json.render(1))
+        .raw("tcam", tcam_json.render(1))
+        .raw("flow_table", flow_json.render(1))
+        .raw("replay", replay_json.render(1))
+        .raw("telemetry", snapshot.to_json_at(1));
+    let doc = root.render(0) + "\n";
+
+    std::fs::write(&args.out, &doc).expect("write report");
+    eprintln!("bench_report: wrote {}", args.out);
+}

@@ -8,6 +8,7 @@
 use iguard_runtime::rng::Rng;
 use iguard_runtime::rng::SliceRandom;
 use iguard_runtime::{par, Dataset};
+use iguard_telemetry::{counter, span};
 
 use crate::guided::{augment, GuidedTree, GuidedTreeConfig};
 use crate::teacher::Teacher;
@@ -65,11 +66,14 @@ impl IGuardForest {
         };
         let all: Vec<usize> = (0..data.rows()).collect();
         let base = rng.split();
-        let trees = par::par_map_range(cfg.n_trees, |i| {
-            let mut tree_rng = base.derive(i as u64);
-            let sample: Vec<usize> = all.choose_multiple(&mut tree_rng, psi).copied().collect();
-            GuidedTree::fit(data, &sample, &bounds, teacher, &tree_cfg, &mut tree_rng)
+        let trees = span!("core.forest.fit").time(|| {
+            par::par_map_range(cfg.n_trees, |i| {
+                let mut tree_rng = base.derive(i as u64);
+                let sample: Vec<usize> = all.choose_multiple(&mut tree_rng, psi).copied().collect();
+                GuidedTree::fit(data, &sample, &bounds, teacher, &tree_cfg, &mut tree_rng)
+            })
         });
+        counter!("core.forest.trees_fit").add(trees.len() as u64);
         Self { trees, bounds, distilled: false, vote_threshold: 0.5 }
     }
 
@@ -94,31 +98,38 @@ impl IGuardForest {
         k_augment: usize,
         rng: &mut Rng,
     ) {
+        let _span = span!("core.forest.distill");
         let base = rng.split();
         let indexed: Vec<(usize, GuidedTree)> =
             std::mem::take(&mut self.trees).into_iter().enumerate().collect();
-        self.trees = par::par_map_vec(indexed, |(ti, mut tree)| {
-            let mut tree_rng = base.derive(ti as u64);
-            // Bucket training samples per leaf.
-            let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); tree.n_leaves()];
-            for i in 0..data.rows() {
-                buckets[tree.leaf_of(data.row(i))].push(i);
-            }
-            for (leaf_id, bucket) in buckets.into_iter().enumerate() {
-                let mut set = data.select_rows(&bucket);
-                let top_up =
-                    k_augment.saturating_sub(set.rows()).max(if set.rows() == 0 { 1 } else { 0 });
-                // Top-up points sample the leaf's *volume* (paper footnote
-                // 7's bounds distribution): a sparse leaf whose box is
-                // mostly off the benign manifold should read as malicious
-                // even though a handful of benign samples routed into it.
-                for x in augment(&tree.leaves[leaf_id].bounds, top_up, &mut tree_rng) {
-                    set.push_row(&x);
+        self.trees = _span.time(|| {
+            par::par_map_vec(indexed, |(ti, mut tree)| {
+                let mut tree_rng = base.derive(ti as u64);
+                // Bucket training samples per leaf.
+                let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); tree.n_leaves()];
+                for i in 0..data.rows() {
+                    buckets[tree.leaf_of(data.row(i))].push(i);
                 }
-                tree.leaves[leaf_id].label = Some(teacher.vote_on_set(&set));
-            }
-            tree
+                for (leaf_id, bucket) in buckets.into_iter().enumerate() {
+                    let mut set = data.select_rows(&bucket);
+                    let top_up = k_augment.saturating_sub(set.rows()).max(if set.rows() == 0 {
+                        1
+                    } else {
+                        0
+                    });
+                    // Top-up points sample the leaf's *volume* (paper footnote
+                    // 7's bounds distribution): a sparse leaf whose box is
+                    // mostly off the benign manifold should read as malicious
+                    // even though a handful of benign samples routed into it.
+                    for x in augment(&tree.leaves[leaf_id].bounds, top_up, &mut tree_rng) {
+                        set.push_row(&x);
+                    }
+                    tree.leaves[leaf_id].label = Some(teacher.vote_on_set(&set));
+                }
+                tree
+            })
         });
+        counter!("core.forest.leaves_distilled").add(self.total_leaves() as u64);
         self.distilled = true;
     }
 

@@ -11,6 +11,7 @@
 
 use iguard_runtime::rng::Rng;
 use iguard_runtime::Dataset;
+use iguard_telemetry::{counter, histogram};
 
 use crate::teacher::Teacher;
 
@@ -131,6 +132,7 @@ impl GuidedTree {
         let mut best: Option<(usize, f32, f64)> = None;
         for q in 0..dim {
             for p in split_candidates(&decision, q, cfg.n_candidates) {
+                counter!("core.guided.split_candidates").inc();
                 let (mut lm, mut ln, mut rm, mut rn) = (0usize, 0usize, 0usize, 0usize);
                 for (x, &mal) in decision.iter_rows().zip(&labels) {
                     if x[q] < p {
@@ -185,6 +187,8 @@ impl GuidedTree {
         depth: usize,
     ) -> usize {
         let leaf_id = self.leaves.len();
+        counter!("core.guided.leaves").inc();
+        histogram!("core.guided.leaf_depth").record(depth as u64);
         self.leaves.push(LeafInfo { bounds, label: None, train_count, depth });
         self.nodes[node_slot] = GNode::Leaf { leaf_id };
         node_slot

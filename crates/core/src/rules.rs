@@ -16,6 +16,7 @@
 use iguard_iforest::tree::Node as IfNode;
 use iguard_iforest::IsolationForest;
 use iguard_runtime::{par, Dataset};
+use iguard_telemetry::{counter, histogram, span};
 
 use crate::forest::IGuardForest;
 
@@ -47,14 +48,19 @@ impl Hypercube {
 pub enum RuleGenError {
     /// The decomposition exceeded the region budget — the model is too
     /// fragmented to compile into a rule table of acceptable size.
-    TooManyRegions { budget: usize },
+    /// `reached` is the region count at the point the budget was blown,
+    /// so callers can tell a near miss from a runaway decomposition.
+    TooManyRegions { budget: usize, reached: usize },
 }
 
 impl std::fmt::Display for RuleGenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            RuleGenError::TooManyRegions { budget } => {
-                write!(f, "region decomposition exceeded budget of {budget}")
+            RuleGenError::TooManyRegions { budget, reached } => {
+                write!(
+                    f,
+                    "region decomposition exceeded budget of {budget}: reached {reached} regions"
+                )
             }
         }
     }
@@ -171,47 +177,59 @@ impl RuleSet {
         max_regions: usize,
     ) -> Result<Self, RuleGenError> {
         let dim = bounds.len();
-        let mut frontier =
-            vec![Hypercube { lo: vec![f32::NEG_INFINITY; dim], hi: vec![f32::INFINITY; dim] }];
-        let mut benign = Vec::new();
-        let mut total_regions = 0usize;
-        while !frontier.is_empty() {
-            let resolved = par::par_map_vec(frontier, |cube| {
-                let r = resolve(&cube.lo, &cube.hi);
-                (cube, r)
-            });
-            let mut next = Vec::new();
-            for (cube, resolution) in resolved {
-                match resolution {
-                    Ok(label) => {
-                        total_regions += 1;
-                        if total_regions > max_regions {
-                            return Err(RuleGenError::TooManyRegions { budget: max_regions });
+        let (benign, total_regions) = span!("core.rules.decompose").time(|| {
+            let mut frontier =
+                vec![Hypercube { lo: vec![f32::NEG_INFINITY; dim], hi: vec![f32::INFINITY; dim] }];
+            let mut benign = Vec::new();
+            let mut total_regions = 0usize;
+            while !frontier.is_empty() {
+                histogram!("core.rules.frontier_width").record(frontier.len() as u64);
+                let resolved = par::par_map_vec(frontier, |cube| {
+                    let r = resolve(&cube.lo, &cube.hi);
+                    (cube, r)
+                });
+                let mut next = Vec::new();
+                for (cube, resolution) in resolved {
+                    match resolution {
+                        Ok(label) => {
+                            total_regions += 1;
+                            if total_regions > max_regions {
+                                return Err(RuleGenError::TooManyRegions {
+                                    budget: max_regions,
+                                    reached: total_regions,
+                                });
+                            }
+                            if !label {
+                                benign.push(cube);
+                            }
                         }
-                        if !label {
-                            benign.push(cube);
-                        }
-                    }
-                    Err((feature, split)) => {
-                        debug_assert!(
-                            cube.lo[feature] < split && split < cube.hi[feature],
-                            "straddle split must be interior"
-                        );
-                        let mut left = cube.clone();
-                        left.hi[feature] = split;
-                        let mut right = cube;
-                        right.lo[feature] = split;
-                        next.push(left);
-                        next.push(right);
-                        if next.len() > max_regions * 2 {
-                            return Err(RuleGenError::TooManyRegions { budget: max_regions });
+                        Err((feature, split)) => {
+                            debug_assert!(
+                                cube.lo[feature] < split && split < cube.hi[feature],
+                                "straddle split must be interior"
+                            );
+                            let mut left = cube.clone();
+                            left.hi[feature] = split;
+                            let mut right = cube;
+                            right.lo[feature] = split;
+                            next.push(left);
+                            next.push(right);
+                            if next.len() > max_regions * 2 {
+                                return Err(RuleGenError::TooManyRegions {
+                                    budget: max_regions,
+                                    reached: total_regions + next.len(),
+                                });
+                            }
                         }
                     }
                 }
+                frontier = next;
             }
-            frontier = next;
-        }
-        let whitelist = merge_adjacent(benign);
+            Ok((benign, total_regions))
+        })?;
+        counter!("core.rules.regions").add(total_regions as u64);
+        let whitelist = span!("core.rules.merge").time(|| merge_adjacent(benign));
+        counter!("core.rules.whitelist_rules").add(whitelist.len() as u64);
         Ok(Self { bounds, whitelist, total_regions })
     }
 
@@ -362,6 +380,7 @@ pub fn merge_adjacent(mut cubes: Vec<Hypercube>) -> Vec<Hypercube> {
     }
     let dims = cubes[0].dims();
     loop {
+        counter!("core.rules.merge_pass").inc();
         let mut merged_any = false;
         for d in 0..dims {
             // Key = bit patterns of (lo, hi) on all axes except d.
@@ -514,7 +533,14 @@ mod tests {
         let mut rng = Rng::seed_from_u64(4);
         let (forest, _) = trained_forest(&mut rng);
         match RuleSet::from_iguard(&forest, 1) {
-            Err(RuleGenError::TooManyRegions { budget: 1 }) => {}
+            Err(err @ RuleGenError::TooManyRegions { budget: 1, reached }) => {
+                assert!(reached > 1, "reached ({reached}) must exceed the budget of 1");
+                let msg = err.to_string();
+                assert!(
+                    msg.contains("budget of 1") && msg.contains(&format!("reached {reached}")),
+                    "error message must name budget and reached count: {msg:?}"
+                );
+            }
             other => panic!("expected budget error, got {other:?}"),
         }
     }

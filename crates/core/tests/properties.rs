@@ -9,6 +9,52 @@ use iguard_runtime::proptest_lite;
 use iguard_runtime::rng::Rng;
 use iguard_runtime::Dataset;
 
+/// Half-open boxes intersect iff they overlap on every axis.
+fn overlaps(a: &Hypercube, b: &Hypercube) -> bool {
+    a.lo.iter()
+        .zip(&a.hi)
+        .zip(b.lo.iter().zip(&b.hi))
+        .all(|((alo, ahi), (blo, bhi))| alo < bhi && blo < ahi)
+}
+
+/// A random irregular grid: per-axis sorted cut points at arbitrary float
+/// positions, from which a random subset of (pairwise-disjoint) cells is
+/// selected — the same shape `RuleSet` decomposition hands to
+/// `merge_adjacent`, minus any alignment to unit coordinates.
+fn random_grid_cells(rng: &mut Rng, dim: usize, cells_per_axis: usize) -> Vec<Hypercube> {
+    let axes: Vec<Vec<f32>> = (0..dim)
+        .map(|_| {
+            let mut cuts: Vec<f32> =
+                (0..=cells_per_axis).map(|_| rng.gen_range(-5.0f32..5.0)).collect();
+            cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            cuts.dedup();
+            cuts
+        })
+        .collect();
+    let mut cells = Vec::new();
+    let mut idx = vec![0usize; dim];
+    loop {
+        if rng.gen_bool(0.5) {
+            let lo: Vec<f32> = (0..dim).map(|d| axes[d][idx[d]]).collect();
+            let hi: Vec<f32> = (0..dim).map(|d| axes[d][idx[d] + 1]).collect();
+            cells.push(Hypercube { lo, hi });
+        }
+        // Odometer over the per-axis cell indices.
+        let mut d = 0;
+        loop {
+            if d == dim {
+                return cells;
+            }
+            idx[d] += 1;
+            if idx[d] + 1 < axes[d].len() {
+                break;
+            }
+            idx[d] = 0;
+            d += 1;
+        }
+    }
+}
+
 fn trained_forest(seed: u64, cut: f32) -> IGuardForest {
     let mut rng = Rng::seed_from_u64(seed);
     let mut data = Dataset::new(3);
@@ -73,6 +119,83 @@ proptest_lite! {
             let before = cubes.iter().any(|c| c.contains(&p));
             let after = merged.iter().any(|c| c.contains(&p));
             assert_eq!(before, after, "coverage changed at {p:?}");
+        }
+    }
+
+    /// `merge_adjacent` on disjoint irregular grid cells emits boxes that
+    /// are pairwise disjoint by exact interval arithmetic (not sampling),
+    /// and that preserve total volume.
+    fn merged_boxes_geometrically_disjoint(rng) {
+        let dim = rng.gen_range(1usize..4);
+        let per_axis = rng.gen_range(2usize..5);
+        let cells = random_grid_cells(rng, dim, per_axis);
+        let input_volume: f64 = cells.iter().map(Hypercube::volume).sum();
+        let merged = merge_adjacent(cells);
+        for (i, a) in merged.iter().enumerate() {
+            for b in &merged[i + 1..] {
+                assert!(!overlaps(a, b), "merged boxes overlap: {a:?} vs {b:?}");
+            }
+        }
+        let merged_volume: f64 = merged.iter().map(Hypercube::volume).sum();
+        // Extents are f32: a merged box's extent (c - a) and the sum of its
+        // parts (b - a) + (c - b) round differently at ~1e-7 relative.
+        let tol = 1e-4 * input_volume.abs().max(1.0);
+        assert!(
+            (merged_volume - input_volume).abs() <= tol,
+            "volume changed: {input_volume} -> {merged_volume}"
+        );
+    }
+
+    /// Merged boxes cover exactly the union of the inputs: membership is
+    /// unchanged both for points drawn inside input cells and for arbitrary
+    /// probes (which may fall in gaps or outside entirely).
+    fn merge_union_exact_on_irregular_grid(rng) {
+        let dim = rng.gen_range(1usize..4);
+        let per_axis = rng.gen_range(2usize..5);
+        let cells = random_grid_cells(rng, dim, per_axis);
+        let merged = merge_adjacent(cells.clone());
+        for _ in 0..30 {
+            let p: Vec<f32> = (0..dim).map(|_| rng.gen_range(-6.0f32..6.0)).collect();
+            let before = cells.iter().any(|c| c.contains(&p));
+            let after = merged.iter().any(|c| c.contains(&p));
+            assert_eq!(before, after, "coverage changed at probe {p:?}");
+        }
+        for cell in &cells {
+            let p: Vec<f32> = cell
+                .lo
+                .iter()
+                .zip(&cell.hi)
+                .map(|(&l, &h)| l + (h - l) * rng.gen_range(0.0f32..1.0))
+                .collect();
+            if cell.contains(&p) {
+                assert!(
+                    merged.iter().any(|c| c.contains(&p)),
+                    "interior point {p:?} of {cell:?} lost by merge"
+                );
+            }
+        }
+    }
+
+    /// The compiled whitelist reproduces the forest's leaf-label *vote*
+    /// (computed by hand from the trees and `votes_needed`, not via
+    /// `IGuardForest::predict`) on 1k sampled points per case.
+    fn ruleset_matches_forest_voting_on_1k_points(rng, cases = 4) {
+        let seed = rng.gen_range(0u64..1000);
+        let cut = rng.gen_range(0.2f32..0.8);
+        let forest = trained_forest(seed, cut);
+        let rules = RuleSet::from_iguard(&forest, 400_000).unwrap();
+        let needed = forest.votes_needed();
+        let mut probe = Rng::seed_from_u64(seed ^ 0x5EED);
+        for _ in 0..1000 {
+            let x: Vec<f32> = (0..3).map(|_| probe.gen_range(-1.0f32..2.0)).collect();
+            let mal_votes =
+                forest.trees().iter().filter(|t| t.predict(&x).expect("distilled")).count();
+            let vote = mal_votes >= needed;
+            assert_eq!(
+                rules.predict(&x),
+                vote,
+                "rule/vote disagreement at {x:?} ({mal_votes}/{needed} votes)"
+            );
         }
     }
 

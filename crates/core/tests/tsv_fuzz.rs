@@ -1,0 +1,171 @@
+//! Fuzz-style round-trip tests for the `RuleSet` TSV format: randomly
+//! built rule sets with NaN-free extreme floats must survive
+//! `from_tsv(to_tsv())` bit-for-bit, and random structural corruptions of
+//! a valid document must be rejected with an error, never a panic.
+
+use iguard_core::rules::{Hypercube, RuleSet};
+use iguard_runtime::proptest_lite;
+use iguard_runtime::rng::Rng;
+
+/// Draws from the nasty corners of `f32` — infinities, extremes of the
+/// normal range, subnormals, signed zero — plus arbitrary non-NaN bit
+/// patterns. NaN is excluded by construction: it is not a meaningful rule
+/// boundary and `NaN != NaN` would make bit-exact comparison vacuous.
+fn extreme_f32(rng: &mut Rng) -> f32 {
+    match rng.gen_range(0u32..10) {
+        0 => f32::INFINITY,
+        1 => f32::NEG_INFINITY,
+        2 => f32::MAX,
+        3 => f32::MIN,
+        4 => f32::MIN_POSITIVE,
+        5 => -f32::MIN_POSITIVE,
+        6 => 1.0e-40, // subnormal
+        7 => -0.0,
+        8 => 0.0,
+        _ => loop {
+            let v = f32::from_bits(rng.next_u64() as u32);
+            if !v.is_nan() {
+                break v;
+            }
+        },
+    }
+}
+
+fn random_ruleset(rng: &mut Rng, min_rules: usize) -> RuleSet {
+    let dim = rng.gen_range(1usize..6);
+    let bounds = (0..dim).map(|_| (extreme_f32(rng), extreme_f32(rng))).collect();
+    let n = rng.gen_range(min_rules..8);
+    let whitelist = (0..n)
+        .map(|_| Hypercube {
+            lo: (0..dim).map(|_| extreme_f32(rng)).collect(),
+            hi: (0..dim).map(|_| extreme_f32(rng)).collect(),
+        })
+        .collect();
+    RuleSet { bounds, whitelist, total_regions: rng.gen_range(0usize..1_000_000) }
+}
+
+fn bits(vals: &[f32]) -> Vec<u32> {
+    vals.iter().map(|v| v.to_bits()).collect()
+}
+
+/// Bit-pattern equality — `==` on floats would call `-0.0` and `0.0`
+/// interchangeable and hide a sign-losing serialiser.
+fn assert_bit_identical(a: &RuleSet, b: &RuleSet) {
+    let unzip = |r: &RuleSet| -> (Vec<f32>, Vec<f32>) { r.bounds.iter().copied().unzip() };
+    let (alo, ahi) = unzip(a);
+    let (blo, bhi) = unzip(b);
+    assert_eq!(bits(&alo), bits(&blo), "bounds_lo changed");
+    assert_eq!(bits(&ahi), bits(&bhi), "bounds_hi changed");
+    assert_eq!(a.whitelist.len(), b.whitelist.len());
+    for (x, y) in a.whitelist.iter().zip(&b.whitelist) {
+        assert_eq!(bits(&x.lo), bits(&y.lo), "rule lo changed");
+        assert_eq!(bits(&x.hi), bits(&y.hi), "rule hi changed");
+    }
+    assert_eq!(a.total_regions, b.total_regions);
+}
+
+proptest_lite! {
+    /// Round trip is bit-exact for rule sets built from extreme floats.
+    fn tsv_round_trips_extreme_values(rng, cases = 64) {
+        let rules = random_ruleset(rng, 0);
+        let doc = rules.to_tsv();
+        let back = RuleSet::from_tsv(&doc).unwrap_or_else(|e| panic!("{e}\n{doc}"));
+        assert_bit_identical(&rules, &back);
+    }
+
+    /// Random structural corruption of a valid document is always a clean
+    /// `Err`, never a panic and never a silently different rule set.
+    fn tsv_rejects_corrupted_documents(rng, cases = 64) {
+        let rules = random_ruleset(rng, 1);
+        let doc = rules.to_tsv();
+        let mut lines: Vec<String> = doc.lines().map(str::to_owned).collect();
+        let corrupted = match rng.gen_range(0u32..6) {
+            // Drop the final rule line: fewer lines than the header promises.
+            0 => {
+                lines.pop();
+                lines.join("\n")
+            }
+            // Replace one float field of a random non-header line with junk.
+            1 => {
+                let li = rng.gen_range(1usize..lines.len());
+                let mut fields: Vec<&str> = lines[li].split('\t').collect();
+                let fi = rng.gen_range(1usize..fields.len());
+                fields[fi] = "not-a-float";
+                lines[li] = fields.join("\t");
+                lines.join("\n")
+            }
+            // Unknown format version in the header.
+            2 => {
+                lines[0] = lines[0].replace("\tv1\t", "\tv9\t");
+                lines.join("\n")
+            }
+            // Misspelled line tag.
+            3 => {
+                let li = rng.gen_range(1usize..lines.len());
+                let rest = lines[li].split_once('\t').map(|(_, r)| r.to_owned());
+                lines[li] = format!("bogus\t{}", rest.unwrap_or_default());
+                lines.join("\n")
+            }
+            // Widen a rule line: width no longer 2 * dim.
+            4 => {
+                let li = lines.len() - 1;
+                lines[li].push_str("\t0");
+                lines.join("\n")
+            }
+            // Truncate at an arbitrary char boundary strictly before the
+            // last line, so the final rule line is always wholly missing.
+            // (Cutting *within* the last float is legal-by-construction:
+            // "2.5" truncated to "2." still parses, and the format cannot
+            // detect it — so that is not an error path to probe.)
+            _ => {
+                let last_line_start = doc.trim_end().rfind('\n').unwrap() + 1;
+                let mut cut = rng.gen_range(1usize..last_line_start);
+                while !doc.is_char_boundary(cut) {
+                    cut -= 1;
+                }
+                doc[..cut].trim_end_matches('\n').to_owned()
+            }
+        };
+        let err = RuleSet::from_tsv(&corrupted)
+            .expect_err("corrupted document parsed cleanly");
+        assert!(!err.is_empty());
+    }
+}
+
+/// The degenerate shapes: no rules at all, and a zero-dimensional space.
+#[test]
+fn tsv_round_trips_empty_rulesets() {
+    for rules in [
+        RuleSet { bounds: vec![(0.0, 1.0), (-1.0, 2.0)], whitelist: vec![], total_regions: 0 },
+        RuleSet { bounds: vec![], whitelist: vec![], total_regions: 0 },
+        RuleSet {
+            bounds: vec![(f32::NEG_INFINITY, f32::INFINITY)],
+            whitelist: vec![],
+            total_regions: 17,
+        },
+    ] {
+        let back = RuleSet::from_tsv(&rules.to_tsv()).unwrap();
+        assert_bit_identical(&rules, &back);
+    }
+}
+
+/// Error paths the corruption fuzzer cannot hit reliably: missing bounds
+/// lines, a dim/width mismatch between header and bounds, and NaN floats
+/// (which parse, but only arrive from hand-written documents).
+#[test]
+fn tsv_error_paths_are_informative() {
+    let missing_bounds = RuleSet::from_tsv("iguard-ruleset\tv1\t2\t0\t0").unwrap_err();
+    assert!(missing_bounds.contains("bounds_lo"), "{missing_bounds}");
+
+    let narrow =
+        RuleSet::from_tsv("iguard-ruleset\tv1\t3\t0\t0\nbounds_lo\t0\nbounds_hi\t1").unwrap_err();
+    assert!(narrow.contains("width"), "{narrow}");
+
+    let bad_float = RuleSet::from_tsv("iguard-ruleset\tv1\t1\t0\t0\nbounds_lo\tzero\nbounds_hi\t1")
+        .unwrap_err();
+    assert!(bad_float.contains("zero"), "error should name the bad token: {bad_float}");
+
+    let bad_count = RuleSet::from_tsv("iguard-ruleset\tv1\t1\t0\tmany\nbounds_lo\t0\nbounds_hi\t1")
+        .unwrap_err();
+    assert!(bad_count.contains("rule count"), "{bad_count}");
+}

@@ -16,6 +16,7 @@
 use crate::five_tuple::FiveTuple;
 use crate::packet::Packet;
 use crate::stats::FlowStats;
+use iguard_telemetry::counter;
 
 /// Configuration of the flow table.
 #[derive(Clone, Copy, Debug)]
@@ -121,6 +122,7 @@ impl FlowTable {
             if let Some(slot) = slot_opt {
                 if slot.key == key {
                     if let Some(label) = slot.label {
+                        counter!("flow.table.classified").inc();
                         return InsertOutcome::Classified { label };
                     }
                     // Timeout check before updating: an idle flow is
@@ -129,13 +131,16 @@ impl FlowTable {
                         let stats = slot.stats;
                         // Restart tracking from this packet.
                         slot.stats = FlowStats::from_first_packet(p);
+                        counter!("flow.table.ready_timeout").inc();
                         return InsertOutcome::Ready { stats, timed_out: true };
                     }
                     slot.stats.update(p);
                     if slot.stats.pkt_count >= self.cfg.pkt_threshold {
                         let stats = slot.stats;
+                        counter!("flow.table.ready").inc();
                         return InsertOutcome::Ready { stats, timed_out: false };
                     }
+                    counter!("flow.table.early").inc();
                     return InsertOutcome::Early { pkt_count: slot.stats.pkt_count };
                 }
             }
@@ -152,10 +157,13 @@ impl FlowTable {
             };
             if free {
                 *slot_opt = Some(Slot { key, stats: FlowStats::from_first_packet(p), label: None });
+                counter!("flow.table.install").inc();
                 return if self.cfg.pkt_threshold == 1 {
                     let stats = slot_opt.as_ref().unwrap().stats;
+                    counter!("flow.table.ready").inc();
                     InsertOutcome::Ready { stats, timed_out: false }
                 } else {
+                    counter!("flow.table.early").inc();
                     InsertOutcome::Early { pkt_count: 1 }
                 };
             }
@@ -171,11 +179,14 @@ impl FlowTable {
                 if s.label.is_some() {
                     *slot_opt =
                         Some(Slot { key, stats: FlowStats::from_first_packet(p), label: None });
+                    counter!("flow.table.evict_classified").inc();
+                    counter!("flow.table.install").inc();
                     return InsertOutcome::ReplacedClassified { pkt_count: 1 };
                 }
             }
         }
         self.collision_packets += 1;
+        counter!("flow.table.collision").inc();
         InsertOutcome::Collision
     }
 
@@ -224,11 +235,13 @@ impl FlowTable {
         let i1 = self.idx1(&key);
         if matches!(&self.table1[i1], Some(s) if s.key == key) {
             self.table1[i1] = None;
+            counter!("flow.table.clear").inc();
             return true;
         }
         let i2 = self.idx2(&key);
         if matches!(&self.table2[i2], Some(s) if s.key == key) {
             self.table2[i2] = None;
+            counter!("flow.table.clear").inc();
             return true;
         }
         false

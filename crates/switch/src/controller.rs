@@ -9,6 +9,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use iguard_flow::five_tuple::FiveTuple;
+use iguard_telemetry::counter;
 
 use crate::pipeline::{ControlAction, Digest};
 
@@ -72,6 +73,7 @@ impl Controller {
             self.digests_seen += 1;
             self.digest_bytes_total += self.cfg.digest_bytes;
             self.clock += 1;
+            counter!("switch.controller.digest").inc();
             let key = d.five.canonical();
             // Always release the flow's stateful storage: the class now
             // lives in the label register / blacklist.
@@ -88,11 +90,13 @@ impl Controller {
             if self.installed.len() >= self.cfg.blacklist_capacity {
                 if let Some(victim) = self.pick_victim() {
                     self.installed.remove(&victim);
+                    counter!("switch.controller.blacklist_evict").inc();
                     actions.push(ControlAction::RemoveBlacklist(victim));
                 }
             }
             self.installed.insert(key, self.clock);
             self.queue.push_back(key);
+            counter!("switch.controller.blacklist_install").inc();
             actions.push(ControlAction::InstallBlacklist(key));
         }
         actions

@@ -15,6 +15,7 @@
 //!   it is the cost model the resource accounting (paper Table 1) uses.
 
 use iguard_core::rules::RuleSet;
+use iguard_telemetry::{counter, span};
 
 /// Fixed-point encoding of one feature into a TCAM field.
 #[derive(Clone, Copy, Debug)]
@@ -180,7 +181,12 @@ impl RangeTable {
 
     /// Highest-priority matching entry, if any.
     pub fn lookup(&self, key: &[u32]) -> Option<&RangeEntry> {
-        self.entries.iter().filter(|e| e.matches(key)).min_by_key(|e| e.priority)
+        counter!("switch.tcam.lookup").inc();
+        let hit = self.entries.iter().filter(|e| e.matches(key)).min_by_key(|e| e.priority);
+        if hit.is_some() {
+            counter!("switch.tcam.hit").inc();
+        }
+        hit
     }
 
     /// Key width after range encoding: DirtCAM range matching costs about
@@ -198,30 +204,33 @@ impl RangeTable {
 /// saturates).
 pub fn compile_ruleset(rules: &RuleSet, specs: &[FieldSpec]) -> RangeTable {
     assert_eq!(rules.bounds.len(), specs.len(), "one FieldSpec per feature");
-    let mut table = RangeTable::new(specs.iter().map(|s| s.bits).collect());
-    for (prio, cube) in rules.whitelist.iter().enumerate() {
-        let fields: Vec<(u32, u32)> = cube
-            .lo
-            .iter()
-            .zip(&cube.hi)
-            .zip(specs)
-            .map(|((&lo, &hi), spec)| {
-                let qlo = spec.quantize(lo);
-                let qhi_raw = spec.quantize(hi);
-                let saturated = hi.is_infinite() || hi * spec.scale >= spec.max_value() as f32;
-                let qhi = if saturated {
-                    spec.max_value()
-                } else if qhi_raw > qlo {
-                    qhi_raw - 1
-                } else {
-                    qlo
-                };
-                (qlo, qhi)
-            })
-            .collect();
-        table.push(RangeEntry { fields, priority: prio as u32 });
-    }
-    table
+    span!("switch.tcam.compile").time(|| {
+        let mut table = RangeTable::new(specs.iter().map(|s| s.bits).collect());
+        for (prio, cube) in rules.whitelist.iter().enumerate() {
+            let fields: Vec<(u32, u32)> = cube
+                .lo
+                .iter()
+                .zip(&cube.hi)
+                .zip(specs)
+                .map(|((&lo, &hi), spec)| {
+                    let qlo = spec.quantize(lo);
+                    let qhi_raw = spec.quantize(hi);
+                    let saturated = hi.is_infinite() || hi * spec.scale >= spec.max_value() as f32;
+                    let qhi = if saturated {
+                        spec.max_value()
+                    } else if qhi_raw > qlo {
+                        qhi_raw - 1
+                    } else {
+                        qlo
+                    };
+                    (qlo, qhi)
+                })
+                .collect();
+            table.push(RangeEntry { fields, priority: prio as u32 });
+            counter!("switch.tcam.install").inc();
+        }
+        table
+    })
 }
 
 /// Quantises a feature vector into a TCAM lookup key.

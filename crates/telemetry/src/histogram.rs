@@ -1,0 +1,229 @@
+//! Fixed-bucket power-of-two histograms for sizes and latencies.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Bucket `i` holds values whose bit length is `i`: bucket 0 is exactly
+/// `{0}`, bucket 1 is `{1}`, bucket 2 is `[2, 4)`, …, bucket 64 is
+/// `[2^63, u64::MAX]`. 65 buckets cover all of `u64` with no configuration.
+pub const N_BUCKETS: usize = 65;
+
+/// Bucket index of a value: its bit length.
+#[inline]
+pub fn bucket_of(v: u64) -> usize {
+    (u64::BITS - v.leading_zeros()) as usize
+}
+
+/// Inclusive lower bound of bucket `i`.
+pub fn bucket_lo(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        _ => 1u64 << (i - 1),
+    }
+}
+
+/// A fixed-bucket histogram. Recording touches three relaxed atomics plus
+/// two saturating min/max updates; there is no locking and no allocation.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; N_BUCKETS],
+    count: AtomicU64,
+    total: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Self {
+            buckets: [const { AtomicU64::new(0) }; N_BUCKETS],
+            count: AtomicU64::new(0),
+            total: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded value; `None` before any recording.
+    pub fn min(&self) -> Option<u64> {
+        let v = self.min.load(Ordering::Relaxed);
+        (v != u64::MAX || self.count() > 0).then_some(v)
+    }
+
+    /// Largest recorded value; `None` before any recording.
+    pub fn max(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max.load(Ordering::Relaxed))
+    }
+
+    /// Point-in-time copy of the full state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: self.count(),
+            total: self.total(),
+            min: self.min(),
+            max: self.max(),
+        }
+    }
+
+    pub fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.total.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A frozen copy of a [`Histogram`], checkable and serialisable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub total: u64,
+    pub min: Option<u64>,
+    pub max: Option<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Internal consistency (valid when writers are quiescent): the bucket
+    /// sum equals the count, min/max bracket the populated buckets, and the
+    /// mean lies within [min, max].
+    pub fn verify(&self, name: &str) -> Result<(), String> {
+        let sum: u64 = self.buckets.iter().sum();
+        if sum != self.count {
+            return Err(format!("histogram {name}: bucket sum {sum} != count {}", self.count));
+        }
+        if self.count == 0 {
+            return Ok(());
+        }
+        let (min, max) = (self.min.unwrap_or(u64::MAX), self.max.unwrap_or(0));
+        if min > max {
+            return Err(format!("histogram {name}: min {min} > max {max}"));
+        }
+        let mean = self.total as f64 / self.count as f64;
+        if mean < min as f64 || mean > max as f64 {
+            return Err(format!("histogram {name}: mean {mean} outside [{min}, {max}]"));
+        }
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n > 0 && (bucket_of(max) < i || bucket_of(min) > i) {
+                return Err(format!(
+                    "histogram {name}: populated bucket {i} outside min/max bit range"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(u64::MAX), 64);
+        for i in 0..N_BUCKETS {
+            assert_eq!(bucket_of(bucket_lo(i)), i.max(0));
+        }
+    }
+
+    #[test]
+    fn record_and_snapshot() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 7, 1024] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.total, 1033);
+        assert_eq!(s.min, Some(0));
+        assert_eq!(s.max, Some(1024));
+        assert_eq!(s.buckets[0], 1); // the zero
+        assert_eq!(s.buckets[1], 2); // the ones
+        assert_eq!(s.buckets[3], 1); // 7 ∈ [4, 8)
+        assert_eq!(s.buckets[11], 1); // 1024 ∈ [1024, 2048)
+        s.verify("test").unwrap();
+    }
+
+    #[test]
+    fn empty_histogram_verifies() {
+        Histogram::new().snapshot().verify("empty").unwrap();
+        assert_eq!(Histogram::new().min(), None);
+        assert_eq!(Histogram::new().max(), None);
+    }
+
+    #[test]
+    fn verify_catches_count_mismatch() {
+        let mut s = Histogram::new().snapshot();
+        s.count = 3; // buckets all zero
+        assert!(s.verify("broken").unwrap_err().contains("bucket sum"));
+    }
+
+    #[test]
+    fn verify_catches_mean_outside_range() {
+        let h = Histogram::new();
+        h.record(10);
+        let mut s = h.snapshot();
+        s.total = 1; // mean 1 < min 10
+        assert!(s.verify("broken").unwrap_err().contains("mean"));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let h = Histogram::new();
+        h.record(42);
+        h.reset();
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min, None);
+        s.verify("reset").unwrap();
+    }
+
+    #[test]
+    fn concurrent_recording_is_consistent() {
+        let h = Histogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        h.record(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        h.snapshot().verify("concurrent").unwrap();
+        assert_eq!(h.count(), 2000);
+    }
+}

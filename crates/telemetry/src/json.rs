@@ -1,0 +1,136 @@
+//! A minimal JSON writer — just enough to serialise snapshots. Emission
+//! only; the workspace never parses JSON (the bench-diff workflow uses
+//! `jq`/Python outside the build).
+
+/// Escapes and quotes a string per RFC 8259.
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number. JSON has no NaN/∞; those become
+/// `null`, and integral values print without a fractional part.
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".into();
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// A growing JSON object literal: `{"k": v, ...}` with insertion order.
+#[derive(Debug, Default)]
+pub struct Object {
+    fields: Vec<(String, String)>,
+}
+
+impl Object {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a field with a pre-rendered JSON value.
+    pub fn raw(&mut self, key: &str, value: impl Into<String>) -> &mut Self {
+        self.fields.push((key.to_string(), value.into()));
+        self
+    }
+
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.raw(key, string(value))
+    }
+
+    pub fn u64(&mut self, key: &str, value: u64) -> &mut Self {
+        self.raw(key, value.to_string())
+    }
+
+    pub fn f64(&mut self, key: &str, value: f64) -> &mut Self {
+        self.raw(key, number(value))
+    }
+
+    pub fn bool(&mut self, key: &str, value: bool) -> &mut Self {
+        self.raw(key, if value { "true" } else { "false" })
+    }
+
+    pub fn opt_u64(&mut self, key: &str, value: Option<u64>) -> &mut Self {
+        match value {
+            Some(v) => self.u64(key, v),
+            None => self.raw(key, "null"),
+        }
+    }
+
+    /// Renders the object; `indent` is the nesting depth for pretty output.
+    pub fn render(&self, indent: usize) -> String {
+        if self.fields.is_empty() {
+            return "{}".into();
+        }
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        let body = self
+            .fields
+            .iter()
+            .map(|(k, v)| format!("{pad}{}: {v}", string(k)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!("{{\n{body}\n{close}}}")
+    }
+}
+
+/// Renders a `u64` slice as a JSON array.
+pub fn u64_array(values: &[u64]) -> String {
+    let body = values.iter().map(u64::to_string).collect::<Vec<_>>().join(", ");
+    format!("[{body}]")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_strings() {
+        assert_eq!(string("ab"), r#""ab""#);
+        assert_eq!(string("a\"b\\c\n"), r#""a\"b\\c\n""#);
+        assert_eq!(string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(3.5), "3.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn object_renders_nested() {
+        let mut inner = Object::new();
+        inner.u64("count", 2);
+        let mut o = Object::new();
+        o.str("name", "x").raw("inner", inner.render(1)).bool("on", true);
+        let s = o.render(0);
+        assert!(s.contains("\"name\": \"x\""));
+        assert!(s.contains("\"count\": 2"));
+        assert!(s.starts_with("{\n") && s.ends_with('}'));
+    }
+
+    #[test]
+    fn arrays() {
+        assert_eq!(u64_array(&[1, 2, 3]), "[1, 2, 3]");
+        assert_eq!(u64_array(&[]), "[]");
+    }
+}

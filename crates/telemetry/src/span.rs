@@ -1,0 +1,133 @@
+//! Named span timers: wall-clock accumulation per pipeline stage.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Accumulated wall-clock time of a named stage: count, total, min, max in
+/// nanoseconds. Recording is four relaxed atomics; [`Span::time`] skips the
+/// clock reads entirely when telemetry is disabled, so a disabled build
+/// pays only an atomic load and a branch per span.
+#[derive(Debug, Default)]
+pub struct Span {
+    count: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Span {
+    pub const fn new() -> Self {
+        Self {
+            count: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a measured duration.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Times `f`, recording its duration. When telemetry is disabled the
+    /// closure runs untimed — zero clock reads.
+    #[inline]
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        if !crate::enabled() {
+            return f();
+        }
+        let t = Instant::now();
+        let r = f();
+        self.record_ns(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        r
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.load(Ordering::Relaxed)
+    }
+
+    pub fn min_ns(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.min_ns.load(Ordering::Relaxed))
+    }
+
+    pub fn max_ns(&self) -> Option<u64> {
+        (self.count() > 0).then(|| self.max_ns.load(Ordering::Relaxed))
+    }
+
+    /// Mean nanoseconds per recorded span; `None` before any recording.
+    pub fn mean_ns(&self) -> Option<f64> {
+        let c = self.count();
+        (c > 0).then(|| self.total_ns() as f64 / c as f64)
+    }
+
+    pub fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.min_ns.store(u64::MAX, Ordering::Relaxed);
+        self.max_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_durations() {
+        let s = Span::new();
+        s.record_ns(100);
+        s.record_ns(300);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.total_ns(), 400);
+        assert_eq!(s.min_ns(), Some(100));
+        assert_eq!(s.max_ns(), Some(300));
+        assert_eq!(s.mean_ns(), Some(200.0));
+    }
+
+    #[test]
+    fn empty_span_has_no_extremes() {
+        let s = Span::new();
+        assert_eq!(s.min_ns(), None);
+        assert_eq!(s.max_ns(), None);
+        assert_eq!(s.mean_ns(), None);
+    }
+
+    #[test]
+    fn time_returns_closure_result() {
+        let _g = crate::test_gate_lock();
+        crate::set_enabled(true);
+        let s = Span::new();
+        let out = s.time(|| 2 + 2);
+        assert_eq!(out, 4);
+        assert_eq!(s.count(), 1);
+        assert!(s.max_ns().unwrap() >= s.min_ns().unwrap());
+    }
+
+    #[test]
+    fn disabled_time_skips_recording() {
+        let _g = crate::test_gate_lock();
+        crate::set_enabled(false);
+        let s = Span::new();
+        assert_eq!(s.time(|| 7), 7);
+        assert_eq!(s.count(), 0);
+        crate::set_enabled(true);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let s = Span::new();
+        s.record_ns(5);
+        s.reset();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.min_ns(), None);
+    }
+}

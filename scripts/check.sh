@@ -14,7 +14,19 @@ cargo fmt --all -- --check
 echo "== tier-1: cargo build --release --offline =="
 cargo build --release --offline --workspace --all-targets
 
-echo "== tier-1: cargo test -q --offline =="
-cargo test -q --offline --workspace
+echo "== tier-1: cargo test -q --offline (IGUARD_WORKERS=1) =="
+IGUARD_WORKERS=1 cargo test -q --offline --workspace
+
+echo "== cargo test -q --offline (IGUARD_WORKERS=8) =="
+IGUARD_WORKERS=8 cargo test -q --offline --workspace
+
+echo "== bench reporter smoke run =="
+smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
+trap 'rm -f "$smoke_out"' EXIT
+cargo run -q --release --offline -p iguard-bench --bin bench_report -- \
+    --smoke --out "$smoke_out"
+test -s "$smoke_out" || { echo "bench_report wrote an empty report"; exit 1; }
+grep -q '"schema": "iguard-bench-pr2"' "$smoke_out" \
+    || { echo "bench_report schema marker missing"; exit 1; }
 
 echo "All checks passed."

@@ -59,6 +59,7 @@ pub use iguard_switch as switch;
 pub use iguard_synth as synth;
 
 pub use iguard_runtime as runtime;
+pub use iguard_telemetry as telemetry;
 
 /// The names most applications need.
 pub mod prelude {

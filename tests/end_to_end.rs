@@ -150,6 +150,86 @@ fn adversarial_low_rate_changes_flow_durations() {
     );
 }
 
+/// One cheap, fully deterministic deployment for the golden test: an oracle
+/// teacher (no NN training), a small guided forest, a PL early model, and a
+/// benign+flood replay through the emulated switch.
+fn golden_run() -> (RuleSet, iguard::switch::replay::ReplayReport) {
+    let mut rng = Rng::seed_from_u64(0xC0FFEE);
+    let cfg = ExtractConfig::default();
+    let train_trace = benign_trace(200, 8.0, &mut rng);
+    let train = extract_flows(&train_trace, &cfg);
+    let teacher = OracleTeacher(|x: &[f32]| x[10] < 0.0008 || x[2] > 1200.0);
+    let ig = IGuardConfig { n_trees: 5, subsample: 64, k_augment: 32, ..Default::default() };
+    let mut forest = IGuardForest::fit(&train.features, &teacher, &ig, &mut rng);
+    forest.distill(&train.features, &teacher, ig.k_augment, &mut rng);
+    let rules = RuleSet::from_iguard(&forest, 400_000).expect("rule budget");
+
+    let mut seen = std::collections::HashSet::new();
+    let mut pl = iguard_runtime::Dataset::default();
+    for p in &train_trace.packets {
+        if seen.insert(p.five.canonical()) {
+            pl.push_row(&packet_level_features(p));
+        }
+    }
+    let early = EarlyModel::train(
+        &pl,
+        &PlForestConfig { n_trees: 10, subsample: 64, contamination: 0.05 },
+        400_000,
+        &mut rng,
+    )
+    .expect("PL rules");
+
+    let benign = benign_trace(100, 6.0, &mut rng);
+    let flood = Attack::UdpDdos.trace(40, 6.0, &mut rng);
+    let trace = Trace::merge(vec![benign, flood]);
+    let mut pipeline = Pipeline::new(
+        SwitchPipelineConfig {
+            flow_table: FlowTableConfig { pkt_threshold: 4, ..Default::default() },
+            ..Default::default()
+        },
+        rules.clone(),
+        early.rules,
+    );
+    let mut controller = Controller::new(ControllerConfig::default());
+    let report = replay(&trace, &mut pipeline, &mut controller, &ReplayConfig::default());
+    (rules, report)
+}
+
+/// Golden end-to-end: from a fixed seed, the exact rule count and the exact
+/// per-packet confusion matrix — and the compiled whitelist is
+/// byte-identical at 1, 2, and 8 workers. Any drift in the RNG streams,
+/// the decomposition order, or the replay loop shows up here first.
+#[test]
+fn golden_deployment_is_exact_and_worker_invariant() {
+    use iguard_runtime::par::with_workers;
+
+    const GOLDEN_RULES: usize = 11;
+    const GOLDEN_REGIONS: usize = 51;
+    const GOLDEN_PACKETS: u64 = 6759;
+    const GOLDEN_CONFUSION: (u64, u64, u64, u64) = (3999, 1019, 1569, 172); // (tp, fp, tn, fn)
+
+    let (rules, report) = golden_run();
+    assert_eq!(rules.len(), GOLDEN_RULES, "whitelist rule count drifted");
+    assert_eq!(rules.total_regions, GOLDEN_REGIONS, "decomposition region count drifted");
+    assert_eq!(report.packets, GOLDEN_PACKETS, "replayed packet count drifted");
+    assert_eq!(
+        (report.tp, report.fp, report.tn, report.fn_),
+        GOLDEN_CONFUSION,
+        "per-packet confusion matrix drifted"
+    );
+
+    let tsv = rules.to_tsv();
+    for workers in [1usize, 2, 8] {
+        let (w_rules, w_report) = with_workers(workers, golden_run);
+        assert_eq!(w_rules.to_tsv(), tsv, "whitelist differs at {workers} workers");
+        assert_eq!(
+            (w_report.tp, w_report.fp, w_report.tn, w_report.fn_),
+            GOLDEN_CONFUSION,
+            "confusion matrix differs at {workers} workers"
+        );
+    }
+}
+
 #[test]
 fn tcam_compilation_agrees_with_rules_on_probes() {
     use iguard::switch::tcam::{compile_ruleset, quantize_key, FieldSpec};
