@@ -142,7 +142,7 @@ fn pipeline() {
             let pkt = &trace.packets[idx % trace.len()];
             idx += 1;
             let out = p.process(pkt);
-            for a in c2.process_digests(p.drain_digests()) {
+            for a in c2.process_digests(&p.drain_digests()) {
                 p.apply(a);
             }
             out

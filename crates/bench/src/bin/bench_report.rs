@@ -1,7 +1,9 @@
-//! The PR-2 bench reporter: runs the deployment pipeline end-to-end under
-//! telemetry and writes a machine-readable `BENCH_PR2.json` — per-stage
+//! The PR-3 bench reporter: runs the deployment pipeline end-to-end under
+//! telemetry and writes a machine-readable `BENCH_PR3.json` — per-stage
 //! wall-clock timings, rule counts, TCAM occupancy, flow-table pressure,
-//! switch path counts, and the full verified telemetry snapshot.
+//! switch path counts, a shard sweep of the [`ShardedPipeline`] backend
+//! (1/2/4/8 physical shards vs the serial `Pipeline`), and the full
+//! verified telemetry snapshot.
 //!
 //! Usage:
 //!
@@ -11,8 +13,10 @@
 //!
 //! `--smoke` runs one iteration of each stage (CI sanity); the default is
 //! three, reported as min/mean/max. The run aborts if the final telemetry
-//! snapshot fails its invariant checks, so a broken counter can never
-//! produce a plausible-looking baseline file.
+//! snapshot fails its invariant checks — or if the shard sweep's replay
+//! reports diverge across shard counts — so a broken counter or a
+//! nondeterministic backend can never produce a plausible-looking
+//! baseline file.
 
 use std::time::Instant;
 
@@ -25,9 +29,11 @@ use iguard_flow::table::FlowTableConfig;
 use iguard_iforest::IsolationForestConfig;
 use iguard_runtime::rng::Rng;
 use iguard_switch::controller::{Controller, ControllerConfig};
+use iguard_switch::data_plane::DataPlane;
 use iguard_switch::pipeline::{Pipeline, PipelineConfig};
 use iguard_switch::replay::{replay, ReplayConfig, ReplayReport};
 use iguard_switch::resources::ResourceModel;
+use iguard_switch::sharded::{ShardedPipeline, ShardedPipelineConfig};
 use iguard_switch::tcam::{compile_ruleset, FieldSpec, RangeTable};
 use iguard_synth::attacks::Attack;
 use iguard_synth::benign::benign_trace;
@@ -41,7 +47,7 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { smoke: false, seed: 7, out: "BENCH_PR2.json".into() };
+    let mut args = Args { smoke: false, seed: 7, out: "BENCH_PR3.json".into() };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -178,6 +184,107 @@ fn run_scenario(seed: u64, stages: &mut [StageStat]) -> RunArtifacts {
     RunArtifacts { fl_rules, pl_rules, fl_tcam, pl_tcam, report, pipeline }
 }
 
+/// Replay batch size used throughout the shard sweep (also the controller
+/// feedback granularity — identical for the baseline and every shard
+/// count, so the comparison is apples-to-apples).
+const SWEEP_BATCH: usize = 8192;
+
+/// One shard-sweep data point.
+struct SweepPoint {
+    shards: usize,
+    min_ns: u64,
+    mean_ns: f64,
+    mpps: f64,
+    imbalance: f64,
+    report: ReplayReport,
+    blacklist: Vec<iguard_flow::five_tuple::FiveTuple>,
+}
+
+/// Replays the same trace through the serial `Pipeline` and through
+/// `ShardedPipeline` at 1/2/4/8 physical shards (workers pinned to the
+/// shard count), timing each and checking that every sharded run produces
+/// the same confusion matrix, digest count and blacklist. Returns
+/// `(baseline_min_ns, baseline_report, points)`.
+fn run_shard_sweep(
+    seed: u64,
+    iters: usize,
+    fl_rules: &RuleSet,
+    pl_rules: &RuleSet,
+) -> (u64, ReplayReport, Vec<SweepPoint>) {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5EED_5EED);
+    let benign = benign_trace(800, 20.0, &mut rng);
+    let flood = Attack::UdpDdos.trace(250, 20.0, &mut rng);
+    let trace = Trace::merge(vec![benign, flood]);
+    let pipe_cfg =
+        PipelineConfig::default().with_flow_table(FlowTableConfig::default().with_pkt_threshold(4));
+    // Batched replay so the sharded backend amortises per-batch costs
+    // (binning, scatter, worker dispatch); the serial baseline uses the
+    // identical batch size for a fair comparison.
+    let replay_cfg = ReplayConfig::default().with_batch_size(SWEEP_BATCH);
+
+    let time_replay = |dp: &mut dyn DataPlane| -> (u64, ReplayReport) {
+        let mut controller = Controller::new(ControllerConfig::default());
+        let t = Instant::now();
+        let report = replay(&trace, dp, &mut controller, &replay_cfg);
+        (t.elapsed().as_nanos().min(u64::MAX as u128) as u64, report)
+    };
+
+    let mut base_min = u64::MAX;
+    let mut base_report = ReplayReport::default();
+    for _ in 0..iters {
+        let mut p = Pipeline::new(pipe_cfg, fl_rules.clone(), pl_rules.clone());
+        let (ns, report) = time_replay(&mut p);
+        base_min = base_min.min(ns);
+        base_report = report;
+    }
+
+    let mut points = Vec::new();
+    for shards in [1usize, 2, 4, 8] {
+        let mut min_ns = u64::MAX;
+        let mut total_ns = 0u64;
+        let mut last: Option<(ReplayReport, f64, Vec<_>)> = None;
+        for _ in 0..iters {
+            let cfg = ShardedPipelineConfig::from(pipe_cfg).with_shards(shards);
+            let mut sp = ShardedPipeline::new(cfg, fl_rules.clone(), pl_rules.clone());
+            let (ns, report) = iguard_runtime::par::with_workers(shards, || time_replay(&mut sp));
+            min_ns = min_ns.min(ns);
+            total_ns += ns;
+            last = Some((report, sp.imbalance_ratio(), sp.blacklist_contents()));
+        }
+        let (report, imbalance, blacklist) = last.expect("at least one iteration");
+        points.push(SweepPoint {
+            shards,
+            min_ns,
+            mean_ns: total_ns as f64 / iters as f64,
+            mpps: report.packets as f64 / (min_ns as f64 / 1e9) / 1e6,
+            imbalance,
+            report,
+            blacklist,
+        });
+    }
+
+    // Determinism gate: every shard count must agree exactly on the
+    // replay-visible outputs.
+    let first = &points[0];
+    for p in &points[1..] {
+        let same = p.report.tp == first.report.tp
+            && p.report.fp == first.report.fp
+            && p.report.tn == first.report.tn
+            && p.report.fn_ == first.report.fn_
+            && p.report.digests == first.report.digests
+            && p.report.dropped == first.report.dropped
+            && p.blacklist == first.blacklist;
+        if !same {
+            eprintln!(
+                "bench_report: shard sweep diverged at {} shards (vs {} shards)",
+                p.shards, first.shards
+            );
+            std::process::exit(1);
+        }
+    }
+    (base_min, base_report, points)
+}
+
 fn main() {
     let args = parse_args();
     let iterations = if args.smoke { 1 } else { 3 };
@@ -202,6 +309,11 @@ fn main() {
         last = Some(run_scenario(args.seed, &mut stages));
     }
     let run = last.expect("at least one iteration");
+
+    eprintln!("bench_report: shard sweep (1/2/4/8 shards vs serial pipeline)");
+    let sweep_iters = if args.smoke { 1 } else { 5 };
+    let (base_min_ns, base_report, sweep) =
+        run_shard_sweep(args.seed, sweep_iters, &run.fl_rules, &run.pl_rules);
 
     let snapshot = iguard_telemetry::registry::snapshot().expect("telemetry enabled");
     if let Err(e) = snapshot.verify() {
@@ -247,7 +359,7 @@ fn main() {
         .u64("occupancy", ft.occupancy() as u64)
         .u64("capacity", ft.capacity() as u64)
         .f64("fill", ft.occupancy() as f64 / ft.capacity() as f64)
-        .u64("collision_packets", ft.collision_packets);
+        .u64("collision_packets", ft.collision_packets());
 
     let paths = run.pipeline.paths;
     let mut paths_json = json::Object::new();
@@ -274,8 +386,51 @@ fn main() {
         .u64("blacklist_len", run.pipeline.blacklist_len() as u64)
         .raw("paths", paths_json.render(2));
 
+    let mut sweep_json = json::Object::new();
+    {
+        let mut baseline_json = json::Object::new();
+        baseline_json
+            .u64("min_ns", base_min_ns)
+            .f64("mpps", base_report.packets as f64 / (base_min_ns as f64 / 1e9) / 1e6)
+            .u64("tp", base_report.tp)
+            .u64("fp", base_report.fp)
+            .u64("tn", base_report.tn)
+            .u64("fn", base_report.fn_)
+            .u64("digests", base_report.digests);
+        let single = sweep.iter().find(|p| p.shards == 1).expect("1-shard point");
+        let mut points_json = Vec::new();
+        for p in &sweep {
+            let mut o = json::Object::new();
+            o.u64("shards", p.shards as u64)
+                .u64("min_ns", p.min_ns)
+                .f64("mean_ns", p.mean_ns)
+                .f64("mpps", p.mpps)
+                .f64("imbalance_ratio", p.imbalance)
+                .f64("speedup_vs_single_shard", single.min_ns as f64 / p.min_ns as f64)
+                .u64("tp", p.report.tp)
+                .u64("fp", p.report.fp)
+                .u64("tn", p.report.tn)
+                .u64("fn", p.report.fn_)
+                .u64("digests", p.report.digests)
+                .u64("blacklist_len", p.blacklist.len() as u64);
+            points_json.push(o.render(3));
+        }
+        sweep_json
+            .u64("iters", sweep_iters as u64)
+            .u64("batch_size", SWEEP_BATCH as u64)
+            // Speedup >1 is only physically possible when the host has
+            // cores to spare; on a 1-CPU host the sweep still validates
+            // determinism and abstraction overhead.
+            .u64("host_cpus", std::thread::available_parallelism().map_or(1, |n| n.get()) as u64)
+            .u64("trace_packets", base_report.packets)
+            .f64("single_shard_overhead", single.min_ns as f64 / base_min_ns as f64)
+            .bool("deterministic_across_shards", true)
+            .raw("baseline_pipeline", baseline_json.render(2))
+            .raw("shards", json::array(&points_json, 2));
+    }
+
     let mut root = json::Object::new();
-    root.str("schema", "iguard-bench-pr2")
+    root.str("schema", "iguard-bench-pr3")
         .u64("version", 1)
         .u64("seed", args.seed)
         .bool("smoke", args.smoke)
@@ -286,6 +441,7 @@ fn main() {
         .raw("tcam", tcam_json.render(1))
         .raw("flow_table", flow_json.render(1))
         .raw("replay", replay_json.render(1))
+        .raw("shard_sweep", sweep_json.render(1))
         .raw("telemetry", snapshot.to_json_at(1));
     let doc = root.render(0) + "\n";
 

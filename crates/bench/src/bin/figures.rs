@@ -464,7 +464,7 @@ fn digest_overhead() {
         let mut c = Controller::new(ControllerConfig { digest_bytes: bytes, ..Default::default() });
         for i in 0..50_000u32 {
             let five = iguard_flow::five_tuple::FiveTuple::new(i, 1, 1, 80, 6);
-            let _ = c.process_digests(vec![Digest { five, malicious: false }]);
+            let _ = c.process_digests(&[Digest { five, malicious: false }]);
         }
         c.overhead_kbps(30.0)
     };

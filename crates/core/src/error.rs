@@ -1,0 +1,145 @@
+//! The workspace-wide error type.
+//!
+//! Before this module each layer had its own enum — [`RuleGenError`] in
+//! rule generation, panicking asserts in the TCAM compiler, `WireError` in
+//! the packet parsers — and cross-layer callers (the bench harness, the
+//! facade examples) had to thread three incompatible `Result` types.
+//! [`IguardError`] is the union: every concrete enum keeps its precise
+//! variants and `From` impls lift them, so `?` works across layer
+//! boundaries while matching on the concrete error stays possible.
+
+use std::fmt;
+
+use crate::rules::RuleGenError;
+use iguard_flow::wire::WireError;
+
+/// TCAM compilation failures.
+///
+/// The ternary compiler lives in `iguard-switch`, which depends on this
+/// crate — so the error type is defined here, where the unified
+/// [`IguardError`] can name it without a dependency cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TcamError {
+    /// Field width outside the supported 1..=32 bits.
+    BadFieldWidth { bits: u8 },
+    /// A quantisation scale that is zero, negative, or non-finite.
+    BadScale,
+    /// A range entry with `lo > hi`.
+    EmptyRange { lo: u32, hi: u32 },
+    /// A range bound that does not fit the field width.
+    RangeExceedsField { hi: u32, field_max: u32 },
+    /// Rule dimensionality disagrees with the field-spec list.
+    DimensionMismatch { rules: usize, specs: usize },
+}
+
+impl fmt::Display for TcamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TcamError::BadFieldWidth { bits } => {
+                write!(f, "field width {bits} outside supported 1..=32 bits")
+            }
+            TcamError::BadScale => write!(f, "quantisation scale must be positive and finite"),
+            TcamError::EmptyRange { lo, hi } => write!(f, "empty range [{lo}, {hi}]"),
+            TcamError::RangeExceedsField { hi, field_max } => {
+                write!(f, "range bound {hi} exceeds field maximum {field_max}")
+            }
+            TcamError::DimensionMismatch { rules, specs } => {
+                write!(f, "rule set has {rules} fields but {specs} field specs were given")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TcamError {}
+
+/// The unified error of the iGuard workspace.
+///
+/// Wraps the layer-specific enums; construct via `From`/`?` and match on
+/// the variant to recover the concrete error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IguardError {
+    /// Whitelist-rule generation failed (region budget exceeded, …).
+    RuleGen(RuleGenError),
+    /// TCAM range→ternary compilation failed.
+    Tcam(TcamError),
+    /// A wire-format parse failed (truncated, bad checksum, …).
+    Wire(WireError),
+}
+
+impl fmt::Display for IguardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IguardError::RuleGen(e) => write!(f, "rule generation: {e}"),
+            IguardError::Tcam(e) => write!(f, "tcam compile: {e}"),
+            IguardError::Wire(e) => write!(f, "wire parse: {e}"),
+        }
+    }
+}
+
+impl From<RuleGenError> for IguardError {
+    fn from(e: RuleGenError) -> Self {
+        IguardError::RuleGen(e)
+    }
+}
+
+impl From<TcamError> for IguardError {
+    fn from(e: TcamError) -> Self {
+        IguardError::Tcam(e)
+    }
+}
+
+impl From<WireError> for IguardError {
+    fn from(e: WireError) -> Self {
+        IguardError::Wire(e)
+    }
+}
+
+impl std::error::Error for IguardError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IguardError::RuleGen(e) => Some(e),
+            IguardError::Tcam(e) => Some(e),
+            IguardError::Wire(e) => Some(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_impls_lift_each_layer() {
+        let r: IguardError = RuleGenError::TooManyRegions { budget: 10, reached: 11 }.into();
+        assert!(matches!(r, IguardError::RuleGen(_)));
+        let t: IguardError = TcamError::BadScale.into();
+        assert!(matches!(t, IguardError::Tcam(TcamError::BadScale)));
+        let w: IguardError = WireError::Truncated.into();
+        assert!(matches!(w, IguardError::Wire(WireError::Truncated)));
+    }
+
+    #[test]
+    fn display_prefixes_layer_and_keeps_detail() {
+        let e = IguardError::Tcam(TcamError::EmptyRange { lo: 9, hi: 3 });
+        let s = e.to_string();
+        assert!(s.contains("tcam"), "{s}");
+        assert!(s.contains("[9, 3]"), "{s}");
+        let e = IguardError::RuleGen(RuleGenError::TooManyRegions { budget: 2, reached: 5 });
+        assert!(e.to_string().contains("budget of 2"), "{e}");
+    }
+
+    #[test]
+    fn question_mark_crosses_layers() {
+        fn parse() -> Result<(), IguardError> {
+            Err(WireError::BadChecksum)?
+        }
+        assert_eq!(parse().unwrap_err(), IguardError::Wire(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn source_chains_to_concrete_error() {
+        use std::error::Error;
+        let e = IguardError::Wire(WireError::BadLength);
+        assert!(e.source().is_some());
+    }
+}

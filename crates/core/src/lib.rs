@@ -24,6 +24,8 @@
 //! * [`early`] — the early-packet model (§3.3.1): a conventional iForest
 //!   on packet-level features compiled to whitelist rules and merged with
 //!   the flow-level rules.
+//! * [`error`] — the workspace-wide [`error::IguardError`] uniting the
+//!   rule-generation, TCAM-compilation, and wire-parse error enums.
 //! * [`tuner`] — grid search over `(t, Ψ, k, T)` for iGuard and
 //!   `(t, Ψ, contamination)` for the baseline, maximising the mean of
 //!   macro F1 / PRAUC / ROCAUC (§4.1) or the memory-aware reward (§4.2.1).
@@ -31,12 +33,14 @@
 #![forbid(unsafe_code)]
 
 pub mod early;
+pub mod error;
 pub mod forest;
 pub mod guided;
 pub mod rules;
 pub mod teacher;
 pub mod tuner;
 
+pub use error::{IguardError, TcamError};
 pub use forest::{IGuardConfig, IGuardForest};
 pub use rules::{Hypercube, RuleSet};
 pub use teacher::Teacher;

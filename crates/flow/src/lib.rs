@@ -33,4 +33,4 @@ pub use features::{FeatureSet, MAGNIFIER_DIM, PL_DIM, SWITCH_FL_DIM};
 pub use five_tuple::FiveTuple;
 pub use packet::{Packet, TcpFlags};
 pub use stats::FlowStats;
-pub use table::{FlowTable, FlowTableConfig, InsertOutcome};
+pub use table::{FlowShard, FlowTable, FlowTableConfig, FlowTableStats, InsertOutcome};

@@ -12,6 +12,12 @@
 //!   whatever state it has and its storage released;
 //! * an explicit **collision** outcome when both candidate slots hold other
 //!   live flows — the paper's orange execution path.
+//!
+//! The probe/install logic lives in [`FlowShard`], a self-contained pair of
+//! hash tables. [`FlowTable`] — the type the single-threaded pipeline uses —
+//! is one full-size shard; the sharded data plane instead owns many small
+//! `FlowShard`s, one per 5-tuple partition, and the behaviour of each shard
+//! is identical to a `FlowTable` of the same slot count.
 
 use crate::five_tuple::FiveTuple;
 use crate::packet::Packet;
@@ -41,6 +47,65 @@ impl Default for FlowTableConfig {
             timeout_ns: 2_000_000_000, // 2 s
             seed1: 0x5151_5151,
             seed2: 0xA3A3_A3A3,
+        }
+    }
+}
+
+impl FlowTableConfig {
+    /// Builder: slots per hash table.
+    pub fn with_slots_per_table(mut self, slots: usize) -> Self {
+        self.slots_per_table = slots;
+        self
+    }
+
+    /// Builder: packet-count threshold `n`.
+    pub fn with_pkt_threshold(mut self, n: u64) -> Self {
+        self.pkt_threshold = n;
+        self
+    }
+
+    /// Builder: idle timeout `δ` in nanoseconds.
+    pub fn with_timeout_ns(mut self, timeout_ns: u64) -> Self {
+        self.timeout_ns = timeout_ns;
+        self
+    }
+
+    /// Builder: the two table hash seeds.
+    pub fn with_seeds(mut self, seed1: u64, seed2: u64) -> Self {
+        self.seed1 = seed1;
+        self.seed2 = seed2;
+        self
+    }
+}
+
+/// A point-in-time occupancy summary — the `DataPlane` trait reports this
+/// uniformly for single-table and sharded backends.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FlowTableStats {
+    /// Occupied slots across both hash tables (summed over shards).
+    pub occupancy: usize,
+    /// Total slot capacity across both hash tables (summed over shards).
+    pub capacity: usize,
+    /// Packets that hit the collision (orange) path.
+    pub collision_packets: u64,
+}
+
+impl FlowTableStats {
+    /// Fraction of slots occupied.
+    pub fn fill(&self) -> f64 {
+        if self.capacity == 0 {
+            0.0
+        } else {
+            self.occupancy as f64 / self.capacity as f64
+        }
+    }
+
+    /// Element-wise sum — merging per-shard stats into a table-wide view.
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            occupancy: self.occupancy + other.occupancy,
+            capacity: self.capacity + other.capacity,
+            collision_packets: self.collision_packets + other.collision_packets,
         }
     }
 }
@@ -75,8 +140,12 @@ pub enum InsertOutcome {
     ReplacedClassified { pkt_count: u64 },
 }
 
-/// Double-hash-table flow storage.
-pub struct FlowTable {
+/// Double-hash-table flow storage: one self-contained partition.
+///
+/// This is the unit of state the sharded data plane distributes — each
+/// shard owns the flows whose canonical 5-tuple hashes into it, and no
+/// state is shared between shards.
+pub struct FlowShard {
     cfg: FlowTableConfig,
     table1: Vec<Option<Slot>>,
     table2: Vec<Option<Slot>>,
@@ -84,7 +153,7 @@ pub struct FlowTable {
     pub collision_packets: u64,
 }
 
-impl FlowTable {
+impl FlowShard {
     pub fn new(cfg: FlowTableConfig) -> Self {
         assert!(cfg.slots_per_table > 0, "table must have at least one slot");
         assert!(cfg.pkt_threshold >= 1, "packet threshold must be >= 1");
@@ -256,6 +325,79 @@ impl FlowTable {
     pub fn capacity(&self) -> usize {
         2 * self.cfg.slots_per_table
     }
+
+    /// Occupancy + collision summary for this shard.
+    pub fn stats(&self) -> FlowTableStats {
+        FlowTableStats {
+            occupancy: self.occupancy(),
+            capacity: self.capacity(),
+            collision_packets: self.collision_packets,
+        }
+    }
+}
+
+/// Double-hash-table flow storage: the single-partition table the serial
+/// pipeline uses. A thin wrapper over one full-size [`FlowShard`] — the
+/// probe/install/evict behaviour is exactly the shard's.
+pub struct FlowTable {
+    shard: FlowShard,
+}
+
+impl FlowTable {
+    pub fn new(cfg: FlowTableConfig) -> Self {
+        Self { shard: FlowShard::new(cfg) }
+    }
+
+    pub fn config(&self) -> &FlowTableConfig {
+        self.shard.config()
+    }
+
+    /// The underlying shard (shared state view).
+    pub fn shard(&self) -> &FlowShard {
+        &self.shard
+    }
+
+    /// The underlying shard, mutably — the pipeline engine drives this.
+    pub fn shard_mut(&mut self) -> &mut FlowShard {
+        &mut self.shard
+    }
+
+    /// See [`FlowShard::observe`].
+    pub fn observe(&mut self, p: &Packet, now_ns: u64) -> InsertOutcome {
+        self.shard.observe(p, now_ns)
+    }
+
+    /// See [`FlowShard::set_label`].
+    pub fn set_label(&mut self, key: &FiveTuple, label: bool) -> bool {
+        self.shard.set_label(key, label)
+    }
+
+    /// See [`FlowShard::label_of`].
+    pub fn label_of(&self, key: &FiveTuple) -> Option<Option<bool>> {
+        self.shard.label_of(key)
+    }
+
+    /// See [`FlowShard::clear`].
+    pub fn clear(&mut self, key: &FiveTuple) -> bool {
+        self.shard.clear(key)
+    }
+
+    pub fn occupancy(&self) -> usize {
+        self.shard.occupancy()
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.shard.capacity()
+    }
+
+    /// Packets that hit the collision (orange) path.
+    pub fn collision_packets(&self) -> u64 {
+        self.shard.collision_packets
+    }
+
+    pub fn stats(&self) -> FlowTableStats {
+        self.shard.stats()
+    }
 }
 
 #[cfg(test)]
@@ -343,7 +485,7 @@ mod tests {
         assert_eq!(t.observe(&pkt(2, 0), 0), InsertOutcome::Early { pkt_count: 1 });
         // Third distinct flow: both single-slot tables occupied, unclassified.
         assert_eq!(t.observe(&pkt(3, 0), 0), InsertOutcome::Collision);
-        assert_eq!(t.collision_packets, 1);
+        assert_eq!(t.collision_packets(), 1);
     }
 
     #[test]

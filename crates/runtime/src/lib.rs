@@ -15,6 +15,9 @@
 //! * [`dataset`] — a columnar (row-major, flat-buffer) [`dataset::Dataset`]
 //!   replacing `Vec<Vec<f32>>` on the batch paths, cache-friendly for
 //!   batched scoring and matrix construction.
+//! * [`scratch`] — reusable scratch buffers ([`scratch::VecPool`],
+//!   [`scratch::ShardBins`]) so per-batch hot loops allocate only at
+//!   warm-up, not per iteration.
 //! * [`proptest_lite`] — a seeded randomized-input test loop (macro
 //!   [`proptest_lite!`]) with shrinking-free failure reporting.
 //! * [`timing`] — a tiny benchmark harness (warmup + calibrated iteration
@@ -25,6 +28,7 @@ pub mod dataset;
 pub mod par;
 pub mod proptest_lite;
 pub mod rng;
+pub mod scratch;
 pub mod timing;
 
 pub use dataset::Dataset;

@@ -88,6 +88,58 @@ where
     pairs.into_iter().map(|(_, u)| u).collect()
 }
 
+/// Parallel map over a mutable slice; results in input order.
+///
+/// Each element is visited exactly once and mutated in place by exactly one
+/// worker, so `T` needs only `Send` (no locking). Work is split into
+/// contiguous chunks — one per worker — rather than through the atomic
+/// cursor, because handing out disjoint `&mut` regions requires a static
+/// partition. Callers with skewed per-element cost should balance items
+/// across the slice themselves (the sharded data plane bins packets before
+/// calling this).
+pub fn par_map_mut<T, U, F>(items: &mut [T], f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut T) -> U + Sync,
+{
+    let n = items.len();
+    let workers = current_workers().min(n.max(1));
+    if workers <= 1 || n <= 1 {
+        return items.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let chunk = n.div_ceil(workers);
+    let results: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::with_capacity(workers));
+    std::thread::scope(|scope| {
+        let mut chunks = items.chunks_mut(chunk).enumerate();
+        // The first chunk runs inline on the calling thread: hot callers
+        // (the sharded data plane) invoke this per batch, so saving one
+        // thread spawn per call matters.
+        let first = chunks.next();
+        for (ci, slice) in chunks {
+            let results = &results;
+            let f = &f;
+            scope.spawn(move || {
+                let base = ci * chunk;
+                let out: Vec<U> =
+                    slice.iter_mut().enumerate().map(|(i, t)| f(base + i, t)).collect();
+                results.lock().unwrap().push((base, out));
+            });
+        }
+        if let Some((_, slice)) = first {
+            let out: Vec<U> = slice.iter_mut().enumerate().map(|(i, t)| f(i, t)).collect();
+            results.lock().unwrap().push((0, out));
+        }
+    });
+
+    let mut groups = results.into_inner().unwrap();
+    groups.sort_unstable_by_key(|&(base, _)| base);
+    let out: Vec<U> = groups.into_iter().flat_map(|(_, v)| v).collect();
+    debug_assert_eq!(out.len(), n);
+    out
+}
+
 /// Parallel map over a slice; results in input order.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
@@ -150,6 +202,29 @@ mod tests {
         let serial = with_workers(1, || par_map_range(64, |i| i as u64 * 3 + 1));
         let wide = with_workers(8, || par_map_range(64, |i| i as u64 * 3 + 1));
         assert_eq!(serial, wide);
+    }
+
+    #[test]
+    fn par_map_mut_mutates_each_element_once_in_order() {
+        let mut items: Vec<u64> = (0..97).collect();
+        let out = with_workers(4, || {
+            par_map_mut(&mut items, |i, x| {
+                *x += 1;
+                *x * i as u64
+            })
+        });
+        assert_eq!(items, (1..98).collect::<Vec<_>>());
+        assert_eq!(out, (0..97).map(|i| (i + 1) * i).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_map_mut_worker_invariant() {
+        let run = |w: usize| {
+            let mut items: Vec<u64> = (0..33).collect();
+            with_workers(w, || par_map_mut(&mut items, |i, x| *x * 7 + i as u64))
+        };
+        assert_eq!(run(1), run(2));
+        assert_eq!(run(1), run(8));
     }
 
     #[test]

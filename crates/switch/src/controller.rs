@@ -67,9 +67,17 @@ impl Controller {
     }
 
     /// Consumes a batch of digests, producing data-plane commands.
-    pub fn process_digests(&mut self, digests: Vec<Digest>) -> Vec<ControlAction> {
+    pub fn process_digests(&mut self, digests: &[Digest]) -> Vec<ControlAction> {
         let mut actions = Vec::new();
-        for d in digests {
+        self.process_digests_into(digests, &mut actions);
+        actions
+    }
+
+    /// Like [`Self::process_digests`], but writes into a caller-owned
+    /// buffer (cleared first) so replay loops reuse the allocation.
+    pub fn process_digests_into(&mut self, digests: &[Digest], actions: &mut Vec<ControlAction>) {
+        actions.clear();
+        for &d in digests {
             self.digests_seen += 1;
             self.digest_bytes_total += self.cfg.digest_bytes;
             self.clock += 1;
@@ -99,7 +107,6 @@ impl Controller {
             counter!("switch.controller.blacklist_install").inc();
             actions.push(ControlAction::InstallBlacklist(key));
         }
-        actions
     }
 
     fn pick_victim(&mut self) -> Option<FiveTuple> {
@@ -152,7 +159,7 @@ mod tests {
     #[test]
     fn benign_digest_only_clears_storage() {
         let mut c = Controller::new(cfg(10, EvictionPolicy::Fifo));
-        let actions = c.process_digests(vec![digest(1, false)]);
+        let actions = c.process_digests(&[digest(1, false)]);
         assert_eq!(actions.len(), 1);
         assert!(matches!(actions[0], ControlAction::ClearFlow(_)));
         assert_eq!(c.installed_len(), 0);
@@ -161,7 +168,7 @@ mod tests {
     #[test]
     fn malicious_digest_installs_blacklist() {
         let mut c = Controller::new(cfg(10, EvictionPolicy::Fifo));
-        let actions = c.process_digests(vec![digest(1, true)]);
+        let actions = c.process_digests(&[digest(1, true)]);
         assert!(actions.iter().any(|a| matches!(a, ControlAction::InstallBlacklist(_))));
         assert_eq!(c.installed_len(), 1);
     }
@@ -169,15 +176,15 @@ mod tests {
     #[test]
     fn duplicate_installs_are_deduped() {
         let mut c = Controller::new(cfg(10, EvictionPolicy::Fifo));
-        let _ = c.process_digests(vec![digest(1, true), digest(1, true)]);
+        let _ = c.process_digests(&[digest(1, true), digest(1, true)]);
         assert_eq!(c.installed_len(), 1);
     }
 
     #[test]
     fn fifo_evicts_oldest() {
         let mut c = Controller::new(cfg(2, EvictionPolicy::Fifo));
-        let _ = c.process_digests(vec![digest(1, true), digest(2, true)]);
-        let actions = c.process_digests(vec![digest(3, true)]);
+        let _ = c.process_digests(&[digest(1, true), digest(2, true)]);
+        let actions = c.process_digests(&[digest(3, true)]);
         let evicted: Vec<_> = actions
             .iter()
             .filter_map(|a| match a {
@@ -192,10 +199,10 @@ mod tests {
     #[test]
     fn lru_refresh_protects_hot_entries() {
         let mut c = Controller::new(cfg(2, EvictionPolicy::Lru));
-        let _ = c.process_digests(vec![digest(1, true), digest(2, true)]);
+        let _ = c.process_digests(&[digest(1, true), digest(2, true)]);
         // Refresh flow 1, then overflow: flow 2 must be the LRU victim.
-        let _ = c.process_digests(vec![digest(1, true)]);
-        let actions = c.process_digests(vec![digest(3, true)]);
+        let _ = c.process_digests(&[digest(1, true)]);
+        let actions = c.process_digests(&[digest(3, true)]);
         let evicted: Vec<_> = actions
             .iter()
             .filter_map(|a| match a {
@@ -213,7 +220,7 @@ mod tests {
         let mut iguard = Controller::new(ControllerConfig::default());
         for i in 0..50_000u32 {
             let d = Digest { five: FiveTuple::new(i, 2, 1, 80, PROTO_TCP), malicious: false };
-            let _ = iguard.process_digests(vec![d]);
+            let _ = iguard.process_digests(&[d]);
         }
         let kbps = iguard.overhead_kbps(30.0);
         assert!((kbps - 21.4).abs() < 1.0, "iGuard overhead {kbps} KBps");
@@ -224,7 +231,7 @@ mod tests {
         });
         for i in 0..50_000u32 {
             let d = Digest { five: FiveTuple::new(i, 2, 1, 80, PROTO_TCP), malicious: false };
-            let _ = horuseye.process_digests(vec![d]);
+            let _ = horuseye.process_digests(&[d]);
         }
         let ratio = horuseye.overhead_kbps(30.0) / kbps;
         assert!((ratio - 5.0).abs() < 0.5, "overhead ratio {ratio} (paper: 5.2x)");

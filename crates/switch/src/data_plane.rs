@@ -1,0 +1,63 @@
+//! The [`DataPlane`] abstraction: what a switch backend must provide.
+//!
+//! The controller and the replay harness do not care *how* packets are
+//! classified — serially ([`crate::pipeline::Pipeline`]) or across shards
+//! ([`crate::sharded::ShardedPipeline`]) — only that a backend can consume
+//! packet batches, surface the digests those batches produced **in packet
+//! arrival order**, accept control-plane commands, and report its
+//! counters. Everything downstream (controller feedback, the confusion
+//! matrix, the telemetry report) is expressed against this trait, which is
+//! what makes backends interchangeable and byte-comparable.
+//!
+//! ## Contract
+//!
+//! * `process_batch` appends one outcome per packet, in input order, and
+//!   advances `packets_processed` by the batch length.
+//! * `drain_digests_into` yields every digest generated since the last
+//!   drain, ordered by the arrival sequence number of the generating
+//!   packet — **not** by worker/shard completion order. Two backends fed
+//!   the same packets with the same control feedback must produce the
+//!   same digest stream.
+//! * `apply` takes effect before the next `process_batch` call; backends
+//!   need not support mid-batch rule changes (hardware installs rules
+//!   between packets too, just at a finer grain).
+
+use iguard_flow::packet::Packet;
+use iguard_flow::table::FlowTableStats;
+
+use crate::pipeline::{ControlAction, Digest, PathCounters, ProcessOutcome};
+
+/// A switch data-plane backend.
+pub trait DataPlane {
+    /// Classifies a batch, appending one [`ProcessOutcome`] per packet in
+    /// input order. Implementations clear `out` first; the caller owns the
+    /// buffer so the hot loop reuses its allocation.
+    fn process_batch(&mut self, pkts: &[Packet], out: &mut Vec<ProcessOutcome>);
+
+    /// Appends the digests accumulated since the last drain, in packet
+    /// arrival order, clearing the backend's internal buffer.
+    fn drain_digests_into(&mut self, out: &mut Vec<Digest>);
+
+    /// Applies a controller command (blacklist install/remove, flow clear).
+    fn apply(&mut self, action: ControlAction);
+
+    /// Aggregate per-path packet counters.
+    fn counters(&self) -> PathCounters;
+
+    /// Aggregate flow-table occupancy/collision statistics.
+    fn flow_table_stats(&self) -> FlowTableStats;
+
+    /// Number of blacklist entries currently installed.
+    fn blacklist_len(&self) -> usize;
+
+    /// Total packets offered to `process_batch` (and `process`) so far.
+    fn packets_processed(&self) -> u64;
+
+    /// Convenience allocating drain; prefer [`Self::drain_digests_into`]
+    /// in loops.
+    fn drain_digests(&mut self) -> Vec<Digest> {
+        let mut out = Vec::new();
+        self.drain_digests_into(&mut out);
+        out
+    }
+}

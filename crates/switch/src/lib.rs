@@ -15,22 +15,32 @@
 //!   all six execution paths (blacklist, early/brown, threshold/blue,
 //!   collision/orange, early-decision/purple, loopback/green), digest
 //!   emission, and loopback mirroring.
+//! * [`data_plane`] — the [`DataPlane`] trait every backend implements;
+//!   the controller and replay harness are generic over it.
+//! * [`sharded`] — [`ShardedPipeline`]: the same pipeline semantics
+//!   partitioned across logical shards and driven on the runtime's worker
+//!   pool, with deterministic (sequence-ordered) digest merging.
 //! * [`controller`] — the control plane: consumes digests, installs
 //!   blacklist rules (FIFO or LRU eviction), clears flow storage, and
 //!   accounts control-plane bandwidth (App. B.2).
-//! * [`replay`] — trace replay through the pipeline with cycle-accounting
-//!   to estimate throughput and per-packet latency (App. B.1), including a
-//!   HorusEye-style control-plane detour model for comparison.
+//! * [`replay`] — trace replay through any [`DataPlane`] with
+//!   cycle-accounting to estimate throughput and per-packet latency
+//!   (App. B.1), including a HorusEye-style control-plane detour model for
+//!   comparison.
 
 #![forbid(unsafe_code)]
 
 pub mod controller;
+pub mod data_plane;
 pub mod pipeline;
 pub mod replay;
 pub mod resources;
+pub mod sharded;
 pub mod tcam;
 
 pub use controller::{Controller, ControllerConfig, EvictionPolicy};
+pub use data_plane::DataPlane;
 pub use pipeline::{PacketVerdict, PathTaken, Pipeline, PipelineConfig};
 pub use resources::{ResourceModel, ResourceUsage};
+pub use sharded::{ShardedPipeline, ShardedPipelineConfig, LOGICAL_SHARDS};
 pub use tcam::{RangeEntry, RangeTable, TcamTable, TernaryEntry};

@@ -16,12 +16,14 @@
 //! traffic through a CPU port of limited bandwidth; detoured bytes beyond
 //! that bandwidth stall, capping effective throughput.
 
+use iguard_flow::packet::Packet;
 use iguard_metrics::ConfusionMatrix;
 
 use iguard_synth::trace::Trace;
 
 use crate::controller::Controller;
-use crate::pipeline::{PacketVerdict, Pipeline};
+use crate::data_plane::DataPlane;
+use crate::pipeline::{ControlAction, Digest, PacketVerdict, ProcessOutcome};
 
 /// Pipeline timing constants.
 #[derive(Clone, Copy, Debug)]
@@ -113,6 +115,12 @@ pub struct ReplayConfig {
     /// Serialise each packet to wire bytes and re-parse it before
     /// processing — exercises the full parser path (slower).
     pub exercise_wire: bool,
+    /// Packets handed to [`DataPlane::process_batch`] per call. The
+    /// controller drains digests and feeds actions back *between* batches,
+    /// so this is also the feedback granularity: 1 (the default) reproduces
+    /// per-packet control feedback; larger batches let sharded backends
+    /// parallelise but delay blacklist installs by up to a batch.
+    pub batch_size: usize,
 }
 
 impl Default for ReplayConfig {
@@ -122,57 +130,115 @@ impl Default for ReplayConfig {
             latency: LatencyModel::default(),
             control_plane: ControlPlaneModel::iguard(),
             exercise_wire: false,
+            batch_size: 1,
         }
     }
 }
 
-/// Replays a labelled trace through the pipeline + controller.
+impl ReplayConfig {
+    /// Builder: replay link rate in Gbps.
+    pub fn with_line_rate_gbps(mut self, gbps: f64) -> Self {
+        self.line_rate_gbps = gbps;
+        self
+    }
+
+    /// Builder: pipeline timing model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Builder: control-plane interaction model.
+    pub fn with_control_plane(mut self, cp: ControlPlaneModel) -> Self {
+        self.control_plane = cp;
+        self
+    }
+
+    /// Builder: round-trip packets through wire bytes before processing.
+    pub fn with_exercise_wire(mut self, on: bool) -> Self {
+        self.exercise_wire = on;
+        self
+    }
+
+    /// Builder: data-plane batch size (also the controller feedback
+    /// granularity); clamped to ≥ 1.
+    pub fn with_batch_size(mut self, n: usize) -> Self {
+        self.batch_size = n.max(1);
+        self
+    }
+}
+
+/// Replays a labelled trace through a [`DataPlane`] + controller.
 ///
 /// Per-packet ground truth is "belongs to a malicious flow"; a detection
 /// is "the pipeline dropped (or flagged) the packet". This is the
-/// per-packet metric of §4.2.1.
-pub fn replay(
+/// per-packet metric of §4.2.1. Generic over the backend: the serial
+/// [`crate::pipeline::Pipeline`] and the parallel
+/// [`crate::sharded::ShardedPipeline`] replay identically (including
+/// through `&mut dyn DataPlane`).
+pub fn replay<D: DataPlane + ?Sized>(
     trace: &Trace,
-    pipeline: &mut Pipeline,
+    data_plane: &mut D,
     controller: &mut Controller,
     cfg: &ReplayConfig,
 ) -> ReplayReport {
     let mut report = ReplayReport::default();
     let mut latency_total = 0.0f64;
-    for (pkt, &truth) in trace.packets.iter().zip(&trace.labels) {
-        let pkt = if cfg.exercise_wire {
-            let bytes = pkt.to_bytes();
-            iguard_flow::packet::Packet::from_bytes(pkt.ts_ns, &bytes)
-                .expect("self-generated packet must parse")
-        } else {
-            *pkt
-        };
-        let outcome = pipeline.process(&pkt);
-        report.packets += 1;
-        report.bytes += pkt.wire_len as u64;
-        let flagged = outcome.verdict == PacketVerdict::Drop;
-        if flagged {
-            report.dropped += 1;
-        }
-        match (truth, flagged) {
-            (true, true) => report.tp += 1,
-            (true, false) => report.fn_ += 1,
-            (false, true) => report.fp += 1,
-            (false, false) => report.tn += 1,
-        }
-        let passes = if outcome.mirrored { 2.0 } else { 1.0 };
-        latency_total += passes * cfg.latency.base_ns();
-        if outcome.mirrored {
-            report.loopback += 1;
-        }
-        // Controller runs continuously alongside the data plane.
-        let digests = pipeline.drain_digests();
-        if !digests.is_empty() {
-            report.digests += digests.len() as u64;
-            for action in controller.process_digests(digests) {
-                pipeline.apply(action);
+    let batch_size = cfg.batch_size.max(1);
+    // All hot-loop buffers are allocated once and reused across batches.
+    let mut batch: Vec<Packet> = Vec::with_capacity(batch_size);
+    let mut outcomes: Vec<ProcessOutcome> = Vec::with_capacity(batch_size);
+    let mut digest_buf: Vec<Digest> = Vec::new();
+    let mut actions: Vec<ControlAction> = Vec::new();
+    let n = trace.packets.len();
+    let mut start = 0;
+    while start < n {
+        let end = (start + batch_size).min(n);
+        batch.clear();
+        for pkt in &trace.packets[start..end] {
+            if cfg.exercise_wire {
+                let bytes = pkt.to_bytes();
+                batch.push(
+                    Packet::from_bytes(pkt.ts_ns, &bytes)
+                        .expect("self-generated packet must parse"),
+                );
+            } else {
+                batch.push(*pkt);
             }
         }
+        data_plane.process_batch(&batch, &mut outcomes);
+        debug_assert_eq!(outcomes.len(), batch.len());
+        for ((outcome, pkt), &truth) in outcomes.iter().zip(&batch).zip(&trace.labels[start..end]) {
+            report.packets += 1;
+            report.bytes += pkt.wire_len as u64;
+            let flagged = outcome.verdict == PacketVerdict::Drop;
+            if flagged {
+                report.dropped += 1;
+            }
+            match (truth, flagged) {
+                (true, true) => report.tp += 1,
+                (true, false) => report.fn_ += 1,
+                (false, true) => report.fp += 1,
+                (false, false) => report.tn += 1,
+            }
+            let passes = if outcome.mirrored { 2.0 } else { 1.0 };
+            latency_total += passes * cfg.latency.base_ns();
+            if outcome.mirrored {
+                report.loopback += 1;
+            }
+        }
+        // Controller runs continuously alongside the data plane: digests
+        // drain (in arrival order) and actions apply between batches.
+        digest_buf.clear();
+        data_plane.drain_digests_into(&mut digest_buf);
+        if !digest_buf.is_empty() {
+            report.digests += digest_buf.len() as u64;
+            controller.process_digests_into(&digest_buf, &mut actions);
+            for &action in actions.iter() {
+                data_plane.apply(action);
+            }
+        }
+        start = end;
     }
     report.duration_secs = trace.duration_secs().max(1e-9);
     report.avg_latency_ns = latency_total / report.packets.max(1) as f64;

@@ -1,0 +1,511 @@
+//! The sharded data-plane backend: multi-core packet replay with
+//! deterministic digest merging.
+//!
+//! A Tofino pipe classifies flows in parallel match-action stages; this
+//! emulator's serial [`Pipeline`](crate::pipeline::Pipeline) cannot use
+//! more than one host core. [`ShardedPipeline`] partitions *all* mutable
+//! state — flow table, blacklist, digest buffer, path counters — by a hash
+//! of the canonical 5-tuple, and drives the partitions on the runtime's
+//! scoped workers. Per-flow pipelines are independent (Genos/pForest make
+//! the same observation for in-network forests), so sharding by flow is
+//! semantically free; the only cross-shard artefact is digest order, which
+//! is restored by an explicit merge.
+//!
+//! ## Determinism rules
+//!
+//! 1. **State partition is fixed.** Flows map to one of
+//!    [`LOGICAL_SHARDS`] logical shards via a seeded bi-hash, *independent
+//!    of the physical shard count*. Physical shards (`shards` in
+//!    [`ShardedPipelineConfig`]) only group logical shards onto workers;
+//!    regrouping never moves state. Hence replay output is byte-identical
+//!    at 1, 2, or 8 physical shards and at any `IGUARD_WORKERS` setting.
+//! 2. **Per-shard packet order is arrival order.** A batch is binned by
+//!    shard in input order, and each shard consumes its bin sequentially,
+//!    so a flow always sees its packets in sequence.
+//! 3. **Digests merge by sequence number.** Every digest is tagged with
+//!    the global arrival index of the packet that produced it; draining
+//!    sorts the per-shard streams by that tag, not by thread completion
+//!    order. At most one digest per packet makes the key unique, so the
+//!    merged stream is a total order.
+//!
+//! Relative to the serial `Pipeline`, hash-slot collisions differ: each
+//! logical shard owns `slots_per_table / LOGICAL_SHARDS` slots per table
+//! (total capacity is preserved) and indexes them within the shard, so
+//! *which* flows collide under pressure changes. Under no slot pressure
+//! the two backends agree packet-for-packet — the parity test in
+//! `tests/shard_invariance.rs` pins that.
+
+use std::collections::HashSet;
+
+use iguard_flow::five_tuple::FiveTuple;
+use iguard_flow::packet::Packet;
+use iguard_flow::table::{FlowShard, FlowTableConfig, FlowTableStats};
+use iguard_runtime::par;
+use iguard_runtime::scratch::ShardBins;
+use iguard_telemetry::{counter, histogram, span};
+
+use iguard_core::rules::RuleSet;
+
+use crate::data_plane::DataPlane;
+use crate::pipeline::{
+    ControlAction, Digest, MatchEngine, PacketVerdict, PathCounters, PathTaken, PipelineConfig,
+    ProcessOutcome, SeqDigest,
+};
+
+/// Number of logical state partitions. Fixed — it is the determinism
+/// anchor: changing it changes which flows share a flow-table slot, so it
+/// is a compile-time constant rather than a config knob.
+pub const LOGICAL_SHARDS: usize = 16;
+
+/// Seed of the shard-assignment hash (distinct from the flow-table seeds
+/// so shard choice and slot choice stay uncorrelated).
+const SHARD_HASH_SEED: u64 = 0x5AAD_ED51_0C7E_D001;
+
+/// Logical shard owning a flow. Direction-symmetric (both directions of a
+/// flow land on the same shard) via a commutative endpoint combine, like
+/// [`FiveTuple::bi_hash`] — but a single avalanche round, because this
+/// runs once per packet on the batch hot path and shard choice only needs
+/// `log2(LOGICAL_SHARDS)` well-mixed bits, not a full 64-bit hash.
+#[inline]
+fn logical_shard_of(five: &FiveTuple) -> usize {
+    let a = ((five.src_ip as u64) << 16) | five.src_port as u64;
+    let b = ((five.dst_ip as u64) << 16) | five.dst_port as u64;
+    let mut x = a.wrapping_add(b) ^ ((five.proto as u64) << 48) ^ SHARD_HASH_SEED;
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    (x % LOGICAL_SHARDS as u64) as usize
+}
+
+/// Sharded-pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedPipelineConfig {
+    /// The per-packet pipeline semantics (rules flags, flow-table shape).
+    pub pipeline: PipelineConfig,
+    /// Physical shard groups driven in parallel; clamped to
+    /// `1..=LOGICAL_SHARDS`. Purely a performance knob — see the module
+    /// determinism rules.
+    pub shards: usize,
+}
+
+impl Default for ShardedPipelineConfig {
+    fn default() -> Self {
+        Self { pipeline: PipelineConfig::default(), shards: 4 }
+    }
+}
+
+impl ShardedPipelineConfig {
+    /// Builder: pipeline semantics.
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Builder: physical shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+}
+
+/// A pipeline config is a sharded config with the default shard count.
+impl From<PipelineConfig> for ShardedPipelineConfig {
+    fn from(pipeline: PipelineConfig) -> Self {
+        Self { pipeline, ..Default::default() }
+    }
+}
+
+/// One logical shard: a full, independent copy of the mutable data-plane
+/// state for the flows hashed to it.
+struct Shard {
+    flow: FlowShard,
+    blacklist: HashSet<FiveTuple>,
+    digests: Vec<SeqDigest>,
+    paths: PathCounters,
+    processed: u64,
+}
+
+impl Shard {
+    fn new(cfg: FlowTableConfig) -> Self {
+        Self {
+            flow: FlowShard::new(cfg),
+            blacklist: HashSet::new(),
+            digests: Vec::new(),
+            paths: PathCounters::default(),
+            processed: 0,
+        }
+    }
+}
+
+/// A physical shard group: the logical shards one worker drives, plus the
+/// group's reusable outcome buffer (indices into the current batch).
+struct Group {
+    shards: Vec<Shard>,
+    outcomes: Vec<(u32, ProcessOutcome)>,
+}
+
+/// The sharded data plane.
+pub struct ShardedPipeline {
+    cfg: ShardedPipelineConfig,
+    engine: MatchEngine,
+    /// `groups[g].shards[p]` is logical shard `p * groups.len() + g`.
+    groups: Vec<Group>,
+    bins: ShardBins,
+    merge_scratch: Vec<SeqDigest>,
+    processed: u64,
+}
+
+impl ShardedPipeline {
+    pub fn new(
+        cfg: impl Into<ShardedPipelineConfig>,
+        fl_rules: RuleSet,
+        pl_rules: RuleSet,
+    ) -> Self {
+        let cfg = cfg.into();
+        let phys = cfg.shards.clamp(1, LOGICAL_SHARDS);
+        // Preserve total capacity: each logical shard gets an equal cut of
+        // the configured slots.
+        let per_shard_slots = (cfg.pipeline.flow_table.slots_per_table / LOGICAL_SHARDS).max(1);
+        let shard_cfg =
+            FlowTableConfig { slots_per_table: per_shard_slots, ..cfg.pipeline.flow_table };
+        let mut groups: Vec<Group> =
+            (0..phys).map(|_| Group { shards: Vec::new(), outcomes: Vec::new() }).collect();
+        for l in 0..LOGICAL_SHARDS {
+            groups[l % phys].shards.push(Shard::new(shard_cfg));
+        }
+        Self {
+            engine: MatchEngine::new(&cfg.pipeline, fl_rules, pl_rules),
+            cfg,
+            groups,
+            bins: ShardBins::new(),
+            merge_scratch: Vec::new(),
+            processed: 0,
+        }
+    }
+
+    pub fn config(&self) -> &ShardedPipelineConfig {
+        &self.cfg
+    }
+
+    /// Physical shard groups in use (≤ [`LOGICAL_SHARDS`]).
+    pub fn physical_shards(&self) -> usize {
+        self.groups.len()
+    }
+
+    fn shard(&self, logical: usize) -> &Shard {
+        let phys = self.groups.len();
+        &self.groups[logical % phys].shards[logical / phys]
+    }
+
+    fn shard_mut(&mut self, logical: usize) -> &mut Shard {
+        let phys = self.groups.len();
+        &mut self.groups[logical % phys].shards[logical / phys]
+    }
+
+    /// Packets processed per logical shard, in logical-shard order.
+    pub fn shard_packet_counts(&self) -> Vec<u64> {
+        (0..LOGICAL_SHARDS).map(|l| self.shard(l).processed).collect()
+    }
+
+    /// Flow-table occupancy per logical shard, in logical-shard order.
+    pub fn shard_occupancies(&self) -> Vec<usize> {
+        (0..LOGICAL_SHARDS).map(|l| self.shard(l).flow.occupancy()).collect()
+    }
+
+    /// Load-imbalance ratio: max over mean of per-shard packet counts
+    /// (1.0 = perfectly balanced; 0.0 when nothing was processed).
+    pub fn imbalance_ratio(&self) -> f64 {
+        let counts = self.shard_packet_counts();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let mean = total as f64 / counts.len() as f64;
+        let max = *counts.iter().max().expect("non-empty") as f64;
+        max / mean
+    }
+
+    /// The installed blacklist across all shards, in canonical sorted
+    /// order (for equality checks across backends).
+    pub fn blacklist_contents(&self) -> Vec<FiveTuple> {
+        let mut v: Vec<FiveTuple> =
+            (0..LOGICAL_SHARDS).flat_map(|l| self.shard(l).blacklist.iter().copied()).collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+impl DataPlane for ShardedPipeline {
+    fn process_batch(&mut self, pkts: &[Packet], out: &mut Vec<ProcessOutcome>) {
+        out.clear();
+        if pkts.is_empty() {
+            return;
+        }
+        let Self { groups, bins, engine, processed, .. } = self;
+        let phys = groups.len();
+
+        counter!("switch.sharded.batches").inc();
+        histogram!("switch.sharded.batch_packets").record(pkts.len() as u64);
+
+        // Single physical group: every packet lands in group 0 and a
+        // one-group binning pass is the identity permutation, so skip the
+        // bin/scatter machinery and process in arrival order directly.
+        // Output is identical to the general path by construction.
+        if phys == 1 {
+            let group = &mut groups[0];
+            let base_seq = *processed;
+            out.reserve(pkts.len());
+            for (i, pkt) in pkts.iter().enumerate() {
+                let shard = &mut group.shards[logical_shard_of(&pkt.five)];
+                shard.processed += 1;
+                out.push(engine.process_one(
+                    &mut shard.flow,
+                    &mut shard.blacklist,
+                    &mut shard.digests,
+                    &mut shard.paths,
+                    pkt,
+                    base_seq + i as u64,
+                ));
+            }
+            *processed += pkts.len() as u64;
+            return;
+        }
+
+        // Bin packet indices by physical group, preserving arrival order.
+        bins.reset(phys);
+        for (i, pkt) in pkts.iter().enumerate() {
+            bins.push(logical_shard_of(&pkt.five) % phys, i as u32);
+        }
+
+        let base_seq = *processed;
+        let bins = &*bins;
+        let engine = &*engine;
+        par::par_map_mut(groups, |g, group| {
+            let bin = bins.bin(g);
+            histogram!("switch.sharded.group_batch_packets").record(bin.len() as u64);
+            group.outcomes.clear();
+            group.outcomes.reserve(bin.len());
+            for &i in bin {
+                let pkt = &pkts[i as usize];
+                let shard = &mut group.shards[logical_shard_of(&pkt.five) / phys];
+                shard.processed += 1;
+                let outcome = engine.process_one(
+                    &mut shard.flow,
+                    &mut shard.blacklist,
+                    &mut shard.digests,
+                    &mut shard.paths,
+                    pkt,
+                    base_seq + i as u64,
+                );
+                group.outcomes.push((i, outcome));
+            }
+        });
+
+        // Reassemble outcomes into packet order; every index is written
+        // exactly once because the bins partition 0..pkts.len().
+        let placeholder = ProcessOutcome {
+            verdict: PacketVerdict::Forward,
+            path: PathTaken::Brown,
+            mirrored: false,
+        };
+        out.resize(pkts.len(), placeholder);
+        for group in self.groups.iter() {
+            for &(i, outcome) in &group.outcomes {
+                out[i as usize] = outcome;
+            }
+        }
+        self.processed += pkts.len() as u64;
+    }
+
+    fn drain_digests_into(&mut self, out: &mut Vec<Digest>) {
+        let Self { groups, merge_scratch, .. } = self;
+        let drained = span!("switch.sharded.digest_merge").time(|| {
+            merge_scratch.clear();
+            for group in groups.iter_mut() {
+                for shard in &mut group.shards {
+                    merge_scratch.append(&mut shard.digests);
+                }
+            }
+            // Restore packet arrival order: seq is unique (≤1 digest per
+            // packet), so this is a total, backend-independent order.
+            merge_scratch.sort_unstable_by_key(|sd| sd.seq);
+            out.extend(merge_scratch.iter().map(|sd| sd.digest));
+            let n = merge_scratch.len();
+            merge_scratch.clear();
+            n
+        });
+        // Occupancy telemetry only on productive drains — replay drains
+        // after every batch and most drains are empty.
+        if drained > 0 {
+            for l in 0..LOGICAL_SHARDS {
+                histogram!("switch.sharded.shard_occupancy")
+                    .record(self.shard(l).flow.occupancy() as u64);
+            }
+        }
+    }
+
+    fn apply(&mut self, action: ControlAction) {
+        let five = match action {
+            ControlAction::InstallBlacklist(f)
+            | ControlAction::RemoveBlacklist(f)
+            | ControlAction::ClearFlow(f) => f,
+        };
+        let shard = self.shard_mut(logical_shard_of(&five));
+        match action {
+            ControlAction::InstallBlacklist(f) => {
+                shard.blacklist.insert(f.canonical());
+            }
+            ControlAction::RemoveBlacklist(f) => {
+                shard.blacklist.remove(&f.canonical());
+            }
+            ControlAction::ClearFlow(f) => {
+                shard.flow.clear(&f);
+            }
+        }
+    }
+
+    fn counters(&self) -> PathCounters {
+        let mut total = PathCounters::default();
+        for l in 0..LOGICAL_SHARDS {
+            let p = self.shard(l).paths;
+            total.blacklist += p.blacklist;
+            total.brown += p.brown;
+            total.blue += p.blue;
+            total.orange += p.orange;
+            total.purple += p.purple;
+            total.green_loopback += p.green_loopback;
+        }
+        total
+    }
+
+    fn flow_table_stats(&self) -> FlowTableStats {
+        (0..LOGICAL_SHARDS)
+            .fold(FlowTableStats::default(), |acc, l| acc.merge(&self.shard(l).flow.stats()))
+    }
+
+    fn blacklist_len(&self) -> usize {
+        (0..LOGICAL_SHARDS).map(|l| self.shard(l).blacklist.len()).sum()
+    }
+
+    fn packets_processed(&self) -> u64 {
+        self.processed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::testutil::{accept_all, fl_mean_size_below};
+    use iguard_flow::five_tuple::PROTO_TCP;
+    use iguard_flow::packet::TcpFlags;
+    use iguard_flow::table::FlowTableConfig;
+    use iguard_runtime::par::with_workers;
+
+    fn pkt(flow: u16, ts_ms: u64, len: u16) -> Packet {
+        Packet {
+            ts_ns: ts_ms * 1_000_000,
+            five: FiveTuple::new(0x0A000001, 0xC0A80101, 30_000 + flow, 80, PROTO_TCP),
+            wire_len: len,
+            ttl: 64,
+            flags: TcpFlags::default(),
+        }
+    }
+
+    fn cfg(threshold: u64, shards: usize) -> ShardedPipelineConfig {
+        ShardedPipelineConfig::default()
+            .with_pipeline(PipelineConfig::from(
+                FlowTableConfig::default().with_pkt_threshold(threshold),
+            ))
+            .with_shards(shards)
+    }
+
+    fn mixed_batch(flows: u16, pkts_per_flow: u64) -> Vec<Packet> {
+        let mut out = Vec::new();
+        for i in 0..(flows as u64 * pkts_per_flow) {
+            let f = (i % flows as u64) as u16;
+            let len = if f % 3 == 0 { 1400 } else { 120 };
+            out.push(pkt(f, i, len));
+        }
+        out
+    }
+
+    #[test]
+    fn batch_outcomes_match_serial_processing() {
+        let batch = mixed_batch(24, 6);
+        let mut sharded = ShardedPipeline::new(cfg(3, 4), accept_all(13), accept_all(4));
+        let mut out = Vec::new();
+        sharded.process_batch(&batch, &mut out);
+
+        let mut serial = ShardedPipeline::new(cfg(3, 4), accept_all(13), accept_all(4));
+        let mut one = Vec::new();
+        let mut serial_out = Vec::new();
+        for p in &batch {
+            serial.process_batch(std::slice::from_ref(p), &mut one);
+            serial_out.push(one[0]);
+        }
+        assert_eq!(out, serial_out, "batching must not change outcomes");
+        assert_eq!(sharded.packets_processed(), batch.len() as u64);
+    }
+
+    #[test]
+    fn digest_stream_is_seq_ordered_and_shard_invariant() {
+        let batch = mixed_batch(32, 5);
+        let run = |shards: usize, workers: usize| {
+            with_workers(workers, || {
+                let mut dp =
+                    ShardedPipeline::new(cfg(3, shards), fl_mean_size_below(800.0), accept_all(4));
+                let mut out = Vec::new();
+                dp.process_batch(&batch, &mut out);
+                let mut digests = Vec::new();
+                dp.drain_digests_into(&mut digests);
+                (out, digests, dp.blacklist_contents(), dp.counters())
+            })
+        };
+        let base = run(1, 1);
+        assert!(!base.1.is_empty(), "blue path should emit digests");
+        for (shards, workers) in [(2, 1), (8, 1), (1, 8), (8, 8), (16, 4)] {
+            assert_eq!(run(shards, workers), base, "{shards} shards / {workers} workers differ");
+        }
+    }
+
+    #[test]
+    fn apply_routes_to_owning_shard() {
+        let mut dp = ShardedPipeline::new(cfg(3, 8), accept_all(13), accept_all(4));
+        let five = pkt(1, 0, 100).five;
+        dp.apply(ControlAction::InstallBlacklist(five));
+        assert_eq!(dp.blacklist_len(), 1);
+        let mut out = Vec::new();
+        dp.process_batch(&[pkt(1, 0, 100)], &mut out);
+        assert_eq!(out[0].path, PathTaken::Blacklist);
+        // Reverse direction blocked too (canonical key + bi-hash shard).
+        let mut rev = pkt(1, 1, 100);
+        rev.five = rev.five.reversed();
+        dp.process_batch(&[rev], &mut out);
+        assert_eq!(out[0].path, PathTaken::Blacklist);
+        dp.apply(ControlAction::RemoveBlacklist(five));
+        assert_eq!(dp.blacklist_len(), 0);
+    }
+
+    #[test]
+    fn counters_and_stats_aggregate_across_shards() {
+        let batch = mixed_batch(20, 4);
+        let mut dp = ShardedPipeline::new(cfg(2, 4), accept_all(13), accept_all(4));
+        let mut out = Vec::new();
+        dp.process_batch(&batch, &mut out);
+        assert_eq!(dp.counters().total_offered(), batch.len() as u64);
+        let stats = dp.flow_table_stats();
+        assert!(stats.occupancy > 0);
+        assert_eq!(stats.capacity, 2 * (4096 / LOGICAL_SHARDS) * LOGICAL_SHARDS);
+        assert!(dp.imbalance_ratio() >= 1.0);
+        assert_eq!(dp.shard_packet_counts().iter().sum::<u64>(), batch.len() as u64);
+    }
+
+    #[test]
+    fn clear_flow_releases_shard_storage() {
+        let mut dp = ShardedPipeline::new(cfg(5, 2), accept_all(13), accept_all(4));
+        let mut out = Vec::new();
+        dp.process_batch(&[pkt(7, 0, 100)], &mut out);
+        assert_eq!(dp.flow_table_stats().occupancy, 1);
+        dp.apply(ControlAction::ClearFlow(pkt(7, 0, 100).five));
+        assert_eq!(dp.flow_table_stats().occupancy, 0);
+    }
+}

@@ -14,6 +14,7 @@
 //!   is how 13-range-field whitelist rules are actually installable, and
 //!   it is the cost model the resource accounting (paper Table 1) uses.
 
+use iguard_core::error::{IguardError, TcamError};
 use iguard_core::rules::RuleSet;
 use iguard_telemetry::{counter, span};
 
@@ -29,9 +30,20 @@ pub struct FieldSpec {
 
 impl FieldSpec {
     pub fn new(bits: u8, scale: f32) -> Self {
-        assert!(bits >= 1 && bits <= 32, "field width must be 1..=32 bits");
-        assert!(scale > 0.0, "scale must be positive");
-        Self { bits, scale }
+        Self::try_new(bits, scale).expect("valid field spec")
+    }
+
+    /// Fallible constructor: reports invalid widths/scales as
+    /// [`IguardError::Tcam`] instead of panicking — for rule sets compiled
+    /// from untrusted or tuned configurations.
+    pub fn try_new(bits: u8, scale: f32) -> Result<Self, IguardError> {
+        if bits < 1 || bits > 32 {
+            return Err(TcamError::BadFieldWidth { bits }.into());
+        }
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(TcamError::BadScale.into());
+        }
+        Ok(Self { bits, scale })
     }
 
     /// Largest representable field value.
@@ -203,8 +215,21 @@ impl RangeTable {
 /// ranges `[q(lo), q(hi) − 1]` (or the full top of the domain when `hi`
 /// saturates).
 pub fn compile_ruleset(rules: &RuleSet, specs: &[FieldSpec]) -> RangeTable {
-    assert_eq!(rules.bounds.len(), specs.len(), "one FieldSpec per feature");
-    span!("switch.tcam.compile").time(|| {
+    compile_ruleset_checked(rules, specs).expect("one FieldSpec per feature")
+}
+
+/// Fallible variant of [`compile_ruleset`]: dimension mismatches surface
+/// as [`IguardError::Tcam`] rather than a panic.
+pub fn compile_ruleset_checked(
+    rules: &RuleSet,
+    specs: &[FieldSpec],
+) -> Result<RangeTable, IguardError> {
+    if rules.bounds.len() != specs.len() {
+        return Err(
+            TcamError::DimensionMismatch { rules: rules.bounds.len(), specs: specs.len() }.into()
+        );
+    }
+    Ok(span!("switch.tcam.compile").time(|| {
         let mut table = RangeTable::new(specs.iter().map(|s| s.bits).collect());
         for (prio, cube) in rules.whitelist.iter().enumerate() {
             let fields: Vec<(u32, u32)> = cube
@@ -230,7 +255,7 @@ pub fn compile_ruleset(rules: &RuleSet, specs: &[FieldSpec]) -> RangeTable {
             counter!("switch.tcam.install").inc();
         }
         table
-    })
+    }))
 }
 
 /// Quantises a feature vector into a TCAM lookup key.

@@ -97,6 +97,18 @@ pub fn u64_array(values: &[u64]) -> String {
     format!("[{body}]")
 }
 
+/// Renders pre-rendered JSON values as a pretty array at nesting depth
+/// `indent` (one element per line, matching [`Object::render`]).
+pub fn array(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".into();
+    }
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    let body = items.iter().map(|i| format!("{pad}{i}")).collect::<Vec<_>>().join(",\n");
+    format!("[\n{body}\n{close}]")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -132,5 +144,16 @@ mod tests {
     fn arrays() {
         assert_eq!(u64_array(&[1, 2, 3]), "[1, 2, 3]");
         assert_eq!(u64_array(&[]), "[]");
+    }
+
+    #[test]
+    fn pretty_arrays() {
+        assert_eq!(array(&[], 0), "[]");
+        let mut o = Object::new();
+        o.u64("n", 1);
+        let a = array(&[o.render(1), "2".into()], 0);
+        assert!(a.starts_with("[\n") && a.ends_with(']'));
+        assert!(a.contains("\"n\": 1"));
+        assert!(a.contains("  2"));
     }
 }

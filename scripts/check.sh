@@ -20,13 +20,20 @@ IGUARD_WORKERS=1 cargo test -q --offline --workspace
 echo "== cargo test -q --offline (IGUARD_WORKERS=8) =="
 IGUARD_WORKERS=8 cargo test -q --offline --workspace
 
-echo "== bench reporter smoke run =="
+echo "== shard invariance suite (explicit) =="
+cargo test -q --offline -p iguard-switch --test shard_invariance
+
+echo "== bench reporter smoke run (includes shard sweep) =="
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 trap 'rm -f "$smoke_out"' EXIT
 cargo run -q --release --offline -p iguard-bench --bin bench_report -- \
     --smoke --out "$smoke_out"
 test -s "$smoke_out" || { echo "bench_report wrote an empty report"; exit 1; }
-grep -q '"schema": "iguard-bench-pr2"' "$smoke_out" \
+grep -q '"schema": "iguard-bench-pr3"' "$smoke_out" \
     || { echo "bench_report schema marker missing"; exit 1; }
+grep -q '"shard_sweep"' "$smoke_out" \
+    || { echo "bench_report shard_sweep section missing"; exit 1; }
+grep -q '"deterministic_across_shards": true' "$smoke_out" \
+    || { echo "bench_report determinism marker missing"; exit 1; }
 
 echo "All checks passed."

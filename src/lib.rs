@@ -67,6 +67,7 @@ pub mod prelude {
     pub use iguard_runtime::Dataset;
 
     pub use iguard_core::early::EarlyModel;
+    pub use iguard_core::error::{IguardError, TcamError};
     pub use iguard_core::forest::{IGuardConfig, IGuardForest};
     pub use iguard_core::rules::RuleSet;
     pub use iguard_core::teacher::{DetectorTeacher, EnsembleTeacher, OracleTeacher, Teacher};
@@ -80,10 +81,12 @@ pub mod prelude {
     pub use iguard_models::magnifier::MagnifierConfig;
     pub use iguard_models::Magnifier;
     pub use iguard_switch::controller::{Controller, ControllerConfig};
+    pub use iguard_switch::data_plane::DataPlane;
     pub use iguard_switch::pipeline::{Pipeline, PipelineConfig};
     pub use iguard_switch::replay::{replay, ReplayConfig};
     pub use iguard_switch::resources::{ResourceModel, ResourceUsage};
-    pub use iguard_switch::tcam::{compile_ruleset, FieldSpec, TcamTable};
+    pub use iguard_switch::sharded::{ShardedPipeline, ShardedPipelineConfig};
+    pub use iguard_switch::tcam::{compile_ruleset, compile_ruleset_checked, FieldSpec, TcamTable};
     pub use iguard_synth::attacks::{Attack, ALL_ATTACKS};
     pub use iguard_synth::benign::benign_trace;
     pub use iguard_synth::trace::{extract_flows, ExtractConfig, LabeledFlows, Trace};
