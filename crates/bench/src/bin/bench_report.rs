@@ -1,9 +1,11 @@
-//! The PR-3 bench reporter: runs the deployment pipeline end-to-end under
-//! telemetry and writes a machine-readable `BENCH_PR3.json` — per-stage
+//! The PR-4 bench reporter: runs the deployment pipeline end-to-end under
+//! telemetry and writes a machine-readable `BENCH_PR4.json` — per-stage
 //! wall-clock timings, rule counts, TCAM occupancy, flow-table pressure,
 //! switch path counts, a shard sweep of the [`ShardedPipeline`] backend
-//! (1/2/4/8 physical shards vs the serial `Pipeline`), and the full
-//! verified telemetry snapshot.
+//! (1/2/4/8 physical shards vs the serial `Pipeline`), a chaos sweep of
+//! the fault-injected control loop (detection quality vs channel drop
+//! rate, retry counts, recovery latency after a scripted outage), and the
+//! full verified telemetry snapshot.
 //!
 //! Usage:
 //!
@@ -28,10 +30,11 @@ use iguard_flow::features::packet_level_features;
 use iguard_flow::table::FlowTableConfig;
 use iguard_iforest::IsolationForestConfig;
 use iguard_runtime::rng::Rng;
+use iguard_runtime::{ChannelKind, FaultPlan};
 use iguard_switch::controller::{Controller, ControllerConfig};
 use iguard_switch::data_plane::DataPlane;
 use iguard_switch::pipeline::{Pipeline, PipelineConfig};
-use iguard_switch::replay::{replay, ReplayConfig, ReplayReport};
+use iguard_switch::replay::{replay, replay_chaos, ChaosConfig, ReplayConfig, ReplayReport};
 use iguard_switch::resources::ResourceModel;
 use iguard_switch::sharded::{ShardedPipeline, ShardedPipelineConfig};
 use iguard_switch::tcam::{compile_ruleset, FieldSpec, RangeTable};
@@ -47,7 +50,7 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { smoke: false, seed: 7, out: "BENCH_PR3.json".into() };
+    let mut args = Args { smoke: false, seed: 7, out: "BENCH_PR4.json".into() };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -285,6 +288,109 @@ fn run_shard_sweep(
     (base_min, base_report, points)
 }
 
+/// Replay batch size for the chaos sweep — small enough that the trace
+/// spans many control-loop ticks, so outage windows, backoff schedules
+/// and resync sweeps all get exercised.
+const CHAOS_BATCH: usize = 1024;
+
+/// Resync cadence (ticks) used by every chaos scenario.
+const CHAOS_RESYNC: u64 = 8;
+
+/// Channel drop rates swept by the lossy-channel curve. 0.0 is the
+/// fault-free anchor every other point is compared against.
+const CHAOS_DROP_RATES: [f64; 5] = [0.0, 0.05, 0.1, 0.25, 0.5];
+
+/// One chaos-sweep data point: a scenario label, its fault intensity and
+/// the full replay report plus final blacklist.
+struct ChaosPoint {
+    label: String,
+    drop_rate: f64,
+    report: ReplayReport,
+    blacklist: Vec<iguard_flow::five_tuple::FiveTuple>,
+}
+
+fn run_chaos_case(
+    trace: &iguard_synth::trace::Trace,
+    fl_rules: &RuleSet,
+    pl_rules: &RuleSet,
+    chaos: &ChaosConfig,
+) -> (ReplayReport, Vec<iguard_flow::five_tuple::FiveTuple>) {
+    let pipe_cfg =
+        PipelineConfig::default().with_flow_table(FlowTableConfig::default().with_pkt_threshold(4));
+    let mut pipeline = Pipeline::new(pipe_cfg, fl_rules.clone(), pl_rules.clone());
+    let mut controller = Controller::new(ControllerConfig::default());
+    let replay_cfg = ReplayConfig::default().with_batch_size(CHAOS_BATCH);
+    let report = replay_chaos(trace, &mut pipeline, &mut controller, &replay_cfg, chaos);
+    (report, pipeline.blacklist_contents())
+}
+
+/// Sweeps the fault-injected control loop: a lossy-channel curve (drop /
+/// duplicate / reorder / delay / send-fail rates scaled together via
+/// [`FaultPlan::lossy`]) plus a scripted digest-channel outage scenario.
+/// Every scenario runs with periodic resync so the loop can converge; the
+/// 0.0-rate point doubles as the fault-free baseline for blacklist-delta
+/// accounting. Aborts if re-running the harshest lossy point does not
+/// reproduce byte-identical results — fault injection must stay
+/// deterministic or the curve is meaningless.
+fn run_chaos_sweep(seed: u64, fl_rules: &RuleSet, pl_rules: &RuleSet) -> Vec<ChaosPoint> {
+    let mut rng = Rng::seed_from_u64(seed ^ 0xC4A0_5C4A);
+    let benign = benign_trace(200, 10.0, &mut rng);
+    let flood = Attack::UdpDdos.trace(80, 10.0, &mut rng);
+    let trace = Trace::merge(vec![benign, flood]);
+
+    let mut points = Vec::new();
+    for rate in CHAOS_DROP_RATES {
+        let plan =
+            if rate == 0.0 { FaultPlan::none() } else { FaultPlan::lossy(seed ^ 0xFA17, rate) };
+        let chaos = ChaosConfig::default().with_plan(plan).with_resync_interval(CHAOS_RESYNC);
+        let (report, blacklist) = run_chaos_case(&trace, fl_rules, pl_rules, &chaos);
+        points.push(ChaosPoint {
+            label: format!("lossy_{rate}"),
+            drop_rate: rate,
+            report,
+            blacklist,
+        });
+    }
+
+    // Determinism gate: the harshest lossy point must replay exactly.
+    {
+        let last = points.last().expect("at least one lossy point");
+        let rate = *CHAOS_DROP_RATES.last().expect("rates non-empty");
+        let chaos = ChaosConfig::default()
+            .with_plan(FaultPlan::lossy(seed ^ 0xFA17, rate))
+            .with_resync_interval(CHAOS_RESYNC);
+        let (rerun, blacklist) = run_chaos_case(&trace, fl_rules, pl_rules, &chaos);
+        let same = rerun.tp == last.report.tp
+            && rerun.fp == last.report.fp
+            && rerun.tn == last.report.tn
+            && rerun.fn_ == last.report.fn_
+            && rerun.chan_dropped == last.report.chan_dropped
+            && rerun.retries == last.report.retries
+            && rerun.flush_ticks == last.report.flush_ticks
+            && blacklist == last.blacklist;
+        if !same {
+            eprintln!("bench_report: chaos sweep is nondeterministic at drop rate {rate}");
+            std::process::exit(1);
+        }
+    }
+
+    // Outage scenario: the digest channel is down for the first 8 ticks,
+    // then heals; resync sweeps recover the lost installs and the report's
+    // recovery_packets measures how long that took.
+    let outage_plan =
+        FaultPlan::none().with_seed(seed ^ 0xFA17).with_outage(ChannelKind::Digest, 0, 8);
+    let chaos = ChaosConfig::default().with_plan(outage_plan).with_resync_interval(4);
+    let (report, blacklist) = run_chaos_case(&trace, fl_rules, pl_rules, &chaos);
+    points.push(ChaosPoint {
+        label: "digest_outage_0_8".into(),
+        drop_rate: 0.0,
+        report,
+        blacklist,
+    });
+
+    points
+}
+
 fn main() {
     let args = parse_args();
     let iterations = if args.smoke { 1 } else { 3 };
@@ -314,6 +420,9 @@ fn main() {
     let sweep_iters = if args.smoke { 1 } else { 5 };
     let (base_min_ns, base_report, sweep) =
         run_shard_sweep(args.seed, sweep_iters, &run.fl_rules, &run.pl_rules);
+
+    eprintln!("bench_report: chaos sweep (drop-rate curve + digest outage)");
+    let chaos_points = run_chaos_sweep(args.seed, &run.fl_rules, &run.pl_rules);
 
     let snapshot = iguard_telemetry::registry::snapshot().expect("telemetry enabled");
     if let Err(e) = snapshot.verify() {
@@ -429,8 +538,53 @@ fn main() {
             .raw("shards", json::array(&points_json, 2));
     }
 
+    let mut chaos_json = json::Object::new();
+    {
+        // The fault-free (rate 0.0) point anchors the blacklist delta:
+        // how many flows a faulty run installed differently from the
+        // clean run after convergence.
+        let baseline: std::collections::HashSet<_> =
+            chaos_points[0].blacklist.iter().copied().collect();
+        let mut points_json = Vec::new();
+        for p in &chaos_points {
+            let here: std::collections::HashSet<_> = p.blacklist.iter().copied().collect();
+            let delta = here.symmetric_difference(&baseline).count();
+            let r = p.report;
+            let mut o = json::Object::new();
+            o.str("scenario", &p.label)
+                .f64("drop_rate", p.drop_rate)
+                .u64("tp", r.tp)
+                .u64("fp", r.fp)
+                .u64("tn", r.tn)
+                .u64("fn", r.fn_)
+                .u64("digests", r.digests)
+                .u64("blacklist_len", p.blacklist.len() as u64)
+                .u64("blacklist_delta_vs_baseline", delta as u64)
+                .u64("chan_dropped", r.chan_dropped)
+                .u64("chan_duplicated", r.chan_duplicated)
+                .u64("chan_reordered", r.chan_reordered)
+                .u64("chan_delayed", r.chan_delayed)
+                .u64("dup_digests", r.dup_digests)
+                .u64("action_failures", r.action_failures)
+                .u64("retries", r.retries)
+                .u64("retries_exhausted", r.retries_exhausted)
+                .u64("shed", r.shed)
+                .bool("degraded", r.degraded)
+                .u64("recovery_packets", r.recovery_packets)
+                .u64("flush_ticks", r.flush_ticks)
+                .u64("resync_digests", r.resync_digests);
+            points_json.push(o.render(3));
+        }
+        chaos_json
+            .u64("batch_size", CHAOS_BATCH as u64)
+            .u64("resync_interval_ticks", CHAOS_RESYNC)
+            .u64("trace_packets", chaos_points[0].report.packets)
+            .bool("deterministic_replay", true)
+            .raw("scenarios", json::array(&points_json, 2));
+    }
+
     let mut root = json::Object::new();
-    root.str("schema", "iguard-bench-pr3")
+    root.str("schema", "iguard-bench-pr4")
         .u64("version", 1)
         .u64("seed", args.seed)
         .bool("smoke", args.smoke)
@@ -442,6 +596,7 @@ fn main() {
         .raw("flow_table", flow_json.render(1))
         .raw("replay", replay_json.render(1))
         .raw("shard_sweep", sweep_json.render(1))
+        .raw("chaos_sweep", chaos_json.render(1))
         .raw("telemetry", snapshot.to_json_at(1));
     let doc = root.render(0) + "\n";
 

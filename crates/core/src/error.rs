@@ -52,6 +52,39 @@ impl fmt::Display for TcamError {
 
 impl std::error::Error for TcamError {}
 
+/// Control-loop failures of the emulated switch deployment.
+///
+/// Rule installs travel a fallible channel to a finite TCAM: both the
+/// transport and the destination can refuse. Defined here (like
+/// [`TcamError`]) so the unified [`IguardError`] can name it without a
+/// dependency cycle on `iguard-switch`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SwitchError {
+    /// The data-plane blacklist TCAM has no free entry for an install.
+    TcamFull { capacity: usize },
+    /// The control channel is down (scripted outage or transient fault);
+    /// the command was not delivered.
+    ChannelDown,
+    /// A command was abandoned after exhausting its retry budget.
+    RetriesExhausted { attempts: u32 },
+}
+
+impl fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwitchError::TcamFull { capacity } => {
+                write!(f, "blacklist TCAM full at {capacity} entries")
+            }
+            SwitchError::ChannelDown => write!(f, "control channel down"),
+            SwitchError::RetriesExhausted { attempts } => {
+                write!(f, "command abandoned after {attempts} attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
 /// The unified error of the iGuard workspace.
 ///
 /// Wraps the layer-specific enums; construct via `From`/`?` and match on
@@ -64,6 +97,8 @@ pub enum IguardError {
     Tcam(TcamError),
     /// A wire-format parse failed (truncated, bad checksum, …).
     Wire(WireError),
+    /// A switch control-loop operation failed (channel down, TCAM full, …).
+    Switch(SwitchError),
 }
 
 impl fmt::Display for IguardError {
@@ -72,7 +107,14 @@ impl fmt::Display for IguardError {
             IguardError::RuleGen(e) => write!(f, "rule generation: {e}"),
             IguardError::Tcam(e) => write!(f, "tcam compile: {e}"),
             IguardError::Wire(e) => write!(f, "wire parse: {e}"),
+            IguardError::Switch(e) => write!(f, "switch control loop: {e}"),
         }
+    }
+}
+
+impl From<SwitchError> for IguardError {
+    fn from(e: SwitchError) -> Self {
+        IguardError::Switch(e)
     }
 }
 
@@ -100,6 +142,7 @@ impl std::error::Error for IguardError {
             IguardError::RuleGen(e) => Some(e),
             IguardError::Tcam(e) => Some(e),
             IguardError::Wire(e) => Some(e),
+            IguardError::Switch(e) => Some(e),
         }
     }
 }
@@ -116,6 +159,18 @@ mod tests {
         assert!(matches!(t, IguardError::Tcam(TcamError::BadScale)));
         let w: IguardError = WireError::Truncated.into();
         assert!(matches!(w, IguardError::Wire(WireError::Truncated)));
+        let s: IguardError = SwitchError::ChannelDown.into();
+        assert!(matches!(s, IguardError::Switch(SwitchError::ChannelDown)));
+    }
+
+    #[test]
+    fn switch_errors_display_their_detail() {
+        assert!(IguardError::Switch(SwitchError::TcamFull { capacity: 64 })
+            .to_string()
+            .contains("64 entries"));
+        assert!(IguardError::Switch(SwitchError::RetriesExhausted { attempts: 6 })
+            .to_string()
+            .contains("6 attempts"));
     }
 
     #[test]

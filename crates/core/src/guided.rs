@@ -222,7 +222,7 @@ impl GuidedTree {
                 _ => None,
             })
             .collect();
-        out.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        out.sort_by(|a, b| a.total_cmp(b));
         out.dedup();
         out
     }
@@ -358,7 +358,7 @@ pub fn augment_around(
 /// order statistics of the decision set (capped at `n_candidates`).
 fn split_candidates(decision: &Dataset, q: usize, n_candidates: usize) -> Vec<f32> {
     let mut vals: Vec<f32> = decision.iter_rows().map(|x| x[q]).collect();
-    vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    vals.sort_by(|a, b| a.total_cmp(b));
     vals.dedup();
     if vals.len() < 2 {
         return Vec::new();

@@ -40,7 +40,7 @@ pub mod rules;
 pub mod teacher;
 pub mod tuner;
 
-pub use error::{IguardError, TcamError};
+pub use error::{IguardError, SwitchError, TcamError};
 pub use forest::{IGuardConfig, IGuardForest};
 pub use rules::{Hypercube, RuleSet};
 pub use teacher::Teacher;

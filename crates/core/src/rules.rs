@@ -400,7 +400,9 @@ pub fn merge_adjacent(mut cubes: Vec<Hypercube>) -> Vec<Hypercube> {
             let mut keyed: Vec<(Vec<u32>, Vec<Hypercube>)> = groups.into_iter().collect();
             keyed.sort_by(|a, b| a.0.cmp(&b.0));
             for (_, mut group) in keyed {
-                group.sort_by(|a, b| a.lo[d].partial_cmp(&b.lo[d]).unwrap());
+                // `total_cmp`, not `partial_cmp(..).unwrap()`: a NaN bound
+                // (e.g. from a degenerate split) must not panic the merge.
+                group.sort_by(|a, b| a.lo[d].total_cmp(&b.lo[d]));
                 let mut run: Option<Hypercube> = None;
                 for cube in group {
                     match run.take() {
@@ -445,6 +447,19 @@ mod tests {
             d.push_row(&[rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)]);
         }
         d
+    }
+
+    #[test]
+    fn merge_adjacent_survives_nan_bounds() {
+        // A NaN bound must not panic the merge sort — NaN cubes sort last
+        // under `total_cmp` and simply fail to merge with anything.
+        let cubes = vec![
+            cube(&[0.0, 0.0], &[0.5, 1.0]),
+            cube(&[f32::NAN, 0.0], &[1.0, 1.0]),
+            cube(&[0.5, 0.0], &[1.0, 1.0]),
+        ];
+        let merged = merge_adjacent(cubes);
+        assert_eq!(merged.len(), 2, "finite pair merges, NaN cube survives");
     }
 
     #[test]

@@ -316,6 +316,18 @@ impl FlowShard {
         false
     }
 
+    /// Appends every resident flow that already carries a label, in slot
+    /// order (table 1 then table 2) — a deterministic iteration the
+    /// control-plane resync path uses to re-derive lost digests after a
+    /// channel outage.
+    pub fn labeled_flows_into(&self, out: &mut Vec<(FiveTuple, bool)>) {
+        for slot in self.table1.iter().chain(&self.table2).flatten() {
+            if let Some(label) = slot.label {
+                out.push((slot.key, label));
+            }
+        }
+    }
+
     /// Number of occupied slots across both tables.
     pub fn occupancy(&self) -> usize {
         self.table1.iter().chain(&self.table2).filter(|s| s.is_some()).count()
@@ -380,6 +392,11 @@ impl FlowTable {
     /// See [`FlowShard::clear`].
     pub fn clear(&mut self, key: &FiveTuple) -> bool {
         self.shard.clear(key)
+    }
+
+    /// See [`FlowShard::labeled_flows_into`].
+    pub fn labeled_flows_into(&self, out: &mut Vec<(FiveTuple, bool)>) {
+        self.shard.labeled_flows_into(out)
     }
 
     pub fn occupancy(&self) -> usize {
@@ -499,6 +516,28 @@ mod tests {
         assert_eq!(t.observe(&pkt(3, 0), 0), InsertOutcome::ReplacedClassified { pkt_count: 1 });
         // Old resident is gone.
         assert_eq!(t.label_of(&pkt(1, 0).five), None);
+    }
+
+    #[test]
+    fn labeled_flows_lists_only_classified_residents() {
+        let mut t = FlowTable::new(cfg());
+        let _ = t.observe(&pkt(1, 0), 0);
+        let _ = t.observe(&pkt(2, 0), 0);
+        let _ = t.observe(&pkt(3, 0), 0);
+        assert!(t.set_label(&pkt(1, 0).five, true));
+        assert!(t.set_label(&pkt(3, 0).five, false));
+        let mut labeled = Vec::new();
+        t.labeled_flows_into(&mut labeled);
+        labeled.sort_unstable_by_key(|(k, _)| *k);
+        assert_eq!(
+            labeled,
+            vec![(pkt(1, 0).five.canonical(), true), (pkt(3, 0).five.canonical(), false)]
+        );
+        // Clearing removes the flow from the resync view.
+        assert!(t.clear(&pkt(1, 0).five));
+        labeled.clear();
+        t.labeled_flows_into(&mut labeled);
+        assert_eq!(labeled, vec![(pkt(3, 0).five.canonical(), false)]);
     }
 
     #[test]

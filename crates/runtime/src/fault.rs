@@ -1,0 +1,311 @@
+//! Deterministic fault injection for control-loop chaos testing.
+//!
+//! A [`FaultPlan`] is a *seeded description* of how a control channel
+//! misbehaves: per-message drop / duplicate / reorder / delay
+//! probabilities, a per-send failure probability for the command
+//! direction, and scripted **outage windows** during which a channel is
+//! entirely down. The plan itself holds no mutable state; consumers derive
+//! one [`FaultStream`] per channel via [`FaultPlan::stream`], which forks a
+//! child of the workspace xoshiro256++ RNG keyed by the channel id.
+//!
+//! ## Determinism rules
+//!
+//! 1. **One stream per channel.** Each channel draws from its own derived
+//!    child ([`Rng::derive`] on the plan seed), so adding a channel — or
+//!    reordering channel construction — never shifts another channel's
+//!    draws.
+//! 2. **Draws follow message order.** A stream is consumed serially, one
+//!    draw sequence per offered message, by whoever owns the channel.
+//!    Channels sit on the *merged* (sequence-ordered) digest stream, which
+//!    PR 3 made identical across shard and worker counts — so fault
+//!    decisions are byte-identical at `IGUARD_WORKERS=1/2/8`.
+//! 3. **Zero-probability plans draw nothing.** [`FaultPlan::is_none`]
+//!    short-circuits every fault path, so a `FaultPlan::none()` run is
+//!    bit-for-bit the fault-free run — not merely statistically equal.
+//! 4. **Outages are scripted, not sampled.** Windows are tick ranges fixed
+//!    in the plan, so "the channel heals at tick 40" means exactly that on
+//!    every run.
+//!
+//! Ticks are defined by the consumer (the switch replay loop uses one tick
+//! per batch); this module only compares them.
+
+use crate::rng::Rng;
+
+/// Which control channel a fault applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChannelKind {
+    /// Data plane → controller digests.
+    Digest,
+    /// Controller → data plane commands (rule installs etc.).
+    Action,
+}
+
+impl ChannelKind {
+    /// Stable stream id for [`Rng::derive`].
+    fn stream_id(self) -> u64 {
+        match self {
+            ChannelKind::Digest => 0xD1,
+            ChannelKind::Action => 0xAC,
+        }
+    }
+}
+
+/// A scripted interval `[start, end)` of ticks during which a channel is
+/// completely down: digests offered are lost, sends fail.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutageWindow {
+    pub channel: ChannelKind,
+    /// First tick of the outage.
+    pub start: u64,
+    /// First tick *after* the outage (the heal tick).
+    pub end: u64,
+}
+
+/// A seeded, declarative description of control-channel faults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Seed of the per-channel fault RNG streams.
+    pub seed: u64,
+    /// Probability a digest is silently dropped in transit.
+    pub drop_p: f64,
+    /// Probability a digest is delivered twice.
+    pub duplicate_p: f64,
+    /// Probability an adjacent delivered pair is swapped (per pair).
+    pub reorder_p: f64,
+    /// Probability a digest is held back for 1..=`max_delay_ticks` ticks.
+    pub delay_p: f64,
+    /// Maximum transit delay, in ticks, for delayed digests.
+    pub max_delay_ticks: u64,
+    /// Probability a controller→data-plane send fails outright.
+    pub send_fail_p: f64,
+    /// Scripted full-channel outages.
+    pub outages: Vec<OutageWindow>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan: no probabilities, no outages, no RNG draws.
+    pub fn none() -> Self {
+        Self {
+            seed: 0,
+            drop_p: 0.0,
+            duplicate_p: 0.0,
+            reorder_p: 0.0,
+            delay_p: 0.0,
+            max_delay_ticks: 0,
+            send_fail_p: 0.0,
+            outages: Vec::new(),
+        }
+    }
+
+    /// A lossy-but-alive channel: drops, duplicates, reorders and delays at
+    /// the given `rate`, seeded by `seed`. A convenient chaos-grid default.
+    pub fn lossy(seed: u64, rate: f64) -> Self {
+        Self {
+            seed,
+            drop_p: rate,
+            duplicate_p: rate / 2.0,
+            reorder_p: rate / 2.0,
+            delay_p: rate,
+            max_delay_ticks: 4,
+            send_fail_p: rate / 2.0,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Builder: seed of the fault RNG streams.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: digest drop probability.
+    pub fn with_drop_p(mut self, p: f64) -> Self {
+        self.drop_p = p;
+        self
+    }
+
+    /// Builder: digest duplication probability.
+    pub fn with_duplicate_p(mut self, p: f64) -> Self {
+        self.duplicate_p = p;
+        self
+    }
+
+    /// Builder: adjacent-pair reorder probability.
+    pub fn with_reorder_p(mut self, p: f64) -> Self {
+        self.reorder_p = p;
+        self
+    }
+
+    /// Builder: delay probability and maximum delay in ticks.
+    pub fn with_delay(mut self, p: f64, max_ticks: u64) -> Self {
+        self.delay_p = p;
+        self.max_delay_ticks = max_ticks;
+        self
+    }
+
+    /// Builder: controller-send failure probability.
+    pub fn with_send_fail_p(mut self, p: f64) -> Self {
+        self.send_fail_p = p;
+        self
+    }
+
+    /// Builder: add a scripted outage window `[start, end)` on `channel`.
+    pub fn with_outage(mut self, channel: ChannelKind, start: u64, end: u64) -> Self {
+        assert!(start < end, "outage window must be non-empty");
+        self.outages.push(OutageWindow { channel, start, end });
+        self
+    }
+
+    /// True when this plan can never perturb anything — the pass-through
+    /// fast path that guarantees bit-identity with fault-free runs.
+    pub fn is_none(&self) -> bool {
+        self.drop_p == 0.0
+            && self.duplicate_p == 0.0
+            && self.reorder_p == 0.0
+            && self.delay_p == 0.0
+            && self.send_fail_p == 0.0
+            && self.outages.is_empty()
+    }
+
+    /// Whether `channel` is inside a scripted outage at `tick`.
+    pub fn is_down(&self, channel: ChannelKind, tick: u64) -> bool {
+        self.outages.iter().any(|w| w.channel == channel && w.start <= tick && tick < w.end)
+    }
+
+    /// The last tick at which any outage on `channel` ends (the channel's
+    /// heal tick), or `None` if the plan scripts no outage on it.
+    pub fn heal_tick(&self, channel: ChannelKind) -> Option<u64> {
+        self.outages.iter().filter(|w| w.channel == channel).map(|w| w.end).max()
+    }
+
+    /// Derive the fault RNG stream for `channel`. Same plan seed + channel
+    /// ⇒ same stream, independent of any other channel's activity.
+    pub fn stream(&self, channel: ChannelKind) -> FaultStream {
+        let root = Rng::seed_from_u64(self.seed ^ 0xFA17_FA17_FA17_FA17);
+        FaultStream { rng: root.derive(channel.stream_id()) }
+    }
+}
+
+/// The mutable per-channel fault stream: a derived RNG consumed serially,
+/// one decision sequence per message, by the channel that owns it.
+#[derive(Clone, Debug)]
+pub struct FaultStream {
+    rng: Rng,
+}
+
+impl FaultStream {
+    /// One Bernoulli fault decision. `p == 0.0` draws nothing, so plans
+    /// with a zero probability stay bit-identical to fault-free runs.
+    #[inline]
+    pub fn fires(&mut self, p: f64) -> bool {
+        p > 0.0 && self.rng.gen_bool(p)
+    }
+
+    /// A delay of `1..=max_ticks` ticks (0 when `max_ticks` is 0).
+    #[inline]
+    pub fn delay_ticks(&mut self, max_ticks: u64) -> u64 {
+        if max_ticks == 0 {
+            0
+        } else {
+            self.rng.gen_range(1..=max_ticks)
+        }
+    }
+
+    /// A jitter draw of `0..=max_ticks` ticks (used by retry backoff).
+    #[inline]
+    pub fn jitter_ticks(&mut self, max_ticks: u64) -> u64 {
+        if max_ticks == 0 {
+            0
+        } else {
+            self.rng.gen_range(0..=max_ticks)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_plan_is_inert() {
+        let plan = FaultPlan::none();
+        assert!(plan.is_none());
+        assert!(!plan.is_down(ChannelKind::Digest, 0));
+        assert_eq!(plan.heal_tick(ChannelKind::Digest), None);
+        let mut s = plan.stream(ChannelKind::Digest);
+        assert!(!s.fires(0.0));
+        assert_eq!(s.delay_ticks(0), 0);
+    }
+
+    #[test]
+    fn outage_windows_are_half_open() {
+        let plan = FaultPlan::none().with_outage(ChannelKind::Digest, 10, 20);
+        assert!(!plan.is_none());
+        assert!(!plan.is_down(ChannelKind::Digest, 9));
+        assert!(plan.is_down(ChannelKind::Digest, 10));
+        assert!(plan.is_down(ChannelKind::Digest, 19));
+        assert!(!plan.is_down(ChannelKind::Digest, 20));
+        // The other channel is unaffected.
+        assert!(!plan.is_down(ChannelKind::Action, 15));
+        assert_eq!(plan.heal_tick(ChannelKind::Digest), Some(20));
+    }
+
+    #[test]
+    fn heal_tick_is_last_outage_end() {
+        let plan = FaultPlan::none().with_outage(ChannelKind::Action, 5, 9).with_outage(
+            ChannelKind::Action,
+            30,
+            41,
+        );
+        assert_eq!(plan.heal_tick(ChannelKind::Action), Some(41));
+    }
+
+    #[test]
+    fn channel_streams_are_independent_and_reproducible() {
+        let plan = FaultPlan::lossy(42, 0.3);
+        let mut d1 = plan.stream(ChannelKind::Digest);
+        let mut d2 = plan.stream(ChannelKind::Digest);
+        let mut a = plan.stream(ChannelKind::Action);
+        let ds1: Vec<bool> = (0..64).map(|_| d1.fires(0.5)).collect();
+        let ds2: Vec<bool> = (0..64).map(|_| d2.fires(0.5)).collect();
+        let as_: Vec<bool> = (0..64).map(|_| a.fires(0.5)).collect();
+        assert_eq!(ds1, ds2, "same channel stream must replay identically");
+        assert_ne!(ds1, as_, "digest and action streams must differ");
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let a: Vec<bool> = {
+            let mut s = FaultPlan::lossy(1, 0.5).stream(ChannelKind::Digest);
+            (0..64).map(|_| s.fires(0.5)).collect()
+        };
+        let b: Vec<bool> = {
+            let mut s = FaultPlan::lossy(2, 0.5).stream(ChannelKind::Digest);
+            (0..64).map(|_| s.fires(0.5)).collect()
+        };
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn delay_and_jitter_bounds() {
+        let mut s = FaultPlan::lossy(7, 0.5).stream(ChannelKind::Digest);
+        for _ in 0..200 {
+            let d = s.delay_ticks(4);
+            assert!((1..=4).contains(&d), "delay {d}");
+            let j = s.jitter_ticks(3);
+            assert!(j <= 3, "jitter {j}");
+        }
+    }
+
+    #[test]
+    fn zero_probability_draws_nothing() {
+        // `fires(0.0)` must not consume RNG state: two streams, one asked
+        // with p=0 in between, must stay in lockstep.
+        let plan = FaultPlan::lossy(9, 0.5);
+        let mut a = plan.stream(ChannelKind::Digest);
+        let mut b = plan.stream(ChannelKind::Digest);
+        let _ = a.fires(0.0);
+        let _ = a.fires(0.0);
+        assert_eq!(a.fires(0.5), b.fires(0.5));
+    }
+}

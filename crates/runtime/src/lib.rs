@@ -12,6 +12,10 @@
 //!   defaults to `available_parallelism`, is overridable with the
 //!   `IGUARD_WORKERS` env var, and can be pinned per call tree with
 //!   [`par::with_workers`]. Results always come back in input order.
+//! * [`fault`] — deterministic fault injection: seeded [`fault::FaultPlan`]s
+//!   (drop / duplicate / reorder / delay probabilities, scripted outage
+//!   windows) with one derived RNG stream per channel, so chaos runs are
+//!   byte-identical at any worker count.
 //! * [`dataset`] — a columnar (row-major, flat-buffer) [`dataset::Dataset`]
 //!   replacing `Vec<Vec<f32>>` on the batch paths, cache-friendly for
 //!   batched scoring and matrix construction.
@@ -25,6 +29,7 @@
 //!   `harness = false`.
 
 pub mod dataset;
+pub mod fault;
 pub mod par;
 pub mod proptest_lite;
 pub mod rng;
@@ -32,4 +37,5 @@ pub mod scratch;
 pub mod timing;
 
 pub use dataset::Dataset;
+pub use fault::{ChannelKind, FaultPlan, FaultStream, OutageWindow};
 pub use rng::{Rng, SliceRandom};

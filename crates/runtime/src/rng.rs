@@ -51,6 +51,18 @@ impl Rng {
         result
     }
 
+    /// The raw generator state — lets checkpoint/restore code (the switch
+    /// controller snapshot) persist an RNG mid-stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuild a generator from a [`Self::state`] snapshot, resuming the
+    /// stream exactly where it was captured.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Rng { s }
+    }
+
     /// Fork a child stream, advancing this generator by one draw.
     pub fn split(&mut self) -> Rng {
         let seed = self.next_u64();
@@ -284,6 +296,18 @@ mod tests {
     fn same_seed_same_stream() {
         let mut a = Rng::seed_from_u64(42);
         let mut b = Rng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn state_round_trip_resumes_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        for _ in 0..17 {
+            a.next_u64();
+        }
+        let mut b = Rng::from_state(a.state());
         for _ in 0..64 {
             assert_eq!(a.next_u64(), b.next_u64());
         }

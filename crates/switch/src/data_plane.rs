@@ -22,10 +22,11 @@
 //!   need not support mid-batch rule changes (hardware installs rules
 //!   between packets too, just at a finer grain).
 
+use iguard_flow::five_tuple::FiveTuple;
 use iguard_flow::packet::Packet;
 use iguard_flow::table::FlowTableStats;
 
-use crate::pipeline::{ControlAction, Digest, PathCounters, ProcessOutcome};
+use crate::pipeline::{ControlAction, Digest, PathCounters, ProcessOutcome, SeqDigest};
 
 /// A switch data-plane backend.
 pub trait DataPlane {
@@ -38,8 +39,27 @@ pub trait DataPlane {
     /// arrival order, clearing the backend's internal buffer.
     fn drain_digests_into(&mut self, out: &mut Vec<Digest>);
 
+    /// Like [`Self::drain_digests_into`], but keeps each digest's global
+    /// packet sequence tag. The fallible digest channel and the
+    /// controller's dedup window are keyed on these tags, so chaos replay
+    /// uses this drain.
+    fn drain_seq_digests_into(&mut self, out: &mut Vec<SeqDigest>);
+
     /// Applies a controller command (blacklist install/remove, flow clear).
     fn apply(&mut self, action: ControlAction);
+
+    /// The installed blacklist in canonical sorted order — equality checks
+    /// across backends, and the source a crashed controller rebuilds its
+    /// install map from.
+    fn blacklist_contents(&self) -> Vec<FiveTuple>;
+
+    /// Re-derives one digest per *labeled* resident flow (deterministic
+    /// order, sequence tags from the [`crate::pipeline::RESYNC_SEQ_BASE`]
+    /// space). The controller triggers this after a digest-channel outage:
+    /// classifications whose original digests were lost in transit are
+    /// still present in the flow-label storage, so a resync sweep recovers
+    /// the missed installs and storage releases.
+    fn resync_labeled_into(&mut self, out: &mut Vec<SeqDigest>);
 
     /// Aggregate per-path packet counters.
     fn counters(&self) -> PathCounters;

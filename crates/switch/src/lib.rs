@@ -20,16 +20,23 @@
 //! * [`sharded`] — [`ShardedPipeline`]: the same pipeline semantics
 //!   partitioned across logical shards and driven on the runtime's worker
 //!   pool, with deterministic (sequence-ordered) digest merging.
-//! * [`controller`] — the control plane: consumes digests, installs
-//!   blacklist rules (FIFO or LRU eviction), clears flow storage, and
-//!   accounts control-plane bandwidth (App. B.2).
+//! * [`channel`] — the fallible digest/action channels between data plane
+//!   and controller, driven by a seeded
+//!   [`FaultPlan`](iguard_runtime::FaultPlan) (drop / duplicate / reorder /
+//!   delay / outage faults, deterministically replayable).
+//! * [`controller`] — the control plane: consumes digests (idempotently,
+//!   dedup'd on sequence tags), installs blacklist rules (FIFO or LRU
+//!   eviction) with bounded retry + backoff on send failures, clears flow
+//!   storage, degrades gracefully when saturated, checkpoints and rebuilds
+//!   after crashes, and accounts control-plane bandwidth (App. B.2).
 //! * [`replay`] — trace replay through any [`DataPlane`] with
 //!   cycle-accounting to estimate throughput and per-packet latency
 //!   (App. B.1), including a HorusEye-style control-plane detour model for
-//!   comparison.
+//!   comparison, plus [`replay::replay_chaos`] for fault-injected runs.
 
 #![forbid(unsafe_code)]
 
+pub mod channel;
 pub mod controller;
 pub mod data_plane;
 pub mod pipeline;
@@ -38,9 +45,15 @@ pub mod resources;
 pub mod sharded;
 pub mod tcam;
 
-pub use controller::{Controller, ControllerConfig, EvictionPolicy};
+pub use channel::{ActionChannel, ChannelStats, DigestChannel};
+pub use controller::{
+    Controller, ControllerConfig, ControllerSnapshot, EvictionPolicy, RetryPolicy,
+};
 pub use data_plane::DataPlane;
-pub use pipeline::{PacketVerdict, PathTaken, Pipeline, PipelineConfig};
+pub use pipeline::{
+    PacketVerdict, PathTaken, Pipeline, PipelineConfig, SeqDigest, RESYNC_SEQ_BASE,
+};
+pub use replay::{ChaosConfig, CrashRecovery, CrashSpec};
 pub use resources::{ResourceModel, ResourceUsage};
 pub use sharded::{ShardedPipeline, ShardedPipelineConfig, LOGICAL_SHARDS};
 pub use tcam::{RangeEntry, RangeTable, TcamTable, TernaryEntry};

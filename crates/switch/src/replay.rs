@@ -18,12 +18,14 @@
 
 use iguard_flow::packet::Packet;
 use iguard_metrics::ConfusionMatrix;
+use iguard_runtime::{ChannelKind, FaultPlan};
 
 use iguard_synth::trace::Trace;
 
-use crate::controller::Controller;
+use crate::channel::{ActionChannel, DigestChannel};
+use crate::controller::{Controller, ControllerSnapshot};
 use crate::data_plane::DataPlane;
-use crate::pipeline::{ControlAction, Digest, PacketVerdict, ProcessOutcome};
+use crate::pipeline::{ControlAction, PacketVerdict, ProcessOutcome, SeqDigest};
 
 /// Pipeline timing constants.
 #[derive(Clone, Copy, Debug)]
@@ -97,6 +99,35 @@ pub struct ReplayReport {
     pub digest_kbps: f64,
     /// Loopback copies generated.
     pub loopback: u64,
+    // --- Chaos observability (all zero/false in fault-free replay) ---
+    /// Digests lost in transit (sampled drops + outage losses).
+    pub chan_dropped: u64,
+    /// Extra digest copies injected by the channel.
+    pub chan_duplicated: u64,
+    /// Adjacent digest pairs swapped at delivery.
+    pub chan_reordered: u64,
+    /// Digests held back at least one tick.
+    pub chan_delayed: u64,
+    /// Controller→data-plane sends that failed (first attempts + retries).
+    pub action_failures: u64,
+    /// Failed sends recorded for retry.
+    pub retries: u64,
+    /// Actions abandoned after the retry budget.
+    pub retries_exhausted: u64,
+    /// Retry-queue shedding events.
+    pub shed: u64,
+    /// Digests discarded by the controller's sequence dedup window.
+    pub dup_digests: u64,
+    /// Whether the controller ever entered the degraded state.
+    pub degraded: bool,
+    /// Recovery latency after the last scripted outage heals, in packets
+    /// (ticks from heal to the last successful install × batch size).
+    pub recovery_packets: u64,
+    /// Extra control-loop ticks run after the trace to drain in-flight
+    /// work (0 when the loop was already quiescent).
+    pub flush_ticks: u64,
+    /// Digests re-derived from resident flow labels by resync sweeps.
+    pub resync_digests: u64,
 }
 
 impl ReplayReport {
@@ -168,6 +199,101 @@ impl ReplayConfig {
     }
 }
 
+/// When and how a simulated controller crash recovers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashRecovery {
+    /// Restore the last [`Controller::snapshot`] taken by the checkpoint
+    /// schedule (a pristine controller if none was taken yet).
+    RestoreCheckpoint,
+    /// Cold-start from the data plane's installed blacklist — the
+    /// authoritative state that survives a control-plane crash.
+    RebuildFromDataPlane,
+}
+
+/// A scripted controller crash.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Tick at whose start the controller's in-memory state is lost.
+    pub at_tick: u64,
+    pub recovery: CrashRecovery,
+}
+
+/// Chaos parameters for [`replay_chaos`]: the channel fault plan plus the
+/// recovery machinery exercised against it. The default is the ideal
+/// loop — no faults, no resync, unlimited TCAM — under which
+/// [`replay_chaos`] is bit-identical to the fault-free [`replay`].
+#[derive(Clone, Debug)]
+pub struct ChaosConfig {
+    pub plan: FaultPlan,
+    /// Every `n` ticks the controller asks the data plane to re-derive
+    /// digests from resident labeled flows, recovering classifications
+    /// whose digests were lost in transit. `None` disables resync.
+    pub resync_interval: Option<u64>,
+    /// Every `n` ticks the controller snapshots itself (the state a
+    /// [`CrashRecovery::RestoreCheckpoint`] crash falls back to).
+    pub checkpoint_interval: Option<u64>,
+    pub crash: Option<CrashSpec>,
+    /// Hardware blacklist budget enforced by the action channel; installs
+    /// beyond it fail with `TcamFull`.
+    pub tcam_capacity: usize,
+    /// Upper bound on post-trace control-loop ticks used to drain delayed
+    /// digests, pending retries and resync stragglers.
+    pub max_flush_ticks: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        Self {
+            plan: FaultPlan::none(),
+            resync_interval: None,
+            checkpoint_interval: None,
+            crash: None,
+            tcam_capacity: usize::MAX,
+            max_flush_ticks: 1024,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Builder: channel fault plan.
+    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// Builder: resync sweep interval in ticks.
+    pub fn with_resync_interval(mut self, ticks: u64) -> Self {
+        assert!(ticks > 0, "resync interval must be positive");
+        self.resync_interval = Some(ticks);
+        self
+    }
+
+    /// Builder: controller checkpoint interval in ticks.
+    pub fn with_checkpoint_interval(mut self, ticks: u64) -> Self {
+        assert!(ticks > 0, "checkpoint interval must be positive");
+        self.checkpoint_interval = Some(ticks);
+        self
+    }
+
+    /// Builder: scripted controller crash.
+    pub fn with_crash(mut self, at_tick: u64, recovery: CrashRecovery) -> Self {
+        self.crash = Some(CrashSpec { at_tick, recovery });
+        self
+    }
+
+    /// Builder: hardware blacklist (TCAM) capacity.
+    pub fn with_tcam_capacity(mut self, cap: usize) -> Self {
+        self.tcam_capacity = cap;
+        self
+    }
+
+    /// Builder: post-trace flush budget in ticks.
+    pub fn with_max_flush_ticks(mut self, ticks: u64) -> Self {
+        self.max_flush_ticks = ticks;
+        self
+    }
+}
+
 /// Replays a labelled trace through a [`DataPlane`] + controller.
 ///
 /// Per-packet ground truth is "belongs to a malicious flow"; a detection
@@ -176,11 +302,135 @@ impl ReplayConfig {
 /// [`crate::pipeline::Pipeline`] and the parallel
 /// [`crate::sharded::ShardedPipeline`] replay identically (including
 /// through `&mut dyn DataPlane`).
+///
+/// Equivalent to [`replay_chaos`] with the default (ideal) [`ChaosConfig`]
+/// — the channels take their no-draw pass-through paths, so this is
+/// bit-identical to the pre-chaos replay loop.
 pub fn replay<D: DataPlane + ?Sized>(
     trace: &Trace,
     data_plane: &mut D,
     controller: &mut Controller,
     cfg: &ReplayConfig,
+) -> ReplayReport {
+    replay_chaos(trace, data_plane, controller, cfg, &ChaosConfig::default())
+}
+
+/// Mutable control-loop state threaded through the per-tick step.
+struct ControlLoop {
+    digest_chan: DigestChannel,
+    action_chan: ActionChannel,
+    seq_buf: Vec<SeqDigest>,
+    delivered: Vec<SeqDigest>,
+    actions: Vec<ControlAction>,
+    due: Vec<(ControlAction, u32)>,
+    resync_digests: u64,
+    last_install_tick: Option<u64>,
+}
+
+impl ControlLoop {
+    /// One control-plane tick: drain data-plane digests through the lossy
+    /// channel, process deliveries, send resulting actions (queueing
+    /// failures for retry), and re-send due retries. `do_resync` adds a
+    /// label-resync sweep to this tick's offered digests.
+    /// Returns whether the tick moved anything (digests offered or
+    /// delivered, retries re-sent) — the flush phase's convergence signal.
+    fn tick<D: DataPlane + ?Sized>(
+        &mut self,
+        dp: &mut D,
+        controller: &mut Controller,
+        tick: u64,
+        do_resync: bool,
+        report: &mut ReplayReport,
+    ) -> bool {
+        self.seq_buf.clear();
+        dp.drain_seq_digests_into(&mut self.seq_buf);
+        report.digests += self.seq_buf.len() as u64;
+        if do_resync {
+            let before = self.seq_buf.len();
+            dp.resync_labeled_into(&mut self.seq_buf);
+            self.resync_digests += (self.seq_buf.len() - before) as u64;
+        }
+        if !self.seq_buf.is_empty() {
+            self.digest_chan.offer(tick, &self.seq_buf);
+        }
+        self.digest_chan.deliver_into(tick, &mut self.delivered);
+        controller.process_seq_digests_into(&self.delivered, &mut self.actions);
+        for i in 0..self.actions.len() {
+            let action = self.actions[i];
+            self.send(dp, controller, action, 1, tick, report);
+        }
+        controller.take_due_retries(tick, &mut self.due);
+        for i in 0..self.due.len() {
+            let (action, attempt) = self.due[i];
+            self.send(dp, controller, action, attempt, tick, report);
+        }
+        !self.seq_buf.is_empty() || !self.delivered.is_empty() || !self.due.is_empty()
+    }
+
+    fn send<D: DataPlane + ?Sized>(
+        &mut self,
+        dp: &mut D,
+        controller: &mut Controller,
+        action: ControlAction,
+        attempt: u32,
+        tick: u64,
+        report: &mut ReplayReport,
+    ) {
+        match self.action_chan.send(dp, action, tick) {
+            Ok(()) => {
+                if matches!(action, ControlAction::InstallBlacklist(_)) {
+                    self.last_install_tick = Some(tick);
+                }
+            }
+            Err(_) => {
+                report.action_failures += 1;
+                controller.note_send_failure(action, attempt, tick);
+            }
+        }
+    }
+
+    /// Work still owed to the loop: digests in transit or queued retries.
+    fn has_outstanding(&self, controller: &Controller) -> bool {
+        self.digest_chan.has_in_flight() || controller.has_pending_retries()
+    }
+}
+
+/// Simulated controller crash: the in-memory state is gone; rebuild it
+/// from the chosen survivor.
+fn recover<D: DataPlane + ?Sized>(
+    controller: &mut Controller,
+    dp: &D,
+    recovery: CrashRecovery,
+    checkpoint: Option<&ControllerSnapshot>,
+) {
+    match recovery {
+        CrashRecovery::RestoreCheckpoint => match checkpoint {
+            Some(snap) => controller.restore_from(snap),
+            // No checkpoint taken yet: recover to a pristine controller.
+            None => controller.rebuild_from_blacklist(&[]),
+        },
+        CrashRecovery::RebuildFromDataPlane => {
+            controller.rebuild_from_blacklist(&dp.blacklist_contents());
+        }
+    }
+}
+
+/// [`replay`] with deterministic fault injection on the control loop.
+///
+/// Each data-plane batch is one control-loop *tick*: digests drained from
+/// the backend ride a [`DigestChannel`] governed by `chaos.plan`, the
+/// controller processes whatever arrives (dedup'd on sequence tags), and
+/// its actions go back over an [`ActionChannel`] whose failures feed the
+/// controller's retry queue. After the trace ends the loop keeps ticking
+/// — bounded by `chaos.max_flush_ticks` — until delayed digests, retries
+/// and resync sweeps drain, so eventual convergence is observable in the
+/// returned report.
+pub fn replay_chaos<D: DataPlane + ?Sized>(
+    trace: &Trace,
+    data_plane: &mut D,
+    controller: &mut Controller,
+    cfg: &ReplayConfig,
+    chaos: &ChaosConfig,
 ) -> ReplayReport {
     let mut report = ReplayReport::default();
     let mut latency_total = 0.0f64;
@@ -188,11 +438,28 @@ pub fn replay<D: DataPlane + ?Sized>(
     // All hot-loop buffers are allocated once and reused across batches.
     let mut batch: Vec<Packet> = Vec::with_capacity(batch_size);
     let mut outcomes: Vec<ProcessOutcome> = Vec::with_capacity(batch_size);
-    let mut digest_buf: Vec<Digest> = Vec::new();
-    let mut actions: Vec<ControlAction> = Vec::new();
+    let mut ctl = ControlLoop {
+        digest_chan: DigestChannel::new(chaos.plan.clone()),
+        action_chan: ActionChannel::new(chaos.plan.clone(), chaos.tcam_capacity),
+        seq_buf: Vec::new(),
+        delivered: Vec::new(),
+        actions: Vec::new(),
+        due: Vec::new(),
+        resync_digests: 0,
+        last_install_tick: None,
+    };
+    let mut checkpoint: Option<ControllerSnapshot> = None;
+    let mut crash_pending = chaos.crash;
+    let mut tick: u64 = 0;
     let n = trace.packets.len();
     let mut start = 0;
     while start < n {
+        if let Some(crash) = crash_pending {
+            if crash.at_tick == tick {
+                recover(controller, data_plane, crash.recovery, checkpoint.as_ref());
+                crash_pending = None;
+            }
+        }
         let end = (start + batch_size).min(n);
         batch.clear();
         for pkt in &trace.packets[start..end] {
@@ -228,18 +495,58 @@ pub fn replay<D: DataPlane + ?Sized>(
             }
         }
         // Controller runs continuously alongside the data plane: digests
-        // drain (in arrival order) and actions apply between batches.
-        digest_buf.clear();
-        data_plane.drain_digests_into(&mut digest_buf);
-        if !digest_buf.is_empty() {
-            report.digests += digest_buf.len() as u64;
-            controller.process_digests_into(&digest_buf, &mut actions);
-            for &action in actions.iter() {
-                data_plane.apply(action);
-            }
+        // drain (in arrival order) through the channel and actions apply
+        // between batches.
+        let do_resync = chaos.resync_interval.is_some_and(|iv| tick > 0 && tick % iv == 0);
+        ctl.tick(data_plane, controller, tick, do_resync, &mut report);
+        if chaos.checkpoint_interval.is_some_and(|iv| tick % iv == 0) {
+            checkpoint = Some(controller.snapshot());
         }
+        tick += 1;
         start = end;
     }
+
+    // Flush phase: the trace is over, but delayed digests, queued retries
+    // and un-resynced labels may still be outstanding. Keep ticking the
+    // control loop (resyncing every tick, since there is no more packet
+    // work to interleave with) until a fully quiescent tick or the budget
+    // runs out.
+    let resync_enabled = chaos.resync_interval.is_some();
+    let mut flush_ticks = 0u64;
+    while flush_ticks < chaos.max_flush_ticks {
+        if !ctl.has_outstanding(controller) && !resync_enabled {
+            break;
+        }
+        let active = ctl.tick(data_plane, controller, tick, resync_enabled, &mut report);
+        tick += 1;
+        flush_ticks += 1;
+        if !active && !ctl.has_outstanding(controller) {
+            break;
+        }
+    }
+
+    report.flush_ticks = flush_ticks;
+    report.resync_digests = ctl.resync_digests;
+    let chan = ctl.digest_chan.stats();
+    report.chan_dropped = chan.dropped;
+    report.chan_duplicated = chan.duplicated;
+    report.chan_reordered = chan.reordered;
+    report.chan_delayed = chan.delayed;
+    report.retries = controller.retries();
+    report.retries_exhausted = controller.retries_exhausted();
+    report.shed = controller.shed();
+    report.dup_digests = controller.dup_digests();
+    report.degraded = controller.ever_degraded();
+    let heal = [ChannelKind::Digest, ChannelKind::Action]
+        .into_iter()
+        .filter_map(|ch| chaos.plan.heal_tick(ch))
+        .max();
+    if let (Some(heal), Some(last)) = (heal, ctl.last_install_tick) {
+        if last >= heal {
+            report.recovery_packets = (last - heal) * batch_size as u64;
+        }
+    }
+
     report.duration_secs = trace.duration_secs().max(1e-9);
     report.avg_latency_ns = latency_total / report.packets.max(1) as f64;
     report.offered_gbps = report.bytes as f64 * 8.0 / report.duration_secs / 1e9;

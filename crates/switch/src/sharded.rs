@@ -49,7 +49,7 @@ use iguard_core::rules::RuleSet;
 use crate::data_plane::DataPlane;
 use crate::pipeline::{
     ControlAction, Digest, MatchEngine, PacketVerdict, PathCounters, PathTaken, PipelineConfig,
-    ProcessOutcome, SeqDigest,
+    ProcessOutcome, SeqDigest, RESYNC_SEQ_BASE,
 };
 
 /// Number of logical state partitions. Fixed — it is the determinism
@@ -152,6 +152,9 @@ pub struct ShardedPipeline {
     bins: ShardBins,
     merge_scratch: Vec<SeqDigest>,
     processed: u64,
+    /// Monotonic counter for resync digest sequence tags (offset from
+    /// [`RESYNC_SEQ_BASE`], disjoint from packet sequence numbers).
+    resync_seq: u64,
 }
 
 impl ShardedPipeline {
@@ -179,6 +182,7 @@ impl ShardedPipeline {
             bins: ShardBins::new(),
             merge_scratch: Vec::new(),
             processed: 0,
+            resync_seq: 0,
         }
     }
 
@@ -231,6 +235,35 @@ impl ShardedPipeline {
             (0..LOGICAL_SHARDS).flat_map(|l| self.shard(l).blacklist.iter().copied()).collect();
         v.sort_unstable();
         v
+    }
+
+    /// Drains every shard's digest buffer into `merge_scratch`, restoring
+    /// global packet arrival order (seq is unique — at most one digest per
+    /// packet — so the sort is a total, backend-independent order). Both
+    /// drain flavours share this; returns the number merged.
+    fn merge_digests(&mut self) -> usize {
+        let Self { groups, merge_scratch, .. } = self;
+        span!("switch.sharded.digest_merge").time(|| {
+            merge_scratch.clear();
+            for group in groups.iter_mut() {
+                for shard in &mut group.shards {
+                    merge_scratch.append(&mut shard.digests);
+                }
+            }
+            merge_scratch.sort_unstable_by_key(|sd| sd.seq);
+            merge_scratch.len()
+        })
+    }
+
+    /// Occupancy telemetry only on productive drains — replay drains
+    /// after every batch and most drains are empty.
+    fn record_drain_occupancy(&self, drained: usize) {
+        if drained > 0 {
+            for l in 0..LOGICAL_SHARDS {
+                histogram!("switch.sharded.shard_occupancy")
+                    .record(self.shard(l).flow.occupancy() as u64);
+            }
+        }
     }
 }
 
@@ -317,30 +350,16 @@ impl DataPlane for ShardedPipeline {
     }
 
     fn drain_digests_into(&mut self, out: &mut Vec<Digest>) {
-        let Self { groups, merge_scratch, .. } = self;
-        let drained = span!("switch.sharded.digest_merge").time(|| {
-            merge_scratch.clear();
-            for group in groups.iter_mut() {
-                for shard in &mut group.shards {
-                    merge_scratch.append(&mut shard.digests);
-                }
-            }
-            // Restore packet arrival order: seq is unique (≤1 digest per
-            // packet), so this is a total, backend-independent order.
-            merge_scratch.sort_unstable_by_key(|sd| sd.seq);
-            out.extend(merge_scratch.iter().map(|sd| sd.digest));
-            let n = merge_scratch.len();
-            merge_scratch.clear();
-            n
-        });
-        // Occupancy telemetry only on productive drains — replay drains
-        // after every batch and most drains are empty.
-        if drained > 0 {
-            for l in 0..LOGICAL_SHARDS {
-                histogram!("switch.sharded.shard_occupancy")
-                    .record(self.shard(l).flow.occupancy() as u64);
-            }
-        }
+        let drained = self.merge_digests();
+        out.extend(self.merge_scratch.iter().map(|sd| sd.digest));
+        self.merge_scratch.clear();
+        self.record_drain_occupancy(drained);
+    }
+
+    fn drain_seq_digests_into(&mut self, out: &mut Vec<SeqDigest>) {
+        let drained = self.merge_digests();
+        out.append(&mut self.merge_scratch);
+        self.record_drain_occupancy(drained);
     }
 
     fn apply(&mut self, action: ControlAction) {
@@ -360,6 +379,26 @@ impl DataPlane for ShardedPipeline {
             ControlAction::ClearFlow(f) => {
                 shard.flow.clear(&f);
             }
+        }
+    }
+
+    fn blacklist_contents(&self) -> Vec<FiveTuple> {
+        ShardedPipeline::blacklist_contents(self)
+    }
+
+    fn resync_labeled_into(&mut self, out: &mut Vec<SeqDigest>) {
+        // Logical-shard order is fixed regardless of the physical
+        // grouping, so the resync stream is shard/worker invariant.
+        let mut flows = Vec::new();
+        for l in 0..LOGICAL_SHARDS {
+            self.shard(l).flow.labeled_flows_into(&mut flows);
+        }
+        for (five, malicious) in flows {
+            out.push(SeqDigest {
+                seq: RESYNC_SEQ_BASE + self.resync_seq,
+                digest: Digest { five, malicious },
+            });
+            self.resync_seq += 1;
         }
     }
 

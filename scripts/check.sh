@@ -11,8 +11,8 @@ cd "$(dirname "$0")/.."
 echo "== cargo fmt --check =="
 cargo fmt --all -- --check
 
-echo "== tier-1: cargo build --release --offline =="
-cargo build --release --offline --workspace --all-targets
+echo "== tier-1: cargo build --release --offline (warnings are errors) =="
+RUSTFLAGS="-D warnings" cargo build --release --offline --workspace --all-targets
 
 echo "== tier-1: cargo test -q --offline (IGUARD_WORKERS=1) =="
 IGUARD_WORKERS=1 cargo test -q --offline --workspace
@@ -23,17 +23,29 @@ IGUARD_WORKERS=8 cargo test -q --offline --workspace
 echo "== shard invariance suite (explicit) =="
 cargo test -q --offline -p iguard-switch --test shard_invariance
 
-echo "== bench reporter smoke run (includes shard sweep) =="
+echo "== chaos gate: fault-injected control loop (fixed seeds, workers 1 and 8) =="
+# The chaos suite bakes in two fixed fault seeds (CHAOS_SEEDS = [11, 47])
+# and asserts convergence + byte-identical fingerprints across shard and
+# worker counts; running it at both worker extremes is the gate.
+IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test chaos
+IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test chaos
+IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test controller_idempotence
+
+echo "== bench reporter smoke run (includes shard + chaos sweeps) =="
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 trap 'rm -f "$smoke_out"' EXIT
 cargo run -q --release --offline -p iguard-bench --bin bench_report -- \
     --smoke --out "$smoke_out"
 test -s "$smoke_out" || { echo "bench_report wrote an empty report"; exit 1; }
-grep -q '"schema": "iguard-bench-pr3"' "$smoke_out" \
+grep -q '"schema": "iguard-bench-pr4"' "$smoke_out" \
     || { echo "bench_report schema marker missing"; exit 1; }
 grep -q '"shard_sweep"' "$smoke_out" \
     || { echo "bench_report shard_sweep section missing"; exit 1; }
 grep -q '"deterministic_across_shards": true' "$smoke_out" \
     || { echo "bench_report determinism marker missing"; exit 1; }
+grep -q '"chaos_sweep"' "$smoke_out" \
+    || { echo "bench_report chaos_sweep section missing"; exit 1; }
+grep -q '"deterministic_replay": true' "$smoke_out" \
+    || { echo "bench_report chaos determinism marker missing"; exit 1; }
 
 echo "All checks passed."
