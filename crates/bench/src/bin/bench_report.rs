@@ -1,11 +1,18 @@
-//! The PR-4 bench reporter: runs the deployment pipeline end-to-end under
-//! telemetry and writes a machine-readable `BENCH_PR4.json` — per-stage
+//! The PR-5 bench reporter: runs the deployment pipeline end-to-end under
+//! telemetry and writes a machine-readable `BENCH_PR5.json` — per-stage
 //! wall-clock timings, rule counts, TCAM occupancy, flow-table pressure,
 //! switch path counts, a shard sweep of the [`ShardedPipeline`] backend
 //! (1/2/4/8 physical shards vs the serial `Pipeline`), a chaos sweep of
 //! the fault-injected control loop (detection quality vs channel drop
-//! rate, retry counts, recovery latency after a scripted outage), and the
-//! full verified telemetry snapshot.
+//! rate, retry counts, recovery latency after a scripted outage), a
+//! rule-index sweep (compiled first-match index vs linear scan, float and
+//! TCAM paths, at 64/256/1024 rules), a replay-trace verdict-parity
+//! check, and the full verified telemetry snapshot.
+//!
+//! Two hard gates guard the rule-index claims: the indexed lookup must
+//! return the *identical* verdict as the linear scan on every sampled key
+//! (the run aborts on the first divergence), and the indexed path must be
+//! at least 2× faster than the linear scan at ≥256 rules.
 //!
 //! Usage:
 //!
@@ -24,7 +31,7 @@ use std::time::Instant;
 
 use iguard_core::early::EarlyModel;
 use iguard_core::forest::{IGuardConfig, IGuardForest};
-use iguard_core::rules::RuleSet;
+use iguard_core::rules::{Hypercube, RuleSet};
 use iguard_core::teacher::OracleTeacher;
 use iguard_flow::features::packet_level_features;
 use iguard_flow::table::FlowTableConfig;
@@ -36,8 +43,9 @@ use iguard_switch::data_plane::DataPlane;
 use iguard_switch::pipeline::{Pipeline, PipelineConfig};
 use iguard_switch::replay::{replay, replay_chaos, ChaosConfig, ReplayConfig, ReplayReport};
 use iguard_switch::resources::ResourceModel;
+use iguard_switch::rule_index::RangeIndex;
 use iguard_switch::sharded::{ShardedPipeline, ShardedPipelineConfig};
-use iguard_switch::tcam::{compile_ruleset, FieldSpec, RangeTable};
+use iguard_switch::tcam::{compile_ruleset, quantize_key, FieldSpec, RangeTable};
 use iguard_synth::attacks::Attack;
 use iguard_synth::benign::benign_trace;
 use iguard_synth::trace::{extract_flows, ExtractConfig, Trace};
@@ -50,7 +58,7 @@ struct Args {
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { smoke: false, seed: 7, out: "BENCH_PR4.json".into() };
+    let mut args = Args { smoke: false, seed: 7, out: "BENCH_PR5.json".into() };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -391,6 +399,224 @@ fn run_chaos_sweep(seed: u64, fl_rules: &RuleSet, pl_rules: &RuleSet) -> Vec<Cha
     points
 }
 
+/// Rule counts swept by the index benchmark. The ≥2× speedup gate applies
+/// from 256 rules up; 64 is reported for the crossover curve only.
+const INDEX_RULE_COUNTS: [usize; 3] = [64, 256, 1024];
+const INDEX_PROBES: usize = 2048;
+const INDEX_DIMS: usize = 13;
+
+/// One rule-index sweep point: linear vs indexed lookup timings for the
+/// float path and the quantized (TCAM) path at a given rule count.
+struct IndexPoint {
+    n_rules: usize,
+    entries: usize,
+    skipped_empty: u64,
+    total_cuts: usize,
+    float_linear_ns: u64,
+    float_indexed_ns: u64,
+    tcam_linear_ns: u64,
+    tcam_indexed_ns: u64,
+    hit_rate: f64,
+}
+
+/// A synthetic 13-dim first-match rule set: every cube is several quanta
+/// wide at the 16-bit spec below, so the whole set installs (no skips)
+/// and the float and TCAM paths see the same workload shape.
+fn synthetic_index_rules(n_rules: usize, rng: &mut Rng) -> RuleSet {
+    const DOMAIN: f32 = 100.0;
+    let mut whitelist = Vec::with_capacity(n_rules);
+    for _ in 0..n_rules {
+        let mut lo = Vec::with_capacity(INDEX_DIMS);
+        let mut hi = Vec::with_capacity(INDEX_DIMS);
+        for _ in 0..INDEX_DIMS {
+            let w = rng.gen_range(5.0_f32..40.0);
+            let a = rng.gen_range(0.0_f32..DOMAIN - 1.0);
+            lo.push(a);
+            hi.push((a + w).min(DOMAIN));
+        }
+        whitelist.push(Hypercube { lo, hi });
+    }
+    RuleSet { bounds: vec![(0.0, DOMAIN); INDEX_DIMS], whitelist, total_regions: n_rules }
+}
+
+/// Times `f` over `iters` runs and returns the minimum wall-clock ns.
+/// `f` returns a checksum that is accumulated so the work cannot be
+/// optimised away.
+fn min_time_ns(iters: usize, mut f: impl FnMut() -> u64) -> (u64, u64) {
+    let mut best = u64::MAX;
+    let mut sum = 0u64;
+    for _ in 0..iters {
+        let t = Instant::now();
+        sum = sum.wrapping_add(f());
+        best = best.min(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+    (best, sum)
+}
+
+/// The PR-5 tentpole benchmark: compiled first-match index vs linear scan
+/// on the float whitelist and on the compiled TCAM, at 64/256/1024 rules
+/// over ~2048 probe keys (half drawn inside random cubes so both hit and
+/// miss paths are exercised; keys are quantized once and reused, so the
+/// TCAM timings measure lookup cost only).
+///
+/// Aborts the run if any indexed verdict differs from its linear twin, or
+/// if the indexed path is not ≥2× faster at ≥256 rules.
+fn run_rule_index_sweep(seed: u64, iters: usize) -> Vec<IndexPoint> {
+    let mut points = Vec::new();
+    for n_rules in INDEX_RULE_COUNTS {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x1DE0 ^ n_rules as u64);
+        let rules = synthetic_index_rules(n_rules, &mut rng);
+        // Probe rows: half sampled inside a random cube (hits), half
+        // uniform over a slightly inflated domain (mostly misses).
+        let mut rows: Vec<Vec<f32>> = Vec::with_capacity(INDEX_PROBES);
+        for i in 0..INDEX_PROBES {
+            let mut row = Vec::with_capacity(INDEX_DIMS);
+            if i % 2 == 0 {
+                let c = &rules.whitelist[rng.gen_range(0..n_rules)];
+                for d in 0..INDEX_DIMS {
+                    row.push(rng.gen_range(c.lo[d]..c.hi[d].min(100.0)));
+                }
+            } else {
+                for _ in 0..INDEX_DIMS {
+                    row.push(rng.gen_range(0.0_f32..110.0));
+                }
+            }
+            rows.push(row);
+        }
+
+        // --- Float path: linear first-match scan vs compiled RuleIndex.
+        let float_index = rules.build_index();
+        let linear_verdicts: Vec<Option<usize>> = rows.iter().map(|r| rules.lookup(r)).collect();
+        let mut scratch = Vec::new();
+        for (row, want) in rows.iter().zip(&linear_verdicts) {
+            let got = float_index.lookup(row, &mut scratch);
+            if got != *want {
+                eprintln!(
+                    "bench_report: float index verdict {got:?} != linear {want:?} at {n_rules} rules"
+                );
+                std::process::exit(1);
+            }
+        }
+        let (float_linear_ns, sum_a) = min_time_ns(iters, || {
+            let mut acc = 0u64;
+            for row in &rows {
+                acc = acc.wrapping_add(rules.lookup(row).map_or(u64::MAX, |i| i as u64));
+            }
+            acc
+        });
+        let (float_indexed_ns, sum_b) = min_time_ns(iters, || {
+            let mut acc = 0u64;
+            for row in &rows {
+                acc = acc.wrapping_add(
+                    float_index.lookup(row, &mut scratch).map_or(u64::MAX, |i| i as u64),
+                );
+            }
+            acc
+        });
+        assert_eq!(sum_a, sum_b, "timed runs must agree with the verified verdicts");
+
+        // --- TCAM path: quantize every probe once, then time the linear
+        // RangeTable scan vs the compiled RangeIndex on identical keys.
+        let specs = vec![FieldSpec::new(16, 655.0); INDEX_DIMS];
+        let table = compile_ruleset(&rules, &specs);
+        let range_index = RangeIndex::build(&table);
+        let keys: Vec<Vec<u32>> = rows.iter().map(|r| quantize_key(r, &specs)).collect();
+        let mut qscratch = Vec::new();
+        for key in &keys {
+            let want = table.lookup_idx(key);
+            let got = range_index.lookup(key, &mut qscratch);
+            if got != want {
+                eprintln!(
+                    "bench_report: TCAM index verdict {got:?} != linear {want:?} at {n_rules} rules"
+                );
+                std::process::exit(1);
+            }
+        }
+        let (tcam_linear_ns, sum_c) = min_time_ns(iters, || {
+            let mut acc = 0u64;
+            for key in &keys {
+                acc = acc.wrapping_add(table.lookup_idx(key).map_or(u64::MAX, |i| i as u64));
+            }
+            acc
+        });
+        let (tcam_indexed_ns, sum_d) = min_time_ns(iters, || {
+            let mut acc = 0u64;
+            for key in &keys {
+                acc = acc.wrapping_add(
+                    range_index.lookup(key, &mut qscratch).map_or(u64::MAX, |i| i as u64),
+                );
+            }
+            acc
+        });
+        assert_eq!(sum_c, sum_d, "timed TCAM runs must agree with the verified verdicts");
+
+        let hits = linear_verdicts.iter().filter(|v| v.is_some()).count();
+        points.push(IndexPoint {
+            n_rules,
+            entries: table.len(),
+            skipped_empty: table.skipped_empty,
+            total_cuts: range_index.total_cuts(),
+            float_linear_ns,
+            float_indexed_ns,
+            tcam_linear_ns,
+            tcam_indexed_ns,
+            hit_rate: hits as f64 / rows.len() as f64,
+        });
+    }
+
+    for p in &points {
+        let fs = p.float_linear_ns as f64 / p.float_indexed_ns.max(1) as f64;
+        let ts = p.tcam_linear_ns as f64 / p.tcam_indexed_ns.max(1) as f64;
+        eprintln!(
+            "bench_report: rule_index {} rules: float {:.2}x, tcam {:.2}x",
+            p.n_rules, fs, ts
+        );
+        if p.n_rules >= 256 && (fs < 2.0 || ts < 2.0) {
+            eprintln!(
+                "bench_report: index speedup below the 2x gate at {} rules (float {fs:.2}x, tcam {ts:.2}x)",
+                p.n_rules
+            );
+            std::process::exit(1);
+        }
+    }
+    points
+}
+
+/// Replay-trace parity: every FL feature row of a fresh benign+flood
+/// trace classified three ways — serial linear scan, serial `Pipeline`
+/// batch (indexed), and 8-shard `ShardedPipeline` batch (indexed, 8
+/// workers) — must produce byte-identical verdict vectors. Returns the
+/// row count and the serial backend's whitelist lookup counters.
+fn run_replay_parity(
+    seed: u64,
+    fl_rules: &RuleSet,
+    pl_rules: &RuleSet,
+) -> (usize, iguard_switch::pipeline::WhitelistCounters) {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x9A41);
+    let benign = benign_trace(120, 6.0, &mut rng);
+    let flood = Attack::UdpDdos.trace(50, 6.0, &mut rng);
+    let trace = Trace::merge(vec![benign, flood]);
+    let flows = extract_flows(&trace, &ExtractConfig::default());
+    let rows = &flows.features;
+
+    let linear: Vec<bool> = rows.iter_rows().map(|r| fl_rules.lookup(r).is_none()).collect();
+
+    let mut pipeline = Pipeline::new(PipelineConfig::default(), fl_rules.clone(), pl_rules.clone());
+    let mut serial = Vec::new();
+    pipeline.classify_batch(rows, &mut serial);
+
+    let cfg = ShardedPipelineConfig::from(PipelineConfig::default()).with_shards(8);
+    let mut sp = ShardedPipeline::new(cfg, fl_rules.clone(), pl_rules.clone());
+    let mut sharded = Vec::new();
+    iguard_runtime::par::with_workers(8, || sp.classify_batch(rows, &mut sharded));
+
+    if serial != linear || sharded != linear {
+        eprintln!("bench_report: replay-trace verdicts diverge between linear and indexed paths");
+        std::process::exit(1);
+    }
+    (rows.rows(), pipeline.whitelist_counters())
+}
+
 fn main() {
     let args = parse_args();
     let iterations = if args.smoke { 1 } else { 3 };
@@ -423,6 +649,13 @@ fn main() {
 
     eprintln!("bench_report: chaos sweep (drop-rate curve + digest outage)");
     let chaos_points = run_chaos_sweep(args.seed, &run.fl_rules, &run.pl_rules);
+
+    eprintln!("bench_report: rule-index sweep (linear vs indexed, 64/256/1024 rules)");
+    let index_iters = if args.smoke { 3 } else { 9 };
+    let index_points = run_rule_index_sweep(args.seed, index_iters);
+
+    eprintln!("bench_report: replay-trace verdict parity (linear vs indexed vs sharded)");
+    let (parity_rows, parity_wl) = run_replay_parity(args.seed, &run.fl_rules, &run.pl_rules);
 
     let snapshot = iguard_telemetry::registry::snapshot().expect("telemetry enabled");
     if let Err(e) = snapshot.verify() {
@@ -492,6 +725,8 @@ fn main() {
         .u64("digests", r.digests)
         .f64("throughput_gbps", r.throughput_gbps)
         .f64("avg_latency_ns", r.avg_latency_ns)
+        .u64("wl_lookups", r.wl_lookups)
+        .u64("wl_hits", r.wl_hits)
         .u64("blacklist_len", run.pipeline.blacklist_len() as u64)
         .raw("paths", paths_json.render(2));
 
@@ -583,8 +818,47 @@ fn main() {
             .raw("scenarios", json::array(&points_json, 2));
     }
 
+    let mut index_json = json::Object::new();
+    {
+        let mut points_json = Vec::new();
+        for p in &index_points {
+            let mut o = json::Object::new();
+            o.u64("n_rules", p.n_rules as u64)
+                .u64("tcam_entries", p.entries as u64)
+                .u64("tcam_skipped_empty", p.skipped_empty)
+                .u64("index_total_cuts", p.total_cuts as u64)
+                .f64("hit_rate", p.hit_rate)
+                .u64("float_linear_ns", p.float_linear_ns)
+                .u64("float_indexed_ns", p.float_indexed_ns)
+                .f64("float_speedup", p.float_linear_ns as f64 / p.float_indexed_ns.max(1) as f64)
+                .u64("tcam_linear_ns", p.tcam_linear_ns)
+                .u64("tcam_indexed_ns", p.tcam_indexed_ns)
+                .f64("tcam_speedup", p.tcam_linear_ns as f64 / p.tcam_indexed_ns.max(1) as f64);
+            points_json.push(o.render(2));
+        }
+        index_json
+            .u64("probes", INDEX_PROBES as u64)
+            .u64("dims", INDEX_DIMS as u64)
+            .u64("iters", index_iters as u64)
+            // Hard-gated above: the run aborts before writing the report
+            // if any indexed verdict diverges from its linear twin.
+            .bool("verdicts_identical", true)
+            .f64("speedup_gate", 2.0)
+            .u64("speedup_gate_min_rules", 256)
+            .raw("points", json::array(&points_json, 1));
+    }
+
+    let mut parity_json = json::Object::new();
+    parity_json
+        .u64("rows", parity_rows as u64)
+        // Hard-gated in run_replay_parity: serial linear scan, serial
+        // indexed batch and 8-shard indexed batch agreed byte-for-byte.
+        .bool("verdicts_identical", true)
+        .u64("wl_lookups", parity_wl.lookups)
+        .u64("wl_hits", parity_wl.hits);
+
     let mut root = json::Object::new();
-    root.str("schema", "iguard-bench-pr4")
+    root.str("schema", "iguard-bench-pr5")
         .u64("version", 1)
         .u64("seed", args.seed)
         .bool("smoke", args.smoke)
@@ -597,6 +871,8 @@ fn main() {
         .raw("replay", replay_json.render(1))
         .raw("shard_sweep", sweep_json.render(1))
         .raw("chaos_sweep", chaos_json.render(1))
+        .raw("rule_index", index_json.render(1))
+        .raw("replay_parity", parity_json.render(1))
         .raw("telemetry", snapshot.to_json_at(1));
     let doc = root.render(0) + "\n";
 

@@ -24,6 +24,10 @@
 //! * [`early`] — the early-packet model (§3.3.1): a conventional iForest
 //!   on packet-level features compiled to whitelist rules and merged with
 //!   the flow-level rules.
+//! * [`rule_index`] — the **compiled rule index**: per-dimension sorted
+//!   cut points with interval bitmaps, making first-match classification a
+//!   handful of binary searches plus a word-wise AND instead of a linear
+//!   scan, with bit-exact agreement with the scan on every key.
 //! * [`error`] — the workspace-wide [`error::IguardError`] uniting the
 //!   rule-generation, TCAM-compilation, and wire-parse error enums.
 //! * [`tuner`] — grid search over `(t, Ψ, k, T)` for iGuard and
@@ -36,11 +40,13 @@ pub mod early;
 pub mod error;
 pub mod forest;
 pub mod guided;
+pub mod rule_index;
 pub mod rules;
 pub mod teacher;
 pub mod tuner;
 
 pub use error::{IguardError, SwitchError, TcamError};
 pub use forest::{IGuardConfig, IGuardForest};
+pub use rule_index::{IndexBuilder, IntervalIndex, RuleIndex};
 pub use rules::{Hypercube, RuleSet};
 pub use teacher::Teacher;

@@ -1,0 +1,343 @@
+//! Compiled rule index: sublinear first-match lookup over axis-aligned
+//! rule sets.
+//!
+//! Both whitelist representations in this workspace — float
+//! [`Hypercube`](crate::rules::Hypercube) rules and the quantized TCAM
+//! range entries in `iguard-switch` — are conjunctions of per-dimension
+//! intervals resolved by a priority-ordered linear scan. That scan is
+//! `O(rules · dims)` per key. This module compiles the same rules into a
+//! per-dimension **interval table**: the distinct cut points of all rules,
+//! sorted, where each of the `cuts + 1` elementary intervals carries a
+//! bitmap (rows of `u64` words) of the rules covering it. A lookup is one
+//! binary search per dimension plus a word-wise AND across dimensions; the
+//! first set bit of the surviving bitmap is the first-match rule. Cost:
+//! `O(dims · log cuts + dims · rules/64)` — sublinear in practice because
+//! the AND runs 64 rules per word and exits early on an all-zero
+//! intersection.
+//!
+//! The index is **exact**: it returns the identical rule (or miss) as the
+//! linear scan on every key, including NaN components (always a miss, as
+//! IEEE comparison dictates), signed zeros (`-0.0` and `+0.0` compare
+//! equal and are normalised to one cut), and infinite rule bounds. The cut
+//! domain is `u64`; float bounds enter through [`ord_key`], a monotone
+//! bijection from non-NaN `f32` onto an integer order, so every float
+//! comparison carries over to integer comparison exactly. The quantized
+//! TCAM index in `iguard-switch` uses field values as cuts directly.
+
+use iguard_telemetry::counter;
+
+/// Maps a non-NaN `f32` onto `u64` such that `a < b ⇔ ord_key(a) <
+/// ord_key(b)` (with `-0.0` and `+0.0` mapped to the same key, matching
+/// IEEE `==`). The usual sign-flip trick: negative floats have their bits
+/// inverted, positive floats get the sign bit set, which linearises the
+/// two monotone halves of the IEEE encoding.
+///
+/// NaN is the caller's problem: rule bounds containing NaN make the rule
+/// empty, key components containing NaN make the lookup a miss — both are
+/// handled before any key is formed.
+#[inline]
+pub fn ord_key(v: f32) -> u64 {
+    debug_assert!(!v.is_nan(), "NaN must be filtered before ordering");
+    let v = if v == 0.0 { 0.0 } else { v }; // collapse -0.0 onto +0.0
+    let b = v.to_bits() as i32;
+    let u = if b < 0 { !(b as u32) } else { (b as u32) | 0x8000_0000 };
+    u as u64
+}
+
+/// One dimension of the index: sorted distinct cut points and, for each of
+/// the `cuts.len() + 1` elementary intervals, a bitmap row of the rules
+/// covering that interval.
+#[derive(Clone, Debug)]
+struct DimIntervals {
+    cuts: Vec<u64>,
+    /// `(cuts.len() + 1) * words` words; row `i` covers keys `k` with
+    /// `cuts[i-1] <= k < cuts[i]` (row 0: `k < cuts[0]`; last row:
+    /// `k >= cuts[last]`).
+    rows: Vec<u64>,
+}
+
+/// A compiled interval index over `u64` cut keys. Build with
+/// [`IndexBuilder`]; bit positions are assigned in push order, and
+/// [`IntervalIndex::lookup_with`] returns the lowest set bit — so pushing
+/// rules in priority order makes the result the first match.
+#[derive(Clone, Debug)]
+pub struct IntervalIndex {
+    dims: Vec<DimIntervals>,
+    words: usize,
+    n_rules: usize,
+}
+
+/// Accumulates per-rule, per-dimension half-open cut ranges `[lo, hi)`
+/// before compiling them into an [`IntervalIndex`].
+pub struct IndexBuilder {
+    n_dims: usize,
+    /// One entry per pushed rule; `None` marks a rule that can never match
+    /// (empty in some dimension) — it keeps its bit position but sets no
+    /// interval bits and contributes no cuts.
+    rules: Vec<Option<Vec<(u64, u64)>>>,
+}
+
+impl IndexBuilder {
+    pub fn new(n_dims: usize) -> Self {
+        Self { n_dims, rules: Vec::new() }
+    }
+
+    /// Adds the next rule (bit position = call order). `bounds[d]` is the
+    /// half-open `[lo, hi)` the rule covers in cut space; a rule with
+    /// `lo >= hi` in any dimension is empty and will never match.
+    pub fn push_rule(&mut self, bounds: &[(u64, u64)]) {
+        assert_eq!(bounds.len(), self.n_dims, "one bound pair per dimension");
+        if bounds.iter().any(|&(lo, hi)| lo >= hi) {
+            self.rules.push(None);
+        } else {
+            self.rules.push(Some(bounds.to_vec()));
+        }
+    }
+
+    pub fn finish(self) -> IntervalIndex {
+        let n_rules = self.rules.len();
+        let words = n_rules.div_ceil(64);
+        let mut dims = Vec::with_capacity(self.n_dims);
+        for d in 0..self.n_dims {
+            let mut cuts: Vec<u64> =
+                self.rules.iter().flatten().flat_map(|r| [r[d].0, r[d].1]).collect();
+            cuts.sort_unstable();
+            cuts.dedup();
+            let mut rows = vec![0u64; (cuts.len() + 1) * words];
+            for (bit, rule) in self.rules.iter().enumerate() {
+                let Some(rule) = rule else { continue };
+                let (lo, hi) = rule[d];
+                // `lo` and `hi` are both cuts: the rule covers the
+                // elementary intervals strictly after `lo`'s row up to and
+                // including `hi`'s row.
+                let first = cuts.partition_point(|&c| c <= lo);
+                let last = cuts.partition_point(|&c| c < hi);
+                debug_assert!(first <= last);
+                for iv in first..=last {
+                    rows[iv * words + bit / 64] |= 1u64 << (bit % 64);
+                }
+            }
+            dims.push(DimIntervals { cuts, rows });
+        }
+        IntervalIndex { dims, words, n_rules }
+    }
+}
+
+impl IntervalIndex {
+    pub fn n_rules(&self) -> usize {
+        self.n_rules
+    }
+
+    /// Total cut points across dimensions (a size measure for reporting).
+    pub fn total_cuts(&self) -> usize {
+        self.dims.iter().map(|d| d.cuts.len()).sum()
+    }
+
+    /// First-match lookup: `key(d)` supplies the cut-space key for
+    /// dimension `d`. Returns the lowest bit position whose rule covers
+    /// the key in every dimension. `scratch` is the caller-owned AND
+    /// accumulator (resized to the word count on every call), so the hot
+    /// path allocates nothing.
+    pub fn lookup_with(&self, scratch: &mut Vec<u64>, key: impl Fn(usize) -> u64) -> Option<u32> {
+        if self.n_rules == 0 {
+            return None;
+        }
+        scratch.clear();
+        scratch.resize(self.words, !0u64);
+        // Bits past n_rules never belong to a rule; mask them off so the
+        // early-exit test below sees a true all-zero intersection.
+        let tail = self.n_rules % 64;
+        if tail != 0 {
+            scratch[self.words - 1] = (1u64 << tail) - 1;
+        }
+        for (d, dim) in self.dims.iter().enumerate() {
+            let k = key(d);
+            let iv = dim.cuts.partition_point(|&c| c <= k);
+            let row = &dim.rows[iv * self.words..(iv + 1) * self.words];
+            let mut any = 0u64;
+            for (w, &r) in scratch.iter_mut().zip(row) {
+                *w &= r;
+                any |= *w;
+            }
+            if any == 0 {
+                return None;
+            }
+        }
+        scratch
+            .iter()
+            .enumerate()
+            .find(|(_, &w)| w != 0)
+            .map(|(wi, &w)| (wi * 64) as u32 + w.trailing_zeros())
+    }
+}
+
+/// The compiled index of a float [`RuleSet`](crate::rules::RuleSet):
+/// first-match semantics identical to scanning `whitelist` in order and
+/// returning the first [`Hypercube`](crate::rules::Hypercube) containing
+/// the point.
+#[derive(Clone, Debug)]
+pub struct RuleIndex {
+    inner: IntervalIndex,
+}
+
+impl RuleIndex {
+    pub fn build(rules: &crate::rules::RuleSet) -> Self {
+        let n_dims = rules.bounds.len();
+        let mut b = IndexBuilder::new(n_dims);
+        let mut buf = Vec::with_capacity(n_dims);
+        for cube in &rules.whitelist {
+            buf.clear();
+            for d in 0..n_dims {
+                let (lo, hi) = (cube.lo[d], cube.hi[d]);
+                if lo.is_nan() || hi.is_nan() || !(lo < hi) {
+                    // `contains` is false for every point (NaN comparisons
+                    // are false; lo >= hi covers nothing): empty marker.
+                    buf.push((1, 0));
+                } else {
+                    buf.push((ord_key(lo), ord_key(hi)));
+                }
+            }
+            b.push_rule(&buf);
+        }
+        Self { inner: b.finish() }
+    }
+
+    /// Index of the first whitelist cube containing `x`, or `None`. Equal
+    /// to [`RuleSet::lookup`](crate::rules::RuleSet::lookup) on every
+    /// input, NaN included.
+    pub fn lookup(&self, x: &[f32], scratch: &mut Vec<u64>) -> Option<usize> {
+        counter!("core.rule_index.lookup").inc();
+        // A NaN component fails `v >= lo` for every rule, even unbounded
+        // ones — the linear scan misses, so the index must too.
+        if x.iter().any(|v| v.is_nan()) {
+            return None;
+        }
+        let hit = self.inner.lookup_with(scratch, |d| ord_key(x[d]));
+        if hit.is_some() {
+            counter!("core.rule_index.hit").inc();
+        }
+        hit.map(|bit| bit as usize)
+    }
+
+    pub fn n_rules(&self) -> usize {
+        self.inner.n_rules()
+    }
+
+    pub fn total_cuts(&self) -> usize {
+        self.inner.total_cuts()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{Hypercube, RuleSet};
+    use iguard_runtime::rng::Rng;
+
+    #[test]
+    fn ord_key_is_monotone_and_collapses_zero() {
+        let vals = [
+            f32::NEG_INFINITY,
+            -1e30,
+            -2.5,
+            -1.0,
+            -f32::MIN_POSITIVE,
+            0.0,
+            f32::MIN_POSITIVE,
+            1.0,
+            2.5,
+            1e30,
+            f32::INFINITY,
+        ];
+        for w in vals.windows(2) {
+            assert!(ord_key(w[0]) < ord_key(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        assert_eq!(ord_key(-0.0), ord_key(0.0));
+    }
+
+    #[test]
+    fn empty_index_misses() {
+        let idx = IndexBuilder::new(3).finish();
+        assert_eq!(idx.lookup_with(&mut Vec::new(), |_| 5), None);
+    }
+
+    #[test]
+    fn first_match_wins_on_overlap() {
+        let mut b = IndexBuilder::new(1);
+        b.push_rule(&[(10, 20)]);
+        b.push_rule(&[(0, 100)]);
+        let idx = b.finish();
+        let mut s = Vec::new();
+        assert_eq!(idx.lookup_with(&mut s, |_| 15), Some(0));
+        assert_eq!(idx.lookup_with(&mut s, |_| 5), Some(1));
+        assert_eq!(idx.lookup_with(&mut s, |_| 100), None, "hi is exclusive");
+        assert_eq!(idx.lookup_with(&mut s, |_| 20), Some(1), "rule 0 hi exclusive");
+    }
+
+    #[test]
+    fn empty_rule_keeps_bit_position() {
+        let mut b = IndexBuilder::new(1);
+        b.push_rule(&[(7, 7)]); // empty: lo >= hi
+        b.push_rule(&[(0, 10)]);
+        let idx = b.finish();
+        assert_eq!(idx.lookup_with(&mut Vec::new(), |_| 7), Some(1));
+    }
+
+    #[test]
+    fn more_than_64_rules_crosses_word_boundary() {
+        let mut b = IndexBuilder::new(1);
+        for r in 0..130u64 {
+            b.push_rule(&[(r * 10, r * 10 + 10)]);
+        }
+        let idx = b.finish();
+        let mut s = Vec::new();
+        for r in 0..130u64 {
+            assert_eq!(idx.lookup_with(&mut s, |_| r * 10 + 5), Some(r as u32));
+        }
+        assert_eq!(idx.lookup_with(&mut s, |_| 1300), None);
+    }
+
+    /// Random rule sets: index lookup equals the linear first-match scan
+    /// on every probe, including NaN/±0/±inf components.
+    #[test]
+    fn rule_index_matches_linear_scan_exhaustively() {
+        let mut rng = Rng::seed_from_u64(0x1D5E);
+        for trial in 0..20 {
+            let dims = 1 + (trial % 3);
+            let n_rules = 1 + (trial * 7) % 90;
+            let mut whitelist = Vec::new();
+            for _ in 0..n_rules {
+                let mut lo = Vec::new();
+                let mut hi = Vec::new();
+                for _ in 0..dims {
+                    let a = (rng.gen_range(-8.0..8.0) as f32 * 4.0).round() / 4.0;
+                    let w = rng.gen_range(0.0..4.0) as f32;
+                    let l = if rng.gen_range(0.0..1.0) < 0.1 { f32::NEG_INFINITY } else { a };
+                    let h = if rng.gen_range(0.0..1.0) < 0.1 { f32::INFINITY } else { a + w };
+                    lo.push(l);
+                    hi.push(h);
+                }
+                whitelist.push(Hypercube { lo, hi });
+            }
+            let rules =
+                RuleSet { bounds: vec![(-8.0, 8.0); dims], whitelist, total_regions: n_rules };
+            let idx = RuleIndex::build(&rules);
+            let mut scratch = Vec::new();
+            let mut probe = |x: &[f32]| {
+                assert_eq!(
+                    idx.lookup(x, &mut scratch),
+                    rules.lookup(x),
+                    "trial {trial}, x = {x:?}"
+                );
+            };
+            for _ in 0..400 {
+                let x: Vec<f32> = (0..dims).map(|_| rng.gen_range(-10.0..10.0) as f32).collect();
+                probe(&x);
+            }
+            for special in [f32::NAN, -0.0, 0.0, f32::INFINITY, f32::NEG_INFINITY, 2.0] {
+                let x = vec![special; dims];
+                probe(&x);
+            }
+        }
+    }
+}

@@ -19,6 +19,7 @@ use iguard_runtime::{par, Dataset};
 use iguard_telemetry::{counter, histogram, span};
 
 use crate::forest::IGuardForest;
+use crate::rule_index::RuleIndex;
 
 /// An axis-aligned box `[lo, hi)` over the feature space.
 #[derive(Clone, Debug, PartialEq)]
@@ -248,14 +249,49 @@ impl RuleSet {
         self.whitelist.iter().any(|c| c.contains(x))
     }
 
+    /// Index of the first whitelist cube containing `x` — the linear-scan
+    /// reference the compiled [`RuleIndex`] must reproduce bit-for-bit.
+    pub fn lookup(&self, x: &[f32]) -> Option<usize> {
+        self.whitelist.iter().position(|c| c.contains(x))
+    }
+
+    /// Compiles the whitelist into a [`RuleIndex`] for sublinear
+    /// first-match lookups.
+    pub fn build_index(&self) -> RuleIndex {
+        RuleIndex::build(self)
+    }
+
     /// Hard prediction: malicious iff no whitelist rule matches.
     pub fn predict(&self, x: &[f32]) -> bool {
         !self.matches(x)
     }
 
-    /// Batch predictions over the rows of `xs`, in parallel.
+    /// Batch predictions over the rows of `xs`, in parallel through the
+    /// compiled index. Rows are processed in fixed-size chunks with one
+    /// scratch buffer per chunk, so the output is byte-identical at any
+    /// `IGUARD_WORKERS` setting — and, because the index agrees with the
+    /// scan on every key, identical to mapping [`RuleSet::predict`] over
+    /// the rows (cross-checked per row in debug builds).
     pub fn predictions(&self, xs: &Dataset) -> Vec<bool> {
-        par::par_map_range(xs.rows(), |i| self.predict(xs.row(i)))
+        const CHUNK: usize = 1024;
+        let n = xs.rows();
+        if n == 0 {
+            return Vec::new();
+        }
+        let index = self.build_index();
+        let starts: Vec<usize> = (0..n).step_by(CHUNK).collect();
+        let parts = par::par_map_vec(starts, |start| {
+            let end = (start + CHUNK).min(n);
+            let mut scratch = Vec::new();
+            let mut out = Vec::with_capacity(end - start);
+            for i in start..end {
+                let hit = index.lookup(xs.row(i), &mut scratch);
+                debug_assert_eq!(hit, self.lookup(xs.row(i)), "index/scan divergence at row {i}");
+                out.push(hit.is_none());
+            }
+            out
+        });
+        parts.into_iter().flatten().collect()
     }
 
     /// Serialises the rule set to a line-oriented TSV document.
@@ -597,6 +633,28 @@ mod tests {
             let x = vec![rng.gen_range(0.0..1.0), rng.gen_range(0.0..1.0)];
             let hits = rules.whitelist.iter().filter(|c| c.contains(&x)).count();
             assert!(hits <= 1, "point {x:?} in {hits} merged boxes");
+        }
+    }
+
+    /// The compiled index returns the identical rule as the linear scan on
+    /// a trained whitelist, and batch `predictions` (which run through the
+    /// index) equal per-point `predict` at any worker count.
+    #[test]
+    fn index_and_predictions_agree_with_linear_scan() {
+        use iguard_runtime::par::with_workers;
+        let mut rng = Rng::seed_from_u64(9);
+        let (forest, data) = trained_forest(&mut rng);
+        let rules = RuleSet::from_iguard(&forest, 100_000).unwrap();
+        let index = rules.build_index();
+        let mut scratch = Vec::new();
+        for _ in 0..1000 {
+            let x = vec![rng.gen_range(-0.5..1.5) as f32, rng.gen_range(-0.5..1.5) as f32];
+            assert_eq!(index.lookup(&x, &mut scratch), rules.lookup(&x), "x = {x:?}");
+        }
+        let expect: Vec<bool> = (0..data.rows()).map(|i| rules.predict(data.row(i))).collect();
+        for workers in [1, 2, 8] {
+            let got = with_workers(workers, || rules.predictions(&data));
+            assert_eq!(got, expect, "workers = {workers}");
         }
     }
 

@@ -25,8 +25,11 @@
 use iguard_flow::five_tuple::FiveTuple;
 use iguard_flow::packet::Packet;
 use iguard_flow::table::FlowTableStats;
+use iguard_runtime::Dataset;
 
-use crate::pipeline::{ControlAction, Digest, PathCounters, ProcessOutcome, SeqDigest};
+use crate::pipeline::{
+    ControlAction, Digest, PathCounters, ProcessOutcome, SeqDigest, WhitelistCounters,
+};
 
 /// A switch data-plane backend.
 pub trait DataPlane {
@@ -63,6 +66,18 @@ pub trait DataPlane {
 
     /// Aggregate per-path packet counters.
     fn counters(&self) -> PathCounters;
+
+    /// Aggregate whitelist-index lookup counters (FL + PL lookups and
+    /// hits). Deterministic across worker counts and shard groupings.
+    fn whitelist_counters(&self) -> WhitelistCounters;
+
+    /// Classifies raw 13-feature FL rows in bulk through the compiled
+    /// whitelist index (`true` = malicious, i.e. no whitelist rule
+    /// matched), applying the backend's configured log-compress map.
+    /// Clears `out` first; one verdict per row, in row order, identical at
+    /// any worker count. This is the offline/batch twin of the blue path's
+    /// per-packet FL decision — same rules, same index, same scratch reuse.
+    fn classify_batch(&mut self, rows: &Dataset, out: &mut Vec<bool>);
 
     /// Aggregate flow-table occupancy/collision statistics.
     fn flow_table_stats(&self) -> FlowTableStats;

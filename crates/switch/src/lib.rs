@@ -6,7 +6,14 @@
 //! * [`tcam`] — ternary match tables: range→ternary prefix expansion per
 //!   field, entry counting, and longest-priority matching — the mechanism
 //!   whitelist rules are installed with and the source of Table 1's TCAM
-//!   numbers.
+//!   numbers. Range→TCAM compilation is **grid-exact**: an installed entry
+//!   matches key `k` iff the float rule contains `dequantize(k)`, so the
+//!   TCAM model, the float rules, and the compiled indexes agree on every
+//!   representable key.
+//! * [`rule_index`] — [`rule_index::RangeIndex`]: the compiled first-match
+//!   index of a [`RangeTable`] (binary-searchable per-field cut points +
+//!   priority-ordered rule bitmaps), returning the identical entry as the
+//!   linear scan at a fraction of the cost.
 //! * [`resources`] — a Tofino-1-like resource model (TCAM/SRAM blocks,
 //!   stateful ALUs, VLIW actions, pipeline stages) that converts an
 //!   installed iGuard configuration into the utilisation percentages of
@@ -42,6 +49,7 @@ pub mod data_plane;
 pub mod pipeline;
 pub mod replay;
 pub mod resources;
+pub mod rule_index;
 pub mod sharded;
 pub mod tcam;
 
@@ -51,9 +59,11 @@ pub use controller::{
 };
 pub use data_plane::DataPlane;
 pub use pipeline::{
-    PacketVerdict, PathTaken, Pipeline, PipelineConfig, SeqDigest, RESYNC_SEQ_BASE,
+    PacketVerdict, PathTaken, Pipeline, PipelineConfig, SeqDigest, WhitelistCounters,
+    RESYNC_SEQ_BASE,
 };
 pub use replay::{ChaosConfig, CrashRecovery, CrashSpec};
 pub use resources::{ResourceModel, ResourceUsage};
+pub use rule_index::{RangeIndex, RangeScratch};
 pub use sharded::{ShardedPipeline, ShardedPipelineConfig, LOGICAL_SHARDS};
 pub use tcam::{RangeEntry, RangeTable, TcamTable, TernaryEntry};

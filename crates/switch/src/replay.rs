@@ -128,6 +128,12 @@ pub struct ReplayReport {
     pub flush_ticks: u64,
     /// Digests re-derived from resident flow labels by resync sweeps.
     pub resync_digests: u64,
+    /// Whitelist-index lookups performed during this replay (FL + PL;
+    /// delta over the backend's counters, so reused backends report only
+    /// this replay's work).
+    pub wl_lookups: u64,
+    /// Lookups that matched a whitelist rule.
+    pub wl_hits: u64,
 }
 
 impl ReplayReport {
@@ -433,6 +439,7 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
     chaos: &ChaosConfig,
 ) -> ReplayReport {
     let mut report = ReplayReport::default();
+    let wl_start = data_plane.whitelist_counters();
     let mut latency_total = 0.0f64;
     let batch_size = cfg.batch_size.max(1);
     // All hot-loop buffers are allocated once and reused across batches.
@@ -546,6 +553,10 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
             report.recovery_packets = (last - heal) * batch_size as u64;
         }
     }
+
+    let wl_end = data_plane.whitelist_counters();
+    report.wl_lookups = wl_end.lookups - wl_start.lookups;
+    report.wl_hits = wl_end.hits - wl_start.hits;
 
     report.duration_secs = trace.duration_secs().max(1e-9);
     report.avg_latency_ns = latency_total / report.packets.max(1) as f64;

@@ -42,14 +42,15 @@ use iguard_flow::packet::Packet;
 use iguard_flow::table::{FlowShard, FlowTableConfig, FlowTableStats};
 use iguard_runtime::par;
 use iguard_runtime::scratch::ShardBins;
+use iguard_runtime::Dataset;
 use iguard_telemetry::{counter, histogram, span};
 
 use iguard_core::rules::RuleSet;
 
 use crate::data_plane::DataPlane;
 use crate::pipeline::{
-    ControlAction, Digest, MatchEngine, PacketVerdict, PathCounters, PathTaken, PipelineConfig,
-    ProcessOutcome, SeqDigest, RESYNC_SEQ_BASE,
+    ControlAction, Digest, MatchEngine, MatchScratch, PacketVerdict, PathCounters, PathTaken,
+    PipelineConfig, ProcessOutcome, SeqDigest, WhitelistCounters, RESYNC_SEQ_BASE,
 };
 
 /// Number of logical state partitions. Fixed — it is the determinism
@@ -137,10 +138,13 @@ impl Shard {
 }
 
 /// A physical shard group: the logical shards one worker drives, plus the
-/// group's reusable outcome buffer (indices into the current batch).
+/// group's reusable outcome buffer (indices into the current batch) and
+/// its private match scratch (index bitmap words + whitelist counters) —
+/// per group, not per shard, because one worker drives a group serially.
 struct Group {
     shards: Vec<Shard>,
     outcomes: Vec<(u32, ProcessOutcome)>,
+    scratch: MatchScratch,
 }
 
 /// The sharded data plane.
@@ -151,6 +155,10 @@ pub struct ShardedPipeline {
     groups: Vec<Group>,
     bins: ShardBins,
     merge_scratch: Vec<SeqDigest>,
+    /// Whitelist lookups performed by `classify_batch` (per-packet lookups
+    /// live in each group's scratch; batch classification runs on
+    /// transient per-chunk scratch and folds its counts in here).
+    classify_wl: WhitelistCounters,
     processed: u64,
     /// Monotonic counter for resync digest sequence tags (offset from
     /// [`RESYNC_SEQ_BASE`], disjoint from packet sequence numbers).
@@ -170,8 +178,13 @@ impl ShardedPipeline {
         let per_shard_slots = (cfg.pipeline.flow_table.slots_per_table / LOGICAL_SHARDS).max(1);
         let shard_cfg =
             FlowTableConfig { slots_per_table: per_shard_slots, ..cfg.pipeline.flow_table };
-        let mut groups: Vec<Group> =
-            (0..phys).map(|_| Group { shards: Vec::new(), outcomes: Vec::new() }).collect();
+        let mut groups: Vec<Group> = (0..phys)
+            .map(|_| Group {
+                shards: Vec::new(),
+                outcomes: Vec::new(),
+                scratch: MatchScratch::default(),
+            })
+            .collect();
         for l in 0..LOGICAL_SHARDS {
             groups[l % phys].shards.push(Shard::new(shard_cfg));
         }
@@ -181,6 +194,7 @@ impl ShardedPipeline {
             groups,
             bins: ShardBins::new(),
             merge_scratch: Vec::new(),
+            classify_wl: WhitelistCounters::default(),
             processed: 0,
             resync_seq: 0,
         }
@@ -284,17 +298,18 @@ impl DataPlane for ShardedPipeline {
         // bin/scatter machinery and process in arrival order directly.
         // Output is identical to the general path by construction.
         if phys == 1 {
-            let group = &mut groups[0];
+            let Group { shards, scratch, .. } = &mut groups[0];
             let base_seq = *processed;
             out.reserve(pkts.len());
             for (i, pkt) in pkts.iter().enumerate() {
-                let shard = &mut group.shards[logical_shard_of(&pkt.five)];
+                let shard = &mut shards[logical_shard_of(&pkt.five)];
                 shard.processed += 1;
                 out.push(engine.process_one(
                     &mut shard.flow,
                     &mut shard.blacklist,
                     &mut shard.digests,
                     &mut shard.paths,
+                    scratch,
                     pkt,
                     base_seq + i as u64,
                 ));
@@ -315,21 +330,23 @@ impl DataPlane for ShardedPipeline {
         par::par_map_mut(groups, |g, group| {
             let bin = bins.bin(g);
             histogram!("switch.sharded.group_batch_packets").record(bin.len() as u64);
-            group.outcomes.clear();
-            group.outcomes.reserve(bin.len());
+            let Group { shards, outcomes, scratch } = group;
+            outcomes.clear();
+            outcomes.reserve(bin.len());
             for &i in bin {
                 let pkt = &pkts[i as usize];
-                let shard = &mut group.shards[logical_shard_of(&pkt.five) / phys];
+                let shard = &mut shards[logical_shard_of(&pkt.five) / phys];
                 shard.processed += 1;
                 let outcome = engine.process_one(
                     &mut shard.flow,
                     &mut shard.blacklist,
                     &mut shard.digests,
                     &mut shard.paths,
+                    scratch,
                     pkt,
                     base_seq + i as u64,
                 );
-                group.outcomes.push((i, outcome));
+                outcomes.push((i, outcome));
             }
         });
 
@@ -399,6 +416,40 @@ impl DataPlane for ShardedPipeline {
                 digest: Digest { five, malicious },
             });
             self.resync_seq += 1;
+        }
+    }
+
+    fn whitelist_counters(&self) -> WhitelistCounters {
+        // Per-packet lookups accumulate in group scratches; batch
+        // classification counts live in `classify_wl`. Addition is
+        // commutative, so the sum is grouping-invariant.
+        self.groups.iter().fold(self.classify_wl, |acc, g| acc.merge(&g.scratch.wl))
+    }
+
+    fn classify_batch(&mut self, rows: &Dataset, out: &mut Vec<bool>) {
+        out.clear();
+        let n = rows.rows();
+        if n == 0 {
+            return;
+        }
+        // Fixed-size chunks with one transient scratch per chunk: chunk
+        // boundaries don't depend on the worker count, so the verdict
+        // vector (and the counter totals) are worker-invariant.
+        const CHUNK: usize = 1024;
+        let starts: Vec<usize> = (0..n).step_by(CHUNK).collect();
+        let engine = &self.engine;
+        let parts = par::par_map_vec(starts, |start| {
+            let end = (start + CHUNK).min(n);
+            let mut scratch = MatchScratch::default();
+            let mut verdicts = Vec::with_capacity(end - start);
+            for i in start..end {
+                verdicts.push(engine.classify_fl(rows.row(i), &mut scratch));
+            }
+            (verdicts, scratch.wl)
+        });
+        for (verdicts, wl) in parts {
+            out.extend(verdicts);
+            self.classify_wl = self.classify_wl.merge(&wl);
         }
     }
 

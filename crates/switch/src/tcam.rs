@@ -56,18 +56,59 @@ impl FieldSpec {
     }
 
     /// Quantises a feature value, saturating at the field width.
+    ///
+    /// Scale and compare in `f64`: a product of two `f32`s is exact in
+    /// `f64` (24 + 24 significand bits), and `max_value() as f64` holds
+    /// every `u32` exactly — whereas `max_value() as f32` rounds
+    /// `u32::MAX` up to 2³², so the old `f32` comparison failed to
+    /// saturate values that scale to exactly `u32::MAX` and mis-rounded
+    /// near the top of 25-bit-plus domains.
     pub fn quantize(&self, v: f32) -> u32 {
         if !v.is_finite() {
             return if v > 0.0 { self.max_value() } else { 0 };
         }
-        let scaled = (v * self.scale).round();
+        let scaled = (v as f64 * self.scale as f64).round();
         if scaled <= 0.0 {
             0
-        } else if scaled >= self.max_value() as f32 {
+        } else if scaled >= self.max_value() as f64 {
             self.max_value()
         } else {
             scaled as u32
         }
+    }
+
+    /// The canonical feature value of grid key `k` — the representative
+    /// point the compiled table's semantics are defined on: an installed
+    /// entry covers `k` iff the float rule contains `dequantize(k)`.
+    /// Monotone non-decreasing in `k` (division by a positive scale), which
+    /// is what lets [`compile_ruleset_checked`] binary-search the exact
+    /// boundary keys of each rule.
+    pub fn dequantize(&self, k: u32) -> f32 {
+        k as f32 / self.scale
+    }
+
+    /// Smallest key `k ∈ [0, max_value()]` with `dequantize(k) >= bound`,
+    /// or `max_value() + 1` when no key reaches `bound`. `bound` must not
+    /// be NaN (callers reject NaN rule bounds as empty).
+    fn first_key_at_or_above(&self, bound: f32) -> u64 {
+        let max = self.max_value() as u64;
+        if !(self.dequantize(max as u32) >= bound) {
+            return max + 1;
+        }
+        if self.dequantize(0) >= bound {
+            return 0;
+        }
+        // Invariant: dequantize(lo) < bound <= dequantize(hi).
+        let (mut lo, mut hi) = (0u64, max);
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if self.dequantize(mid as u32) >= bound {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
     }
 }
 
@@ -140,7 +181,12 @@ impl TcamTable {
 
     /// Highest-priority (lowest number) matching entry, if any.
     pub fn lookup(&self, key: &[u32]) -> Option<&TernaryEntry> {
-        self.entries.iter().filter(|e| e.matches(key)).min_by_key(|e| e.priority)
+        counter!("switch.tcam.lookup").inc();
+        let hit = self.entries.iter().filter(|e| e.matches(key)).min_by_key(|e| e.priority);
+        if hit.is_some() {
+            counter!("switch.tcam.hit").inc();
+        }
+        hit
     }
 
     /// Sum of field widths — the key width a physical TCAM must slice.
@@ -171,11 +217,16 @@ pub struct RangeTable {
     entries: Vec<RangeEntry>,
     /// Bit width per field.
     pub field_bits: Vec<u8>,
+    /// Rules the compiler skipped because they cover no grid point in some
+    /// dimension (sub-quantum width, or NaN bounds). Installing them would
+    /// make the TCAM match keys the float rule rejects; skipping keeps the
+    /// table exactly faithful. `len() + skipped_empty` = source rule count.
+    pub skipped_empty: u64,
 }
 
 impl RangeTable {
     pub fn new(field_bits: Vec<u8>) -> Self {
-        Self { entries: Vec::new(), field_bits }
+        Self { entries: Vec::new(), field_bits, skipped_empty: 0 }
     }
 
     pub fn push(&mut self, entry: RangeEntry) {
@@ -191,6 +242,11 @@ impl RangeTable {
         self.entries.is_empty()
     }
 
+    /// The installed entries, in push order.
+    pub fn entries(&self) -> &[RangeEntry] {
+        &self.entries
+    }
+
     /// Highest-priority matching entry, if any.
     pub fn lookup(&self, key: &[u32]) -> Option<&RangeEntry> {
         counter!("switch.tcam.lookup").inc();
@@ -201,6 +257,17 @@ impl RangeTable {
         hit
     }
 
+    /// Position (in push order) of the highest-priority matching entry —
+    /// the linear-scan reference [`crate::rule_index::RangeIndex`] must
+    /// reproduce. Ties on priority resolve to the earliest entry, matching
+    /// [`RangeTable::lookup`]'s `min_by_key`. Telemetry-free: this is the
+    /// comparison arm of parity tests and debug assertions.
+    pub fn lookup_idx(&self, key: &[u32]) -> Option<usize> {
+        (0..self.entries.len())
+            .filter(|&i| self.entries[i].matches(key))
+            .min_by_key(|&i| self.entries[i].priority)
+    }
+
     /// Key width after range encoding: DirtCAM range matching costs about
     /// twice the bits of an exact match (each 4-bit nibble needs a 16-bit
     /// one-hot slice arrangement; 2x is the conventional estimate).
@@ -209,11 +276,26 @@ impl RangeTable {
     }
 }
 
-/// Compiles a whitelist [`RuleSet`] into a native-range TCAM table: one
-/// entry per hypercube. Infinite bounds saturate at the field domain
-/// edges; half-open `[lo, hi)` feature boxes become inclusive integer
-/// ranges `[q(lo), q(hi) − 1]` (or the full top of the domain when `hi`
-/// saturates).
+/// Compiles a whitelist [`RuleSet`] into a native-range TCAM table: at
+/// most one entry per hypercube.
+///
+/// The table's semantics are the float rules restricted to the canonical
+/// grid: entry `r` matches key `k` **iff** cube `r` contains the point
+/// `dequantize(k)` per field. Because `dequantize` is monotone, the keys a
+/// cube covers in each dimension form the contiguous range
+/// `[first_key(lo), first_key(hi) − 1]` found by binary search on the
+/// actual `f32` comparison — so TCAM↔float parity on grid points is exact
+/// by construction, with no special cases:
+///
+/// * an upper bound at or beyond the domain edge covers up to
+///   `max_value()` only if `dequantize(max_value()) < hi` — a half-open
+///   cube ending exactly at the edge value excludes the top key;
+/// * a cube narrower than one quantum covers *no* key and is skipped
+///   (counted in [`RangeTable::skipped_empty`]) instead of being widened
+///   to a point range the float rule rejects.
+///
+/// Entry priorities remain the source cube positions, so first-match rule
+/// identity is preserved across the skip.
 pub fn compile_ruleset(rules: &RuleSet, specs: &[FieldSpec]) -> RangeTable {
     compile_ruleset_checked(rules, specs).expect("one FieldSpec per feature")
 }
@@ -231,26 +313,25 @@ pub fn compile_ruleset_checked(
     }
     Ok(span!("switch.tcam.compile").time(|| {
         let mut table = RangeTable::new(specs.iter().map(|s| s.bits).collect());
-        for (prio, cube) in rules.whitelist.iter().enumerate() {
-            let fields: Vec<(u32, u32)> = cube
-                .lo
-                .iter()
-                .zip(&cube.hi)
-                .zip(specs)
-                .map(|((&lo, &hi), spec)| {
-                    let qlo = spec.quantize(lo);
-                    let qhi_raw = spec.quantize(hi);
-                    let saturated = hi.is_infinite() || hi * spec.scale >= spec.max_value() as f32;
-                    let qhi = if saturated {
-                        spec.max_value()
-                    } else if qhi_raw > qlo {
-                        qhi_raw - 1
-                    } else {
-                        qlo
-                    };
-                    (qlo, qhi)
-                })
-                .collect();
+        'cubes: for (prio, cube) in rules.whitelist.iter().enumerate() {
+            let mut fields = Vec::with_capacity(specs.len());
+            for ((&lo, &hi), spec) in cube.lo.iter().zip(&cube.hi).zip(specs) {
+                if lo.is_nan() || hi.is_nan() {
+                    // NaN bounds fail every `contains` comparison: the
+                    // cube matches nothing.
+                    table.skipped_empty += 1;
+                    counter!("switch.tcam.skip_empty").inc();
+                    continue 'cubes;
+                }
+                let klo = spec.first_key_at_or_above(lo);
+                let khi = spec.first_key_at_or_above(hi);
+                if klo >= khi {
+                    table.skipped_empty += 1;
+                    counter!("switch.tcam.skip_empty").inc();
+                    continue 'cubes;
+                }
+                fields.push((klo as u32, (khi - 1) as u32));
+            }
             table.push(RangeEntry { fields, priority: prio as u32 });
             counter!("switch.tcam.install").inc();
         }
@@ -330,6 +411,98 @@ mod tests {
     fn quantize_applies_scale() {
         let spec = FieldSpec::new(16, 1000.0);
         assert_eq!(spec.quantize(1.5), 1500);
+    }
+
+    /// The pinned f32-precision divergence: 16 777 215 × 3 = 50 331 645
+    /// exactly in f64, but the f32 product rounds down to 50 331 644 (the
+    /// result needs 26 significand bits). The old f32 path returned the
+    /// wrong key.
+    #[test]
+    fn quantize_is_exact_beyond_f32_precision() {
+        let spec = FieldSpec::new(32, 3.0);
+        assert_eq!(spec.quantize(16_777_215.0), 50_331_645);
+    }
+
+    /// Edge behaviour at and around `u32::MAX` for a full-width field:
+    /// `max_value() as f32` is 2³² (not representable), so the old
+    /// comparison was against the wrong bound; in f64 every u32 is exact.
+    #[test]
+    fn quantize_32bit_edges() {
+        let spec = FieldSpec::new(32, 1.0);
+        // Largest f32 below 2³²: must pass through unsaturated.
+        assert_eq!(spec.quantize(4_294_967_040.0), 4_294_967_040);
+        // u32::MAX itself is not an f32; its nearest (2³²) saturates.
+        assert_eq!(spec.quantize(u32::MAX as f32), u32::MAX);
+        assert_eq!(spec.quantize(5e9), u32::MAX);
+        assert_eq!(spec.quantize(f32::INFINITY), u32::MAX);
+        assert_eq!(spec.quantize(-1.0), 0);
+    }
+
+    /// A half-open cube ending exactly at the top grid value must exclude
+    /// the top key — the old compiler's saturation check made the entry
+    /// inclusive of `max_value()` there.
+    #[test]
+    fn domain_edge_upper_bound_is_exclusive() {
+        use iguard_core::rules::Hypercube;
+        let spec = FieldSpec::new(8, 1.0);
+        let rules = RuleSet {
+            bounds: vec![(0.0, 256.0)],
+            whitelist: vec![Hypercube { lo: vec![0.0], hi: vec![255.0] }],
+            total_regions: 1,
+        };
+        let table = compile_ruleset(&rules, &[spec]);
+        assert_eq!(table.len(), 1);
+        assert!(table.lookup(&[254]).is_some());
+        assert!(table.lookup(&[255]).is_none(), "hi = dequantize(255) is excluded");
+        assert!(!rules.matches(&[spec.dequantize(255)]));
+        // Only a bound past the top value (or +inf) covers the top key.
+        let open = RuleSet {
+            bounds: vec![(0.0, 256.0)],
+            whitelist: vec![Hypercube { lo: vec![0.0], hi: vec![f32::INFINITY] }],
+            total_regions: 1,
+        };
+        assert!(compile_ruleset(&open, &[spec]).lookup(&[255]).is_some());
+    }
+
+    /// A cube narrower than one quantum covers no grid point: it must be
+    /// skipped, not widened to a point range the float rule rejects.
+    #[test]
+    fn sub_quantum_cube_is_skipped() {
+        use iguard_core::rules::Hypercube;
+        let spec = FieldSpec::new(8, 1.0);
+        let rules = RuleSet {
+            bounds: vec![(0.0, 256.0)],
+            whitelist: vec![
+                Hypercube { lo: vec![0.4], hi: vec![0.6] },
+                Hypercube { lo: vec![10.0], hi: vec![20.0] },
+            ],
+            total_regions: 2,
+        };
+        let table = compile_ruleset(&rules, &[spec]);
+        assert_eq!(table.len(), 1, "only the wide cube installs");
+        assert_eq!(table.skipped_empty, 1);
+        assert!(table.lookup(&[0]).is_none(), "old compiler matched key 0 here");
+        // Priority still names the source cube.
+        assert_eq!(table.lookup(&[15]).unwrap().priority, 1);
+        // The grid has no point inside [0.4, 0.6), so the float rules
+        // agree with the table on every key.
+        for k in 0..=255u32 {
+            assert_eq!(table.lookup(&[k]).is_some(), rules.matches(&[spec.dequantize(k)]));
+        }
+    }
+
+    /// NaN rule bounds compile to nothing (contains() is always false).
+    #[test]
+    fn nan_bounds_are_skipped() {
+        use iguard_core::rules::Hypercube;
+        let rules = RuleSet {
+            bounds: vec![(0.0, 256.0)],
+            whitelist: vec![Hypercube { lo: vec![f32::NAN], hi: vec![10.0] }],
+            total_regions: 1,
+        };
+        let table = compile_ruleset(&rules, &[FieldSpec::new(8, 1.0)]);
+        assert_eq!(table.len(), 0);
+        assert_eq!(table.skipped_empty, 1);
     }
 
     #[test]

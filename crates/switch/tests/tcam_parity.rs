@@ -1,0 +1,193 @@
+//! Exhaustive TCAM ↔ float parity sweeps (PR 5, satellite 4).
+//!
+//! The range→TCAM compiler is grid-exact: an installed entry matches key
+//! `k` iff its source float cube contains the canonical grid point
+//! `dequantize(k)` per field. That pins four implementations to one truth
+//! table over the *entire* quantized grid:
+//!
+//! * the float linear scan ([`RuleSet::lookup`]),
+//! * the compiled float index ([`iguard_core::RuleIndex`]),
+//! * the quantized linear scan ([`RangeTable::lookup_idx`]),
+//! * the compiled quantized index ([`RangeIndex`]).
+//!
+//! The sweeps below walk every representable key of small grids (2-D
+//! 8-bit = 65 536 keys, 3-D 6-bit = 262 144 keys) over seeded random rule
+//! sets that deliberately include fractional bounds, infinite bounds,
+//! sub-quantum widths, and fractional scales, and assert all four agree
+//! bit-for-bit — under both 1 and 8 runtime workers, with the sweep
+//! itself fanned out over the worker pool so the parallel path is the one
+//! being exercised.
+
+use iguard_core::rules::{Hypercube, RuleSet};
+use iguard_runtime::par::{par_map_vec, with_workers};
+use iguard_runtime::rng::Rng;
+use iguard_switch::rule_index::RangeIndex;
+use iguard_switch::tcam::{compile_ruleset, FieldSpec};
+
+/// A random rule set over `n_dims` dimensions with adversarial bound
+/// shapes: fractional floats, occasional infinite/zero bounds, and a
+/// deliberate fraction of cubes thinner than one quantum of `specs`.
+fn random_ruleset(n_dims: usize, n_rules: usize, specs: &[FieldSpec], rng: &mut Rng) -> RuleSet {
+    let mut whitelist = Vec::with_capacity(n_rules);
+    for _ in 0..n_rules {
+        let mut lo = Vec::with_capacity(n_dims);
+        let mut hi = Vec::with_capacity(n_dims);
+        for spec in specs.iter().take(n_dims) {
+            let domain_hi = spec.dequantize(spec.max_value());
+            let quantum = 1.0 / spec.scale;
+            let a = rng.gen_range(-0.1_f32 * domain_hi..1.1 * domain_hi);
+            let (l, h) = if rng.gen_bool(0.10) {
+                // Sub-quantum sliver: thinner than one grid step, so it may
+                // cover no representable point at all.
+                (a, a + quantum * rng.gen_range(0.05_f32..0.9))
+            } else if rng.gen_bool(0.10) {
+                // Unbounded above (the decomposition emits these at the
+                // domain edge).
+                (a, f32::INFINITY)
+            } else if rng.gen_bool(0.05) {
+                // Unbounded below.
+                (f32::NEG_INFINITY, a)
+            } else {
+                let b = rng.gen_range(-0.1_f32 * domain_hi..1.2 * domain_hi);
+                (a.min(b), a.max(b) + quantum * rng.gen_range(0.0_f32..4.0))
+            };
+            lo.push(l);
+            hi.push(h);
+        }
+        whitelist.push(Hypercube { lo, hi });
+    }
+    let bounds = specs.iter().take(n_dims).map(|s| (0.0, s.dequantize(s.max_value()))).collect();
+    RuleSet { bounds, whitelist, total_regions: n_rules }
+}
+
+/// Walks every key of the grid and asserts the four lookup paths agree.
+/// The key space is chunked and mapped on the runtime worker pool, so at
+/// `IGUARD_WORKERS=8` the sweep itself runs in parallel.
+fn sweep_full_grid(rules: &RuleSet, specs: &[FieldSpec], label: &str) {
+    let table = compile_ruleset(rules, specs);
+    assert_eq!(
+        table.len() as u64 + table.skipped_empty,
+        rules.len() as u64,
+        "{label}: every source cube is installed or explicitly skipped"
+    );
+    let range_index = RangeIndex::build(&table);
+    let float_index = rules.build_index();
+
+    let dims: Vec<u64> = specs.iter().map(|s| s.max_value() as u64 + 1).collect();
+    let total: u64 = dims.iter().product();
+    const CHUNK: u64 = 4096;
+    let starts: Vec<u64> = (0..total).step_by(CHUNK as usize).collect();
+    let mismatches: usize = par_map_vec(starts, |start| {
+        let mut bad = 0usize;
+        let mut key = vec![0u32; dims.len()];
+        let mut deq = vec![0f32; dims.len()];
+        let mut qscratch = Vec::new();
+        let mut fscratch = Vec::new();
+        for flat in start..(start + CHUNK).min(total) {
+            let mut rem = flat;
+            for (d, &extent) in dims.iter().enumerate() {
+                key[d] = (rem % extent) as u32;
+                rem /= extent;
+                deq[d] = specs[d].dequantize(key[d]);
+            }
+            // Quantized paths return an entry position; map it through the
+            // entry's priority (= source cube index) to compare against the
+            // float paths, which return cube indices directly.
+            let scan = table.lookup_idx(&key);
+            let indexed = range_index.lookup(&key, &mut qscratch);
+            let cube_q = scan.map(|i| table.entries()[i].priority as usize);
+            let cube_f = rules.lookup(&deq);
+            let cube_fi = float_index.lookup(&deq, &mut fscratch);
+            if scan != indexed || cube_q != cube_f || cube_f != cube_fi {
+                bad += 1;
+                if bad == 1 {
+                    eprintln!(
+                        "{label}: key {key:?} (deq {deq:?}): scan {scan:?} indexed {indexed:?} \
+                         cube_q {cube_q:?} float {cube_f:?} float_indexed {cube_fi:?}"
+                    );
+                }
+            }
+        }
+        bad
+    })
+    .into_iter()
+    .sum();
+    assert_eq!(mismatches, 0, "{label}: {mismatches} of {total} grid keys disagree");
+}
+
+#[test]
+fn exhaustive_grid_parity_2d_8bit() {
+    // Fractional scales on purpose: boundary rounding is where the old
+    // compiler diverged from the float rules.
+    let specs = vec![FieldSpec::new(8, 3.7), FieldSpec::new(8, 1000.0)];
+    for seed in [1u64, 2, 3] {
+        let mut rng = Rng::seed_from_u64(seed);
+        let rules = random_ruleset(2, 40, &specs, &mut rng);
+        for workers in [1usize, 8] {
+            with_workers(workers, || {
+                sweep_full_grid(&rules, &specs, &format!("2d seed {seed} workers {workers}"))
+            });
+        }
+    }
+}
+
+#[test]
+fn exhaustive_grid_parity_3d_6bit() {
+    let specs = vec![FieldSpec::new(6, 0.063), FieldSpec::new(6, 17.3), FieldSpec::new(6, 63.0)];
+    for seed in [7u64, 8] {
+        let mut rng = Rng::seed_from_u64(seed);
+        let rules = random_ruleset(3, 60, &specs, &mut rng);
+        for workers in [1usize, 8] {
+            with_workers(workers, || {
+                sweep_full_grid(&rules, &specs, &format!("3d seed {seed} workers {workers}"))
+            });
+        }
+    }
+}
+
+/// Domain-edge parity (satellite 1): a cube whose upper bound coincides
+/// exactly with the top representable grid value must stay half-open —
+/// the old compiler's saturation made it inclusive there.
+#[test]
+fn domain_edge_keys_agree() {
+    let specs = vec![FieldSpec::new(8, 1.0), FieldSpec::new(8, 2.0)];
+    let top0 = specs[0].dequantize(specs[0].max_value()); // 255.0
+    let top1 = specs[1].dequantize(specs[1].max_value()); // 127.5
+    let rules = RuleSet {
+        bounds: vec![(0.0, top0), (0.0, top1)],
+        whitelist: vec![
+            Hypercube { lo: vec![10.0, 0.0], hi: vec![top0, top1] },
+            Hypercube { lo: vec![0.0, 0.0], hi: vec![f32::INFINITY, f32::INFINITY] },
+        ],
+        total_regions: 2,
+    };
+    sweep_full_grid(&rules, &specs, "domain edge");
+    let table = compile_ruleset(&rules, &specs);
+    // Key (255, 255) dequantizes to (top0, top1): outside the half-open
+    // first cube in both dims, inside the unbounded second cube.
+    let edge = vec![specs[0].max_value(), specs[1].max_value()];
+    assert_eq!(table.lookup_idx(&edge).map(|i| table.entries()[i].priority), Some(1));
+}
+
+/// Sub-quantum cubes (satellite 3): a cube covering no grid point is
+/// rejected explicitly and accounted, never installed as an over-matching
+/// point range.
+#[test]
+fn sub_quantum_cubes_are_rejected_not_widened() {
+    let specs = vec![FieldSpec::new(8, 1.0)];
+    let rules = RuleSet {
+        bounds: vec![(0.0, 255.0)],
+        whitelist: vec![
+            Hypercube { lo: vec![10.2], hi: vec![10.9] }, // no integer inside
+            Hypercube { lo: vec![20.0], hi: vec![21.0] }, // exactly one key: 20
+        ],
+        total_regions: 2,
+    };
+    let table = compile_ruleset(&rules, &specs);
+    assert_eq!(table.len(), 1);
+    assert_eq!(table.skipped_empty, 1);
+    assert_eq!(table.lookup_idx(&[10]), None, "the sliver must not capture key 10");
+    assert_eq!(table.lookup_idx(&[20]).map(|i| table.entries()[i].priority), Some(1));
+    assert_eq!(table.lookup_idx(&[21]), None, "upper bound stays exclusive");
+    sweep_full_grid(&rules, &specs, "sub-quantum");
+}

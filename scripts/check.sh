@@ -31,13 +31,22 @@ IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test chaos
 IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test chaos
 IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test controller_idempotence
 
-echo "== bench reporter smoke run (includes shard + chaos sweeps) =="
+echo "== TCAM/float parity gate: exhaustive grid sweeps (workers 1 and 8) =="
+# Four lookup paths (float linear, float index, TCAM linear, TCAM index)
+# pinned to one truth table over every representable key of small grids,
+# including sub-quantum and infinite-bound cubes.
+IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test tcam_parity
+IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test tcam_parity
+
+echo "== bench reporter smoke run (shard + chaos + rule-index sweeps) =="
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 trap 'rm -f "$smoke_out"' EXIT
+# bench_report itself hard-fails on indexed-vs-linear verdict divergence
+# and on a sub-2x index speedup at >=256 rules.
 cargo run -q --release --offline -p iguard-bench --bin bench_report -- \
     --smoke --out "$smoke_out"
 test -s "$smoke_out" || { echo "bench_report wrote an empty report"; exit 1; }
-grep -q '"schema": "iguard-bench-pr4"' "$smoke_out" \
+grep -q '"schema": "iguard-bench-pr5"' "$smoke_out" \
     || { echo "bench_report schema marker missing"; exit 1; }
 grep -q '"shard_sweep"' "$smoke_out" \
     || { echo "bench_report shard_sweep section missing"; exit 1; }
@@ -47,5 +56,13 @@ grep -q '"chaos_sweep"' "$smoke_out" \
     || { echo "bench_report chaos_sweep section missing"; exit 1; }
 grep -q '"deterministic_replay": true' "$smoke_out" \
     || { echo "bench_report chaos determinism marker missing"; exit 1; }
+grep -q '"rule_index"' "$smoke_out" \
+    || { echo "bench_report rule_index section missing"; exit 1; }
+grep -q '"replay_parity"' "$smoke_out" \
+    || { echo "bench_report replay_parity section missing"; exit 1; }
+# Both the rule-index sweep and the replay-parity section must carry the
+# verdict-equality marker.
+[ "$(grep -c '"verdicts_identical": true' "$smoke_out")" -eq 2 ] \
+    || { echo "bench_report verdict-parity markers missing"; exit 1; }
 
 echo "All checks passed."

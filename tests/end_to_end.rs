@@ -234,22 +234,66 @@ fn golden_deployment_is_exact_and_worker_invariant() {
 fn tcam_compilation_agrees_with_rules_on_probes() {
     use iguard::switch::tcam::{compile_ruleset, quantize_key, FieldSpec};
     let (d, train) = train_deployment(104);
-    let specs: Vec<FieldSpec> = d
+    let n_probes = 200.min(train.len());
+
+    // --- Coarse 16-bit fields: compilation is grid-exact regardless of
+    // resolution. The trained whitelist carves cubes thinner than one
+    // 16-bit quantum (concentrated benign traffic), so some cubes cover no
+    // grid point and are skipped rather than installed as over-matching
+    // point ranges; every source rule is accounted for either way, and the
+    // installed table agrees with the float rules *exactly* at every key's
+    // canonical grid image `dequantize(key)`.
+    let coarse: Vec<FieldSpec> = d
         .rules
         .bounds
         .iter()
         .map(|&(_, hi)| FieldSpec::new(16, (65_535.0 / hi.max(1e-6)).min(65_535.0)))
         .collect();
-    let tcam = compile_ruleset(&d.rules, &specs);
-    assert_eq!(tcam.len(), d.rules.len());
-    // Quantisation moves boundaries slightly; demand strong agreement, not
-    // bit-exactness.
-    let mut agree = 0usize;
-    let n_probes = 200.min(train.len());
+    let tcam = compile_ruleset(&d.rules, &coarse);
+    assert_eq!(tcam.len() as u64 + tcam.skipped_empty, d.rules.len() as u64);
+    assert!(!tcam.is_empty(), "a trained whitelist must install some entries");
+    assert!(
+        tcam.skipped_empty > 0,
+        "this deployment is known to have sub-quantum cubes at 16 bits"
+    );
+    let index = iguard::switch::rule_index::RangeIndex::build(&tcam);
+    let mut scratch = Vec::new();
     for f in train.features.iter_rows().take(n_probes) {
-        let key = quantize_key(f, &specs);
-        let tcam_benign = tcam.lookup(&key).is_some();
-        if tcam_benign == d.rules.matches(f) {
+        let key = quantize_key(f, &coarse);
+        let tcam_hit = tcam.lookup_idx(&key);
+        // The compiled index is bit-exact against the TCAM scan on every key.
+        assert_eq!(index.lookup(&key, &mut scratch), tcam_hit, "index/scan diverged at {key:?}");
+        let deq: Vec<f32> = key.iter().enumerate().map(|(i, &k)| coarse[i].dequantize(k)).collect();
+        assert_eq!(
+            tcam_hit.is_some(),
+            d.rules.matches(&deq),
+            "TCAM verdict diverged from float rules at grid point {deq:?}"
+        );
+    }
+
+    // --- 24-bit fields resolve every cube in this whitelist, so nothing is
+    // skipped and the quantised verdict tracks the float verdict on the raw
+    // (off-grid) probes too; only rows within half a quantum of a cube
+    // boundary may flip, hence agreement rather than bit-exactness.
+    let fine: Vec<FieldSpec> = d
+        .rules
+        .bounds
+        .iter()
+        .map(|&(_, hi)| {
+            let maxk = (1u32 << 24) as f32 - 1.0;
+            FieldSpec::new(24, (maxk / hi.max(1e-6)).min(maxk))
+        })
+        .collect();
+    let tcam = compile_ruleset(&d.rules, &fine);
+    assert_eq!(tcam.len(), d.rules.len(), "24-bit fields must resolve every cube");
+    assert_eq!(tcam.skipped_empty, 0);
+    let index = iguard::switch::rule_index::RangeIndex::build(&tcam);
+    let mut agree = 0usize;
+    for f in train.features.iter_rows().take(n_probes) {
+        let key = quantize_key(f, &fine);
+        let tcam_hit = tcam.lookup_idx(&key);
+        assert_eq!(index.lookup(&key, &mut scratch), tcam_hit, "index/scan diverged at {key:?}");
+        if tcam_hit.is_some() == d.rules.matches(f) {
             agree += 1;
         }
     }
