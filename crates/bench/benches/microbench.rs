@@ -26,7 +26,7 @@ use iguard_flow::stats::FlowStats;
 use iguard_iforest::{IsolationForest, IsolationForestConfig};
 use iguard_switch::controller::{Controller, ControllerConfig};
 use iguard_switch::pipeline::{Pipeline, PipelineConfig};
-use iguard_switch::tcam::{compile_ruleset, quantize_key, FieldSpec};
+use iguard_switch::tcam::{compile_ruleset, quantize_key_into, FieldSpec};
 use iguard_synth::benign::benign_trace;
 
 fn uniform_data(n: usize, dim: usize, seed: u64) -> Dataset {
@@ -96,11 +96,17 @@ fn inference() {
     let specs: Vec<FieldSpec> = (0..13).map(|_| FieldSpec::new(16, 65_535.0)).collect();
     let tcam = compile_ruleset(&rules, &specs);
     let x = vec![0.4f32; 13];
-    let key = quantize_key(&x, &specs);
+    let mut key = Vec::new();
+    quantize_key_into(&x, &specs, &mut key);
 
     bench("forest_vote", || forest.predict(std::hint::black_box(&x)));
     bench("ruleset_match", || rules.predict(std::hint::black_box(&x)));
     bench("tcam_lookup", || tcam.lookup(std::hint::black_box(&key)));
+    let mut kbuf = Vec::new();
+    bench("quantize_key_into", || {
+        quantize_key_into(std::hint::black_box(&x), &specs, &mut kbuf);
+        kbuf.len()
+    });
 }
 
 fn rulegen() {

@@ -91,7 +91,16 @@ impl FeatureSet {
 
 /// Extracts the 13 switch flow-level features from accumulated flow state.
 pub fn switch_fl_features(s: &FlowStats) -> Vec<f32> {
-    vec![
+    let mut v = Vec::with_capacity(SWITCH_FL_DIM);
+    switch_fl_features_into(s, &mut v);
+    v
+}
+
+/// Allocation-free variant of [`switch_fl_features`]: clears `out` and
+/// fills it with the 13 features, reusing its capacity.
+pub fn switch_fl_features_into(s: &FlowStats, out: &mut Vec<f32>) {
+    out.clear();
+    out.extend_from_slice(&[
         s.pkt_count as f32,
         s.total_bytes as f32,
         s.mean_size() as f32,
@@ -105,12 +114,19 @@ pub fn switch_fl_features(s: &FlowStats) -> Vec<f32> {
         s.std_ipd() as f32,
         s.max_ipd_secs() as f32,
         s.duration_secs() as f32,
-    ]
+    ]);
 }
 
 /// Extracts the 4 packet-level features from a single packet.
 pub fn packet_level_features(p: &Packet) -> Vec<f32> {
     vec![p.five.dst_port as f32, p.five.proto as f32, p.wire_len as f32, p.ttl as f32]
+}
+
+/// Stack-array variant of [`packet_level_features`] for hot paths that
+/// must not allocate.
+#[inline]
+pub fn packet_level_features_array(p: &Packet) -> [f32; PL_DIM] {
+    [p.five.dst_port as f32, p.five.proto as f32, p.wire_len as f32, p.ttl as f32]
 }
 
 /// Extracts the 21 Magnifier-grade features from accumulated flow state.
@@ -200,6 +216,22 @@ mod tests {
             flags: TcpFlags::default(),
         };
         assert_eq!(packet_level_features(&p).len(), PL_DIM);
+    }
+
+    #[test]
+    fn into_variants_match_allocating_ones() {
+        let s = flow();
+        let mut out = vec![99.0; 3]; // stale contents must be cleared
+        switch_fl_features_into(&s, &mut out);
+        assert_eq!(out, switch_fl_features(&s));
+        let p = Packet {
+            ts_ns: 0,
+            five: FiveTuple::new(1, 2, 3, 4, 6),
+            wire_len: 60,
+            ttl: 64,
+            flags: TcpFlags::default(),
+        };
+        assert_eq!(packet_level_features_array(&p).to_vec(), packet_level_features(&p));
     }
 
     #[test]

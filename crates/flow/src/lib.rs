@@ -19,9 +19,13 @@
 //! * [`table`] — the data-plane flow table: two hash tables with double
 //!   hashing, explicit collision reporting, idle timeout `δ`, and the
 //!   per-flow packet-count threshold `n` (§3.3.1).
+//! * [`batch`] — structure-of-arrays packet batches
+//!   ([`batch::PacketBatch`] / [`batch::FeatureColumns`]): the columnar
+//!   ingest format of the batched classification hot path.
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod features;
 pub mod five_tuple;
 pub mod packet;
@@ -29,6 +33,7 @@ pub mod stats;
 pub mod table;
 pub mod wire;
 
+pub use batch::{FeatureColumns, PacketBatch};
 pub use features::{FeatureSet, MAGNIFIER_DIM, PL_DIM, SWITCH_FL_DIM};
 pub use five_tuple::FiveTuple;
 pub use packet::{Packet, TcpFlags};

@@ -140,6 +140,42 @@ pub enum InsertOutcome {
     ReplacedClassified { pkt_count: u64 },
 }
 
+/// Deferred telemetry of [`FlowShard::observe_prehashed`]: per-event
+/// counts accumulated in plain fields and flushed to the global registry
+/// in one atomic add per event kind. A batched caller flushes once per
+/// chunk; [`FlowShard::observe_keyed`] flushes per call — either way the
+/// registry totals are identical to per-packet `counter!(..).inc()` calls.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ObserveTallies {
+    pub classified: u64,
+    pub ready_timeout: u64,
+    pub ready: u64,
+    pub early: u64,
+    pub install: u64,
+    pub evict_classified: u64,
+    pub collision: u64,
+}
+
+impl ObserveTallies {
+    /// Adds the accumulated counts to the global metric registry and
+    /// zeroes the tallies.
+    pub fn flush(&mut self) {
+        let flush_one = |n: u64, c: &'static iguard_telemetry::Counter| {
+            if n > 0 {
+                c.add(n);
+            }
+        };
+        flush_one(self.classified, counter!("flow.table.classified"));
+        flush_one(self.ready_timeout, counter!("flow.table.ready_timeout"));
+        flush_one(self.ready, counter!("flow.table.ready"));
+        flush_one(self.early, counter!("flow.table.early"));
+        flush_one(self.install, counter!("flow.table.install"));
+        flush_one(self.evict_classified, counter!("flow.table.evict_classified"));
+        flush_one(self.collision, counter!("flow.table.collision"));
+        *self = Self::default();
+    }
+}
+
 /// Double-hash-table flow storage: one self-contained partition.
 ///
 /// This is the unit of state the sharded data plane distributes — each
@@ -149,6 +185,10 @@ pub struct FlowShard {
     cfg: FlowTableConfig,
     table1: Vec<Option<Slot>>,
     table2: Vec<Option<Slot>>,
+    /// `slots_per_table - 1` when the size is a power of two (the
+    /// default): `h % size == h & mask`, and the AND avoids a 64-bit
+    /// divide on the per-packet path. `None` falls back to `%`.
+    pow2_mask: Option<u64>,
     /// Count of packets that hit the collision path (telemetry).
     pub collision_packets: u64,
 }
@@ -160,6 +200,10 @@ impl FlowShard {
         Self {
             table1: vec![None; cfg.slots_per_table],
             table2: vec![None; cfg.slots_per_table],
+            pow2_mask: cfg
+                .slots_per_table
+                .is_power_of_two()
+                .then(|| cfg.slots_per_table as u64 - 1),
             cfg,
             collision_packets: 0,
         }
@@ -169,20 +213,82 @@ impl FlowShard {
         &self.cfg
     }
 
+    #[inline]
+    fn reduce(&self, h: u64) -> usize {
+        match self.pow2_mask {
+            Some(mask) => (h & mask) as usize,
+            None => (h % self.cfg.slots_per_table as u64) as usize,
+        }
+    }
+
     fn idx1(&self, key: &FiveTuple) -> usize {
-        (key.bi_hash(self.cfg.seed1) % self.cfg.slots_per_table as u64) as usize
+        self.reduce(key.bi_hash(self.cfg.seed1))
     }
 
     fn idx2(&self, key: &FiveTuple) -> usize {
-        (key.bi_hash(self.cfg.seed2) % self.cfg.slots_per_table as u64) as usize
+        self.reduce(key.bi_hash(self.cfg.seed2))
+    }
+
+    /// The candidate slot pair of `key` — a pure function of the config
+    /// (seeds + table size), exposed so the columnar ingest path can hash
+    /// a whole chunk of keys up front and prefetch the slots while earlier
+    /// rows are still being walked.
+    pub fn slot_index_pair(&self, key: &FiveTuple) -> (u32, u32) {
+        (self.idx1(key) as u32, self.idx2(key) as u32)
+    }
+
+    /// Warms the cache lines of both candidate slots: issues dead loads
+    /// the optimiser cannot delete (`black_box`), which the CPU retires
+    /// without stalling — a safe-code software prefetch. A `Slot` spans
+    /// ~3 cache lines and `observe` reads/writes stats fields throughout
+    /// it, so for occupied slots the touch reads fields spread across the
+    /// struct, not just the discriminant line. Purely a performance hint;
+    /// no observable state changes.
+    #[inline]
+    pub fn prefetch_slots(&self, i1: u32, i2: u32) {
+        let touch = |s: &Option<Slot>| {
+            std::hint::black_box(
+                s.as_ref().map(|e| e.stats.last_ts_ns ^ e.stats.min_ipd_ns ^ e.stats.rst_fin_count),
+            );
+        };
+        touch(&self.table1[i1 as usize]);
+        touch(&self.table2[i2 as usize]);
     }
 
     /// Observes one packet, advancing flow state and reporting which
     /// execution path it takes. `now_ns` is the packet's arrival time.
     pub fn observe(&mut self, p: &Packet, now_ns: u64) -> InsertOutcome {
-        let key = p.five.canonical();
-        let i1 = self.idx1(&key);
-        let i2 = self.idx2(&key);
+        self.observe_keyed(p.five.canonical(), p, now_ns)
+    }
+
+    /// [`FlowShard::observe`] with the canonical flow key precomputed —
+    /// the batched ingest path canonicalizes once per packet up front and
+    /// passes the key through here and the blacklist probe.
+    pub fn observe_keyed(&mut self, key: FiveTuple, p: &Packet, now_ns: u64) -> InsertOutcome {
+        let (i1, i2) = self.slot_index_pair(&key);
+        let mut t = ObserveTallies::default();
+        let out = self.observe_prehashed(key, i1, i2, p, now_ns, &mut t);
+        t.flush();
+        out
+    }
+
+    /// The core probe/install walk with the slot pair precomputed and
+    /// telemetry deferred: event counts land in `tallies` instead of the
+    /// global registry, so a batched caller pays the atomic adds once per
+    /// chunk rather than per packet (totals are identical — see
+    /// [`ObserveTallies::flush`]).
+    pub fn observe_prehashed(
+        &mut self,
+        key: FiveTuple,
+        i1: u32,
+        i2: u32,
+        p: &Packet,
+        now_ns: u64,
+        tallies: &mut ObserveTallies,
+    ) -> InsertOutcome {
+        debug_assert_eq!(key, p.five.canonical());
+        debug_assert_eq!((i1, i2), self.slot_index_pair(&key));
+        let (i1, i2) = (i1 as usize, i2 as usize);
 
         // Probe for the flow itself first (either table).
         for (table_id, idx) in [(1usize, i1), (2usize, i2)] {
@@ -191,7 +297,7 @@ impl FlowShard {
             if let Some(slot) = slot_opt {
                 if slot.key == key {
                     if let Some(label) = slot.label {
-                        counter!("flow.table.classified").inc();
+                        tallies.classified += 1;
                         return InsertOutcome::Classified { label };
                     }
                     // Timeout check before updating: an idle flow is
@@ -200,16 +306,16 @@ impl FlowShard {
                         let stats = slot.stats;
                         // Restart tracking from this packet.
                         slot.stats = FlowStats::from_first_packet(p);
-                        counter!("flow.table.ready_timeout").inc();
+                        tallies.ready_timeout += 1;
                         return InsertOutcome::Ready { stats, timed_out: true };
                     }
                     slot.stats.update(p);
                     if slot.stats.pkt_count >= self.cfg.pkt_threshold {
                         let stats = slot.stats;
-                        counter!("flow.table.ready").inc();
+                        tallies.ready += 1;
                         return InsertOutcome::Ready { stats, timed_out: false };
                     }
-                    counter!("flow.table.early").inc();
+                    tallies.early += 1;
                     return InsertOutcome::Early { pkt_count: slot.stats.pkt_count };
                 }
             }
@@ -226,13 +332,13 @@ impl FlowShard {
             };
             if free {
                 *slot_opt = Some(Slot { key, stats: FlowStats::from_first_packet(p), label: None });
-                counter!("flow.table.install").inc();
+                tallies.install += 1;
                 return if self.cfg.pkt_threshold == 1 {
                     let stats = slot_opt.as_ref().unwrap().stats;
-                    counter!("flow.table.ready").inc();
+                    tallies.ready += 1;
                     InsertOutcome::Ready { stats, timed_out: false }
                 } else {
-                    counter!("flow.table.early").inc();
+                    tallies.early += 1;
                     InsertOutcome::Early { pkt_count: 1 }
                 };
             }
@@ -248,14 +354,14 @@ impl FlowShard {
                 if s.label.is_some() {
                     *slot_opt =
                         Some(Slot { key, stats: FlowStats::from_first_packet(p), label: None });
-                    counter!("flow.table.evict_classified").inc();
-                    counter!("flow.table.install").inc();
+                    tallies.evict_classified += 1;
+                    tallies.install += 1;
                     return InsertOutcome::ReplacedClassified { pkt_count: 1 };
                 }
             }
         }
         self.collision_packets += 1;
-        counter!("flow.table.collision").inc();
+        tallies.collision += 1;
         InsertOutcome::Collision
     }
 

@@ -21,6 +21,14 @@
 //! * `apply` takes effect before the next `process_batch` call; backends
 //!   need not support mid-batch rule changes (hardware installs rules
 //!   between packets too, just at a finer grain).
+//!
+//! `process_batch` and `classify_batch` are the **primary** entry points:
+//! both stock backends ingest each batch into a structure-of-arrays
+//! [`PacketBatch`](iguard_flow::batch::PacketBatch) / column set and
+//! classify it in fixed 1024-row chunks, so callers should hand over the
+//! largest batches their latency budget allows. Per-packet processing is
+//! just a batch of one (the [`crate::pipeline::ScalarPipeline`] backend
+//! exists as the per-packet oracle/baseline).
 
 use iguard_flow::five_tuple::FiveTuple;
 use iguard_flow::packet::Packet;
@@ -35,7 +43,10 @@ use crate::pipeline::{
 pub trait DataPlane {
     /// Classifies a batch, appending one [`ProcessOutcome`] per packet in
     /// input order. Implementations clear `out` first; the caller owns the
-    /// buffer so the hot loop reuses its allocation.
+    /// buffer so the hot loop reuses its allocation. This is the primary
+    /// ingest path: stock backends run it columnar (structure-of-arrays
+    /// feature extraction + batched index probes), and results are
+    /// byte-identical to per-packet processing at any batch size.
     fn process_batch(&mut self, pkts: &[Packet], out: &mut Vec<ProcessOutcome>);
 
     /// Appends the digests accumulated since the last drain, in packet

@@ -59,8 +59,8 @@ pub use controller::{
 };
 pub use data_plane::DataPlane;
 pub use pipeline::{
-    PacketVerdict, PathTaken, Pipeline, PipelineConfig, SeqDigest, WhitelistCounters,
-    RESYNC_SEQ_BASE,
+    PacketVerdict, PathTaken, Pipeline, PipelineConfig, ScalarPipeline, SeqDigest,
+    WhitelistCounters, RESYNC_SEQ_BASE,
 };
 pub use replay::{ChaosConfig, CrashRecovery, CrashSpec};
 pub use resources::{ResourceModel, ResourceUsage};

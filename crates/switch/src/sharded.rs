@@ -35,11 +35,10 @@
 //! the two backends agree packet-for-packet — the parity test in
 //! `tests/shard_invariance.rs` pins that.
 
-use std::collections::HashSet;
-
+use iguard_flow::batch::PacketBatch;
 use iguard_flow::five_tuple::FiveTuple;
 use iguard_flow::packet::Packet;
-use iguard_flow::table::{FlowShard, FlowTableConfig, FlowTableStats};
+use iguard_flow::table::{FlowTableConfig, FlowTableStats};
 use iguard_runtime::par;
 use iguard_runtime::scratch::ShardBins;
 use iguard_runtime::Dataset;
@@ -49,8 +48,9 @@ use iguard_core::rules::RuleSet;
 
 use crate::data_plane::DataPlane;
 use crate::pipeline::{
-    ControlAction, Digest, MatchEngine, MatchScratch, PacketVerdict, PathCounters, PathTaken,
-    PipelineConfig, ProcessOutcome, SeqDigest, WhitelistCounters, RESYNC_SEQ_BASE,
+    record_batch_telemetry, ControlAction, Digest, MatchEngine, MatchScratch, PacketVerdict,
+    PathCounters, PathTaken, PipelineConfig, ProcessOutcome, SeqDigest, ShardState,
+    WhitelistCounters, BATCH_CHUNK, RESYNC_SEQ_BASE,
 };
 
 /// Number of logical state partitions. Fixed — it is the determinism
@@ -115,35 +115,16 @@ impl From<PipelineConfig> for ShardedPipelineConfig {
     }
 }
 
-/// One logical shard: a full, independent copy of the mutable data-plane
-/// state for the flows hashed to it.
-struct Shard {
-    flow: FlowShard,
-    blacklist: HashSet<FiveTuple>,
-    digests: Vec<SeqDigest>,
-    paths: PathCounters,
-    processed: u64,
-}
-
-impl Shard {
-    fn new(cfg: FlowTableConfig) -> Self {
-        Self {
-            flow: FlowShard::new(cfg),
-            blacklist: HashSet::new(),
-            digests: Vec::new(),
-            paths: PathCounters::default(),
-            processed: 0,
-        }
-    }
-}
-
-/// A physical shard group: the logical shards one worker drives, plus the
-/// group's reusable outcome buffer (indices into the current batch) and
-/// its private match scratch (index bitmap words + whitelist counters) —
-/// per group, not per shard, because one worker drives a group serially.
+/// A physical shard group: the logical shards one worker drives (each a
+/// [`ShardState`] — a full, independent copy of the mutable data-plane
+/// state for the flows hashed to it), plus the group's reusable outcome
+/// buffer (one outcome per bin row, in bin order) and its private match
+/// scratch (index bitmap words, deferred-lookup columns, whitelist
+/// counters) — per group, not per shard, because one worker drives a
+/// group serially.
 struct Group {
-    shards: Vec<Shard>,
-    outcomes: Vec<(u32, ProcessOutcome)>,
+    shards: Vec<ShardState>,
+    outcomes: Vec<ProcessOutcome>,
     scratch: MatchScratch,
 }
 
@@ -154,6 +135,11 @@ pub struct ShardedPipeline {
     /// `groups[g].shards[p]` is logical shard `p * groups.len() + g`.
     groups: Vec<Group>,
     bins: ShardBins,
+    /// The shared columnar view of the current batch: filled once per
+    /// `process_batch` call, then read (immutably) by every group worker.
+    batch: PacketBatch,
+    /// Identity row index (`0..n`) for the single-group fast path.
+    rows_idx: Vec<u32>,
     merge_scratch: Vec<SeqDigest>,
     /// Whitelist lookups performed by `classify_batch` (per-packet lookups
     /// live in each group's scratch; batch classification runs on
@@ -186,13 +172,15 @@ impl ShardedPipeline {
             })
             .collect();
         for l in 0..LOGICAL_SHARDS {
-            groups[l % phys].shards.push(Shard::new(shard_cfg));
+            groups[l % phys].shards.push(ShardState::new(shard_cfg));
         }
         Self {
             engine: MatchEngine::new(&cfg.pipeline, fl_rules, pl_rules),
             cfg,
             groups,
             bins: ShardBins::new(),
+            batch: PacketBatch::default(),
+            rows_idx: Vec::new(),
             merge_scratch: Vec::new(),
             classify_wl: WhitelistCounters::default(),
             processed: 0,
@@ -209,12 +197,12 @@ impl ShardedPipeline {
         self.groups.len()
     }
 
-    fn shard(&self, logical: usize) -> &Shard {
+    fn shard(&self, logical: usize) -> &ShardState {
         let phys = self.groups.len();
         &self.groups[logical % phys].shards[logical / phys]
     }
 
-    fn shard_mut(&mut self, logical: usize) -> &mut Shard {
+    fn shard_mut(&mut self, logical: usize) -> &mut ShardState {
         let phys = self.groups.len();
         &mut self.groups[logical % phys].shards[logical / phys]
     }
@@ -287,11 +275,20 @@ impl DataPlane for ShardedPipeline {
         if pkts.is_empty() {
             return;
         }
-        let Self { groups, bins, engine, processed, .. } = self;
+        let Self { groups, bins, engine, processed, batch, rows_idx, .. } = self;
         let phys = groups.len();
 
         counter!("switch.sharded.batches").inc();
         histogram!("switch.sharded.batch_packets").record(pkts.len() as u64);
+        record_batch_telemetry(pkts.len());
+
+        // Columnar ingest once, shared read-only by every group worker.
+        // `batch.keys` are canonical 5-tuples; `logical_shard_of` is
+        // direction-symmetric, so hashing the canonical key picks the same
+        // shard as hashing the wire-order tuple.
+        batch.fill(pkts);
+        let batch = &*batch;
+        let base_seq = *processed;
 
         // Single physical group: every packet lands in group 0 and a
         // one-group binning pass is the identity permutation, so skip the
@@ -299,32 +296,30 @@ impl DataPlane for ShardedPipeline {
         // Output is identical to the general path by construction.
         if phys == 1 {
             let Group { shards, scratch, .. } = &mut groups[0];
-            let base_seq = *processed;
-            out.reserve(pkts.len());
-            for (i, pkt) in pkts.iter().enumerate() {
-                let shard = &mut shards[logical_shard_of(&pkt.five)];
-                shard.processed += 1;
-                out.push(engine.process_one(
-                    &mut shard.flow,
-                    &mut shard.blacklist,
-                    &mut shard.digests,
-                    &mut shard.paths,
-                    scratch,
-                    pkt,
-                    base_seq + i as u64,
-                ));
-            }
+            rows_idx.clear();
+            rows_idx.extend(0..pkts.len() as u32);
+            // Rows are walked in arrival order, so the engine writes the
+            // outcome column directly — no group buffer or scatter pass.
+            engine.process_rows(
+                shards,
+                |i| logical_shard_of(&batch.keys[i]),
+                batch,
+                pkts,
+                rows_idx,
+                base_seq,
+                scratch,
+                out,
+            );
             *processed += pkts.len() as u64;
             return;
         }
 
         // Bin packet indices by physical group, preserving arrival order.
         bins.reset(phys);
-        for (i, pkt) in pkts.iter().enumerate() {
-            bins.push(logical_shard_of(&pkt.five) % phys, i as u32);
+        for (i, key) in batch.keys.iter().enumerate() {
+            bins.push(logical_shard_of(key) % phys, i as u32);
         }
 
-        let base_seq = *processed;
         let bins = &*bins;
         let engine = &*engine;
         par::par_map_mut(groups, |g, group| {
@@ -332,34 +327,30 @@ impl DataPlane for ShardedPipeline {
             histogram!("switch.sharded.group_batch_packets").record(bin.len() as u64);
             let Group { shards, outcomes, scratch } = group;
             outcomes.clear();
-            outcomes.reserve(bin.len());
-            for &i in bin {
-                let pkt = &pkts[i as usize];
-                let shard = &mut shards[logical_shard_of(&pkt.five) / phys];
-                shard.processed += 1;
-                let outcome = engine.process_one(
-                    &mut shard.flow,
-                    &mut shard.blacklist,
-                    &mut shard.digests,
-                    &mut shard.paths,
-                    scratch,
-                    pkt,
-                    base_seq + i as u64,
-                );
-                outcomes.push((i, outcome));
-            }
+            engine.process_rows(
+                shards,
+                |i| logical_shard_of(&batch.keys[i]) / phys,
+                batch,
+                pkts,
+                bin,
+                base_seq,
+                scratch,
+                outcomes,
+            );
         });
 
-        // Reassemble outcomes into packet order; every index is written
-        // exactly once because the bins partition 0..pkts.len().
+        // Reassemble outcomes into packet order: each group emits one
+        // outcome per bin row in bin order, and the bins partition
+        // 0..pkts.len(), so every index is written exactly once.
         let placeholder = ProcessOutcome {
             verdict: PacketVerdict::Forward,
             path: PathTaken::Brown,
             mirrored: false,
         };
         out.resize(pkts.len(), placeholder);
-        for group in self.groups.iter() {
-            for &(i, outcome) in &group.outcomes {
+        for (g, group) in self.groups.iter().enumerate() {
+            debug_assert_eq!(self.bins.bin(g).len(), group.outcomes.len());
+            for (&i, &outcome) in self.bins.bin(g).iter().zip(&group.outcomes) {
                 out[i as usize] = outcome;
             }
         }
@@ -435,16 +426,14 @@ impl DataPlane for ShardedPipeline {
         // Fixed-size chunks with one transient scratch per chunk: chunk
         // boundaries don't depend on the worker count, so the verdict
         // vector (and the counter totals) are worker-invariant.
-        const CHUNK: usize = 1024;
-        let starts: Vec<usize> = (0..n).step_by(CHUNK).collect();
+        record_batch_telemetry(n);
+        let starts: Vec<usize> = (0..n).step_by(BATCH_CHUNK).collect();
         let engine = &self.engine;
         let parts = par::par_map_vec(starts, |start| {
-            let end = (start + CHUNK).min(n);
+            let end = (start + BATCH_CHUNK).min(n);
             let mut scratch = MatchScratch::default();
             let mut verdicts = Vec::with_capacity(end - start);
-            for i in start..end {
-                verdicts.push(engine.classify_fl(rows.row(i), &mut scratch));
-            }
+            engine.classify_fl_batch(rows, start, end, &mut scratch, &mut verdicts);
             (verdicts, scratch.wl)
         });
         for (verdicts, wl) in parts {

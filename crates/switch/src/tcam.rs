@@ -77,6 +77,37 @@ impl FieldSpec {
         }
     }
 
+    /// Quantises a whole feature column into `out` (one batched field of a
+    /// structure-of-arrays key block). Semantically `out[i] =
+    /// self.quantize(vals[i])`; the tight loop over one field's values
+    /// keeps the scale and saturation bound in registers instead of
+    /// re-reading a `FieldSpec` per packet.
+    pub fn quantize_column(&self, vals: &[f32], out: &mut [u32]) {
+        assert_eq!(vals.len(), out.len());
+        let scale = self.scale as f64;
+        let max = self.max_value();
+        let max_f = max as f64;
+        for (o, &v) in out.iter_mut().zip(vals) {
+            *o = if !v.is_finite() {
+                if v > 0.0 {
+                    max
+                } else {
+                    0
+                }
+            } else {
+                let scaled = (v as f64 * scale).round();
+                if scaled <= 0.0 {
+                    0
+                } else if scaled >= max_f {
+                    max
+                } else {
+                    scaled as u32
+                }
+            };
+            debug_assert_eq!(*o, self.quantize(v));
+        }
+    }
+
     /// The canonical feature value of grid key `k` — the representative
     /// point the compiled table's semantics are defined on: an installed
     /// entry covers `k` iff the float rule contains `dequantize(k)`.
@@ -340,9 +371,22 @@ pub fn compile_ruleset_checked(
 }
 
 /// Quantises a feature vector into a TCAM lookup key.
+///
+/// Allocates a fresh `Vec` per call — fine for setup and tests; hot paths
+/// reuse a scratch buffer via [`quantize_key_into`] or quantize whole
+/// columns with [`FieldSpec::quantize_column`].
 pub fn quantize_key(x: &[f32], specs: &[FieldSpec]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(specs.len());
+    quantize_key_into(x, specs, &mut out);
+    out
+}
+
+/// Allocation-free [`quantize_key`]: clears `out` and fills it with the
+/// quantized key, reusing its capacity.
+pub fn quantize_key_into(x: &[f32], specs: &[FieldSpec], out: &mut Vec<u32>) {
     assert_eq!(x.len(), specs.len());
-    x.iter().zip(specs).map(|(&v, s)| s.quantize(v)).collect()
+    out.clear();
+    out.extend(x.iter().zip(specs).map(|(&v, s)| s.quantize(v)));
 }
 
 #[cfg(test)]
@@ -528,11 +572,42 @@ mod tests {
         let specs = vec![FieldSpec::new(8, 1.0), FieldSpec::new(8, 1.0)];
         let table = compile_ruleset(&rules, &specs);
         assert!(!table.is_empty());
+        let mut key = Vec::new();
         for probe in [[50.0f32, 100.0], [99.0, 50.0], [100.0, 100.0], [50.0, 200.0], [255.0, 255.0]]
         {
-            let key = quantize_key(&probe, &specs);
+            quantize_key_into(&probe, &specs, &mut key);
+            assert_eq!(key, quantize_key(&probe, &specs));
             let tcam_benign = table.lookup(&key).is_some();
             assert_eq!(tcam_benign, rules.matches(&probe), "disagreement at {probe:?}");
+        }
+    }
+
+    /// The per-column quantizer agrees with the scalar one on every edge
+    /// shape: ±inf, NaN-free negatives, saturation at the field top, and
+    /// exact rounding boundaries under a fractional scale.
+    #[test]
+    fn quantize_column_matches_scalar() {
+        for spec in [FieldSpec::new(8, 1.0), FieldSpec::new(8, 3.7), FieldSpec::new(32, 1000.0)] {
+            let vals = [
+                -1.0e30f32,
+                f32::NEG_INFINITY,
+                -0.0,
+                0.0,
+                0.1,
+                0.5,
+                1.0,
+                68.9,
+                255.0,
+                256.0,
+                1.0e30,
+                f32::INFINITY,
+                4.29e9,
+            ];
+            let mut out = vec![0u32; vals.len()];
+            spec.quantize_column(&vals, &mut out);
+            for (&v, &k) in vals.iter().zip(&out) {
+                assert_eq!(k, spec.quantize(v), "spec {spec:?}, v = {v}");
+            }
         }
     }
 

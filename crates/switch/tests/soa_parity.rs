@@ -1,0 +1,259 @@
+//! Structure-of-arrays ↔ scalar parity.
+//!
+//! The columnar batch path ([`Pipeline::process_batch`] /
+//! [`DataPlane::classify_batch`]) must be byte-identical to per-packet
+//! processing ([`ScalarPipeline`]) — same verdicts, same seq-tagged digest
+//! stream, same path and whitelist counters — on every backend, at any
+//! worker count, and at any physical shard grouping. These seeded
+//! randomized suites throw NaN/∞ features, edge wire lengths and TTLs,
+//! timeout-crossing timestamp jumps, mid-stream blacklist installs, and
+//! chunk-boundary-straddling batch sizes at that claim.
+
+use iguard_core::rules::{Hypercube, RuleSet};
+use iguard_flow::features::SWITCH_FL_DIM;
+use iguard_flow::five_tuple::{FiveTuple, PROTO_TCP, PROTO_UDP};
+use iguard_flow::packet::{Packet, TcpFlags};
+use iguard_flow::table::FlowTableConfig;
+use iguard_runtime::par::with_workers;
+use iguard_runtime::proptest_lite;
+use iguard_runtime::rng::Rng;
+use iguard_runtime::Dataset;
+use iguard_switch::pipeline::{
+    ControlAction, PacketVerdict, PathCounters, Pipeline, PipelineConfig, ProcessOutcome,
+    ScalarPipeline, SeqDigest, WhitelistCounters,
+};
+use iguard_switch::sharded::ShardedPipelineConfig;
+use iguard_switch::{DataPlane, ShardedPipeline};
+
+/// A random whitelist: a handful of hypercubes with open/closed faces
+/// (sometimes empty — then nothing matches and everything is malicious).
+fn random_rules(rng: &mut Rng, dim: usize) -> RuleSet {
+    let n = rng.gen_range(0usize..4);
+    let whitelist = (0..n)
+        .map(|_| {
+            let mut lo = vec![f32::NEG_INFINITY; dim];
+            let mut hi = vec![f32::INFINITY; dim];
+            for d in 0..dim {
+                if rng.gen_bool(0.5) {
+                    lo[d] = rng.gen_range(-10.0f32..1000.0);
+                }
+                if rng.gen_bool(0.5) {
+                    hi[d] = lo[d].max(0.0) + rng.gen_range(0.0f32..1500.0);
+                }
+            }
+            Hypercube { lo, hi }
+        })
+        .collect();
+    RuleSet { bounds: vec![(0.0, 2000.0); dim], whitelist, total_regions: n.max(1) }
+}
+
+fn random_pool(rng: &mut Rng, flows: usize) -> Vec<FiveTuple> {
+    (0..flows)
+        .map(|_| {
+            FiveTuple::new(
+                0x0A00_0000 | rng.gen_range(0u32..64),
+                0xC0A8_0000 | rng.gen_range(0u32..64),
+                rng.gen_range(1024u16..1024 + 32),
+                [80u16, 443, 53][rng.gen_range(0..3usize)],
+                if rng.gen_bool(0.7) { PROTO_TCP } else { PROTO_UDP },
+            )
+        })
+        .collect()
+}
+
+/// Random packets over a small flow pool: edge wire lengths/TTLs and
+/// occasional timeout-crossing timestamp jumps.
+fn random_packets(rng: &mut Rng, pool: &[FiveTuple], n: usize) -> Vec<Packet> {
+    let mut ts = 0u64;
+    (0..n)
+        .map(|_| {
+            ts += if rng.gen_bool(0.02) {
+                10_000_000_000 // 10 s: crosses any sane flow timeout
+            } else {
+                rng.gen_range(0u64..3_000_000)
+            };
+            let mut five = pool[rng.gen_range(0..pool.len())];
+            if rng.gen_bool(0.3) {
+                five = five.reversed();
+            }
+            Packet {
+                ts_ns: ts,
+                five,
+                wire_len: [0u16, 1, 64, 120, 1400, u16::MAX][rng.gen_range(0..6usize)],
+                ttl: [0u8, 1, 64, 255][rng.gen_range(0..4usize)],
+                flags: TcpFlags::default(),
+            }
+        })
+        .collect()
+}
+
+type Observed =
+    (Vec<ProcessOutcome>, Vec<SeqDigest>, WhitelistCounters, PathCounters, Vec<FiveTuple>, u64);
+
+/// Feed `batches` through `dp` with a blacklist install/remove pair
+/// between the first and second halves, then collect everything
+/// observable.
+fn drive(dp: &mut dyn DataPlane, batches: &[Vec<Packet>], victims: &[FiveTuple]) -> Observed {
+    let mut out = Vec::new();
+    let mut digests = Vec::new();
+    let mut buf = Vec::new();
+    for (b, batch) in batches.iter().enumerate() {
+        if b == batches.len() / 2 {
+            for &v in victims {
+                dp.apply(ControlAction::InstallBlacklist(v));
+            }
+            if let Some(&v) = victims.first() {
+                dp.apply(ControlAction::RemoveBlacklist(v));
+            }
+        }
+        dp.process_batch(batch, &mut buf);
+        out.extend_from_slice(&buf);
+        dp.drain_seq_digests_into(&mut digests);
+    }
+    (
+        out,
+        digests,
+        dp.whitelist_counters(),
+        dp.counters(),
+        dp.blacklist_contents(),
+        dp.packets_processed(),
+    )
+}
+
+fn random_cfg(rng: &mut Rng) -> PipelineConfig {
+    PipelineConfig::default()
+        .with_flow_table(FlowTableConfig::default().with_pkt_threshold(rng.gen_range(2u64..6)))
+        .with_drop_malicious(rng.gen_bool(0.8))
+        .with_log_compress(rng.gen_bool(0.5))
+}
+
+proptest_lite! {
+    /// Columnar `Pipeline`, `ScalarPipeline`, and `ShardedPipeline` at
+    /// every (shards, workers) grouping agree packet-for-packet: verdicts,
+    /// seq-tagged digests, whitelist counters, path counters, blacklist,
+    /// processed count.
+    fn process_batch_matches_scalar_everywhere(rng) {
+        let cfg = random_cfg(rng);
+        let fl = random_rules(rng, SWITCH_FL_DIM);
+        let pl = random_rules(rng, 4);
+        let flows = rng.gen_range(4usize..24);
+        let pool = random_pool(rng, flows);
+        let batches: Vec<Vec<Packet>> = (0..rng.gen_range(2usize..6))
+            .map(|_| {
+                let n = rng.gen_range(1usize..200);
+                random_packets(rng, &pool, n)
+            })
+            .collect();
+        let victims: Vec<FiveTuple> =
+            (0..3).map(|_| pool[rng.gen_range(0..pool.len())]).collect();
+
+        let mut scalar = ScalarPipeline::new(cfg, fl.clone(), pl.clone());
+        let want = drive(&mut scalar, &batches, &victims);
+
+        let mut soa = Pipeline::new(cfg, fl.clone(), pl.clone());
+        assert_eq!(drive(&mut soa, &batches, &victims), want, "SoA Pipeline != scalar");
+
+        // Default flow-table slots and ≤ 24 flows: no slot pressure, so the
+        // sharded backend agrees with the serial one packet-for-packet.
+        for (shards, workers) in [(1usize, 1usize), (1, 8), (8, 1), (8, 8)] {
+            let got = with_workers(workers, || {
+                let scfg = ShardedPipelineConfig::default()
+                    .with_pipeline(cfg)
+                    .with_shards(shards);
+                let mut dp = ShardedPipeline::new(scfg, fl.clone(), pl.clone());
+                drive(&mut dp, &batches, &victims)
+            });
+            assert_eq!(got, want, "sharded({shards})/workers({workers}) != scalar");
+        }
+    }
+
+    /// Same parity with batches straddling the 1024-row chunk boundary
+    /// (fewer cases — each one pushes thousands of packets).
+    fn process_batch_parity_across_chunk_boundaries(rng, cases = 6) {
+        let cfg = random_cfg(rng);
+        let fl = random_rules(rng, SWITCH_FL_DIM);
+        let pl = random_rules(rng, 4);
+        let pool = random_pool(rng, 16);
+        let n = 1024 * rng.gen_range(1usize..3) + rng.gen_range(0usize..3) + 1022;
+        let batches = vec![random_packets(rng, &pool, n)];
+
+        let mut scalar = ScalarPipeline::new(cfg, fl.clone(), pl.clone());
+        let want = drive(&mut scalar, &batches, &[]);
+        let mut soa = Pipeline::new(cfg, fl.clone(), pl.clone());
+        assert_eq!(drive(&mut soa, &batches, &[]), want, "SoA Pipeline != scalar at n={n}");
+        let got = with_workers(8, || {
+            let scfg =
+                ShardedPipelineConfig::default().with_pipeline(cfg).with_shards(8);
+            let mut dp = ShardedPipeline::new(scfg, fl.clone(), pl.clone());
+            drive(&mut dp, &batches, &[])
+        });
+        assert_eq!(got, want, "sharded != scalar at n={n}");
+    }
+
+    /// `classify_batch` (offline FL rows, NaN/∞/−0.0 injected) returns the
+    /// same verdict vector and whitelist counters on every backend, worker
+    /// count, and shard grouping.
+    fn classify_batch_matches_scalar_everywhere(rng) {
+        let cfg = random_cfg(rng);
+        let fl = random_rules(rng, SWITCH_FL_DIM);
+        let pl = random_rules(rng, 4);
+        let n = rng.gen_range(0usize..2200);
+        let mut data = Dataset::zeros(n, SWITCH_FL_DIM);
+        for i in 0..n {
+            for v in data.row_mut(i) {
+                *v = if rng.gen_bool(0.1) {
+                    [f32::NAN, f32::INFINITY, f32::NEG_INFINITY, -0.0, 0.0]
+                        [rng.gen_range(0..5usize)]
+                } else {
+                    rng.gen_range(-100.0f32..2000.0)
+                };
+            }
+        }
+
+        let mut want = Vec::new();
+        let mut scalar = ScalarPipeline::new(cfg, fl.clone(), pl.clone());
+        scalar.classify_batch(&data, &mut want);
+        let want_wl = scalar.whitelist_counters();
+
+        let mut got = Vec::new();
+        let mut soa = Pipeline::new(cfg, fl.clone(), pl.clone());
+        soa.classify_batch(&data, &mut got);
+        assert_eq!(got, want, "SoA verdicts != scalar at n={n}");
+        assert_eq!(soa.whitelist_counters(), want_wl);
+
+        for (shards, workers) in [(1usize, 1usize), (1, 8), (8, 1), (8, 8)] {
+            let (got, wl) = with_workers(workers, || {
+                let scfg = ShardedPipelineConfig::default()
+                    .with_pipeline(cfg)
+                    .with_shards(shards);
+                let mut dp = ShardedPipeline::new(scfg, fl.clone(), pl.clone());
+                let mut v = Vec::new();
+                dp.classify_batch(&data, &mut v);
+                (v, dp.whitelist_counters())
+            });
+            assert_eq!(got, want, "sharded({shards})/workers({workers}) verdicts differ");
+            assert_eq!(wl, want_wl, "sharded({shards})/workers({workers}) counters differ");
+        }
+    }
+
+    /// Drop-malicious off means nothing is ever dropped on either path,
+    /// and outcome parity still holds.
+    fn forward_only_mode_parity(rng, cases = 8) {
+        let cfg = random_cfg(rng).with_drop_malicious(false);
+        let fl = random_rules(rng, SWITCH_FL_DIM);
+        let pl = random_rules(rng, 4);
+        let pool = random_pool(rng, 8);
+        let n = rng.gen_range(50usize..300);
+        let batches = vec![random_packets(rng, &pool, n)];
+
+        let mut scalar = ScalarPipeline::new(cfg, fl.clone(), pl.clone());
+        let want = drive(&mut scalar, &batches, &[]);
+        let mut soa = Pipeline::new(cfg, fl, pl);
+        let got = drive(&mut soa, &batches, &[]);
+        assert_eq!(got, want);
+        assert!(
+            got.0.iter().all(|o| o.verdict == PacketVerdict::Forward),
+            "nothing may drop with drop_malicious=false and no blacklist"
+        );
+    }
+}

@@ -94,12 +94,12 @@ fn main() {
     println!("blacklist entries installed: {}", pipeline.blacklist_len());
     println!(
         "paths: blacklist {} brown {} blue {} purple {} orange {} (+{} loopback)",
-        pipeline.paths.blacklist,
-        pipeline.paths.brown,
-        pipeline.paths.blue,
-        pipeline.paths.purple,
-        pipeline.paths.orange,
-        pipeline.paths.green_loopback,
+        pipeline.paths().blacklist,
+        pipeline.paths().brown,
+        pipeline.paths().blue,
+        pipeline.paths().purple,
+        pipeline.paths().orange,
+        pipeline.paths().green_loopback,
     );
     println!(
         "throughput {:.2} Gbps, avg latency {:.1} ns, digest bandwidth {:.1} KBps",

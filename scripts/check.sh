@@ -38,6 +38,12 @@ echo "== TCAM/float parity gate: exhaustive grid sweeps (workers 1 and 8) =="
 IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test tcam_parity
 IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test tcam_parity
 
+echo "== SoA parity gate: columnar batch path vs scalar oracle (workers 1 and 8) =="
+# The batch pipeline must produce byte-identical verdicts, digests, and
+# counters to the per-packet scalar walk at every batch size and split.
+IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test soa_parity
+IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test soa_parity
+
 echo "== bench reporter smoke run (shard + chaos + rule-index sweeps) =="
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 trap 'rm -f "$smoke_out"' EXIT
@@ -46,7 +52,7 @@ trap 'rm -f "$smoke_out"' EXIT
 cargo run -q --release --offline -p iguard-bench --bin bench_report -- \
     --smoke --out "$smoke_out"
 test -s "$smoke_out" || { echo "bench_report wrote an empty report"; exit 1; }
-grep -q '"schema": "iguard-bench-pr5"' "$smoke_out" \
+grep -q '"schema": "iguard-bench-pr6"' "$smoke_out" \
     || { echo "bench_report schema marker missing"; exit 1; }
 grep -q '"shard_sweep"' "$smoke_out" \
     || { echo "bench_report shard_sweep section missing"; exit 1; }
@@ -60,9 +66,12 @@ grep -q '"rule_index"' "$smoke_out" \
     || { echo "bench_report rule_index section missing"; exit 1; }
 grep -q '"replay_parity"' "$smoke_out" \
     || { echo "bench_report replay_parity section missing"; exit 1; }
-# Both the rule-index sweep and the replay-parity section must carry the
-# verdict-equality marker.
-[ "$(grep -c '"verdicts_identical": true' "$smoke_out")" -eq 2 ] \
+grep -q '"soa_replay"' "$smoke_out" \
+    || { echo "bench_report soa_replay section missing"; exit 1; }
+# The rule-index sweep, the replay-parity section, and the SoA replay
+# gate must each carry the verdict-equality marker. bench_report itself
+# hard-fails if the columnar replay is below 2x the scalar path.
+[ "$(grep -c '"verdicts_identical": true' "$smoke_out")" -eq 3 ] \
     || { echo "bench_report verdict-parity markers missing"; exit 1; }
 
 echo "All checks passed."

@@ -130,7 +130,7 @@ fn controller_blacklist_shortens_detection_path() {
     );
     let mut controller = Controller::new(ControllerConfig::default());
     let _ = replay(&trace, &mut pipeline, &mut controller, &ReplayConfig::default());
-    assert!(pipeline.paths.blacklist > 0, "no packet was dropped by an installed blacklist rule");
+    assert!(pipeline.paths().blacklist > 0, "no packet was dropped by an installed blacklist rule");
 }
 
 #[test]
@@ -153,7 +153,7 @@ fn adversarial_low_rate_changes_flow_durations() {
 /// One cheap, fully deterministic deployment for the golden test: an oracle
 /// teacher (no NN training), a small guided forest, a PL early model, and a
 /// benign+flood replay through the emulated switch.
-fn golden_run() -> (RuleSet, iguard::switch::replay::ReplayReport) {
+fn golden_setup() -> (RuleSet, RuleSet, Trace) {
     let mut rng = Rng::seed_from_u64(0xC0FFEE);
     let cfg = ExtractConfig::default();
     let train_trace = benign_trace(200, 8.0, &mut rng);
@@ -181,15 +181,19 @@ fn golden_run() -> (RuleSet, iguard::switch::replay::ReplayReport) {
 
     let benign = benign_trace(100, 6.0, &mut rng);
     let flood = Attack::UdpDdos.trace(40, 6.0, &mut rng);
-    let trace = Trace::merge(vec![benign, flood]);
-    let mut pipeline = Pipeline::new(
-        SwitchPipelineConfig {
-            flow_table: FlowTableConfig { pkt_threshold: 4, ..Default::default() },
-            ..Default::default()
-        },
-        rules.clone(),
-        early.rules,
-    );
+    (rules, early.rules, Trace::merge(vec![benign, flood]))
+}
+
+fn golden_pipeline_cfg() -> SwitchPipelineConfig {
+    SwitchPipelineConfig {
+        flow_table: FlowTableConfig { pkt_threshold: 4, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+fn golden_run() -> (RuleSet, iguard::switch::replay::ReplayReport) {
+    let (rules, pl_rules, trace) = golden_setup();
+    let mut pipeline = Pipeline::new(golden_pipeline_cfg(), rules.clone(), pl_rules);
     let mut controller = Controller::new(ControllerConfig::default());
     let report = replay(&trace, &mut pipeline, &mut controller, &ReplayConfig::default());
     (rules, report)
@@ -230,9 +234,45 @@ fn golden_deployment_is_exact_and_worker_invariant() {
     }
 }
 
+/// The golden matrix holds through the columnar batch path, and the
+/// scalar per-packet oracle reproduces it bit for bit. At coarser
+/// feedback granularity (bigger replay batches delay blacklist installs)
+/// the matrix may legitimately shift — but the columnar and scalar
+/// backends must still agree exactly at every batch size.
+#[test]
+fn golden_matrix_holds_through_batch_path() {
+    use iguard::switch::pipeline::ScalarPipeline;
+    use iguard::switch::DataPlane;
+
+    const GOLDEN_CONFUSION: (u64, u64, u64, u64) = (3999, 1019, 1569, 172);
+
+    let (fl, pl, trace) = golden_setup();
+    let run = |dp: &mut dyn DataPlane, batch: usize| {
+        let mut controller = Controller::new(ControllerConfig::default());
+        let rcfg = ReplayConfig { batch_size: batch, ..Default::default() };
+        let r = replay(&trace, dp, &mut controller, &rcfg);
+        (r.tp, r.fp, r.tn, r.fn_)
+    };
+
+    let mut soa = Pipeline::new(golden_pipeline_cfg(), fl.clone(), pl.clone());
+    assert_eq!(run(&mut soa, 1), GOLDEN_CONFUSION, "columnar batch path drifted");
+    let mut scalar = ScalarPipeline::new(golden_pipeline_cfg(), fl.clone(), pl.clone());
+    assert_eq!(run(&mut scalar, 1), GOLDEN_CONFUSION, "scalar oracle drifted");
+
+    for batch in [64usize, 1024, 4096] {
+        let mut soa = Pipeline::new(golden_pipeline_cfg(), fl.clone(), pl.clone());
+        let mut scalar = ScalarPipeline::new(golden_pipeline_cfg(), fl.clone(), pl.clone());
+        assert_eq!(
+            run(&mut soa, batch),
+            run(&mut scalar, batch),
+            "columnar/scalar diverged at batch {batch}"
+        );
+    }
+}
+
 #[test]
 fn tcam_compilation_agrees_with_rules_on_probes() {
-    use iguard::switch::tcam::{compile_ruleset, quantize_key, FieldSpec};
+    use iguard::switch::tcam::{compile_ruleset, quantize_key_into, FieldSpec};
     let (d, train) = train_deployment(104);
     let n_probes = 200.min(train.len());
 
@@ -258,8 +298,9 @@ fn tcam_compilation_agrees_with_rules_on_probes() {
     );
     let index = iguard::switch::rule_index::RangeIndex::build(&tcam);
     let mut scratch = Vec::new();
+    let mut key = Vec::new();
     for f in train.features.iter_rows().take(n_probes) {
-        let key = quantize_key(f, &coarse);
+        quantize_key_into(f, &coarse, &mut key);
         let tcam_hit = tcam.lookup_idx(&key);
         // The compiled index is bit-exact against the TCAM scan on every key.
         assert_eq!(index.lookup(&key, &mut scratch), tcam_hit, "index/scan diverged at {key:?}");
@@ -290,7 +331,7 @@ fn tcam_compilation_agrees_with_rules_on_probes() {
     let index = iguard::switch::rule_index::RangeIndex::build(&tcam);
     let mut agree = 0usize;
     for f in train.features.iter_rows().take(n_probes) {
-        let key = quantize_key(f, &fine);
+        quantize_key_into(f, &fine, &mut key);
         let tcam_hit = tcam.lookup_idx(&key);
         assert_eq!(index.lookup(&key, &mut scratch), tcam_hit, "index/scan diverged at {key:?}");
         if tcam_hit.is_some() == d.rules.matches(f) {
