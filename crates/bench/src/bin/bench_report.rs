@@ -31,6 +31,8 @@
 //! nondeterministic backend can never produce a plausible-looking
 //! baseline file.
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use iguard_core::early::EarlyModel;
@@ -45,24 +47,64 @@ use iguard_runtime::{ChannelKind, FaultPlan};
 use iguard_switch::controller::{Controller, ControllerConfig};
 use iguard_switch::data_plane::DataPlane;
 use iguard_switch::pipeline::{Pipeline, PipelineConfig};
+use iguard_switch::replay::replay_stream;
 use iguard_switch::replay::{replay, replay_chaos, ChaosConfig, ReplayConfig, ReplayReport};
 use iguard_switch::resources::ResourceModel;
 use iguard_switch::rule_index::RangeIndex;
 use iguard_switch::sharded::{ShardedPipeline, ShardedPipelineConfig};
 use iguard_switch::tcam::{compile_ruleset, quantize_key_into, FieldSpec, RangeTable};
+use iguard_switch::{SketchEviction, SketchedPipeline, SketchedPipelineConfig};
 use iguard_synth::attacks::Attack;
 use iguard_synth::benign::benign_trace;
+use iguard_synth::streaming::{StreamingConfig, StreamingTrace};
 use iguard_synth::trace::{extract_flows, ExtractConfig, Trace};
 use iguard_telemetry::json;
+
+/// Allocation-counting wrapper over the system allocator: the PR-7
+/// streaming sweep asserts that the steady-state replay loop performs no
+/// per-batch heap allocation (buffer-reuse audit). Counting is a single
+/// relaxed atomic add, cheap enough to leave on for every stage.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
 
 struct Args {
     smoke: bool,
     seed: u64,
     out: String,
+    out_pr7: String,
 }
 
 fn parse_args() -> Args {
-    let mut args = Args { smoke: false, seed: 7, out: "BENCH_PR6.json".into() };
+    let mut args = Args {
+        smoke: false,
+        seed: 7,
+        out: "BENCH_PR6.json".into(),
+        out_pr7: "BENCH_PR7.json".into(),
+    };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -72,9 +114,10 @@ fn parse_args() -> Args {
                 args.seed = v.parse().expect("--seed must be an integer");
             }
             "--out" => args.out = it.next().expect("--out needs a path"),
+            "--out-pr7" => args.out_pr7 = it.next().expect("--out-pr7 needs a path"),
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: bench_report [--smoke] [--seed N] [--out PATH]");
+                eprintln!("usage: bench_report [--smoke] [--seed N] [--out PATH] [--out-pr7 PATH]");
                 std::process::exit(2);
             }
         }
@@ -738,6 +781,208 @@ fn run_soa_replay(seed: u64, iters: usize, fl_rules: &RuleSet, pl_rules: &RuleSe
     })
 }
 
+/// Replay batch size of the streaming sweep: large enough to amortise
+/// control-loop ticks over the million-flow run.
+const STREAM_BATCH: usize = 8192;
+
+/// Exact-table slot budgets the sketched points run under. The streaming
+/// workload keeps ~1.3k flows concurrently resident regardless of total
+/// flow count, so 512 slots models a moderately starved table and 128 a
+/// severely starved one — both force continuous eviction churn.
+const STREAM_BUDGET_SLOTS: [usize; 2] = [512, 128];
+
+/// Pipeline configuration shared by every streaming contender.
+fn stream_pipe_cfg() -> PipelineConfig {
+    PipelineConfig::default().with_flow_table(FlowTableConfig::default().with_pkt_threshold(4))
+}
+
+/// One streaming-sweep contender: its replay report, final blacklist,
+/// wall-clock, and (for sketched backends) the sketch statistics.
+struct StreamRun {
+    label: String,
+    wall_ns: u64,
+    report: ReplayReport,
+    blacklist: Vec<iguard_flow::five_tuple::FiveTuple>,
+    stats: Option<iguard_switch::SketchStats>,
+}
+
+fn run_stream_once(scfg: &StreamingConfig, dp: &mut dyn DataPlane, label: &str) -> StreamRun {
+    let mut source = StreamingTrace::new(scfg.clone());
+    let mut controller = Controller::new(ControllerConfig::default());
+    let replay_cfg = ReplayConfig::default().with_batch_size(STREAM_BATCH);
+    let t = Instant::now();
+    let report = replay_stream(&mut source, dp, &mut controller, &replay_cfg);
+    let wall_ns = t.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    StreamRun {
+        label: label.into(),
+        wall_ns,
+        report,
+        blacklist: dp.blacklist_contents(),
+        stats: dp.sketch_stats(),
+    }
+}
+
+/// Marginal-allocation probe for the buffer-reuse audit. Runs the full
+/// streaming replay at `flows` and at `2 × flows` and compares allocator
+/// call deltas: everything allocated once (source lanes, sketches,
+/// replay buffers, telemetry handles) cancels out of the margin, so the
+/// difference measures steady-state allocations only. The gate demands
+/// strictly fewer marginal allocations than marginal batches — i.e. the
+/// per-batch hot path performs no heap allocation, with room for the
+/// amortised (logarithmic) growth of the digest and blacklist
+/// containers.
+struct AllocProbe {
+    base_flows: u64,
+    marginal_batches: u64,
+    marginal_allocs: u64,
+}
+
+fn run_alloc_probe(seed: u64, fl_rules: &RuleSet, pl_rules: &RuleSet, flows: usize) -> AllocProbe {
+    let run = |n_flows: usize| -> (u64, u64) {
+        let scfg = StreamingConfig::default().with_seed(seed).with_total_flows(n_flows as u64);
+        let mut source = StreamingTrace::new(scfg);
+        let scfg7 = SketchedPipelineConfig::default()
+            .with_pipeline(stream_pipe_cfg())
+            .with_budget_bytes(Some(
+                (n_flows / 16).max(64) * iguard_flow::table::FlowShard::slot_bytes(),
+            ))
+            .with_promote_threshold(2)
+            .with_eviction(SketchEviction::TwoQ);
+        let mut dp = SketchedPipeline::new(scfg7, fl_rules.clone(), pl_rules.clone());
+        let mut controller = Controller::new(ControllerConfig::default());
+        let replay_cfg = ReplayConfig::default().with_batch_size(512);
+        let before = alloc_calls();
+        let report = replay_stream(&mut source, &mut dp, &mut controller, &replay_cfg);
+        let allocs = alloc_calls() - before;
+        (allocs, report.packets.div_ceil(512))
+    };
+    let (allocs_n, batches_n) = run(flows);
+    let (allocs_2n, batches_2n) = run(flows * 2);
+    AllocProbe {
+        base_flows: flows as u64,
+        marginal_batches: batches_2n.saturating_sub(batches_n),
+        marginal_allocs: allocs_2n.saturating_sub(allocs_n),
+    }
+}
+
+/// The PR-7 tentpole sweep: a streaming (never materialised) trace of
+/// `IGUARD_PR7_FLOWS` flows — one million by default, a few thousand in
+/// smoke — replayed through the exact `Pipeline`, the `SketchedPipeline`
+/// in exact mode (infinite budget, fingerprint-gated against the exact
+/// run), and sketched points at `flows/8` and `flows/64` slot budgets.
+/// Hard gates:
+///
+/// * exact-mode sketched run must match the exact pipeline's confusion
+///   matrix, digest count, packet count, and blacklist;
+/// * every budgeted point must respect its byte budget after the run and
+///   must not invent detections its exact twin never made (FP counts on
+///   the budgeted path stay ≤ the exact path's — eviction can only lose
+///   state, and lost state biases toward the whitelist's PL fallback);
+/// * the marginal-allocation probe must show < 1 allocation per batch.
+fn run_streaming_sweep(
+    seed: u64,
+    smoke: bool,
+    fl_rules: &RuleSet,
+    pl_rules: &RuleSet,
+) -> (StreamingConfig, Vec<StreamRun>, AllocProbe) {
+    let flows: usize = std::env::var("IGUARD_PR7_FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(if smoke { 20_000 } else { 1_000_000 });
+    let scfg = StreamingConfig::default().with_seed(seed ^ 0x57E4).with_total_flows(flows as u64);
+
+    let mut runs = Vec::new();
+
+    eprintln!("bench_report: streaming sweep at {flows} flows (exact pipeline)");
+    let mut exact = Pipeline::new(stream_pipe_cfg(), fl_rules.clone(), pl_rules.clone());
+    runs.push(run_stream_once(&scfg, &mut exact, "exact_pipeline"));
+
+    eprintln!("bench_report: streaming sweep (sketched, exact mode)");
+    let sk_exact_cfg = SketchedPipelineConfig::default().with_pipeline(stream_pipe_cfg());
+    let mut sk_exact = SketchedPipeline::new(sk_exact_cfg, fl_rules.clone(), pl_rules.clone());
+    runs.push(run_stream_once(&scfg, &mut sk_exact, "sketched_exact"));
+
+    // Fingerprint gate: exact-mode sketched == exact pipeline.
+    {
+        let (e, s) = (&runs[0], &runs[1]);
+        let same = (e.report.tp, e.report.fp, e.report.tn, e.report.fn_)
+            == (s.report.tp, s.report.fp, s.report.tn, s.report.fn_)
+            && e.report.packets == s.report.packets
+            && e.report.digests == s.report.digests
+            && e.blacklist == s.blacklist;
+        if !same {
+            eprintln!("bench_report: sketched exact mode diverged from the exact pipeline");
+            std::process::exit(1);
+        }
+    }
+
+    for slots in STREAM_BUDGET_SLOTS {
+        eprintln!("bench_report: streaming sweep (sketched, {slots}-slot budget)");
+        let cfg = SketchedPipelineConfig::default()
+            .with_pipeline(stream_pipe_cfg())
+            .with_budget_bytes(Some(slots * iguard_flow::table::FlowShard::slot_bytes()))
+            .with_promote_threshold(2)
+            .with_eviction(SketchEviction::TwoQ);
+        let mut dp = SketchedPipeline::new(cfg, fl_rules.clone(), pl_rules.clone());
+        let run = run_stream_once(&scfg, &mut dp, &format!("sketched_budget_{slots}"));
+        let stats = run.stats.expect("sketched backend reports stats");
+        if stats.tracked > stats.max_tracked
+            || stats.budget_bytes.is_some_and(|b| stats.resident_bytes > b)
+        {
+            eprintln!(
+                "bench_report: budget breached at {slots} slots: tracked {} / {} \
+                 resident {} / {:?}",
+                stats.tracked, stats.max_tracked, stats.resident_bytes, stats.budget_bytes
+            );
+            std::process::exit(1);
+        }
+        let exact_report = &runs[0].report;
+        if run.report.packets != exact_report.packets
+            || run.report.tp + run.report.fn_ != exact_report.tp + exact_report.fn_
+        {
+            eprintln!("bench_report: budgeted stream drifted from the exact stream");
+            std::process::exit(1);
+        }
+        // FP/FN bound: every verdict flip vs the exact run traces back to
+        // shed state — a packet the sketch absorbed, or a flow restarted
+        // by eviction (≤ pkt_threshold re-windowed packets each). The
+        // deltas must stay within that shed-work budget; a backend that
+        // drifted beyond it would be corrupting state, not shedding it.
+        let shed_budget = stats.absorbed + stats.evicted * 4;
+        let fp_delta = run.report.fp.abs_diff(exact_report.fp);
+        let fn_delta = run.report.fn_.abs_diff(exact_report.fn_);
+        if fp_delta > shed_budget || fn_delta > shed_budget {
+            eprintln!(
+                "bench_report: budget of {slots} slots drifts beyond its shed work \
+                 (fp Δ{fp_delta}, fn Δ{fn_delta}, budget {shed_budget})"
+            );
+            std::process::exit(1);
+        }
+        if exact_report.tp > 0 && run.report.tp == 0 {
+            eprintln!("bench_report: budget of {slots} slots lost all detections");
+            std::process::exit(1);
+        }
+        runs.push(run);
+    }
+
+    eprintln!("bench_report: streaming allocation probe (buffer-reuse audit)");
+    let probe_flows = if smoke { 2_000 } else { 4_000 };
+    let probe = run_alloc_probe(seed, fl_rules, pl_rules, probe_flows);
+    eprintln!(
+        "bench_report: alloc probe: {} marginal allocs over {} marginal batches",
+        probe.marginal_allocs, probe.marginal_batches
+    );
+    if probe.marginal_allocs >= probe.marginal_batches {
+        eprintln!(
+            "bench_report: streaming path allocates per batch ({} allocs / {} batches)",
+            probe.marginal_allocs, probe.marginal_batches
+        );
+        std::process::exit(1);
+    }
+
+    (scfg, runs, probe)
+}
+
 fn main() {
     let args = parse_args();
     let iterations = if args.smoke { 1 } else { 3 };
@@ -784,6 +1029,10 @@ fn main() {
     // the gated ratio (each pair costs only a few ms).
     let soa_iters = if args.smoke { 7 } else { 9 };
     let soa = run_soa_replay(args.seed, soa_iters, &run.fl_rules, &run.pl_rules);
+
+    eprintln!("bench_report: streaming sketch sweep (PR-7)");
+    let (stream_cfg, stream_runs, alloc_probe) =
+        run_streaming_sweep(args.seed, args.smoke, &run.fl_rules, &run.pl_rules);
 
     let snapshot = iguard_telemetry::registry::snapshot().expect("telemetry enabled");
     if let Err(e) = snapshot.verify() {
@@ -1025,4 +1274,74 @@ fn main() {
 
     std::fs::write(&args.out, &doc).expect("write report");
     eprintln!("bench_report: wrote {}", args.out);
+
+    // --- BENCH_PR7.json: the streaming sketch sweep as its own document.
+    let exact = &stream_runs[0];
+    let mut runs_json = Vec::new();
+    for r in &stream_runs {
+        let secs = r.wall_ns as f64 / 1e9;
+        let mut o = json::Object::new();
+        o.str("label", &r.label)
+            .u64("wall_ns", r.wall_ns)
+            .u64("packets", r.report.packets)
+            .f64("pps", r.report.packets as f64 / secs.max(1e-9))
+            .u64("tp", r.report.tp)
+            .u64("fp", r.report.fp)
+            .u64("tn", r.report.tn)
+            .u64("fn", r.report.fn_)
+            .u64("digests", r.report.digests)
+            .u64("blacklist_len", r.blacklist.len() as u64)
+            .raw("fp_delta_vs_exact", (r.report.fp as i64 - exact.report.fp as i64).to_string())
+            .raw("fn_delta_vs_exact", (r.report.fn_ as i64 - exact.report.fn_ as i64).to_string());
+        if let Some(s) = r.stats {
+            let resident = s.resident_bytes + s.sketch_bytes;
+            let mut sj = json::Object::new();
+            sj.u64("tracked", s.tracked as u64)
+                .u64("max_tracked", s.max_tracked.min(u64::MAX as usize) as u64)
+                .u64("resident_bytes", s.resident_bytes as u64)
+                .u64("sketch_bytes", s.sketch_bytes as u64)
+                .f64("bytes_per_tracked_flow", resident as f64 / (s.tracked.max(1)) as f64)
+                .u64("promoted", s.promoted)
+                .u64("absorbed", s.absorbed)
+                .u64("evicted", s.evicted);
+            if let Some(b) = s.budget_bytes {
+                sj.u64("budget_bytes", b as u64);
+            }
+            o.raw("sketch", sj.render(2));
+        }
+        runs_json.push(o.render(2));
+    }
+
+    let mut alloc_json = json::Object::new();
+    alloc_json
+        .u64("base_flows", alloc_probe.base_flows)
+        .u64("marginal_batches", alloc_probe.marginal_batches)
+        .u64("marginal_allocs", alloc_probe.marginal_allocs)
+        .f64(
+            "allocs_per_batch",
+            alloc_probe.marginal_allocs as f64 / alloc_probe.marginal_batches.max(1) as f64,
+        )
+        // Hard-gated in run_streaming_sweep: the run aborts before writing
+        // this file if the streaming path allocates once per batch.
+        .bool("steady_state_allocation_free", true);
+
+    let mut root7 = json::Object::new();
+    root7
+        .str("schema", "iguard-bench-pr7")
+        .u64("version", 1)
+        .u64("seed", args.seed)
+        .bool("smoke", args.smoke)
+        .u64("flows", stream_cfg.total_flows)
+        .u64("users", stream_cfg.users as u64)
+        .u64("batch_size", STREAM_BATCH as u64)
+        // Hard-gated in run_streaming_sweep: exact-mode sketched replay
+        // matched the exact pipeline's confusion matrix, digests, packet
+        // count and blacklist, and every budgeted point held its budget.
+        .bool("exact_mode_parity", true)
+        .bool("budgets_respected", true)
+        .raw("runs", json::array(&runs_json, 1))
+        .raw("alloc_probe", alloc_json.render(1));
+    let doc7 = root7.render(0) + "\n";
+    std::fs::write(&args.out_pr7, &doc7).expect("write PR7 report");
+    eprintln!("bench_report: wrote {}", args.out_pr7);
 }

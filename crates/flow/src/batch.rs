@@ -60,6 +60,15 @@ impl FeatureColumns {
         &mut self.data[d * self.rows..(d + 1) * self.rows]
     }
 
+    /// Pre-grows the backing buffer for a `dims × rows` reshape without
+    /// changing the current contents or shape.
+    pub fn reserve(&mut self, dims: usize, rows: usize) {
+        let need = dims * rows;
+        if self.data.capacity() < need {
+            self.data.reserve(need - self.data.len());
+        }
+    }
+
     /// Gathers row `i` (one value per column) into `out`.
     pub fn gather_row_into(&self, i: usize, out: &mut Vec<f32>) {
         debug_assert!(i < self.rows);
@@ -93,6 +102,16 @@ impl PacketBatch {
 
     pub fn is_empty(&self) -> bool {
         self.keys.is_empty()
+    }
+
+    /// Pre-grows the backing buffers for batches of up to `rows` packets,
+    /// so a streaming loop that calls [`PacketBatch::fill`] with a known
+    /// maximum batch size never reallocates after warm-up.
+    pub fn reserve(&mut self, rows: usize) {
+        if self.keys.capacity() < rows {
+            self.keys.reserve(rows - self.keys.len());
+        }
+        self.pl.reserve(PL_DIM, rows);
     }
 
     /// Ingests `pkts`: canonical keys, then each PL feature column in its

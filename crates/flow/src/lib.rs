@@ -29,6 +29,7 @@ pub mod batch;
 pub mod features;
 pub mod five_tuple;
 pub mod packet;
+pub mod sketch;
 pub mod stats;
 pub mod table;
 pub mod wire;
@@ -37,5 +38,6 @@ pub use batch::{FeatureColumns, PacketBatch};
 pub use features::{FeatureSet, MAGNIFIER_DIM, PL_DIM, SWITCH_FL_DIM};
 pub use five_tuple::FiveTuple;
 pub use packet::{Packet, TcpFlags};
+pub use sketch::{BloomFilter, CountMinSketch};
 pub use stats::FlowStats;
-pub use table::{FlowShard, FlowTable, FlowTableConfig, FlowTableStats, InsertOutcome};
+pub use table::{FlowShard, FlowTable, FlowTableConfig, FlowTableStats, InsertOutcome, SlotClaim};

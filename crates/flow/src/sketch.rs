@@ -1,0 +1,353 @@
+//! Approximate flow-membership structures: count–min sketch + Bloom
+//! filter.
+//!
+//! The exact double-hash [`crate::table::FlowShard`] spends a full slot
+//! (~a hundred bytes of stats) on every flow it has ever admitted — fine
+//! at thousands of concurrent flows, ruinous at millions, most of which
+//! are one- or two-packet mice that will never reach the classification
+//! threshold. The sketch-assisted data plane keeps those mice out of the
+//! exact tables:
+//!
+//! * a [`BloomFilter`] answers "has this 5-tuple been seen at all?" in a
+//!   few bits per flow, so the very first packet of a flow touches no
+//!   counter state;
+//! * a [`CountMinSketch`] counts repeat packets per flow in `O(depth)`
+//!   u32 cells, **overestimating only** — a flow's estimate is never
+//!   below its true count, so a promotion rule of the form
+//!   "estimate ≥ k ⇒ claim an exact slot" can *over*-admit but never
+//!   starve a genuinely heavy flow.
+//!
+//! Both structures hash the canonical 5-tuple with
+//! [`FiveTuple::bi_hash`] under per-row derived seeds, so forward and
+//! reverse directions of a flow share cells, estimates are deterministic
+//! per seed, and nothing here depends on worker count or insertion
+//! batching.
+//!
+//! The standard count–min error bound applies: with `width = ⌈e/ε⌉` and
+//! `depth = ⌈ln(1/δ)⌉`, a point estimate after `N` total increments
+//! exceeds the true count by more than `ε·N` with probability at most
+//! `δ`. [`CountMinSketch::error_bound`] exposes the `ε·N` term so tests
+//! and telemetry can check the bound against adversarially skewed
+//! streams.
+
+use crate::five_tuple::FiveTuple;
+
+/// SplitMix64 step — derives decorrelated per-row hash seeds from one
+/// user seed (same finalizer the runtime RNG uses for stream derivation).
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded count–min sketch over canonical 5-tuples.
+///
+/// `depth` rows of `width` u32 counters (width rounded up to a power of
+/// two so the per-packet index is a mask, not a divide). Increments
+/// saturate instead of wrapping, preserving the overestimate-only
+/// invariant even on pathological streams.
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    width: usize,
+    mask: u64,
+    seeds: Vec<u64>,
+    /// `depth × width`, row-major.
+    counts: Vec<u32>,
+}
+
+impl CountMinSketch {
+    /// `width` is rounded up to the next power of two; `depth` rows are
+    /// seeded from `seed`.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width > 0 && depth > 0, "sketch dimensions must be positive");
+        let width = width.next_power_of_two();
+        let seeds = (0..depth as u64).map(|r| splitmix(seed ^ splitmix(r))).collect();
+        Self { width, mask: width as u64 - 1, seeds, counts: vec![0; width * depth] }
+    }
+
+    /// Sizes the sketch for the standard `(ε, δ)` guarantee:
+    /// `width = ⌈e/ε⌉`, `depth = ⌈ln(1/δ)⌉`.
+    pub fn with_error_bound(epsilon: f64, delta: f64, seed: u64) -> Self {
+        assert!(epsilon > 0.0 && epsilon < 1.0, "epsilon must be in (0,1)");
+        assert!(delta > 0.0 && delta < 1.0, "delta must be in (0,1)");
+        let width = (std::f64::consts::E / epsilon).ceil() as usize;
+        let depth = (1.0 / delta).ln().ceil().max(1.0) as usize;
+        Self::new(width, depth, seed)
+    }
+
+    #[inline]
+    fn cell(&self, row: usize, key: &FiveTuple) -> usize {
+        row * self.width + (key.bi_hash(self.seeds[row]) & self.mask) as usize
+    }
+
+    /// Adds one observation of `key` and returns the updated point
+    /// estimate (the post-increment minimum across rows).
+    pub fn increment(&mut self, key: &FiveTuple) -> u32 {
+        let mut est = u32::MAX;
+        for row in 0..self.seeds.len() {
+            let c = self.cell(row, key);
+            self.counts[c] = self.counts[c].saturating_add(1);
+            est = est.min(self.counts[c]);
+        }
+        est
+    }
+
+    /// Point estimate of `key`'s count — always ≥ the true count.
+    pub fn estimate(&self, key: &FiveTuple) -> u32 {
+        (0..self.seeds.len()).map(|row| self.counts[self.cell(row, key)]).min().unwrap_or(0)
+    }
+
+    /// The `ε·N` additive error term of the count–min guarantee for a
+    /// stream of `total` increments: a point estimate exceeds the true
+    /// count by more than this with probability ≤ `δ = e^-depth`.
+    pub fn error_bound(&self, total: u64) -> u64 {
+        (std::f64::consts::E / self.width as f64 * total as f64).ceil() as u64
+    }
+
+    /// `δ = e^-depth`: per-query probability of exceeding
+    /// [`CountMinSketch::error_bound`].
+    pub fn delta(&self) -> f64 {
+        (-(self.seeds.len() as f64)).exp()
+    }
+
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    pub fn depth(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Resident size of the counter array in bytes.
+    pub fn bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Zeroes every counter (epoch rotation).
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+    }
+}
+
+/// A seeded Bloom filter over canonical 5-tuples.
+///
+/// `k` derived hash functions over a power-of-two bit array. No false
+/// negatives ever: once inserted, a key always tests present.
+#[derive(Clone, Debug)]
+pub struct BloomFilter {
+    mask: u64,
+    seeds: Vec<u64>,
+    words: Vec<u64>,
+}
+
+impl BloomFilter {
+    /// `bits` is rounded up to the next power of two (min 64); `hashes`
+    /// probe positions per key are seeded from `seed`.
+    pub fn new(bits: usize, hashes: usize, seed: u64) -> Self {
+        assert!(bits > 0 && hashes > 0, "bloom dimensions must be positive");
+        let bits = bits.next_power_of_two().max(64);
+        let seeds =
+            (0..hashes as u64).map(|r| splitmix(seed ^ splitmix(r ^ 0xB100_F11E))).collect();
+        Self { mask: bits as u64 - 1, seeds, words: vec![0; bits / 64] }
+    }
+
+    #[inline]
+    fn bit(&self, seed: u64, key: &FiveTuple) -> (usize, u64) {
+        let b = key.bi_hash(seed) & self.mask;
+        ((b >> 6) as usize, 1u64 << (b & 63))
+    }
+
+    /// Tests membership: false ⇒ definitely never inserted.
+    pub fn contains(&self, key: &FiveTuple) -> bool {
+        self.seeds.iter().all(|&s| {
+            let (w, m) = self.bit(s, key);
+            self.words[w] & m != 0
+        })
+    }
+
+    /// Inserts `key`, returning whether it already tested present
+    /// (i.e. the pre-insert [`BloomFilter::contains`]).
+    pub fn insert(&mut self, key: &FiveTuple) -> bool {
+        let mut present = true;
+        for i in 0..self.seeds.len() {
+            let (w, m) = self.bit(self.seeds[i], key);
+            present &= self.words[w] & m != 0;
+            self.words[w] |= m;
+        }
+        present
+    }
+
+    /// Resident size of the bit array in bytes.
+    pub fn bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
+    /// Clears every bit (epoch rotation).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::five_tuple::{PROTO_TCP, PROTO_UDP};
+    use iguard_runtime::proptest_lite;
+    use iguard_runtime::rng::Rng;
+    use std::collections::HashMap;
+
+    fn key(i: u32, rng: &mut Rng) -> FiveTuple {
+        FiveTuple::new(
+            0x0A00_0000 | (i & 0xFFFF),
+            0xC0A8_0000 | (i >> 16),
+            10_000 + (i % 40_000) as u16,
+            [80u16, 443, 53, 8883][rng.gen_range(0..4usize)],
+            if rng.gen_bool(0.5) { PROTO_TCP } else { PROTO_UDP },
+        )
+    }
+
+    #[test]
+    fn cms_exact_on_sparse_stream() {
+        let mut cms = CountMinSketch::new(1024, 4, 7);
+        let mut rng = Rng::seed_from_u64(1);
+        let a = key(1, &mut rng);
+        let b = key(2, &mut rng);
+        assert_eq!(cms.estimate(&a), 0);
+        assert_eq!(cms.increment(&a), 1);
+        assert_eq!(cms.increment(&a), 2);
+        assert_eq!(cms.increment(&b), 1);
+        assert_eq!(cms.estimate(&a), 2);
+        assert_eq!(cms.estimate(&b), 1);
+        cms.clear();
+        assert_eq!(cms.estimate(&a), 0);
+    }
+
+    #[test]
+    fn cms_direction_symmetric() {
+        let mut cms = CountMinSketch::new(256, 3, 9);
+        let mut rng = Rng::seed_from_u64(2);
+        let k = key(77, &mut rng);
+        cms.increment(&k);
+        let mut rev = k;
+        std::mem::swap(&mut rev.src_ip, &mut rev.dst_ip);
+        std::mem::swap(&mut rev.src_port, &mut rev.dst_port);
+        assert_eq!(cms.estimate(&rev), 1, "reverse direction must share cells");
+    }
+
+    #[test]
+    fn cms_sizing_from_error_bound() {
+        let cms = CountMinSketch::with_error_bound(0.01, 0.01, 3);
+        assert!(cms.width() >= 272); // e/0.01 ≈ 271.8, rounded up to pow2
+        assert!(cms.width().is_power_of_two());
+        assert_eq!(cms.depth(), 5); // ln(100) ≈ 4.6 → 5
+        assert!(cms.delta() <= 0.01);
+    }
+
+    #[test]
+    fn bloom_no_false_negatives_dense() {
+        let mut bloom = BloomFilter::new(1 << 12, 3, 11);
+        let mut rng = Rng::seed_from_u64(3);
+        let keys: Vec<FiveTuple> = (0..2000).map(|i| key(i, &mut rng)).collect();
+        for k in &keys {
+            bloom.insert(k);
+        }
+        // Way past the design fill — false positives abound, false
+        // negatives must not exist.
+        for k in &keys {
+            assert!(bloom.contains(k), "inserted key tested absent");
+        }
+    }
+
+    proptest_lite! {
+        /// Point queries never underestimate, on any random stream.
+        fn cms_overestimates_only(rng) {
+            let mut cms = CountMinSketch::new(rng.gen_range(16usize..512), rng.gen_range(1usize..5), rng.next_u64());
+            let distinct = rng.gen_range(4usize..200);
+            let pool: Vec<FiveTuple> = (0..distinct).map(|i| key(i as u32, rng)).collect();
+            let mut truth: HashMap<FiveTuple, u32> = HashMap::new();
+            for _ in 0..rng.gen_range(10usize..3000) {
+                let k = &pool[rng.gen_range(0..pool.len())];
+                let canon = k.canonical();
+                *truth.entry(canon).or_default() += 1;
+                let est = cms.increment(k);
+                assert!(est >= truth[&canon], "estimate {est} < true {}", truth[&canon]);
+            }
+            for (k, &t) in &truth {
+                assert!(cms.estimate(k) >= t, "post-hoc estimate under-counts");
+            }
+        }
+
+        /// The ε/δ bound holds on adversarially skewed (Zipf-like) streams:
+        /// at most a small fraction of point queries exceed true + ε·N.
+        fn cms_error_bound_on_skewed_stream(rng, cases = 16) {
+            let mut cms = CountMinSketch::with_error_bound(0.02, 0.05, rng.next_u64());
+            let distinct = rng.gen_range(200usize..800);
+            let pool: Vec<FiveTuple> = (0..distinct).map(|i| key(i as u32, rng)).collect();
+            let mut truth: HashMap<FiveTuple, u32> = HashMap::new();
+            let n = rng.gen_range(5_000usize..20_000);
+            for _ in 0..n {
+                // Zipf-ish rank skew: rank = distinct * u^3 piles mass on
+                // the low ranks — the adversarial regime for a sketch.
+                let u = rng.next_f64();
+                let rank = ((u * u * u) * pool.len() as f64) as usize;
+                let k = &pool[rank.min(pool.len() - 1)];
+                *truth.entry(k.canonical()).or_default() += 1;
+                cms.increment(k);
+            }
+            let bound = cms.error_bound(n as u64) as u32;
+            let violations = truth
+                .iter()
+                .filter(|(k, &t)| cms.estimate(k) > t.saturating_add(bound))
+                .count();
+            // Per-query violation probability ≤ δ = 0.05; allow 3× slack
+            // over the expectation to keep the seeded cases stable.
+            let allowed = ((truth.len() as f64) * cms.delta() * 3.0).ceil() as usize + 1;
+            assert!(violations <= allowed, "{violations} ε/δ violations > {allowed} allowed");
+        }
+
+        /// Bloom: zero false negatives on any insert/query interleaving.
+        fn bloom_zero_false_negatives(rng) {
+            let mut bloom = BloomFilter::new(rng.gen_range(64usize..8192), rng.gen_range(1usize..6), rng.next_u64());
+            let mut inserted: Vec<FiveTuple> = Vec::new();
+            for i in 0..rng.gen_range(1usize..600) {
+                let k = key(i as u32, rng);
+                if rng.gen_bool(0.7) {
+                    bloom.insert(&k);
+                    inserted.push(k);
+                }
+                for k in &inserted {
+                    debug_assert!(bloom.contains(k));
+                }
+            }
+            for k in &inserted {
+                assert!(bloom.contains(k), "false negative");
+            }
+        }
+
+        /// Same seed ⇒ same estimates, regardless of the ambient worker
+        /// count (the sketch is strictly sequential state).
+        fn sketch_deterministic_across_worker_counts(rng, cases = 8) {
+            let seed = rng.next_u64();
+            let stream: Vec<FiveTuple> = (0..500).map(|i| key(i % 37, rng)).collect();
+            let run = || {
+                let mut cms = CountMinSketch::new(128, 3, seed);
+                let mut bloom = BloomFilter::new(1024, 3, seed);
+                let mut acc: u64 = 0;
+                for k in &stream {
+                    acc = acc.wrapping_mul(31).wrapping_add(cms.increment(k) as u64);
+                    acc = acc.wrapping_mul(31).wrapping_add(bloom.insert(k) as u64);
+                }
+                acc
+            };
+            let want = iguard_runtime::par::with_workers(1, run);
+            for workers in [2usize, 8] {
+                assert_eq!(
+                    iguard_runtime::par::with_workers(workers, run),
+                    want,
+                    "sketch state diverged at {workers} workers"
+                );
+            }
+        }
+    }
+}

@@ -119,6 +119,22 @@ struct Slot {
     label: Option<bool>,
 }
 
+/// What [`FlowShard::admit_prehashed`] did to slot storage — the
+/// bookkeeping signal the memory-budgeted (sketched) data plane needs to
+/// keep an exact resident count and an exact eviction book without ever
+/// scanning the tables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotClaim {
+    /// Installed into a previously empty slot: one more resident flow.
+    Fresh,
+    /// Installed over a timed-out or already-classified foreign resident,
+    /// whose key is returned: resident count unchanged, but the displaced
+    /// key is no longer tracked.
+    Displaced(FiveTuple),
+    /// Nothing installed (collision): resident set unchanged.
+    Unclaimed,
+}
+
 /// The result of observing one packet — maps 1:1 to the coloured packet
 /// execution paths of Fig. 4 (blacklist matching happens upstream in the
 /// switch pipeline, not here).
@@ -286,6 +302,28 @@ impl FlowShard {
         now_ns: u64,
         tallies: &mut ObserveTallies,
     ) -> InsertOutcome {
+        match self.observe_resident_prehashed(key, i1, i2, p, now_ns, tallies) {
+            Some(out) => out,
+            None => self.admit_prehashed(key, i1, i2, p, now_ns, tallies).0,
+        }
+    }
+
+    /// The resident half of the probe/install walk: if `key` is tracked
+    /// in either table, advance its state (classified / early / ready /
+    /// timeout-restart, exactly as [`FlowShard::observe_prehashed`]) and
+    /// return the outcome; if untracked, return `None` **without claiming
+    /// a slot**. The seam the sketch-assisted data plane interposes on:
+    /// untracked flows go to the admission sketch instead of straight to
+    /// [`FlowShard::admit_prehashed`].
+    pub fn observe_resident_prehashed(
+        &mut self,
+        key: FiveTuple,
+        i1: u32,
+        i2: u32,
+        p: &Packet,
+        now_ns: u64,
+        tallies: &mut ObserveTallies,
+    ) -> Option<InsertOutcome> {
         debug_assert_eq!(key, p.five.canonical());
         debug_assert_eq!((i1, i2), self.slot_index_pair(&key));
         let (i1, i2) = (i1 as usize, i2 as usize);
@@ -298,7 +336,7 @@ impl FlowShard {
                 if slot.key == key {
                     if let Some(label) = slot.label {
                         tallies.classified += 1;
-                        return InsertOutcome::Classified { label };
+                        return Some(InsertOutcome::Classified { label });
                     }
                     // Timeout check before updating: an idle flow is
                     // classified on whatever state it accumulated.
@@ -307,33 +345,56 @@ impl FlowShard {
                         // Restart tracking from this packet.
                         slot.stats = FlowStats::from_first_packet(p);
                         tallies.ready_timeout += 1;
-                        return InsertOutcome::Ready { stats, timed_out: true };
+                        return Some(InsertOutcome::Ready { stats, timed_out: true });
                     }
                     slot.stats.update(p);
                     if slot.stats.pkt_count >= self.cfg.pkt_threshold {
                         let stats = slot.stats;
                         tallies.ready += 1;
-                        return InsertOutcome::Ready { stats, timed_out: false };
+                        return Some(InsertOutcome::Ready { stats, timed_out: false });
                     }
                     tallies.early += 1;
-                    return InsertOutcome::Early { pkt_count: slot.stats.pkt_count };
+                    return Some(InsertOutcome::Early { pkt_count: slot.stats.pkt_count });
                 }
             }
         }
+        None
+    }
 
-        // Not tracked: find a free slot (table 1 preferred), evicting
-        // timed-out residents.
+    /// The install half of the walk, for a flow known to be untracked:
+    /// claim a free or reclaimable slot, or report a collision. Also
+    /// reports *what storage changed* ([`SlotClaim`]) so a budgeted
+    /// caller can keep an exact resident count and learn which foreign
+    /// key was displaced.
+    pub fn admit_prehashed(
+        &mut self,
+        key: FiveTuple,
+        i1: u32,
+        i2: u32,
+        p: &Packet,
+        now_ns: u64,
+        tallies: &mut ObserveTallies,
+    ) -> (InsertOutcome, SlotClaim) {
+        debug_assert_eq!(key, p.five.canonical());
+        debug_assert_eq!((i1, i2), self.slot_index_pair(&key));
+        let (i1, i2) = (i1 as usize, i2 as usize);
+
+        // Find a free slot (table 1 preferred), evicting timed-out
+        // residents.
         for (table_id, idx) in [(1usize, i1), (2usize, i2)] {
             let slot_opt =
                 if table_id == 1 { &mut self.table1[idx] } else { &mut self.table2[idx] };
-            let free = match slot_opt {
-                None => true,
-                Some(s) => s.stats.timed_out(now_ns, self.cfg.timeout_ns),
+            let claim = match slot_opt {
+                None => Some(SlotClaim::Fresh),
+                Some(s) if s.stats.timed_out(now_ns, self.cfg.timeout_ns) => {
+                    Some(SlotClaim::Displaced(s.key))
+                }
+                Some(_) => None,
             };
-            if free {
+            if let Some(claim) = claim {
                 *slot_opt = Some(Slot { key, stats: FlowStats::from_first_packet(p), label: None });
                 tallies.install += 1;
-                return if self.cfg.pkt_threshold == 1 {
+                let out = if self.cfg.pkt_threshold == 1 {
                     let stats = slot_opt.as_ref().unwrap().stats;
                     tallies.ready += 1;
                     InsertOutcome::Ready { stats, timed_out: false }
@@ -341,6 +402,7 @@ impl FlowShard {
                     tallies.early += 1;
                     InsertOutcome::Early { pkt_count: 1 }
                 };
+                return (out, claim);
             }
         }
 
@@ -352,17 +414,50 @@ impl FlowShard {
                 if table_id == 1 { &mut self.table1[idx] } else { &mut self.table2[idx] };
             if let Some(s) = slot_opt {
                 if s.label.is_some() {
+                    let displaced = s.key;
                     *slot_opt =
                         Some(Slot { key, stats: FlowStats::from_first_packet(p), label: None });
                     tallies.evict_classified += 1;
                     tallies.install += 1;
-                    return InsertOutcome::ReplacedClassified { pkt_count: 1 };
+                    return (
+                        InsertOutcome::ReplacedClassified { pkt_count: 1 },
+                        SlotClaim::Displaced(displaced),
+                    );
                 }
             }
         }
         self.collision_packets += 1;
         tallies.collision += 1;
-        InsertOutcome::Collision
+        (InsertOutcome::Collision, SlotClaim::Unclaimed)
+    }
+
+    /// Releases a flow's slot under memory pressure (the budgeted data
+    /// plane's policy eviction). Identical storage effect to
+    /// [`FlowShard::clear`], but counted as an eviction, not a
+    /// controller-driven clear. Returns false if the flow was not
+    /// resident (e.g. a stale eviction-book entry).
+    pub fn evict(&mut self, key: &FiveTuple) -> bool {
+        let key = key.canonical();
+        let i1 = self.idx1(&key);
+        if matches!(&self.table1[i1], Some(s) if s.key == key) {
+            self.table1[i1] = None;
+            counter!("flow.table.evict_budget").inc();
+            return true;
+        }
+        let i2 = self.idx2(&key);
+        if matches!(&self.table2[i2], Some(s) if s.key == key) {
+            self.table2[i2] = None;
+            counter!("flow.table.evict_budget").inc();
+            return true;
+        }
+        false
+    }
+
+    /// Resident bytes one tracked flow costs: one slot (key + stats +
+    /// label + discriminant). The budgeted data plane divides its byte
+    /// budget by this to get a tracked-flow cap.
+    pub fn slot_bytes() -> usize {
+        std::mem::size_of::<Option<Slot>>()
     }
 
     /// Installs a label for a tracked flow (the green loopback path writes

@@ -60,6 +60,9 @@ pub struct DigestChannel {
     plan: FaultPlan,
     stream: FaultStream,
     in_flight: Vec<InFlight>,
+    /// Reused delivery scratch: messages due this tick, pre-sort. Kept on
+    /// the channel so steady-state delivery performs no allocation.
+    ready: Vec<InFlight>,
     admitted: u64,
     stats: ChannelStats,
 }
@@ -67,7 +70,14 @@ pub struct DigestChannel {
 impl DigestChannel {
     pub fn new(plan: FaultPlan) -> Self {
         let stream = plan.stream(ChannelKind::Digest);
-        Self { plan, stream, in_flight: Vec::new(), admitted: 0, stats: ChannelStats::default() }
+        Self {
+            plan,
+            stream,
+            in_flight: Vec::new(),
+            ready: Vec::new(),
+            admitted: 0,
+            stats: ChannelStats::default(),
+        }
     }
 
     /// Offers a batch of digests for transit at `tick`. Fault decisions
@@ -126,15 +136,16 @@ impl DigestChannel {
         if self.in_flight.is_empty() {
             return;
         }
-        let mut ready: Vec<InFlight> = Vec::new();
+        self.ready.clear();
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].due <= tick {
-                ready.push(self.in_flight.swap_remove(i));
+                self.ready.push(self.in_flight.swap_remove(i));
             } else {
                 i += 1;
             }
         }
+        let ready = &mut self.ready;
         if ready.is_empty() {
             return;
         }
@@ -149,7 +160,7 @@ impl DigestChannel {
             }
         }
         self.stats.delivered += ready.len() as u64;
-        out.extend(ready.into_iter().map(|f| f.msg));
+        out.extend(ready.iter().map(|f| f.msg));
     }
 
     /// Whether messages are still in transit (delayed past the last tick).

@@ -39,6 +39,30 @@ use crate::pipeline::{
     ControlAction, Digest, PathCounters, ProcessOutcome, SeqDigest, WhitelistCounters,
 };
 
+/// Occupancy and approximation statistics of a sketch-assisted backend
+/// (see `crate::sketched`). Exact backends report `None` from
+/// [`DataPlane::sketch_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SketchStats {
+    /// Flows currently holding an exact table slot.
+    pub tracked: usize,
+    /// Hard cap on `tracked` derived from the byte budget
+    /// (`usize::MAX` = unbudgeted).
+    pub max_tracked: usize,
+    /// Exact-table bytes held by tracked flows right now.
+    pub resident_bytes: usize,
+    /// Configured resident-byte budget, if any.
+    pub budget_bytes: Option<usize>,
+    /// Fixed overhead of the admission sketches (CMS + Bloom).
+    pub sketch_bytes: usize,
+    /// Flows promoted from the sketch into an exact slot.
+    pub promoted: u64,
+    /// Packets absorbed by the sketch (never claimed an exact slot).
+    pub absorbed: u64,
+    /// Tracked flows evicted under budget pressure.
+    pub evicted: u64,
+}
+
 /// A switch data-plane backend.
 pub trait DataPlane {
     /// Classifies a batch, appending one [`ProcessOutcome`] per packet in
@@ -98,6 +122,12 @@ pub trait DataPlane {
 
     /// Total packets offered to `process_batch` (and `process`) so far.
     fn packets_processed(&self) -> u64;
+
+    /// Sketch-occupancy statistics; `None` for exact backends (the
+    /// default), `Some` for sketch-assisted ones.
+    fn sketch_stats(&self) -> Option<SketchStats> {
+        None
+    }
 
     /// Convenience allocating drain; prefer [`Self::drain_digests_into`]
     /// in loops.

@@ -51,13 +51,14 @@ pub mod replay;
 pub mod resources;
 pub mod rule_index;
 pub mod sharded;
+pub mod sketched;
 pub mod tcam;
 
 pub use channel::{ActionChannel, ChannelStats, DigestChannel};
 pub use controller::{
     Controller, ControllerConfig, ControllerSnapshot, EvictionPolicy, RetryPolicy,
 };
-pub use data_plane::DataPlane;
+pub use data_plane::{DataPlane, SketchStats};
 pub use pipeline::{
     PacketVerdict, PathTaken, Pipeline, PipelineConfig, ScalarPipeline, SeqDigest,
     WhitelistCounters, RESYNC_SEQ_BASE,
@@ -66,4 +67,5 @@ pub use replay::{ChaosConfig, CrashRecovery, CrashSpec};
 pub use resources::{ResourceModel, ResourceUsage};
 pub use rule_index::{RangeIndex, RangeScratch};
 pub use sharded::{ShardedPipeline, ShardedPipelineConfig, LOGICAL_SHARDS};
+pub use sketched::{SketchEviction, SketchedPipeline, SketchedPipelineConfig};
 pub use tcam::{RangeEntry, RangeTable, TcamTable, TernaryEntry};

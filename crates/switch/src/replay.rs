@@ -594,6 +594,127 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
     report
 }
 
+/// A pull-based packet supplier for [`replay_stream`]: fills caller-owned
+/// buffers so the replay loop never allocates per batch, no matter how
+/// long the stream runs. Implemented by
+/// [`iguard_synth::streaming::StreamingTrace`]; tests implement it over
+/// in-memory traces.
+pub trait PacketSource {
+    /// Fills `pkts`/`labels` (cleared first) with up to `max` packets;
+    /// returns the count, 0 at end of stream. Successive calls walk one
+    /// fixed packet sequence — the concatenation of all fills must not
+    /// depend on `max`.
+    fn fill_next(&mut self, max: usize, pkts: &mut Vec<Packet>, labels: &mut Vec<bool>) -> usize;
+}
+
+impl PacketSource for iguard_synth::streaming::StreamingTrace {
+    fn fill_next(&mut self, max: usize, pkts: &mut Vec<Packet>, labels: &mut Vec<bool>) -> usize {
+        iguard_synth::streaming::StreamingTrace::fill_next(self, max, pkts, labels)
+    }
+}
+
+/// [`replay`] over a [`PacketSource`] instead of a materialised
+/// [`Trace`]: the workload is generated batch-by-batch into two reused
+/// buffers, so memory is O(batch), not O(trace) — the entry point of the
+/// million-flow benches. The control loop is the ideal (fault-free) one;
+/// accounting matches [`replay_chaos`] with the default [`ChaosConfig`]
+/// fed the same packets at the same batch size.
+pub fn replay_stream<D: DataPlane + ?Sized, S: PacketSource + ?Sized>(
+    source: &mut S,
+    data_plane: &mut D,
+    controller: &mut Controller,
+    cfg: &ReplayConfig,
+) -> ReplayReport {
+    let mut report = ReplayReport::default();
+    let wl_start = data_plane.whitelist_counters();
+    let base_ns = cfg.latency.base_ns();
+    let batch_size = cfg.batch_size.max(1);
+    // The entire hot loop runs on these five buffers, allocated once.
+    let mut pkts: Vec<Packet> = Vec::with_capacity(batch_size);
+    let mut labels: Vec<bool> = Vec::with_capacity(batch_size);
+    let mut outcomes: Vec<ProcessOutcome> = Vec::with_capacity(batch_size);
+    let mut ctl = ControlLoop {
+        digest_chan: DigestChannel::new(FaultPlan::none()),
+        action_chan: ActionChannel::new(FaultPlan::none(), usize::MAX),
+        seq_buf: Vec::new(),
+        delivered: Vec::new(),
+        actions: Vec::new(),
+        due: Vec::new(),
+        resync_digests: 0,
+        last_install_tick: None,
+    };
+    let mut tick: u64 = 0;
+    let mut first_ts: Option<u64> = None;
+    let mut last_ts: u64 = 0;
+    while source.fill_next(batch_size, &mut pkts, &mut labels) > 0 {
+        data_plane.process_batch(&pkts, &mut outcomes);
+        debug_assert_eq!(outcomes.len(), pkts.len());
+        if first_ts.is_none() {
+            first_ts = pkts.first().map(|p| p.ts_ns);
+        }
+        if let Some(p) = pkts.last() {
+            last_ts = p.ts_ns;
+        }
+        let mut mirrored = 0u64;
+        let mut dropped = 0u64;
+        let mut bytes = 0u64;
+        for ((outcome, pkt), &truth) in outcomes.iter().zip(&pkts).zip(&labels) {
+            bytes += pkt.wire_len as u64;
+            let flagged = outcome.verdict == PacketVerdict::Drop;
+            dropped += flagged as u64;
+            match (truth, flagged) {
+                (true, true) => report.tp += 1,
+                (true, false) => report.fn_ += 1,
+                (false, true) => report.fp += 1,
+                (false, false) => report.tn += 1,
+            }
+            mirrored += outcome.mirrored as u64;
+        }
+        report.packets += outcomes.len() as u64;
+        report.bytes += bytes;
+        report.dropped += dropped;
+        report.loopback += mirrored;
+        report.avg_latency_ns += (outcomes.len() as u64 + mirrored) as f64 * base_ns;
+        ctl.tick(data_plane, controller, tick, false, &mut report);
+        tick += 1;
+    }
+    // Flush in-transit control work (the ideal channel is synchronous, so
+    // this converges in at most a couple of ticks).
+    let mut flush_ticks = 0u64;
+    while flush_ticks < 16 {
+        if !ctl.has_outstanding(controller) {
+            break;
+        }
+        let active = ctl.tick(data_plane, controller, tick, false, &mut report);
+        tick += 1;
+        flush_ticks += 1;
+        if !active && !ctl.has_outstanding(controller) {
+            break;
+        }
+    }
+    report.flush_ticks = flush_ticks;
+
+    let wl_end = data_plane.whitelist_counters();
+    report.wl_lookups = wl_end.lookups - wl_start.lookups;
+    report.wl_hits = wl_end.hits - wl_start.hits;
+
+    report.duration_secs = ((last_ts.saturating_sub(first_ts.unwrap_or(0))) as f64 / 1e9).max(1e-9);
+    report.avg_latency_ns /= report.packets.max(1) as f64;
+    report.offered_gbps = report.bytes as f64 * 8.0 / report.duration_secs / 1e9;
+    let total_slots = (report.packets + report.loopback) as f64;
+    let pipe_share = report.packets as f64 / total_slots.max(1.0);
+    let mut throughput = cfg.line_rate_gbps * pipe_share;
+    let cp = cfg.control_plane;
+    if cp.detour_fraction > 0.0 {
+        let detoured = throughput * cp.detour_fraction;
+        let passed = throughput - detoured + detoured.min(cp.cp_port_gbps);
+        throughput = passed.min(cfg.line_rate_gbps);
+    }
+    report.throughput_gbps = throughput.min(cfg.line_rate_gbps);
+    report.digest_kbps = controller.overhead_kbps(report.duration_secs);
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -604,6 +725,7 @@ mod tests {
     use iguard_runtime::rng::Rng;
     use iguard_synth::attacks::Attack;
     use iguard_synth::benign::benign_trace;
+    use iguard_synth::streaming::StreamingTrace;
 
     fn accept_all(dim: usize) -> RuleSet {
         RuleSet {
@@ -728,5 +850,66 @@ mod tests {
         assert_eq!(direct.packets, parsed.packets);
         assert_eq!(direct.dropped, parsed.dropped);
         assert_eq!(direct.tp, parsed.tp);
+    }
+
+    #[test]
+    fn stream_replay_matches_materialised_replay() {
+        use iguard_synth::streaming::StreamingConfig;
+        let scfg = StreamingConfig::default().with_seed(11).with_total_flows(400);
+        let trace = StreamingTrace::new(scfg.clone()).materialize();
+        let cfg = ReplayConfig::default().with_batch_size(64);
+        let run_mat = || {
+            let mut p = pipeline(fl_ipd_jitter_above(0.0008));
+            let mut c = Controller::new(ControllerConfig::default());
+            let r = replay(&trace, &mut p, &mut c, &cfg);
+            (r, p.blacklist_contents())
+        };
+        let run_stream = || {
+            let mut src = StreamingTrace::new(scfg.clone());
+            let mut p = pipeline(fl_ipd_jitter_above(0.0008));
+            let mut c = Controller::new(ControllerConfig::default());
+            let r = replay_stream(&mut src, &mut p, &mut c, &cfg);
+            (r, p.blacklist_contents())
+        };
+        let (m, m_bl) = run_mat();
+        let (s, s_bl) = run_stream();
+        assert_eq!((m.tp, m.fp, m.tn, m.fn_), (s.tp, s.fp, s.tn, s.fn_));
+        assert_eq!(m.packets, s.packets);
+        assert_eq!(m.bytes, s.bytes);
+        assert_eq!(m.dropped, s.dropped);
+        assert_eq!(m.loopback, s.loopback);
+        assert_eq!(m.digests, s.digests);
+        assert_eq!(m.wl_lookups, s.wl_lookups);
+        assert_eq!(m_bl, s_bl);
+        assert!(m.packets > 1000, "trace too small to be meaningful");
+    }
+
+    #[test]
+    fn stream_replay_is_batch_size_invariant() {
+        use iguard_synth::streaming::StreamingConfig;
+        let scfg = StreamingConfig::default().with_seed(12).with_total_flows(200);
+        let run = |batch: usize| {
+            let mut src = StreamingTrace::new(scfg.clone());
+            let mut p = pipeline(fl_ipd_jitter_above(0.0008));
+            let mut c = Controller::new(ControllerConfig::default());
+            let cfg = ReplayConfig::default().with_batch_size(batch);
+            replay_stream(&mut src, &mut p, &mut c, &cfg)
+        };
+        let a = run(97);
+        let b = run(97);
+        // Same batch size → fully deterministic.
+        assert_eq!((a.tp, a.fp, a.tn, a.fn_), (b.tp, b.fp, b.tn, b.fn_));
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.digests, b.digests);
+        // Across batch sizes the packet stream is identical (batch size is
+        // only the control-feedback granularity, which may shift installs).
+        let c = run(1);
+        let d = run(4096);
+        for r in [&c, &d] {
+            assert_eq!(a.packets, r.packets);
+            assert_eq!(a.bytes, r.bytes);
+            assert_eq!(a.tp + a.fn_, r.tp + r.fn_, "ground-truth positives differ");
+            assert_eq!(a.fp + a.tn, r.fp + r.tn, "ground-truth negatives differ");
+        }
     }
 }

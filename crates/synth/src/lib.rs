@@ -29,7 +29,9 @@ pub mod attacks;
 pub mod benign;
 pub mod pcap;
 pub mod profile;
+pub mod streaming;
 pub mod trace;
 
 pub use attacks::{Attack, ALL_ATTACKS};
+pub use streaming::{StreamingConfig, StreamingTrace, Zipf};
 pub use trace::{LabeledFlows, Trace};

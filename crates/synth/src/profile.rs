@@ -94,7 +94,7 @@ impl FlagsModel {
         Self { syn_first: false, syn_all: false, ack_rest: false, fin_last: false }
     }
 
-    fn flags_for(&self, idx: u32, last_idx: u32) -> TcpFlags {
+    pub(crate) fn flags_for(&self, idx: u32, last_idx: u32) -> TcpFlags {
         let mut f = TcpFlags::default();
         if self.syn_all || (self.syn_first && idx == 0) {
             f.syn = true;

@@ -44,13 +44,23 @@ echo "== SoA parity gate: columnar batch path vs scalar oracle (workers 1 and 8)
 IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test soa_parity
 IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test soa_parity
 
-echo "== bench reporter smoke run (shard + chaos + rule-index sweeps) =="
+echo "== scale parity gate: sketched admission vs exact pipeline (workers 1 and 8) =="
+# Unbudgeted SketchedPipeline must fingerprint-match Pipeline; budgeted
+# runs must hold the resident-byte cap and stay within the shed-work
+# FP/FN bound (DESIGN.md sec. 12).
+IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test scale_parity
+IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test scale_parity
+
+echo "== bench reporter smoke run (shard + chaos + rule-index + sketch sweeps) =="
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
-trap 'rm -f "$smoke_out"' EXIT
-# bench_report itself hard-fails on indexed-vs-linear verdict divergence
-# and on a sub-2x index speedup at >=256 rules.
-cargo run -q --release --offline -p iguard-bench --bin bench_report -- \
-    --smoke --out "$smoke_out"
+smoke7_out="$(mktemp /tmp/bench_smoke_pr7.XXXXXX.json)"
+trap 'rm -f "$smoke_out" "$smoke7_out"' EXIT
+# bench_report itself hard-fails on indexed-vs-linear verdict divergence,
+# on a sub-2x index speedup at >=256 rules, on sketched/exact fingerprint
+# divergence, on a budget overrun, and on a per-batch steady-state
+# allocation. IGUARD_PR7_FLOWS shrinks the 1M-flow streaming sweep for CI.
+IGUARD_PR7_FLOWS=8000 cargo run -q --release --offline -p iguard-bench --bin bench_report -- \
+    --smoke --out "$smoke_out" --out-pr7 "$smoke7_out"
 test -s "$smoke_out" || { echo "bench_report wrote an empty report"; exit 1; }
 grep -q '"schema": "iguard-bench-pr6"' "$smoke_out" \
     || { echo "bench_report schema marker missing"; exit 1; }
@@ -73,5 +83,20 @@ grep -q '"soa_replay"' "$smoke_out" \
 # hard-fails if the columnar replay is below 2x the scalar path.
 [ "$(grep -c '"verdicts_identical": true' "$smoke_out")" -eq 3 ] \
     || { echo "bench_report verdict-parity markers missing"; exit 1; }
+# The sketched runs share the process, so their counters must appear in
+# the verified telemetry snapshot.
+for marker in switch.sketch.promoted switch.sketch.absorbed switch.sketch.evicted; do
+    grep -q "\"$marker\"" "$smoke_out" \
+        || { echo "telemetry marker $marker missing"; exit 1; }
+done
+test -s "$smoke7_out" || { echo "bench_report wrote an empty PR7 report"; exit 1; }
+grep -q '"schema": "iguard-bench-pr7"' "$smoke7_out" \
+    || { echo "bench_report pr7 schema marker missing"; exit 1; }
+grep -q '"exact_mode_parity": true' "$smoke7_out" \
+    || { echo "bench_report sketched exact-parity marker missing"; exit 1; }
+grep -q '"budgets_respected": true' "$smoke7_out" \
+    || { echo "bench_report budget marker missing"; exit 1; }
+grep -q '"steady_state_allocation_free": true' "$smoke7_out" \
+    || { echo "bench_report allocation-probe marker missing"; exit 1; }
 
 echo "All checks passed."
