@@ -25,6 +25,7 @@ use iguard_flow::packet::Packet;
 use iguard_flow::stats::FlowStats;
 use iguard_iforest::{IsolationForest, IsolationForestConfig};
 use iguard_switch::controller::{Controller, ControllerConfig};
+use iguard_switch::data_plane::DataPlane;
 use iguard_switch::pipeline::{Pipeline, PipelineConfig};
 use iguard_switch::tcam::{compile_ruleset, quantize_key_into, FieldSpec};
 use iguard_synth::benign::benign_trace;
@@ -144,11 +145,14 @@ fn pipeline() {
         let mut p = Pipeline::new(PipelineConfig::default(), accept_all(13), accept_all(4));
         let mut c2 = Controller::new(ControllerConfig::default());
         let mut idx = 0usize;
+        let mut digests = Vec::new();
         bench("per_packet_process", || {
             let pkt = &trace.packets[idx % trace.len()];
             idx += 1;
             let out = p.process(pkt);
-            for a in c2.process_digests(&p.drain_digests()) {
+            digests.clear();
+            p.drain_seq_digests_into(&mut digests);
+            for a in c2.process_seq_digests(&digests) {
                 p.apply(a);
             }
             out

@@ -18,10 +18,15 @@
 //! columnar replay path must match the scalar oracle byte-for-byte while
 //! being at least 2× faster in packets/sec at a single worker.
 //!
+//! Two sibling documents ride along: `BENCH_PR7.json` (the streaming
+//! sketch sweep) and `BENCH_PR8.json` (the online drift-adaptation loop —
+//! drift detection, warm retrain, minimal rule diff, hitless transactional
+//! swap, each behind its own hard gate).
+//!
 //! Usage:
 //!
 //! ```text
-//! bench_report [--smoke] [--seed N] [--out PATH]
+//! bench_report [--smoke] [--seed N] [--out PATH] [--out-pr7 PATH] [--out-pr8 PATH]
 //! ```
 //!
 //! `--smoke` runs one iteration of each stage (CI sanity); the default is
@@ -35,24 +40,28 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use iguard_core::drift::DriftConfig;
 use iguard_core::early::EarlyModel;
 use iguard_core::forest::{IGuardConfig, IGuardForest};
 use iguard_core::rules::{Hypercube, RuleSet};
 use iguard_core::teacher::OracleTeacher;
 use iguard_flow::features::packet_level_features;
+use iguard_flow::five_tuple::{FiveTuple, PROTO_TCP};
+use iguard_flow::packet::{Packet, TcpFlags};
 use iguard_flow::table::FlowTableConfig;
 use iguard_iforest::IsolationForestConfig;
 use iguard_runtime::rng::Rng;
 use iguard_runtime::{ChannelKind, FaultPlan};
 use iguard_switch::controller::{Controller, ControllerConfig};
 use iguard_switch::data_plane::DataPlane;
-use iguard_switch::pipeline::{Pipeline, PipelineConfig};
+use iguard_switch::pipeline::{PacketVerdict, Pipeline, PipelineConfig, ProcessOutcome};
 use iguard_switch::replay::replay_stream;
 use iguard_switch::replay::{replay, replay_chaos, ChaosConfig, ReplayConfig, ReplayReport};
 use iguard_switch::resources::ResourceModel;
 use iguard_switch::rule_index::RangeIndex;
+use iguard_switch::ruleset::{canonical_entries, RulesetCounters, RulesetTxn};
 use iguard_switch::sharded::{ShardedPipeline, ShardedPipelineConfig};
-use iguard_switch::tcam::{compile_ruleset, quantize_key_into, FieldSpec, RangeTable};
+use iguard_switch::tcam::{compile_ruleset, quantize_key_into, FieldSpec, RangeEntry, RangeTable};
 use iguard_switch::{SketchEviction, SketchedPipeline, SketchedPipelineConfig};
 use iguard_synth::attacks::Attack;
 use iguard_synth::benign::benign_trace;
@@ -96,6 +105,7 @@ struct Args {
     seed: u64,
     out: String,
     out_pr7: String,
+    out_pr8: String,
 }
 
 fn parse_args() -> Args {
@@ -104,6 +114,7 @@ fn parse_args() -> Args {
         seed: 7,
         out: "BENCH_PR6.json".into(),
         out_pr7: "BENCH_PR7.json".into(),
+        out_pr8: "BENCH_PR8.json".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -115,9 +126,12 @@ fn parse_args() -> Args {
             }
             "--out" => args.out = it.next().expect("--out needs a path"),
             "--out-pr7" => args.out_pr7 = it.next().expect("--out-pr7 needs a path"),
+            "--out-pr8" => args.out_pr8 = it.next().expect("--out-pr8 needs a path"),
             other => {
                 eprintln!("unknown argument {other:?}");
-                eprintln!("usage: bench_report [--smoke] [--seed N] [--out PATH] [--out-pr7 PATH]");
+                eprintln!(
+                    "usage: bench_report [--smoke] [--seed N] [--out PATH] [--out-pr7 PATH] [--out-pr8 PATH]"
+                );
                 std::process::exit(2);
             }
         }
@@ -158,6 +172,16 @@ impl StageStat {
             .u64("max_ns", self.max_ns);
         o.render(indent)
     }
+}
+
+/// 16-bit quantization specs scaled to a rule set's feature bounds — the
+/// same compilation every deployment stage in this reporter uses.
+fn specs_for(rules: &RuleSet) -> Vec<FieldSpec> {
+    rules
+        .bounds
+        .iter()
+        .map(|&(_, hi)| FieldSpec::new(16, (65_535.0 / hi.max(1e-6)).min(65_535.0)))
+        .collect()
 }
 
 /// Everything one scenario iteration produces that the report consumes.
@@ -210,16 +234,8 @@ fn run_scenario(seed: u64, stages: &mut [StageStat]) -> RunArtifacts {
     });
     let pl_rules = early.rules;
 
-    let fl_specs: Vec<FieldSpec> = fl_rules
-        .bounds
-        .iter()
-        .map(|&(_, hi)| FieldSpec::new(16, (65_535.0 / hi.max(1e-6)).min(65_535.0)))
-        .collect();
-    let pl_specs: Vec<FieldSpec> = pl_rules
-        .bounds
-        .iter()
-        .map(|&(_, hi)| FieldSpec::new(16, (65_535.0 / hi.max(1e-6)).min(65_535.0)))
-        .collect();
+    let fl_specs = specs_for(&fl_rules);
+    let pl_specs = specs_for(&pl_rules);
     let (fl_tcam, pl_tcam) = tcam_compile
         .time(|| (compile_ruleset(&fl_rules, &fl_specs), compile_ruleset(&pl_rules, &pl_specs)));
 
@@ -983,6 +999,541 @@ fn run_streaming_sweep(
     (scfg, runs, probe)
 }
 
+// ---------------------------------------------------------------------------
+// PR-8: the online drift-adaptation loop — drift detection over the digest
+// stream, warm retrain, minimal rule diff, transactional hitless swap.
+
+/// Batch size for the swap-window and scripted-convergence replays — small
+/// enough that the scripted staging ticks fall mid-trace.
+const SWAP_BATCH: usize = 64;
+
+/// Interleaved trace of `flows` flows × `pkts_per_flow` packets with
+/// per-flow-constant wire length (flows with `f % 3 == 0` send 1400 B, the
+/// rest 120 B), so each flow classifies identically on every
+/// (re-)derivation — the deterministic workload the ruleset-swap test
+/// suite replays, reproduced here for the gated sweep.
+fn stable_swap_trace(flows: u16, pkts_per_flow: u64) -> Trace {
+    let mut t = Trace::new();
+    for i in 0..(flows as u64 * pkts_per_flow) {
+        let f = (i % flows as u64) as u16;
+        let malicious = f % 3 == 0;
+        let len = if malicious { 1400 } else { 120 };
+        let pkt = Packet {
+            ts_ns: i * 1_000_000,
+            five: FiveTuple::new(0x0A00_0001, 0xC0A8_0101, 30_000 + f, 80, PROTO_TCP),
+            wire_len: len,
+            ttl: 64,
+            flags: TcpFlags::default(),
+        };
+        t.push(pkt, malicious);
+    }
+    t
+}
+
+fn accept_all(dim: usize) -> RuleSet {
+    RuleSet {
+        bounds: vec![(0.0, 1.0); dim],
+        whitelist: vec![Hypercube {
+            lo: vec![f32::NEG_INFINITY; dim],
+            hi: vec![f32::INFINITY; dim],
+        }],
+        total_regions: 1,
+    }
+}
+
+/// FL whitelist benign iff mean packet size (feature 2) < `cut`.
+fn fl_mean_size_below(cut: f32) -> RuleSet {
+    let lo = vec![f32::NEG_INFINITY; 13];
+    let mut hi = vec![f32::INFINITY; 13];
+    hi[2] = cut;
+    RuleSet {
+        bounds: vec![(0.0, 2000.0); 13],
+        whitelist: vec![Hypercube { lo, hi }],
+        total_regions: 2,
+    }
+}
+
+fn swap_pipe_cfg() -> PipelineConfig {
+    PipelineConfig::default().with_flow_table(
+        FlowTableConfig::default().with_slots_per_table(4096).with_pkt_threshold(4),
+    )
+}
+
+/// One scripted swap-under-chaos replay, captured for exact equality.
+#[derive(Debug, PartialEq)]
+struct SwapChaosRun {
+    confusion: (u64, u64, u64, u64),
+    blacklist: Vec<FiveTuple>,
+    version: u64,
+    counters: RulesetCounters,
+    table: Vec<RangeEntry>,
+    swaps: u64,
+    retries: u64,
+}
+
+fn run_swap_chaos_case(
+    trace: &Trace,
+    fl: &RuleSet,
+    shards: usize,
+    workers: usize,
+    chaos: &ChaosConfig,
+) -> SwapChaosRun {
+    iguard_runtime::par::with_workers(workers, || {
+        let cfg = ShardedPipelineConfig::from(swap_pipe_cfg()).with_shards(shards);
+        let mut dp = ShardedPipeline::new(cfg, fl.clone(), accept_all(4));
+        let mut controller = Controller::new(ControllerConfig::default());
+        let r = replay_chaos(
+            trace,
+            &mut dp,
+            &mut controller,
+            &ReplayConfig::default().with_batch_size(SWAP_BATCH),
+            chaos,
+        );
+        SwapChaosRun {
+            confusion: (r.tp, r.fp, r.tn, r.fn_),
+            blacklist: dp.blacklist_contents(),
+            version: dp.ruleset_version(),
+            counters: dp.ruleset_counters(),
+            table: dp.ruleset_table().entries().to_vec(),
+            swaps: r.ruleset_swaps,
+            retries: r.ruleset_retries,
+        }
+    })
+}
+
+/// The scripted two-transaction schedule: v1 bootstraps a 6-entry table at
+/// tick 1, v2 swaps to a table sharing half of it at tick 6. Both carry
+/// the same float whitelist, so delivery timing cannot alter any flow
+/// label and exact fingerprint equality is the right convergence oracle.
+fn scripted_swap_chaos(fl: &RuleSet, plan: FaultPlan) -> ChaosConfig {
+    let mut t1 = RangeTable::new(vec![8, 8]);
+    for p in 0..6u32 {
+        t1.push(RangeEntry { fields: vec![(p * 10, p * 10 + 9), (0, 255)], priority: p });
+    }
+    let mut t2 = RangeTable::new(vec![8, 8]);
+    for p in 0..3u32 {
+        t2.push(RangeEntry { fields: vec![(p * 10, p * 10 + 9), (0, 255)], priority: p });
+    }
+    for p in 6..9u32 {
+        t2.push(RangeEntry { fields: vec![(p * 7, p * 7 + 3), (1, 200)], priority: p });
+    }
+    ChaosConfig::default()
+        .with_plan(plan)
+        .with_resync_interval(4)
+        .with_ruleset_swap(1, RulesetTxn::full_install(1, &t1, fl.clone()))
+        .with_ruleset_swap(6, RulesetTxn::diff(2, &t1, &t2, fl.clone()))
+}
+
+/// Rendered JSON sections of the PR-8 report, assembled where the hard
+/// gates run so the booleans and the numbers they guard stay together.
+struct SwapSweepDoc {
+    drift_loop: String,
+    rule_diff: String,
+    swap_window: String,
+    fault_convergence: String,
+    determinism: String,
+    versioning: String,
+}
+
+/// The PR-8 tentpole sweep: drives the adaptation loop end to end — train
+/// and install generation 1, watch a calm then a shifted traffic regime
+/// through the drift detector, warm-retrain on the shifted window, compile
+/// generation 2, compute the minimal diff and deliver it through a dark
+/// action channel — then gates the swap path itself: zero packets may see
+/// a blend of two rulesets mid-swap, scripted swaps under lossy/outage
+/// plans must converge on the fault-free fingerprint, and the whole run
+/// must be byte-identical at 1/2/8 shards × workers. Every gate aborts the
+/// run before a report is written.
+fn run_ruleset_swap_sweep(seed: u64, pl_rules: &RuleSet) -> SwapSweepDoc {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x0DD5_11F7);
+    let extract_cfg = ExtractConfig::default();
+    let teacher = OracleTeacher(|x: &[f32]| x[10] < 0.0008 || x[2] > 1200.0);
+    let ig = IGuardConfig { n_trees: 7, subsample: 64, k_augment: 64, ..Default::default() };
+
+    // --- Generation 1: train, compile, install as transaction v1.
+    let train_trace = benign_trace(250, 10.0, &mut rng);
+    let train = extract_flows(&train_trace, &extract_cfg);
+    let mut forest = IGuardForest::fit(&train.features, &teacher, &ig, &mut rng);
+    forest.distill(&train.features, &teacher, ig.k_augment, &mut rng);
+    let old_rules = RuleSet::from_iguard(&forest, 600_000).expect("FL rule budget");
+    let old_table = compile_ruleset(&old_rules, &specs_for(&old_rules));
+
+    let drift_cfg = DriftConfig::default()
+        .with_window(64)
+        .with_min_samples(32)
+        .with_threshold(0.2)
+        .with_cooldown(64);
+    let mut controller =
+        Controller::new(ControllerConfig { drift: Some(drift_cfg), ..Default::default() });
+    let mut pipeline = Pipeline::new(swap_pipe_cfg(), old_rules.clone(), pl_rules.clone());
+    pipeline
+        .apply_ruleset(&RulesetTxn::full_install(1, &old_table, old_rules.clone()))
+        .expect("bootstrap v1");
+
+    // --- Calm segment: the detector arms and freezes its reference.
+    let replay_cfg = ReplayConfig::default().with_batch_size(1024);
+    let calm = benign_trace(220, 10.0, &mut rng);
+    let r_calm = replay(&calm, &mut pipeline, &mut controller, &replay_cfg);
+    if controller.take_drift_trigger() {
+        eprintln!("bench_report: drift fired on calm traffic");
+        std::process::exit(1);
+    }
+    let calm_fraction = controller.drift_detector().map_or(0.0, |d| d.window_fraction());
+    let reference = controller.drift_detector().and_then(|d| d.reference());
+
+    // --- Regime shift: a flood joins; the malicious digest fraction jumps.
+    let shifted = Trace::merge(vec![
+        benign_trace(60, 10.0, &mut rng),
+        Attack::UdpDdos.trace(90, 10.0, &mut rng),
+    ]);
+    let r_shift = replay(&shifted, &mut pipeline, &mut controller, &replay_cfg);
+    if !controller.take_drift_trigger() {
+        eprintln!("bench_report: regime shift did not fire the drift trigger");
+        std::process::exit(1);
+    }
+    let det = controller.drift_detector().expect("drift configured");
+    let (drift_observed, drift_fires, shifted_fraction) =
+        (det.observed(), det.fires(), det.window_fraction());
+
+    // --- Warm retrain on the shifted window; compile generation 2; diff.
+    let retrain = extract_flows(&shifted, &extract_cfg);
+    let mut new_forest = forest.refit_warm(&retrain.features, &teacher, &ig, &mut rng);
+    new_forest.distill(&retrain.features, &teacher, ig.k_augment, &mut rng);
+    let new_rules = RuleSet::from_iguard(&new_forest, 600_000).expect("refit FL budget");
+    let new_table = compile_ruleset(&new_rules, &specs_for(&new_rules));
+    let v2 = RulesetTxn::diff(2, &old_table, &new_table, new_rules.clone());
+    let retrain_churn = v2.churn();
+    let retrain_full = old_table.len() + new_table.len();
+    if retrain_churn > retrain_full {
+        eprintln!("bench_report: diff churn {retrain_churn} exceeds full reinstall {retrain_full}");
+        std::process::exit(1);
+    }
+
+    // --- Deliver v2 through the fallible control loop: the action channel
+    // is dark for the first 4 ticks, so the transaction must survive on
+    // backoff and land after the heal.
+    controller.stage_ruleset(v2);
+    let before = pipeline.ruleset_counters();
+    let outage_plan =
+        FaultPlan::none().with_seed(seed ^ 0xAC70).with_outage(ChannelKind::Action, 0, 4);
+    let chaos = ChaosConfig::default().with_plan(outage_plan).with_resync_interval(4);
+    let settle = Trace::merge(vec![
+        benign_trace(80, 8.0, &mut rng),
+        Attack::UdpDdos.trace(40, 8.0, &mut rng),
+    ]);
+    let r_settle = replay_chaos(&settle, &mut pipeline, &mut controller, &replay_cfg, &chaos);
+    let delivered_version = pipeline.ruleset_version();
+    if delivered_version != 2 || r_settle.ruleset_swaps != 1 {
+        eprintln!(
+            "bench_report: drift transaction did not converge (version {delivered_version}, swaps {})",
+            r_settle.ruleset_swaps
+        );
+        std::process::exit(1);
+    }
+    if r_settle.ruleset_retries == 0 {
+        eprintln!("bench_report: action outage produced no ruleset retries");
+        std::process::exit(1);
+    }
+    let after = pipeline.ruleset_counters();
+    let tcam_writes = (after.installed + after.removed) - (before.installed + before.removed);
+    if tcam_writes > retrain_churn as u64 {
+        eprintln!("bench_report: TCAM writes {tcam_writes} exceed the diff size {retrain_churn}");
+        std::process::exit(1);
+    }
+
+    // --- Perturbed-retrain point: a quarter of the live table dropped, a
+    // fifth re-added at shifted priority — the incremental-retrain shape
+    // where the minimal diff must strictly beat tearing the table down and
+    // reinstalling it wholesale.
+    let old_entries = canonical_entries(&old_table);
+    if old_entries.len() < 8 {
+        eprintln!("bench_report: compiled table too small ({}) to perturb", old_entries.len());
+        std::process::exit(1);
+    }
+    let mut perturbed = RangeTable::new(old_table.field_bits.clone());
+    for (i, e) in old_entries.iter().enumerate() {
+        if i % 4 != 3 {
+            perturbed.push(e.clone());
+        }
+    }
+    for e in old_entries.iter().step_by(5) {
+        let mut shifted_entry = e.clone();
+        shifted_entry.priority = shifted_entry.priority.saturating_add(1);
+        perturbed.push(shifted_entry);
+    }
+    let vp = RulesetTxn::diff(2, &old_table, &perturbed, old_rules.clone());
+    let perturbed_full = old_table.len() + perturbed.len();
+    if vp.churn() == 0 || vp.churn() >= perturbed_full {
+        eprintln!(
+            "bench_report: perturbed diff churn {} not below full reinstall {perturbed_full}",
+            vp.churn()
+        );
+        std::process::exit(1);
+    }
+
+    // --- Swap-window gate: every packet in a mid-stream swap replay must
+    // see the old generation's verdict or the new one's — never a blend.
+    let wtrace = stable_swap_trace(40, 12);
+    let old_fl = fl_mean_size_below(800.0);
+    let new_fl = accept_all(13);
+    let mut wtable = RangeTable::new(vec![4, 4]);
+    wtable.push(RangeEntry { fields: vec![(0, 15), (0, 15)], priority: 0 });
+    let wtxn = RulesetTxn::full_install(1, &wtable, new_fl.clone());
+    let swap_at = wtrace.packets.len().div_ceil(SWAP_BATCH) / 2;
+    let wrun = |fl: RuleSet, swap: Option<usize>| -> Vec<PacketVerdict> {
+        let mut dp = Pipeline::new(swap_pipe_cfg(), fl, accept_all(4));
+        let mut outcomes: Vec<ProcessOutcome> = Vec::new();
+        let mut verdicts = Vec::with_capacity(wtrace.packets.len());
+        for (b, chunk) in wtrace.packets.chunks(SWAP_BATCH).enumerate() {
+            if swap == Some(b) {
+                dp.apply_ruleset(&wtxn).expect("mid-stream swap");
+            }
+            dp.process_batch(chunk, &mut outcomes);
+            if outcomes.len() != chunk.len() {
+                eprintln!("bench_report: swap window dropped a packet");
+                std::process::exit(1);
+            }
+            verdicts.extend(outcomes.iter().map(|o| o.verdict));
+        }
+        verdicts
+    };
+    let old_run = wrun(old_fl.clone(), None);
+    let new_run = wrun(new_fl, None);
+    let swap_run = wrun(old_fl, Some(swap_at));
+    let boundary = swap_at * SWAP_BATCH;
+    if swap_run[..boundary] != old_run[..boundary] {
+        eprintln!("bench_report: pre-swap prefix diverged from the old generation");
+        std::process::exit(1);
+    }
+    let mut disagreements = 0u64;
+    let mut mixed = 0u64;
+    for i in 0..swap_run.len() {
+        disagreements += u64::from(old_run[i] != new_run[i]);
+        mixed += u64::from(swap_run[i] != old_run[i] && swap_run[i] != new_run[i]);
+    }
+    if mixed != 0 || disagreements == 0 {
+        eprintln!(
+            "bench_report: swap window misclassified {mixed} packets \
+             ({disagreements} generation disagreements)"
+        );
+        std::process::exit(1);
+    }
+
+    // --- Scripted convergence: the same two-transaction schedule under a
+    // fault-free, a lossy and a dark action channel.
+    let ctrace = stable_swap_trace(60, 12);
+    let cfl = fl_mean_size_below(800.0);
+    let clean =
+        run_swap_chaos_case(&ctrace, &cfl, 1, 1, &scripted_swap_chaos(&cfl, FaultPlan::none()));
+    if clean.version != 2 || clean.swaps != 2 || clean.retries != 0 {
+        eprintln!("bench_report: fault-free scripted swap did not land both transactions");
+        std::process::exit(1);
+    }
+
+    // Determinism gate: byte-identical at 1/2/8 shards × workers, under
+    // the fault-free and the lossy plan.
+    let mut det_points: Vec<(&str, usize, usize)> = Vec::new();
+    for (plan_label, plan) in
+        [("none", FaultPlan::none()), ("lossy_0.2", FaultPlan::lossy(seed ^ 0x5CA1, 0.2))]
+    {
+        let chaos = scripted_swap_chaos(&cfl, plan);
+        let base = run_swap_chaos_case(&ctrace, &cfl, 1, 1, &chaos);
+        for (shards, workers) in [(2usize, 2usize), (8, 8)] {
+            let got = run_swap_chaos_case(&ctrace, &cfl, shards, workers, &chaos);
+            if got != base {
+                eprintln!(
+                    "bench_report: swap run diverged at {shards} shards / {workers} workers \
+                     (plan {plan_label})"
+                );
+                std::process::exit(1);
+            }
+            det_points.push((plan_label, shards, workers));
+        }
+    }
+
+    let lossy = run_swap_chaos_case(
+        &ctrace,
+        &cfl,
+        2,
+        2,
+        &scripted_swap_chaos(&cfl, FaultPlan::lossy(seed ^ 0x1055, 0.25)),
+    );
+    let outage = run_swap_chaos_case(
+        &ctrace,
+        &cfl,
+        2,
+        2,
+        &scripted_swap_chaos(
+            &cfl,
+            FaultPlan::none().with_seed(seed ^ 3).with_outage(ChannelKind::Action, 0, 8),
+        ),
+    );
+    if outage.retries == 0 || outage.counters.stale != 0 {
+        eprintln!(
+            "bench_report: outage swap must retry with zero stale deliveries (retries {}, stale {})",
+            outage.retries, outage.counters.stale
+        );
+        std::process::exit(1);
+    }
+    for (label, faulty) in [("lossy_0.25", &lossy), ("action_outage_0_8", &outage)] {
+        if faulty.version != 2 || faulty.swaps != 2 {
+            eprintln!("bench_report: {label} swap did not converge");
+            std::process::exit(1);
+        }
+        if faulty.blacklist != clean.blacklist || faulty.table != clean.table {
+            eprintln!("bench_report: {label} swap diverged from the fault-free fingerprint");
+            std::process::exit(1);
+        }
+        // The PR-4 lossy-action invariant, which the swap must not weaken:
+        // TPs may trade for FNs while installs retry, FPs never inflate
+        // and the malicious packet population is conserved.
+        let conserved =
+            faulty.confusion.0 + faulty.confusion.3 == clean.confusion.0 + clean.confusion.3;
+        if faulty.confusion.1 != clean.confusion.1 || !conserved {
+            eprintln!("bench_report: {label} swap inflated FPs or lost malicious packets");
+            std::process::exit(1);
+        }
+    }
+
+    // --- Idempotent-replay and stale-rejection accounting (also puts the
+    // replayed/stale telemetry counters on the board for the snapshot).
+    let afl = accept_all(13);
+    let mut acct = Pipeline::new(swap_pipe_cfg(), afl.clone(), accept_all(4));
+    let mut atable = RangeTable::new(vec![4]);
+    atable.push(RangeEntry { fields: vec![(0, 15)], priority: 0 });
+    let a1 = RulesetTxn::full_install(1, &atable, afl.clone());
+    acct.apply_ruleset(&a1).expect("v1");
+    acct.apply_ruleset(&a1).expect("replaying v1 must be a no-op");
+    let stale_rejected = acct.apply_ruleset(&RulesetTxn::full_install(9, &atable, afl)).is_err();
+    let ac = acct.ruleset_counters();
+    if !stale_rejected || (ac.swaps, ac.replayed, ac.stale) != (1, 1, 1) {
+        eprintln!("bench_report: replay/stale accounting broken: {ac:?}");
+        std::process::exit(1);
+    }
+
+    // --- Assemble the report sections.
+    let mut delivery_json = json::Object::new();
+    delivery_json
+        .u64("settle_digests", r_settle.digests)
+        .u64("retries", r_settle.ruleset_retries)
+        .u64("swaps", r_settle.ruleset_swaps)
+        .u64("delivered_version", delivered_version)
+        .u64("tcam_writes", tcam_writes);
+    let mut drift_json = json::Object::new();
+    drift_json
+        .u64("window", drift_cfg.window as u64)
+        .u64("min_samples", drift_cfg.min_samples as u64)
+        .f64("threshold", drift_cfg.threshold)
+        .u64("cooldown", drift_cfg.cooldown)
+        .u64("calm_digests", r_calm.digests)
+        .u64("shifted_digests", r_shift.digests)
+        .u64("observed", drift_observed)
+        .u64("fires", drift_fires)
+        .f64("reference_fraction", reference.unwrap_or(0.0))
+        .f64("calm_fraction", calm_fraction)
+        .f64("shifted_fraction", shifted_fraction)
+        // Hard-gated above: calm traffic quiet, the regime shift fired.
+        .bool("fired_on_calm", false)
+        .bool("fired_on_shift", true)
+        .raw("delivery", delivery_json.render(2));
+
+    let mut retrain_json = json::Object::new();
+    retrain_json
+        .u64("old_entries", old_table.len() as u64)
+        .u64("new_entries", new_table.len() as u64)
+        .u64("shared_entries", ((retrain_full - retrain_churn) / 2) as u64)
+        .u64("diff_churn", retrain_churn as u64)
+        .u64("full_reinstall", retrain_full as u64)
+        .u64("tcam_writes", tcam_writes);
+    let mut perturbed_json = json::Object::new();
+    perturbed_json
+        .u64("old_entries", old_table.len() as u64)
+        .u64("new_entries", perturbed.len() as u64)
+        .u64("shared_entries", ((perturbed_full - vp.churn()) / 2) as u64)
+        .u64("diff_churn", vp.churn() as u64)
+        .u64("full_reinstall", perturbed_full as u64);
+    let mut diff_json = json::Object::new();
+    diff_json
+        // Hard-gated above: writes ≤ diff churn ≤ full reinstall on the
+        // warm retrain, and strictly below it on the perturbed retrain.
+        .bool("writes_at_most_diff", true)
+        .bool("perturbed_diff_below_full_reinstall", true)
+        .raw("warm_retrain", retrain_json.render(2))
+        .raw("perturbed_retrain", perturbed_json.render(2));
+
+    let mut window_json = json::Object::new();
+    window_json
+        .u64("packets", swap_run.len() as u64)
+        .u64("batch_size", SWAP_BATCH as u64)
+        .u64("swap_batch", swap_at as u64)
+        .u64("generation_disagreements", disagreements)
+        // Hard-gated above: zero packets saw a verdict belonging to
+        // neither generation, and the pre-swap prefix was byte-identical
+        // to the pure-old run.
+        .u64("misclassified_during_swap", mixed)
+        .bool("prefix_identical_to_old", true)
+        .bool("hitless", true);
+
+    let scenario_json = |label: &str, r: &SwapChaosRun| -> String {
+        let mut o = json::Object::new();
+        o.str("scenario", label)
+            .u64("version", r.version)
+            .u64("swaps", r.swaps)
+            .u64("retries", r.retries)
+            .u64("installed", r.counters.installed)
+            .u64("removed", r.counters.removed)
+            .u64("stale", r.counters.stale)
+            .u64("tp", r.confusion.0)
+            .u64("fp", r.confusion.1)
+            .u64("tn", r.confusion.2)
+            .u64("fn", r.confusion.3)
+            .u64("blacklist_len", r.blacklist.len() as u64)
+            .u64("table_entries", r.table.len() as u64);
+        o.render(2)
+    };
+    let scenarios = vec![
+        scenario_json("fault_free", &clean),
+        scenario_json("lossy_0.25", &lossy),
+        scenario_json("action_outage_0_8", &outage),
+    ];
+    let mut conv_json = json::Object::new();
+    conv_json
+        // Hard-gated above for every faulted scenario.
+        .bool("blacklist_matches_fault_free", true)
+        .bool("table_matches_fault_free", true)
+        .bool("no_fp_inflation", true)
+        .bool("malicious_population_conserved", true)
+        .raw("scenarios", json::array(&scenarios, 1));
+
+    let mut det_points_json = Vec::new();
+    for (plan_label, shards, workers) in det_points {
+        let mut o = json::Object::new();
+        o.str("plan", plan_label)
+            .u64("shards", shards as u64)
+            .u64("workers", workers as u64)
+            .bool("identical_to_1x1", true);
+        det_points_json.push(o.render(2));
+    }
+    let mut det_json = json::Object::new();
+    det_json.bool("byte_identical", true).raw("points", json::array(&det_points_json, 1));
+
+    let mut versioning_json = json::Object::new();
+    versioning_json
+        .u64("replayed_absorbed", ac.replayed)
+        .u64("stale_rejected", ac.stale)
+        .bool("replay_is_noop", true)
+        .bool("version_gap_rejected_typed", true);
+
+    SwapSweepDoc {
+        drift_loop: drift_json.render(1),
+        rule_diff: diff_json.render(1),
+        swap_window: window_json.render(1),
+        fault_convergence: conv_json.render(1),
+        determinism: det_json.render(1),
+        versioning: versioning_json.render(1),
+    }
+}
+
 fn main() {
     let args = parse_args();
     let iterations = if args.smoke { 1 } else { 3 };
@@ -1033,6 +1584,9 @@ fn main() {
     eprintln!("bench_report: streaming sketch sweep (PR-7)");
     let (stream_cfg, stream_runs, alloc_probe) =
         run_streaming_sweep(args.seed, args.smoke, &run.fl_rules, &run.pl_rules);
+
+    eprintln!("bench_report: ruleset swap sweep (PR-8 drift adaptation loop)");
+    let swap_doc = run_ruleset_swap_sweep(args.seed, &run.pl_rules);
 
     let snapshot = iguard_telemetry::registry::snapshot().expect("telemetry enabled");
     if let Err(e) = snapshot.verify() {
@@ -1344,4 +1898,27 @@ fn main() {
     let doc7 = root7.render(0) + "\n";
     std::fs::write(&args.out_pr7, &doc7).expect("write PR7 report");
     eprintln!("bench_report: wrote {}", args.out_pr7);
+
+    // --- BENCH_PR8.json: the drift-adaptation / ruleset-swap loop.
+    let mut root8 = json::Object::new();
+    root8
+        .str("schema", "iguard-bench-pr8")
+        .u64("version", 1)
+        .u64("seed", args.seed)
+        .bool("smoke", args.smoke)
+        // Every gate in run_ruleset_swap_sweep is hard: the run aborts
+        // before writing this file if the drift trigger misfires, a diff
+        // out-churns a full reinstall, any packet sees a blended ruleset
+        // mid-swap, a faulted swap fails to converge on the fault-free
+        // fingerprint, or any shard/worker combination diverges.
+        .bool("gates_enforced", true)
+        .raw("drift_loop", swap_doc.drift_loop)
+        .raw("rule_diff", swap_doc.rule_diff)
+        .raw("swap_window", swap_doc.swap_window)
+        .raw("fault_convergence", swap_doc.fault_convergence)
+        .raw("determinism", swap_doc.determinism)
+        .raw("versioning", swap_doc.versioning);
+    let doc8 = root8.render(0) + "\n";
+    std::fs::write(&args.out_pr8, &doc8).expect("write PR8 report");
+    eprintln!("bench_report: wrote {}", args.out_pr8);
 }

@@ -458,13 +458,14 @@ fn ablations(seed: u64) {
 
 fn digest_overhead() {
     use iguard_switch::controller::{Controller, ControllerConfig};
-    use iguard_switch::pipeline::{Digest, DIGEST_BYTES_HORUSEYE, DIGEST_BYTES_IGUARD};
+    use iguard_switch::pipeline::{Digest, SeqDigest, DIGEST_BYTES_HORUSEYE, DIGEST_BYTES_IGUARD};
     println!("== App. B.2: control-plane digest overhead (50k digests / 30 s) ==");
     let run = |bytes: f64| -> f64 {
         let mut c = Controller::new(ControllerConfig { digest_bytes: bytes, ..Default::default() });
         for i in 0..50_000u32 {
             let five = iguard_flow::five_tuple::FiveTuple::new(i, 1, 1, 80, 6);
-            let _ = c.process_digests(&[Digest { five, malicious: false }]);
+            let sd = SeqDigest { seq: i as u64, digest: Digest { five, malicious: false } };
+            let _ = c.process_seq_digests(&[sd]);
         }
         c.overhead_kbps(30.0)
     };

@@ -67,6 +67,12 @@ pub enum SwitchError {
     ChannelDown,
     /// A command was abandoned after exhausting its retry budget.
     RetriesExhausted { attempts: u32 },
+    /// A ruleset transaction arrived out of order: its diff was computed
+    /// against a base version the data plane does not hold, so applying
+    /// it would install a partial table. `expected` is the next version
+    /// the plane accepts; `got` is the transaction's version. (Versions
+    /// at or below the installed one are idempotent no-ops, not errors.)
+    StaleRuleset { expected: u64, got: u64 },
 }
 
 impl fmt::Display for SwitchError {
@@ -78,6 +84,9 @@ impl fmt::Display for SwitchError {
             SwitchError::ChannelDown => write!(f, "control channel down"),
             SwitchError::RetriesExhausted { attempts } => {
                 write!(f, "command abandoned after {attempts} attempts")
+            }
+            SwitchError::StaleRuleset { expected, got } => {
+                write!(f, "stale ruleset transaction: expected version {expected}, got {got}")
             }
         }
     }
@@ -171,6 +180,8 @@ mod tests {
         assert!(IguardError::Switch(SwitchError::RetriesExhausted { attempts: 6 })
             .to_string()
             .contains("6 attempts"));
+        let s = IguardError::Switch(SwitchError::StaleRuleset { expected: 3, got: 7 }).to_string();
+        assert!(s.contains("version 3") && s.contains("got 7"), "{s}");
     }
 
     #[test]

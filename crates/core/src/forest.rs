@@ -53,10 +53,52 @@ impl IGuardForest {
     /// on Ψ-sub-samples of the benign training set under the teacher,
     /// one worker per tree.
     pub fn fit(data: &Dataset, teacher: &dyn Teacher, cfg: &IGuardConfig, rng: &mut Rng) -> Self {
+        let bounds = feature_bounds(data);
+        Self::fit_with_bounds(data, bounds, teacher, cfg, rng)
+    }
+
+    /// Warm-start retrain for drift adaptation: regrows the trees on the
+    /// new window but **fuses the previous generation's feature bounds**
+    /// into the new envelope (per-feature union) and carries the tuned
+    /// vote threshold over. Fused bounds keep the retrained rule
+    /// hypercubes on the same feature envelope as the installed
+    /// generation, so the compiled tables stay close and the install
+    /// delta (the rule diff) stays small; a cold `fit` on a shifted
+    /// window would re-derive every cube against fresh bounds and churn
+    /// the whole table. The caller re-distills, exactly as after `fit`.
+    pub fn refit_warm(
+        &self,
+        data: &Dataset,
+        teacher: &dyn Teacher,
+        cfg: &IGuardConfig,
+        rng: &mut Rng,
+    ) -> Self {
+        assert_eq!(
+            data.cols(),
+            self.bounds.len(),
+            "warm refit window must keep the feature dimensionality"
+        );
+        let mut bounds = feature_bounds(data);
+        for (b, prev) in bounds.iter_mut().zip(&self.bounds) {
+            b.0 = b.0.min(prev.0);
+            b.1 = b.1.max(prev.1);
+        }
+        counter!("core.forest.warm_refits").inc();
+        let mut forest = Self::fit_with_bounds(data, bounds, teacher, cfg, rng);
+        forest.vote_threshold = self.vote_threshold;
+        forest
+    }
+
+    fn fit_with_bounds(
+        data: &Dataset,
+        bounds: Vec<(f32, f32)>,
+        teacher: &dyn Teacher,
+        cfg: &IGuardConfig,
+        rng: &mut Rng,
+    ) -> Self {
         assert!(data.rows() > 0, "cannot fit on empty data");
         assert!(cfg.n_trees > 0, "need at least one tree");
         assert!(cfg.subsample > 1, "subsample must exceed 1");
-        let bounds = feature_bounds(data);
         let psi = cfg.subsample.min(data.rows());
         let tree_cfg = GuidedTreeConfig {
             max_depth: (psi as f64).log2().ceil() as usize,
@@ -301,6 +343,43 @@ mod tests {
         for tree in forest.trees() {
             assert!(tree.leaves.iter().all(|l| l.label.is_some()));
         }
+    }
+
+    #[test]
+    fn warm_refit_fuses_bounds_and_carries_threshold() {
+        let mut rng = Rng::seed_from_u64(11);
+        let wide = uniform_data(256, &mut rng);
+        let teacher = OracleTeacher(|x: &[f32]| x[0] > 0.5);
+        let mut first = IGuardForest::fit(&wide, &teacher, &quick_cfg(), &mut rng);
+        first.set_vote_threshold(0.37);
+        // The retrain window covers a narrower slice of feature space.
+        let mut narrow = Dataset::new(2);
+        for _ in 0..256 {
+            narrow.push_row(&[rng.gen_range(0.4..0.6), rng.gen_range(0.4..0.6)]);
+        }
+        let second = first.refit_warm(&narrow, &teacher, &quick_cfg(), &mut rng);
+        assert_eq!(second.vote_threshold(), 0.37, "tuned threshold must carry over");
+        for (sb, fb) in second.bounds().iter().zip(first.bounds()) {
+            assert!(sb.0 <= fb.0 && sb.1 >= fb.1, "fused bounds must cover the old envelope");
+        }
+        // A cold fit on the same narrow window shrinks to the window.
+        let cold = IGuardForest::fit(&narrow, &teacher, &quick_cfg(), &mut rng);
+        assert!(cold.bounds()[0].0 > first.bounds()[0].0);
+    }
+
+    #[test]
+    fn warm_refit_is_seeded_deterministic() {
+        let mut drng = Rng::seed_from_u64(12);
+        let data = uniform_data(256, &mut drng);
+        let teacher = OracleTeacher(|x: &[f32]| x[1] > 0.6);
+        let run = || {
+            let mut rng = Rng::seed_from_u64(21);
+            let first = IGuardForest::fit(&data, &teacher, &quick_cfg(), &mut rng);
+            let mut second = first.refit_warm(&data, &teacher, &quick_cfg(), &mut rng);
+            second.distill(&data, &teacher, 16, &mut rng);
+            second.scores(&data)
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

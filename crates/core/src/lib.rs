@@ -18,6 +18,10 @@
 //!   space into hypercubes on which the forest's vote is constant, merge
 //!   adjacent same-label cubes, and keep the benign (label-0) cubes as
 //!   whitelist rules; includes the consistency check `C`.
+//! * [`drift`] — the controller-side [`drift::DriftDetector`]: a
+//!   deterministic rolling-window shift detector over digest labels that
+//!   triggers the warm-start retrain ([`forest::IGuardForest::refit_warm`])
+//!   of the online adaptation loop.
 //! * [`teacher`] — the [`teacher::Teacher`] trait decoupling the forest
 //!   from any particular guide (autoencoder ensemble, VAE, oracle in
 //!   tests), plus adapters.
@@ -36,6 +40,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod drift;
 pub mod early;
 pub mod error;
 pub mod forest;
@@ -45,6 +50,7 @@ pub mod rules;
 pub mod teacher;
 pub mod tuner;
 
+pub use drift::{DriftConfig, DriftDetector};
 pub use error::{IguardError, SwitchError, TcamError};
 pub use forest::{IGuardConfig, IGuardForest};
 pub use rule_index::{IndexBuilder, IntervalIndex, RuleIndex};

@@ -22,12 +22,16 @@
 //! * [`scratch`] — reusable scratch buffers ([`scratch::VecPool`],
 //!   [`scratch::ShardBins`]) so per-batch hot loops allocate only at
 //!   warm-up, not per iteration.
+//! * [`builder`] — the [`builder_setters!`] macro generating the chained
+//!   `with_*` config setters every config family in the workspace shares,
+//!   so builder conventions are enforced in one place.
 //! * [`proptest_lite`] — a seeded randomized-input test loop (macro
 //!   [`proptest_lite!`]) with shrinking-free failure reporting.
 //! * [`timing`] — a tiny benchmark harness (warmup + calibrated iteration
 //!   count, min/mean/max in ns) for `benches/` targets with
 //!   `harness = false`.
 
+pub mod builder;
 pub mod dataset;
 pub mod fault;
 pub mod par;

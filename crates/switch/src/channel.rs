@@ -224,6 +224,34 @@ impl ActionChannel {
         Ok(())
     }
 
+    /// Attempts to deliver a whole-ruleset transaction at `tick`.
+    ///
+    /// Subject to the same transport faults as [`ActionChannel::send`]
+    /// (outage windows, sampled send failures) but *not* the TCAM-capacity
+    /// check: a ruleset swap replaces the whitelist image wholesale rather
+    /// than growing the blacklist, so the per-entry budget does not apply.
+    /// Version errors ([`SwitchError::StaleRuleset`]) surface from the
+    /// data plane itself; in-order replays are an idempotent `Ok`.
+    pub fn send_ruleset<D: DataPlane + ?Sized>(
+        &mut self,
+        dp: &mut D,
+        txn: &crate::ruleset::RulesetTxn,
+        tick: u64,
+    ) -> Result<(), IguardError> {
+        self.sends += 1;
+        if self.plan.is_down(ChannelKind::Action, tick) {
+            self.failures += 1;
+            counter!("switch.chan.send_failed").inc();
+            return Err(SwitchError::ChannelDown.into());
+        }
+        if !self.plan.is_none() && self.stream.fires(self.plan.send_fail_p) {
+            self.failures += 1;
+            counter!("switch.chan.send_failed").inc();
+            return Err(SwitchError::ChannelDown.into());
+        }
+        dp.apply_ruleset(txn).map_err(IguardError::from)
+    }
+
     pub fn sends(&self) -> u64 {
         self.sends
     }
@@ -404,6 +432,29 @@ mod tests {
         // Non-install actions still pass at capacity.
         ch.send(&mut dp, ControlAction::RemoveBlacklist(sd(1).digest.five), 0).expect("remove");
         assert_eq!(dp.blacklist_len(), 0);
+    }
+
+    #[test]
+    fn ruleset_send_skips_tcam_budget_but_honours_outage() {
+        use crate::ruleset::RulesetTxn;
+        use crate::tcam::{RangeEntry, RangeTable};
+        let mut table = RangeTable::new(vec![4, 4]);
+        table.push(RangeEntry { fields: vec![(0, 7), (0, 15)], priority: 0 });
+        let txn = RulesetTxn::full_install(1, &table, accept_all(13));
+
+        let mut dp = test_dp();
+        let plan = FaultPlan::none().with_outage(ChannelKind::Action, 0, 5);
+        // Zero TCAM budget: ruleset swaps must still go through.
+        let mut ch = ActionChannel::new(plan, 0);
+        let err = ch.send_ruleset(&mut dp, &txn, 2).unwrap_err();
+        assert!(matches!(err, IguardError::Switch(SwitchError::ChannelDown)));
+        assert_eq!(dp.ruleset_version(), 0, "failed send must not advance the version");
+        ch.send_ruleset(&mut dp, &txn, 5).expect("healed channel applies the swap");
+        assert_eq!(dp.ruleset_version(), 1);
+        // Retrying a delivered version is an idempotent no-op.
+        ch.send_ruleset(&mut dp, &txn, 6).expect("replay is idempotent");
+        assert_eq!(dp.ruleset_counters().replayed, 1);
+        assert_eq!((ch.sends(), ch.failures()), (3, 1));
     }
 
     #[test]

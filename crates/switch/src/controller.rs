@@ -36,11 +36,13 @@
 
 use std::collections::{HashMap, HashSet, VecDeque};
 
+use iguard_core::drift::{DriftConfig, DriftDetector};
 use iguard_flow::five_tuple::FiveTuple;
 use iguard_runtime::Rng;
 use iguard_telemetry::counter;
 
 use crate::pipeline::{ControlAction, Digest, SeqDigest};
+use crate::ruleset::RulesetTxn;
 
 /// Blacklist eviction policy.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -94,6 +96,9 @@ pub struct ControllerConfig {
     /// duplicate-delivery distance for exactly-once semantics.
     pub dedup_window: usize,
     pub retry: RetryPolicy,
+    /// Drift detection over the admitted digest stream; `None` (the
+    /// default) turns the adaptation loop off.
+    pub drift: Option<DriftConfig>,
 }
 
 impl Default for ControllerConfig {
@@ -104,6 +109,7 @@ impl Default for ControllerConfig {
             digest_bytes: crate::pipeline::DIGEST_BYTES_IGUARD,
             dedup_window: 4096,
             retry: RetryPolicy::default(),
+            drift: None,
         }
     }
 }
@@ -115,6 +121,22 @@ struct PendingRetry {
     /// Attempts already made (≥1 when queued).
     attempt: u32,
     /// Tick at/after which the re-send is due.
+    due: u64,
+}
+
+/// A staged ruleset transaction awaiting delivery to the data plane.
+///
+/// Unlike per-flow [`PendingRetry`] work, a staged ruleset is never
+/// abandoned: it is the only path off a drifted model, and replays are
+/// idempotent (the plane no-ops versions it already holds), so the
+/// controller re-sends it with capped backoff until the channel heals —
+/// which is what lets retraining converge after an arbitrarily long
+/// outage.
+struct PendingRuleset {
+    txn: RulesetTxn,
+    /// Send attempts made so far.
+    attempts: u32,
+    /// Tick at/after which the next send is due.
     due: u64,
 }
 
@@ -137,6 +159,12 @@ const DEGRADED_CLEAR_TICKS: u64 = 4;
 ///
 /// Collections are stored in deterministic order (`installed` sorted by
 /// key) so two snapshots of equal logical state compare equal.
+///
+/// The drift-detector window and any staged ruleset transaction are
+/// deliberately **not** part of the snapshot: both are reconstructible —
+/// the detector re-arms on the live digest stream, and ruleset replays
+/// are idempotent, so the adaptation loop simply re-stages after a
+/// restore instead of resuming a possibly-superseded delivery.
 #[derive(Clone, Debug, PartialEq)]
 pub struct ControllerSnapshot {
     queue: Vec<FiveTuple>,
@@ -181,6 +209,14 @@ pub struct Controller {
     retries: u64,
     retries_exhausted: u64,
     shed: u64,
+    /// Drift detector over admitted digests (None = adaptation off).
+    drift: Option<DriftDetector>,
+    /// Set by a drift fire, cleared by [`Self::take_drift_trigger`].
+    drift_pending: bool,
+    pending_rulesets: VecDeque<PendingRuleset>,
+    rulesets_staged: u64,
+    rulesets_delivered: u64,
+    ruleset_send_failures: u64,
 }
 
 impl Controller {
@@ -203,34 +239,34 @@ impl Controller {
             retries: 0,
             retries_exhausted: 0,
             shed: 0,
+            drift: cfg.drift.map(DriftDetector::new),
+            drift_pending: false,
+            pending_rulesets: VecDeque::new(),
+            rulesets_staged: 0,
+            rulesets_delivered: 0,
+            ruleset_send_failures: 0,
             cfg,
         }
     }
 
-    /// Consumes a batch of digests, producing data-plane commands.
-    pub fn process_digests(&mut self, digests: &[Digest]) -> Vec<ControlAction> {
+    /// Allocating convenience over [`Self::process_seq_digests_into`].
+    pub fn process_seq_digests(&mut self, digests: &[SeqDigest]) -> Vec<ControlAction> {
         let mut actions = Vec::new();
-        self.process_digests_into(digests, &mut actions);
+        self.process_seq_digests_into(digests, &mut actions);
         actions
     }
 
-    /// Like [`Self::process_digests`], but writes into a caller-owned
-    /// buffer (cleared first) so replay loops reuse the allocation.
+    /// Consumes a batch of sequence-tagged digests, producing data-plane
+    /// commands in a caller-owned buffer (cleared first).
     ///
-    /// No dedup: this is the lossless-channel entry point, where every
-    /// digest is known to arrive exactly once.
-    pub fn process_digests_into(&mut self, digests: &[Digest], actions: &mut Vec<ControlAction>) {
-        actions.clear();
-        for &d in digests {
-            self.process_one(d, actions);
-        }
-    }
-
-    /// Sequence-aware, idempotent digest processing: digests whose tag is
+    /// This is the **single** digest entry point: digests whose tag is
     /// already inside the dedup window are dropped (counted in
     /// [`Self::dup_digests`]) before touching bandwidth accounting or
-    /// eviction state. With unique tags this is behaviourally identical to
-    /// [`Self::process_digests_into`].
+    /// eviction state. Lossless callers tag digests with their global
+    /// arrival sequence — unique tags make dedup a no-op, so one path
+    /// serves lossless and lossy channels with identical semantics (the
+    /// former non-seq `process_digests` entry point, which skipped dedup,
+    /// was removed).
     pub fn process_seq_digests_into(
         &mut self,
         digests: &[SeqDigest],
@@ -269,6 +305,14 @@ impl Controller {
         self.digest_bytes_total += self.cfg.digest_bytes;
         self.clock += 1;
         counter!("switch.controller.digest").inc();
+        // Drift watch runs on *admitted* digests only: duplicates were
+        // already dropped, so a retransmission storm cannot fake a shift.
+        if let Some(det) = &mut self.drift {
+            if det.observe(d.malicious) {
+                self.drift_pending = true;
+                counter!("switch.controller.drift_trigger").inc();
+            }
+        }
         let key = d.five.canonical();
         // Always release the flow's stateful storage: the class now
         // lives in the label register / blacklist.
@@ -404,6 +448,79 @@ impl Controller {
         }
     }
 
+    /// True once the drift detector has fired since the last take; reading
+    /// clears the flag. The harness reacts by warm-refitting the forest
+    /// and staging the resulting transaction via [`Self::stage_ruleset`].
+    pub fn take_drift_trigger(&mut self) -> bool {
+        std::mem::take(&mut self.drift_pending)
+    }
+
+    /// The drift detector, when adaptation is configured.
+    pub fn drift_detector(&self) -> Option<&DriftDetector> {
+        self.drift.as_ref()
+    }
+
+    /// Stages a retrained ruleset transaction for delivery to the data
+    /// plane. Transactions queue in staging order (= version order, since
+    /// each is a delta against its predecessor's table) and deliver
+    /// strictly one at a time: the data plane can only accept `v + 1`, so
+    /// a later transaction must wait for every earlier one to land.
+    pub fn stage_ruleset(&mut self, txn: RulesetTxn) {
+        self.rulesets_staged += 1;
+        counter!("switch.controller.ruleset_staged").inc();
+        self.pending_rulesets.push_back(PendingRuleset { txn, attempts: 0, due: 0 });
+    }
+
+    /// The oldest staged transaction, if it is due for (re)send at `tick`.
+    pub fn due_ruleset(&self, tick: u64) -> Option<&RulesetTxn> {
+        self.pending_rulesets.front().filter(|p| p.due <= tick).map(|p| &p.txn)
+    }
+
+    pub fn has_pending_ruleset(&self) -> bool {
+        !self.pending_rulesets.is_empty()
+    }
+
+    /// Records a failed ruleset send and schedules the next attempt with
+    /// the same capped exponential backoff (+ seeded jitter) as per-flow
+    /// retries. Unlike those, the transaction is never abandoned — see
+    /// [`PendingRuleset`] for why that is safe and necessary.
+    pub fn note_ruleset_failure(&mut self, tick: u64) {
+        let Some(p) = self.pending_rulesets.front_mut() else { return };
+        self.ruleset_send_failures += 1;
+        counter!("switch.controller.ruleset_retry").inc();
+        p.attempts = p.attempts.saturating_add(1);
+        let r = self.cfg.retry;
+        let shift = p.attempts.saturating_sub(1).min(62);
+        let backoff = r.base_backoff_ticks.saturating_shl(shift).min(r.max_backoff_ticks).max(1);
+        let jitter =
+            if r.jitter_ticks > 0 { self.retry_rng.gen_range(0..=r.jitter_ticks) } else { 0 };
+        p.due = tick + backoff + jitter;
+    }
+
+    /// Marks the oldest staged transaction delivered (the data plane
+    /// accepted or replay-no-op'd it) and advances the queue.
+    pub fn ruleset_delivered(&mut self) {
+        if self.pending_rulesets.pop_front().is_some() {
+            self.rulesets_delivered += 1;
+            counter!("switch.controller.ruleset_delivered").inc();
+        }
+    }
+
+    /// Ruleset transactions handed to [`Self::stage_ruleset`].
+    pub fn rulesets_staged(&self) -> u64 {
+        self.rulesets_staged
+    }
+
+    /// Staged transactions confirmed applied by the data plane.
+    pub fn rulesets_delivered(&self) -> u64 {
+        self.rulesets_delivered
+    }
+
+    /// Failed ruleset send attempts.
+    pub fn ruleset_send_failures(&self) -> u64 {
+        self.ruleset_send_failures
+    }
+
     pub fn has_pending_retries(&self) -> bool {
         !self.retry_queue.is_empty()
     }
@@ -450,6 +567,9 @@ impl Controller {
     /// retry RNG resumes mid-stream, so jitter draws after a restore match
     /// a run that never crashed.
     pub fn restore_from(&mut self, snap: &ControllerSnapshot) {
+        self.drift = self.cfg.drift.map(DriftDetector::new);
+        self.drift_pending = false;
+        self.pending_rulesets.clear();
         self.queue = snap.queue.iter().copied().collect();
         self.installed = snap.installed.iter().copied().collect();
         self.clock = snap.clock;
@@ -474,6 +594,9 @@ impl Controller {
     /// returned by `DataPlane::blacklist_contents`); bandwidth counters,
     /// the dedup window, and pending retries are lost with the crash.
     pub fn rebuild_from_blacklist(&mut self, contents: &[FiveTuple]) {
+        self.drift = self.cfg.drift.map(DriftDetector::new);
+        self.drift_pending = false;
+        self.pending_rulesets.clear();
         self.queue.clear();
         self.installed.clear();
         self.clock = 0;
@@ -573,10 +696,21 @@ mod tests {
         ControllerConfig { blacklist_capacity: cap, policy, ..Default::default() }
     }
 
+    /// Tags each digest with consecutive sequence numbers from `base` and
+    /// runs them through the (sole) seq-keyed entry point.
+    fn run(c: &mut Controller, base: u64, ds: &[Digest]) -> Vec<ControlAction> {
+        let sds: Vec<SeqDigest> = ds
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| SeqDigest { seq: base + i as u64, digest: d })
+            .collect();
+        c.process_seq_digests(&sds)
+    }
+
     #[test]
     fn benign_digest_only_clears_storage() {
         let mut c = Controller::new(cfg(10, EvictionPolicy::Fifo));
-        let actions = c.process_digests(&[digest(1, false)]);
+        let actions = run(&mut c, 0, &[digest(1, false)]);
         assert_eq!(actions.len(), 1);
         assert!(matches!(actions[0], ControlAction::ClearFlow(_)));
         assert_eq!(c.installed_len(), 0);
@@ -585,7 +719,7 @@ mod tests {
     #[test]
     fn malicious_digest_installs_blacklist() {
         let mut c = Controller::new(cfg(10, EvictionPolicy::Fifo));
-        let actions = c.process_digests(&[digest(1, true)]);
+        let actions = run(&mut c, 0, &[digest(1, true)]);
         assert!(actions.iter().any(|a| matches!(a, ControlAction::InstallBlacklist(_))));
         assert_eq!(c.installed_len(), 1);
     }
@@ -593,15 +727,15 @@ mod tests {
     #[test]
     fn duplicate_installs_are_deduped() {
         let mut c = Controller::new(cfg(10, EvictionPolicy::Fifo));
-        let _ = c.process_digests(&[digest(1, true), digest(1, true)]);
+        let _ = run(&mut c, 0, &[digest(1, true), digest(1, true)]);
         assert_eq!(c.installed_len(), 1);
     }
 
     #[test]
     fn fifo_evicts_oldest() {
         let mut c = Controller::new(cfg(2, EvictionPolicy::Fifo));
-        let _ = c.process_digests(&[digest(1, true), digest(2, true)]);
-        let actions = c.process_digests(&[digest(3, true)]);
+        let _ = run(&mut c, 0, &[digest(1, true), digest(2, true)]);
+        let actions = run(&mut c, 2, &[digest(3, true)]);
         let evicted: Vec<_> = actions
             .iter()
             .filter_map(|a| match a {
@@ -616,10 +750,10 @@ mod tests {
     #[test]
     fn lru_refresh_protects_hot_entries() {
         let mut c = Controller::new(cfg(2, EvictionPolicy::Lru));
-        let _ = c.process_digests(&[digest(1, true), digest(2, true)]);
+        let _ = run(&mut c, 0, &[digest(1, true), digest(2, true)]);
         // Refresh flow 1, then overflow: flow 2 must be the LRU victim.
-        let _ = c.process_digests(&[digest(1, true)]);
-        let actions = c.process_digests(&[digest(3, true)]);
+        let _ = run(&mut c, 2, &[digest(1, true)]);
+        let actions = run(&mut c, 3, &[digest(3, true)]);
         let evicted: Vec<_> = actions
             .iter()
             .filter_map(|a| match a {
@@ -639,7 +773,8 @@ mod tests {
         let mut actions = Vec::new();
         for i in 0..10_000u32 {
             let five = FiveTuple::new(i + 1, 2, 7, 80, PROTO_TCP);
-            c.process_digests_into(&[Digest { five, malicious: true }], &mut actions);
+            let sd = SeqDigest { seq: i as u64, digest: Digest { five, malicious: true } };
+            c.process_seq_digests_into(&[sd], &mut actions);
         }
         assert_eq!(c.installed_len(), 16);
         assert_eq!(c.queue_len(), 0, "LRU must not accumulate queue entries");
@@ -653,7 +788,8 @@ mod tests {
         let mut actions = Vec::new();
         for i in 0..10_000u32 {
             let five = FiveTuple::new(i + 1, 2, 7, 80, PROTO_TCP);
-            c.process_digests_into(&[Digest { five, malicious: true }], &mut actions);
+            let sd = SeqDigest { seq: i as u64, digest: Digest { five, malicious: true } };
+            c.process_seq_digests_into(&[sd], &mut actions);
         }
         assert_eq!(c.installed_len(), 16);
         assert_eq!(c.queue_len(), 16);
@@ -800,7 +936,7 @@ mod tests {
         assert_eq!(c.installed_len(), 5);
         assert_eq!(c.queue_len(), 5);
         // Re-learning an already-installed flow refreshes, not re-installs.
-        let actions = c.process_digests(&[digest(0, true)]);
+        let actions = run(&mut c, 0, &[digest(0, true)]);
         assert!(actions.iter().all(|a| !matches!(a, ControlAction::InstallBlacklist(_))));
     }
 
@@ -811,7 +947,7 @@ mod tests {
         let mut iguard = Controller::new(ControllerConfig::default());
         for i in 0..50_000u32 {
             let d = Digest { five: FiveTuple::new(i, 2, 1, 80, PROTO_TCP), malicious: false };
-            let _ = iguard.process_digests(&[d]);
+            let _ = iguard.process_seq_digests(&[SeqDigest { seq: i as u64, digest: d }]);
         }
         let kbps = iguard.overhead_kbps(30.0);
         assert!((kbps - 21.4).abs() < 1.0, "iGuard overhead {kbps} KBps");
@@ -822,9 +958,70 @@ mod tests {
         });
         for i in 0..50_000u32 {
             let d = Digest { five: FiveTuple::new(i, 2, 1, 80, PROTO_TCP), malicious: false };
-            let _ = horuseye.process_digests(&[d]);
+            let _ = horuseye.process_seq_digests(&[SeqDigest { seq: i as u64, digest: d }]);
         }
         let ratio = horuseye.overhead_kbps(30.0) / kbps;
         assert!((ratio - 5.0).abs() < 0.5, "overhead ratio {ratio} (paper: 5.2x)");
+    }
+
+    #[test]
+    fn drift_trigger_surfaces_once_per_fire() {
+        let drift = DriftConfig::default().with_window(50).with_min_samples(25).with_cooldown(50);
+        let mut c = Controller::new(ControllerConfig {
+            drift: Some(drift),
+            ..cfg(1024, EvictionPolicy::Fifo)
+        });
+        let mut actions = Vec::new();
+        let mut seq = 0u64;
+        let mut feed = |c: &mut Controller, n: u64, malicious: bool| {
+            for i in 0..n {
+                let five = FiveTuple::new((seq + i) as u32 + 1, 2, 7, 80, PROTO_TCP);
+                let sd = SeqDigest { seq: seq + i, digest: Digest { five, malicious } };
+                c.process_seq_digests_into(&[sd], &mut actions);
+            }
+            seq += n;
+        };
+        feed(&mut c, 200, false);
+        assert!(!c.take_drift_trigger(), "stable stream must not trigger");
+        feed(&mut c, 200, true);
+        assert!(c.take_drift_trigger(), "regime change must trigger");
+        assert!(!c.take_drift_trigger(), "reading clears the flag");
+        assert_eq!(c.drift_detector().expect("configured").fires(), 1);
+    }
+
+    #[test]
+    fn staged_ruleset_backs_off_and_persists_until_delivered() {
+        use crate::tcam::{RangeEntry, RangeTable};
+        let mut c = Controller::new(ControllerConfig {
+            retry: RetryPolicy { jitter_ticks: 0, ..RetryPolicy::default() },
+            ..ControllerConfig::default()
+        });
+        assert!(c.due_ruleset(0).is_none());
+        let mut table = RangeTable::new(vec![4, 4]);
+        table.push(RangeEntry { fields: vec![(0, 3), (1, 2)], priority: 0 });
+        let txn = RulesetTxn::full_install(1, &table, crate::pipeline::testutil::accept_all(13));
+        c.stage_ruleset(txn);
+        assert_eq!(c.due_ruleset(5).expect("due immediately").version, 1);
+
+        // Failed sends back off (base 1 << n, capped), but never abandon.
+        c.note_ruleset_failure(5);
+        assert!(c.due_ruleset(5).is_none());
+        assert!(c.due_ruleset(6).is_some());
+        for t in [6, 7, 8] {
+            c.note_ruleset_failure(t);
+        }
+        // attempt 4 → backoff 8 from tick 8.
+        assert!(c.due_ruleset(15).is_none());
+        assert!(c.due_ruleset(16).is_some());
+        assert!(c.has_pending_ruleset());
+        assert_eq!(c.ruleset_send_failures(), 4);
+
+        c.ruleset_delivered();
+        assert!(!c.has_pending_ruleset());
+        assert_eq!(c.rulesets_staged(), 1);
+        assert_eq!(c.rulesets_delivered(), 1);
+        // Idempotent: delivering with nothing staged counts nothing.
+        c.ruleset_delivered();
+        assert_eq!(c.rulesets_delivered(), 1);
     }
 }

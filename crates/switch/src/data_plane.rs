@@ -35,9 +35,12 @@ use iguard_flow::packet::Packet;
 use iguard_flow::table::FlowTableStats;
 use iguard_runtime::Dataset;
 
+use iguard_core::error::SwitchError;
+
 use crate::pipeline::{
     ControlAction, Digest, PathCounters, ProcessOutcome, SeqDigest, WhitelistCounters,
 };
+use crate::ruleset::{RulesetCounters, RulesetTxn};
 
 /// Occupancy and approximation statistics of a sketch-assisted backend
 /// (see `crate::sketched`). Exact backends report `None` from
@@ -85,6 +88,27 @@ pub trait DataPlane {
 
     /// Applies a controller command (blacklist install/remove, flow clear).
     fn apply(&mut self, action: ControlAction);
+
+    /// Applies a versioned whitelist-ruleset transaction (the lifecycle
+    /// half of the control-plane API; per-flow actions stay on
+    /// [`Self::apply`]). Like `apply`, the transaction takes effect before
+    /// the next `process_batch` call, and the swap is **hitless**: the
+    /// successor ruleset is staged completely off to the side and flipped
+    /// in whole, so every packet is classified by exactly one complete
+    /// ruleset. Versions are monotonic — a replayed transaction
+    /// (`txn.version <= ruleset_version()`) is an idempotent no-op counted
+    /// in telemetry, and a version beyond the next expected one is
+    /// rejected with [`SwitchError::StaleRuleset`] because its delta was
+    /// computed against a base this plane does not hold.
+    fn apply_ruleset(&mut self, txn: &RulesetTxn) -> Result<(), SwitchError>;
+
+    /// Version of the installed whitelist ruleset (0 until the first
+    /// transaction is applied).
+    fn ruleset_version(&self) -> u64;
+
+    /// Lifecycle accounting of the ruleset transactions seen so far
+    /// (entries installed/removed, swaps, replayed no-ops, stale rejects).
+    fn ruleset_counters(&self) -> RulesetCounters;
 
     /// The installed blacklist in canonical sorted order — equality checks
     /// across backends, and the source a crashed controller rebuilds its

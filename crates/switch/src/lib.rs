@@ -14,6 +14,10 @@
 //!   index of a [`RangeTable`] (binary-searchable per-field cut points +
 //!   priority-ordered rule bitmaps), returning the identical entry as the
 //!   linear scan at a fraction of the cost.
+//! * [`ruleset`] — the transactional whitelist lifecycle: canonical
+//!   entry ordering, the minimal install/remove diff between two compiled
+//!   [`RangeTable`]s, and the versioned [`ruleset::RulesetTxn`] the
+//!   backends apply hitlessly (double-buffered epochs, see [`pipeline`]).
 //! * [`resources`] — a Tofino-1-like resource model (TCAM/SRAM blocks,
 //!   stateful ALUs, VLIW actions, pipeline stages) that converts an
 //!   installed iGuard configuration into the utilisation percentages of
@@ -50,6 +54,7 @@ pub mod pipeline;
 pub mod replay;
 pub mod resources;
 pub mod rule_index;
+pub mod ruleset;
 pub mod sharded;
 pub mod sketched;
 pub mod tcam;
@@ -66,6 +71,7 @@ pub use pipeline::{
 pub use replay::{ChaosConfig, CrashRecovery, CrashSpec};
 pub use resources::{ResourceModel, ResourceUsage};
 pub use rule_index::{RangeIndex, RangeScratch};
+pub use ruleset::{canonical_entries, RulesetCounters, RulesetDiff, RulesetTxn};
 pub use sharded::{ShardedPipeline, ShardedPipelineConfig, LOGICAL_SHARDS};
 pub use sketched::{SketchEviction, SketchedPipeline, SketchedPipelineConfig};
 pub use tcam::{RangeEntry, RangeTable, TcamTable, TernaryEntry};

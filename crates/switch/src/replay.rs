@@ -34,6 +34,7 @@ use crate::channel::{ActionChannel, DigestChannel};
 use crate::controller::{Controller, ControllerSnapshot};
 use crate::data_plane::DataPlane;
 use crate::pipeline::{ControlAction, PacketVerdict, ProcessOutcome, SeqDigest};
+use crate::ruleset::RulesetTxn;
 
 /// Pipeline timing constants.
 #[derive(Clone, Copy, Debug)]
@@ -142,6 +143,12 @@ pub struct ReplayReport {
     pub wl_lookups: u64,
     /// Lookups that matched a whitelist rule.
     pub wl_hits: u64,
+    /// Ruleset transactions confirmed applied by the data plane (each is
+    /// one hitless epoch flip).
+    pub ruleset_swaps: u64,
+    /// Ruleset delivery attempts that failed in transit and were backed
+    /// off for re-send.
+    pub ruleset_retries: u64,
 }
 
 impl ReplayReport {
@@ -180,31 +187,18 @@ impl Default for ReplayConfig {
     }
 }
 
-impl ReplayConfig {
+iguard_runtime::builder_setters! { ReplayConfig =>
     /// Builder: replay link rate in Gbps.
-    pub fn with_line_rate_gbps(mut self, gbps: f64) -> Self {
-        self.line_rate_gbps = gbps;
-        self
-    }
-
+    with_line_rate_gbps => line_rate_gbps: f64,
     /// Builder: pipeline timing model.
-    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
-        self.latency = latency;
-        self
-    }
-
+    with_latency => latency: LatencyModel,
     /// Builder: control-plane interaction model.
-    pub fn with_control_plane(mut self, cp: ControlPlaneModel) -> Self {
-        self.control_plane = cp;
-        self
-    }
-
+    with_control_plane => control_plane: ControlPlaneModel,
     /// Builder: round-trip packets through wire bytes before processing.
-    pub fn with_exercise_wire(mut self, on: bool) -> Self {
-        self.exercise_wire = on;
-        self
-    }
+    with_exercise_wire => exercise_wire: bool,
+}
 
+impl ReplayConfig {
     /// Builder: data-plane batch size (also the controller feedback
     /// granularity); clamped to ≥ 1.
     pub fn with_batch_size(mut self, n: usize) -> Self {
@@ -247,6 +241,13 @@ pub struct ChaosConfig {
     /// [`CrashRecovery::RestoreCheckpoint`] crash falls back to).
     pub checkpoint_interval: Option<u64>,
     pub crash: Option<CrashSpec>,
+    /// Scripted ruleset swaps: at the start of each named tick the
+    /// transaction is staged on the controller — as if a drift-triggered
+    /// retrain had just completed — and delivery then rides the fallible
+    /// action channel with capped backoff until the data plane accepts
+    /// it. Lets chaos tests exercise swap-under-fault convergence without
+    /// running a retrain in the loop.
+    pub ruleset_swaps: Vec<(u64, RulesetTxn)>,
     /// Hardware blacklist budget enforced by the action channel; installs
     /// beyond it fail with `TcamFull`.
     pub tcam_capacity: usize,
@@ -262,19 +263,23 @@ impl Default for ChaosConfig {
             resync_interval: None,
             checkpoint_interval: None,
             crash: None,
+            ruleset_swaps: Vec::new(),
             tcam_capacity: usize::MAX,
             max_flush_ticks: 1024,
         }
     }
 }
 
-impl ChaosConfig {
+iguard_runtime::builder_setters! { ChaosConfig =>
     /// Builder: channel fault plan.
-    pub fn with_plan(mut self, plan: FaultPlan) -> Self {
-        self.plan = plan;
-        self
-    }
+    with_plan => plan: FaultPlan,
+    /// Builder: hardware blacklist (TCAM) capacity.
+    with_tcam_capacity => tcam_capacity: usize,
+    /// Builder: post-trace flush budget in ticks.
+    with_max_flush_ticks => max_flush_ticks: u64,
+}
 
+impl ChaosConfig {
     /// Builder: resync sweep interval in ticks.
     pub fn with_resync_interval(mut self, ticks: u64) -> Self {
         assert!(ticks > 0, "resync interval must be positive");
@@ -295,15 +300,10 @@ impl ChaosConfig {
         self
     }
 
-    /// Builder: hardware blacklist (TCAM) capacity.
-    pub fn with_tcam_capacity(mut self, cap: usize) -> Self {
-        self.tcam_capacity = cap;
-        self
-    }
-
-    /// Builder: post-trace flush budget in ticks.
-    pub fn with_max_flush_ticks(mut self, ticks: u64) -> Self {
-        self.max_flush_ticks = ticks;
+    /// Builder: stage `txn` on the controller at the start of `at_tick`.
+    /// May be called repeatedly; swaps are staged in tick order.
+    pub fn with_ruleset_swap(mut self, at_tick: u64, txn: RulesetTxn) -> Self {
+        self.ruleset_swaps.push((at_tick, txn));
         self
     }
 }
@@ -378,7 +378,22 @@ impl ControlLoop {
             let (action, attempt) = self.due[i];
             self.send(dp, controller, action, attempt, tick, report);
         }
-        !self.seq_buf.is_empty() || !self.delivered.is_empty() || !self.due.is_empty()
+        // Ruleset lifecycle: a staged (drift-retrained or scripted)
+        // transaction rides the same fallible channel as per-flow
+        // actions. Failures back off with the controller's retry policy;
+        // the transaction is never abandoned, so a healed channel always
+        // converges to the retrained generation.
+        let mut swapped = false;
+        if let Some(txn) = controller.due_ruleset(tick).cloned() {
+            match self.action_chan.send_ruleset(dp, &txn, tick) {
+                Ok(()) => {
+                    controller.ruleset_delivered();
+                    swapped = true;
+                }
+                Err(_) => controller.note_ruleset_failure(tick),
+            }
+        }
+        !self.seq_buf.is_empty() || !self.delivered.is_empty() || !self.due.is_empty() || swapped
     }
 
     fn send<D: DataPlane + ?Sized>(
@@ -403,9 +418,12 @@ impl ControlLoop {
         }
     }
 
-    /// Work still owed to the loop: digests in transit or queued retries.
+    /// Work still owed to the loop: digests in transit, queued retries,
+    /// or an undelivered ruleset transaction.
     fn has_outstanding(&self, controller: &Controller) -> bool {
-        self.digest_chan.has_in_flight() || controller.has_pending_retries()
+        self.digest_chan.has_in_flight()
+            || controller.has_pending_retries()
+            || controller.has_pending_ruleset()
     }
 }
 
@@ -466,6 +484,12 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
     };
     let mut checkpoint: Option<ControllerSnapshot> = None;
     let mut crash_pending = chaos.crash;
+    // Scripted swaps staged in tick order, whatever order they were
+    // scripted in (stable sort keeps same-tick swaps in script order, so
+    // the later — higher-version — one supersedes as latest-wins).
+    let mut swaps: Vec<&(u64, RulesetTxn)> = chaos.ruleset_swaps.iter().collect();
+    swaps.sort_by_key(|(at, _)| *at);
+    let mut next_swap = 0usize;
     let mut tick: u64 = 0;
     let n = trace.packets.len();
     let mut start = 0;
@@ -475,6 +499,10 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
                 recover(controller, data_plane, crash.recovery, checkpoint.as_ref());
                 crash_pending = None;
             }
+        }
+        while next_swap < swaps.len() && swaps[next_swap].0 <= tick {
+            controller.stage_ruleset(swaps[next_swap].1.clone());
+            next_swap += 1;
         }
         let end = (start + batch_size).min(n);
         // Wire exercise re-encodes into the scratch buffer; otherwise the
@@ -537,13 +565,19 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
     let resync_enabled = chaos.resync_interval.is_some();
     let mut flush_ticks = 0u64;
     while flush_ticks < chaos.max_flush_ticks {
-        if !ctl.has_outstanding(controller) && !resync_enabled {
+        // Swaps scripted past the end of the trace still stage (and then
+        // hold the flush loop open until delivered).
+        while next_swap < swaps.len() && swaps[next_swap].0 <= tick {
+            controller.stage_ruleset(swaps[next_swap].1.clone());
+            next_swap += 1;
+        }
+        if !ctl.has_outstanding(controller) && !resync_enabled && next_swap >= swaps.len() {
             break;
         }
         let active = ctl.tick(data_plane, controller, tick, resync_enabled, &mut report);
         tick += 1;
         flush_ticks += 1;
-        if !active && !ctl.has_outstanding(controller) {
+        if !active && !ctl.has_outstanding(controller) && next_swap >= swaps.len() {
             break;
         }
     }
@@ -560,6 +594,8 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
     report.shed = controller.shed();
     report.dup_digests = controller.dup_digests();
     report.degraded = controller.ever_degraded();
+    report.ruleset_swaps = controller.rulesets_delivered();
+    report.ruleset_retries = controller.ruleset_send_failures();
     let heal = [ChannelKind::Digest, ChannelKind::Action]
         .into_iter()
         .filter_map(|ch| chaos.plan.heal_tick(ch))
@@ -693,6 +729,8 @@ pub fn replay_stream<D: DataPlane + ?Sized, S: PacketSource + ?Sized>(
         }
     }
     report.flush_ticks = flush_ticks;
+    report.ruleset_swaps = controller.rulesets_delivered();
+    report.ruleset_retries = controller.ruleset_send_failures();
 
     let wl_end = data_plane.whitelist_counters();
     report.wl_lookups = wl_end.lookups - wl_start.lookups;
@@ -882,6 +920,29 @@ mod tests {
         assert_eq!(m.wl_lookups, s.wl_lookups);
         assert_eq!(m_bl, s_bl);
         assert!(m.packets > 1000, "trace too small to be meaningful");
+    }
+
+    #[test]
+    fn scripted_ruleset_swap_retries_until_channel_heals() {
+        use crate::tcam::{RangeEntry, RangeTable};
+        let mut rng = Rng::seed_from_u64(6);
+        let trace = benign_trace(120, 5.0, &mut rng);
+        let mut p = pipeline(accept_all(13));
+        let mut c = Controller::new(ControllerConfig::default());
+        let mut table = RangeTable::new(vec![4, 4]);
+        table.push(RangeEntry { fields: vec![(0, 7), (0, 15)], priority: 0 });
+        let txn = RulesetTxn::full_install(1, &table, accept_all(13));
+        // The action channel is down for the first 10 ticks; the swap is
+        // staged at tick 2 and must survive on backoff until the heal.
+        let chaos = ChaosConfig::default()
+            .with_plan(FaultPlan::none().with_outage(ChannelKind::Action, 0, 10).with_seed(5))
+            .with_ruleset_swap(2, txn);
+        let cfg = ReplayConfig::default().with_batch_size(8);
+        let r = replay_chaos(&trace, &mut p, &mut c, &cfg, &chaos);
+        assert_eq!(r.ruleset_swaps, 1, "swap must deliver once the channel heals");
+        assert!(r.ruleset_retries >= 1, "outage must force at least one retry");
+        assert_eq!(p.ruleset_version(), 1);
+        assert!(!c.has_pending_ruleset());
     }
 
     #[test]

@@ -1,0 +1,328 @@
+//! The rule-diff engine and the transactional ruleset lifecycle.
+//!
+//! The paper compiles the whitelist once and installs it forever; under
+//! drift the controller retrains and must *replace* the installed ruleset
+//! on a live switch. Reinstalling the full table is unbounded rule churn
+//! (every entry rewritten) and opens a classification gap while the TCAM
+//! is half-programmed. This module bounds both:
+//!
+//! * [`RulesetDiff::between`] computes the **minimal install/remove
+//!   delta** between two compiled [`RangeTable`]s. Entries are keyed by
+//!   their canonical content `(priority, fields)` — an entry present in
+//!   both tables is never churned, so the delta size is
+//!   `|old| + |new| − 2·|old ∩ new|`, the multiset-minimal edit.
+//! * [`RulesetTxn`] packages a delta with a monotonically increasing
+//!   version and the retrained float whitelist it was compiled from. The
+//!   data plane applies it atomically (see `MatchEngine::apply_ruleset`
+//!   in [`crate::pipeline`]): every packet is classified by exactly one
+//!   complete ruleset — the old one up to the swap, the new one after —
+//!   and zero packets ever see a partial table.
+//!
+//! ## Canonical order
+//!
+//! Diffing and application keep entries sorted by `(priority, fields)`.
+//! First-match semantics survive canonicalisation: [`RangeTable::lookup`]
+//! resolves ties by `(priority, position)`, so reordering equal-priority
+//! entries can only change *which* equal-priority entry is reported —
+//! never whether a key matches, nor the winning priority. The pipeline
+//! consumes only the match/no-match bit, so verdicts are invariant.
+//!
+//! ## Versioning rules
+//!
+//! Versions order transactions, not tables. A data plane at version `v`
+//! accepts exactly `v + 1` (each txn is a delta against its
+//! predecessor); re-delivery of any version `≤ v` is an idempotent no-op
+//! (counted in `switch.ruleset.replayed`) so retries over a duplicating
+//! channel are safe; a version `> v + 1` is rejected with
+//! [`SwitchError::StaleRuleset`] — the plane's base table is stale for
+//! that diff and applying it would corrupt the ruleset.
+
+use std::cmp::Ordering;
+
+use iguard_core::error::SwitchError;
+use iguard_core::rules::RuleSet;
+
+use crate::tcam::{RangeEntry, RangeTable};
+
+/// Total content order on entries: priority first (the match-relevant
+/// part), then the field ranges as a tie-break so equal-priority entries
+/// have a deterministic position.
+fn entry_cmp(a: &RangeEntry, b: &RangeEntry) -> Ordering {
+    (a.priority, &a.fields).cmp(&(b.priority, &b.fields))
+}
+
+/// The entries of `table` in canonical `(priority, fields)` order — the
+/// normal form diffing and application operate on.
+pub fn canonical_entries(table: &RangeTable) -> Vec<RangeEntry> {
+    let mut v = table.entries().to_vec();
+    v.sort_by(entry_cmp);
+    v
+}
+
+/// The minimal install/remove delta between two compiled tables.
+///
+/// `removes` come out in canonical old-table order, `installs` in
+/// canonical new-table order — both deterministic, so two controllers
+/// diffing the same pair of tables emit byte-identical transactions.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RulesetDiff {
+    pub installs: Vec<RangeEntry>,
+    pub removes: Vec<RangeEntry>,
+}
+
+impl RulesetDiff {
+    /// Multiset-minimal delta turning `old` into `new`: a merge walk over
+    /// the two canonical entry lists. Entries equal in content (priority
+    /// and every field range) are untouched.
+    pub fn between(old: &RangeTable, new: &RangeTable) -> Self {
+        let old_c = canonical_entries(old);
+        let new_c = canonical_entries(new);
+        let mut installs = Vec::new();
+        let mut removes = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < old_c.len() && j < new_c.len() {
+            match entry_cmp(&old_c[i], &new_c[j]) {
+                Ordering::Less => {
+                    removes.push(old_c[i].clone());
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    installs.push(new_c[j].clone());
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        removes.extend_from_slice(&old_c[i..]);
+        installs.extend_from_slice(&new_c[j..]);
+        Self { installs, removes }
+    }
+
+    /// Number of TCAM entry writes this delta costs (installs + removes).
+    pub fn churn(&self) -> usize {
+        self.installs.len() + self.removes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.installs.is_empty() && self.removes.is_empty()
+    }
+}
+
+/// A transactional ruleset update: the versioned delta the controller
+/// sends down the (fallible) action channel, plus the retrained float
+/// whitelist the delta was compiled from — the emulator's exact model of
+/// the post-transaction TCAM image, installed in the same atomic flip.
+///
+/// Per-flow actions (blacklist install/remove, flow clears) stay on the
+/// flat [`crate::pipeline::ControlAction`] path; this type owns the
+/// *ruleset lifecycle* only.
+#[derive(Clone, Debug)]
+pub struct RulesetTxn {
+    /// Monotonic transaction version; the data plane at version `v`
+    /// applies exactly `v + 1`.
+    pub version: u64,
+    /// Entries to add, canonical new-table order.
+    pub installs: Vec<RangeEntry>,
+    /// Entries to delete, canonical old-table order.
+    pub removes: Vec<RangeEntry>,
+    /// Bit width per TCAM field — lets a version-1 transaction bootstrap
+    /// an empty table and every later one validate shape agreement.
+    pub field_bits: Vec<u8>,
+    /// The float FL whitelist matching the post-transaction table. The
+    /// PL whitelist is not part of the drift loop and keeps its installed
+    /// rules.
+    pub fl_rules: RuleSet,
+}
+
+impl RulesetTxn {
+    /// A transaction carrying the delta from `old` to `new`.
+    pub fn diff(version: u64, old: &RangeTable, new: &RangeTable, fl_rules: RuleSet) -> Self {
+        let d = RulesetDiff::between(old, new);
+        Self {
+            version,
+            installs: d.installs,
+            removes: d.removes,
+            field_bits: new.field_bits.clone(),
+            fl_rules,
+        }
+    }
+
+    /// A transaction installing `table` wholesale (the version-1
+    /// bootstrap against an empty data plane).
+    pub fn full_install(version: u64, table: &RangeTable, fl_rules: RuleSet) -> Self {
+        Self {
+            version,
+            installs: canonical_entries(table),
+            removes: Vec::new(),
+            field_bits: table.field_bits.clone(),
+            fl_rules,
+        }
+    }
+
+    /// Number of TCAM entry writes this transaction costs.
+    pub fn churn(&self) -> usize {
+        self.installs.len() + self.removes.len()
+    }
+}
+
+/// Data-plane-side accounting of the ruleset lifecycle, mirrored into
+/// the `switch.ruleset.*` telemetry counters: TCAM entry writes actually
+/// performed, completed atomic swaps, idempotent replays absorbed, and
+/// stale transactions rejected.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RulesetCounters {
+    /// Entries written by accepted transactions (Σ installs).
+    pub installed: u64,
+    /// Entries deleted by accepted transactions (Σ removes).
+    pub removed: u64,
+    /// Completed epoch flips (accepted transactions).
+    pub swaps: u64,
+    /// Transactions rejected with [`SwitchError::StaleRuleset`].
+    pub stale: u64,
+    /// Re-deliveries of already-applied versions absorbed as no-ops.
+    pub replayed: u64,
+}
+
+/// Applies a delta to `base`, producing the successor table in canonical
+/// order. Fails with [`SwitchError::StaleRuleset`] when the delta does
+/// not fit the base — a remove names an entry the base does not hold, or
+/// the field shape disagrees — which means the transaction was diffed
+/// against a different table than the one installed.
+///
+/// `expected`/`got` in the error carry the version bookkeeping of the
+/// caller (`expected` = the version the plane would accept next).
+pub(crate) fn apply_delta(
+    base: &RangeTable,
+    installs: &[RangeEntry],
+    removes: &[RangeEntry],
+    field_bits: &[u8],
+    expected: u64,
+    got: u64,
+) -> Result<RangeTable, SwitchError> {
+    let stale = SwitchError::StaleRuleset { expected, got };
+    if !base.field_bits.is_empty() && base.field_bits != field_bits {
+        return Err(stale);
+    }
+    let mut entries = canonical_entries(base);
+    for r in removes {
+        if r.fields.len() != field_bits.len() {
+            return Err(stale);
+        }
+        match entries.binary_search_by(|e| entry_cmp(e, r)) {
+            Ok(pos) => {
+                entries.remove(pos);
+            }
+            Err(_) => return Err(stale),
+        }
+    }
+    for ins in installs {
+        if ins.fields.len() != field_bits.len() {
+            return Err(stale);
+        }
+        // Insert at the canonical position (after any equal entries, so
+        // duplicate installs keep a stable order).
+        let pos = entries.partition_point(|e| entry_cmp(e, ins) != Ordering::Greater);
+        entries.insert(pos, ins.clone());
+    }
+    let mut table = RangeTable::new(field_bits.to_vec());
+    for e in entries {
+        table.push(e);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(lo: u32, hi: u32, priority: u32) -> RangeEntry {
+        RangeEntry { fields: vec![(lo, hi)], priority }
+    }
+
+    fn table(entries: Vec<RangeEntry>) -> RangeTable {
+        let mut t = RangeTable::new(vec![8]);
+        for e in entries {
+            t.push(e);
+        }
+        t
+    }
+
+    #[test]
+    fn diff_of_identical_tables_is_empty() {
+        let a = table(vec![entry(0, 10, 0), entry(5, 20, 1)]);
+        // Same content, different push order: still no churn.
+        let b = table(vec![entry(5, 20, 1), entry(0, 10, 0)]);
+        let d = RulesetDiff::between(&a, &b);
+        assert!(d.is_empty());
+        assert_eq!(d.churn(), 0);
+    }
+
+    #[test]
+    fn diff_churn_is_symmetric_difference() {
+        let a = table(vec![entry(0, 10, 0), entry(5, 20, 1), entry(30, 40, 2)]);
+        let b = table(vec![entry(0, 10, 0), entry(5, 21, 1), entry(50, 60, 3)]);
+        let d = RulesetDiff::between(&a, &b);
+        assert_eq!(d.removes, vec![entry(5, 20, 1), entry(30, 40, 2)]);
+        assert_eq!(d.installs, vec![entry(5, 21, 1), entry(50, 60, 3)]);
+        assert_eq!(d.churn(), 4);
+    }
+
+    #[test]
+    fn diff_respects_multiset_counts() {
+        // Two identical entries in `a`, one in `b`: exactly one remove.
+        let a = table(vec![entry(0, 10, 0), entry(0, 10, 0)]);
+        let b = table(vec![entry(0, 10, 0)]);
+        let d = RulesetDiff::between(&a, &b);
+        assert_eq!(d.removes.len(), 1);
+        assert!(d.installs.is_empty());
+    }
+
+    #[test]
+    fn apply_delta_reconstructs_new_table() {
+        let a = table(vec![entry(0, 10, 0), entry(5, 20, 1), entry(30, 40, 2)]);
+        let b = table(vec![entry(50, 60, 3), entry(0, 10, 0), entry(5, 21, 1)]);
+        let d = RulesetDiff::between(&a, &b);
+        let applied = apply_delta(&a, &d.installs, &d.removes, &b.field_bits, 1, 1).unwrap();
+        assert_eq!(applied.entries(), canonical_entries(&b).as_slice());
+    }
+
+    #[test]
+    fn apply_delta_rejects_foreign_base() {
+        let a = table(vec![entry(0, 10, 0)]);
+        let d = RulesetDiff {
+            installs: vec![],
+            removes: vec![entry(99, 100, 7)], // not in `a`
+        };
+        let err = apply_delta(&a, &d.installs, &d.removes, &[8], 2, 5).unwrap_err();
+        assert_eq!(err, SwitchError::StaleRuleset { expected: 2, got: 5 });
+    }
+
+    #[test]
+    fn apply_delta_rejects_field_shape_mismatch() {
+        let a = table(vec![entry(0, 10, 0)]);
+        let err = apply_delta(&a, &[], &[], &[8, 8], 2, 2).unwrap_err();
+        assert!(matches!(err, SwitchError::StaleRuleset { .. }));
+    }
+
+    #[test]
+    fn canonicalisation_preserves_match_semantics() {
+        // Overlapping entries with mixed priorities and a same-priority
+        // pair: match bit and winning priority must survive reordering.
+        let t = table(vec![entry(50, 200, 1), entry(0, 100, 5), entry(0, 100, 1)]);
+        let canon = {
+            let mut c = RangeTable::new(t.field_bits.clone());
+            for e in canonical_entries(&t) {
+                c.push(e);
+            }
+            c
+        };
+        for k in 0..=255u32 {
+            let a = t.lookup(&[k]).map(|e| e.priority);
+            let b = canon.lookup(&[k]).map(|e| e.priority);
+            assert_eq!(a, b, "key {k}");
+        }
+    }
+}

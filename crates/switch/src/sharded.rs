@@ -46,12 +46,15 @@ use iguard_telemetry::{counter, histogram, span};
 
 use iguard_core::rules::RuleSet;
 
+use iguard_core::error::SwitchError;
+
 use crate::data_plane::DataPlane;
 use crate::pipeline::{
     record_batch_telemetry, ControlAction, Digest, MatchEngine, MatchScratch, PacketVerdict,
     PathCounters, PathTaken, PipelineConfig, ProcessOutcome, SeqDigest, ShardState,
     WhitelistCounters, BATCH_CHUNK, RESYNC_SEQ_BASE,
 };
+use crate::ruleset::{RulesetCounters, RulesetTxn};
 
 /// Number of logical state partitions. Fixed — it is the determinism
 /// anchor: changing it changes which flows share a flow-table slot, so it
@@ -94,18 +97,11 @@ impl Default for ShardedPipelineConfig {
     }
 }
 
-impl ShardedPipelineConfig {
+iguard_runtime::builder_setters! { ShardedPipelineConfig =>
     /// Builder: pipeline semantics.
-    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
-        self.pipeline = pipeline;
-        self
-    }
-
+    with_pipeline => pipeline: PipelineConfig,
     /// Builder: physical shard count.
-    pub fn with_shards(mut self, shards: usize) -> Self {
-        self.shards = shards;
-        self
-    }
+    with_shards => shards: usize,
 }
 
 /// A pipeline config is a sharded config with the default shard count.
@@ -228,6 +224,13 @@ impl ShardedPipeline {
         let mean = total as f64 / counts.len() as f64;
         let max = *counts.iter().max().expect("non-empty") as f64;
         max / mean
+    }
+
+    /// The installed TCAM image of the live ruleset epoch — one table,
+    /// shared by every shard group and swapped for all of them in a
+    /// single epoch flip.
+    pub fn ruleset_table(&self) -> &crate::tcam::RangeTable {
+        self.engine.ruleset_table()
     }
 
     /// The installed blacklist across all shards, in canonical sorted
@@ -388,6 +391,21 @@ impl DataPlane for ShardedPipeline {
                 shard.flow.clear(&f);
             }
         }
+    }
+
+    fn apply_ruleset(&mut self, txn: &RulesetTxn) -> Result<(), SwitchError> {
+        // One engine is shared read-only by every shard group, so a single
+        // epoch flip swaps the ruleset for all shards at once — between
+        // batches, per the trait contract.
+        self.engine.apply_ruleset(txn)
+    }
+
+    fn ruleset_version(&self) -> u64 {
+        self.engine.ruleset_version()
+    }
+
+    fn ruleset_counters(&self) -> RulesetCounters {
+        self.engine.ruleset_counters()
     }
 
     fn blacklist_contents(&self) -> Vec<FiveTuple> {

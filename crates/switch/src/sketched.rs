@@ -40,6 +40,7 @@
 
 use std::collections::HashMap;
 
+use iguard_core::error::SwitchError;
 use iguard_core::rules::RuleSet;
 use iguard_flow::features::packet_level_features_array;
 use iguard_flow::five_tuple::FiveTuple;
@@ -56,6 +57,7 @@ use crate::pipeline::{
     PathCounters, PathTaken, PipelineConfig, ProcessOutcome, SeqDigest, ShardState,
     WhitelistCounters, BATCH_CHUNK, RESYNC_SEQ_BASE,
 };
+use crate::ruleset::{RulesetCounters, RulesetTxn};
 
 /// Victim-selection policy of the budgeted exact table.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -116,31 +118,17 @@ impl Default for SketchedPipelineConfig {
     }
 }
 
-impl SketchedPipelineConfig {
-    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
-        self.pipeline = pipeline;
-        self
-    }
-
-    pub fn with_budget_bytes(mut self, budget: Option<usize>) -> Self {
-        self.budget_bytes = budget;
-        self
-    }
-
-    pub fn with_promote_threshold(mut self, t: u32) -> Self {
-        self.promote_threshold = t;
-        self
-    }
-
-    pub fn with_eviction(mut self, policy: SketchEviction) -> Self {
-        self.eviction = policy;
-        self
-    }
-
-    pub fn with_seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
-        self
-    }
+iguard_runtime::builder_setters! { SketchedPipelineConfig =>
+    /// Builder: pipeline semantics.
+    with_pipeline => pipeline: PipelineConfig,
+    /// Builder: exact-table byte budget (`None` = unbudgeted).
+    with_budget_bytes => budget_bytes: Option<usize>,
+    /// Builder: sketch estimate at which a flow earns an exact slot.
+    with_promote_threshold => promote_threshold: u32,
+    /// Builder: eviction policy under budget pressure.
+    with_eviction => eviction: SketchEviction,
+    /// Builder: sketch hash-family / eviction-RNG seed.
+    with_seed => seed: u64,
 }
 
 const NIL: u32 = u32::MAX;
@@ -546,6 +534,18 @@ impl DataPlane for SketchedPipeline {
                 }
             }
         }
+    }
+
+    fn apply_ruleset(&mut self, txn: &RulesetTxn) -> Result<(), SwitchError> {
+        self.engine.apply_ruleset(txn)
+    }
+
+    fn ruleset_version(&self) -> u64 {
+        self.engine.ruleset_version()
+    }
+
+    fn ruleset_counters(&self) -> RulesetCounters {
+        self.engine.ruleset_counters()
     }
 
     fn blacklist_contents(&self) -> Vec<FiveTuple> {

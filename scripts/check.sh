@@ -51,16 +51,25 @@ echo "== scale parity gate: sketched admission vs exact pipeline (workers 1 and 
 IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test scale_parity
 IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test scale_parity
 
-echo "== bench reporter smoke run (shard + chaos + rule-index + sketch sweeps) =="
+echo "== ruleset swap gate: rule-diff engine + hitless versioned swap (workers 1 and 8) =="
+# Diff/apply round-trips, mid-swap verdict membership (every packet sees
+# exactly one complete ruleset), scripted-swap convergence under the PR-4
+# fault plans, and byte-identical fingerprints across shard x worker
+# combinations (DESIGN.md sec. 13).
+IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test ruleset_swap
+IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test ruleset_swap
+
+echo "== bench reporter smoke run (shard + chaos + rule-index + sketch + swap sweeps) =="
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 smoke7_out="$(mktemp /tmp/bench_smoke_pr7.XXXXXX.json)"
-trap 'rm -f "$smoke_out" "$smoke7_out"' EXIT
+smoke8_out="$(mktemp /tmp/bench_smoke_pr8.XXXXXX.json)"
+trap 'rm -f "$smoke_out" "$smoke7_out" "$smoke8_out"' EXIT
 # bench_report itself hard-fails on indexed-vs-linear verdict divergence,
 # on a sub-2x index speedup at >=256 rules, on sketched/exact fingerprint
 # divergence, on a budget overrun, and on a per-batch steady-state
 # allocation. IGUARD_PR7_FLOWS shrinks the 1M-flow streaming sweep for CI.
 IGUARD_PR7_FLOWS=8000 cargo run -q --release --offline -p iguard-bench --bin bench_report -- \
-    --smoke --out "$smoke_out" --out-pr7 "$smoke7_out"
+    --smoke --out "$smoke_out" --out-pr7 "$smoke7_out" --out-pr8 "$smoke8_out"
 test -s "$smoke_out" || { echo "bench_report wrote an empty report"; exit 1; }
 grep -q '"schema": "iguard-bench-pr6"' "$smoke_out" \
     || { echo "bench_report schema marker missing"; exit 1; }
@@ -89,6 +98,15 @@ for marker in switch.sketch.promoted switch.sketch.absorbed switch.sketch.evicte
     grep -q "\"$marker\"" "$smoke_out" \
         || { echo "telemetry marker $marker missing"; exit 1; }
 done
+# The ruleset-swap sweep runs in the same process: the transactional
+# lifecycle counters (entry writes, atomic swaps, idempotent replays,
+# stale rejections) must all be on the board in the snapshot.
+for marker in switch.ruleset.installed switch.ruleset.removed switch.ruleset.swaps \
+              switch.ruleset.stale switch.ruleset.replayed \
+              switch.controller.drift_trigger core.drift.fired; do
+    grep -q "\"$marker\"" "$smoke_out" \
+        || { echo "telemetry marker $marker missing"; exit 1; }
+done
 test -s "$smoke7_out" || { echo "bench_report wrote an empty PR7 report"; exit 1; }
 grep -q '"schema": "iguard-bench-pr7"' "$smoke7_out" \
     || { echo "bench_report pr7 schema marker missing"; exit 1; }
@@ -98,5 +116,16 @@ grep -q '"budgets_respected": true' "$smoke7_out" \
     || { echo "bench_report budget marker missing"; exit 1; }
 grep -q '"steady_state_allocation_free": true' "$smoke7_out" \
     || { echo "bench_report allocation-probe marker missing"; exit 1; }
+test -s "$smoke8_out" || { echo "bench_report wrote an empty PR8 report"; exit 1; }
+grep -q '"schema": "iguard-bench-pr8"' "$smoke8_out" \
+    || { echo "bench_report pr8 schema marker missing"; exit 1; }
+grep -q '"fired_on_shift": true' "$smoke8_out" \
+    || { echo "bench_report drift-trigger marker missing"; exit 1; }
+grep -q '"perturbed_diff_below_full_reinstall": true' "$smoke8_out" \
+    || { echo "bench_report diff-churn marker missing"; exit 1; }
+grep -q '"misclassified_during_swap": 0' "$smoke8_out" \
+    || { echo "bench_report hitless-swap marker missing"; exit 1; }
+grep -q '"byte_identical": true' "$smoke8_out" \
+    || { echo "bench_report swap-determinism marker missing"; exit 1; }
 
 echo "All checks passed."
