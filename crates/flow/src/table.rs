@@ -24,6 +24,14 @@ use crate::packet::Packet;
 use crate::stats::FlowStats;
 use iguard_telemetry::counter;
 
+/// Observations per churn-rate window: every `PRESSURE_WINDOW` packets a
+/// shard observes, its collision/eviction tallies are folded into a churn
+/// rate (per-mille of the window) and the window restarts. A fixed,
+/// per-shard packet count — never wall-clock, batch, or worker derived —
+/// so the pressure signal is byte-identical across batch sizes, worker
+/// counts, and shard groupings.
+pub const PRESSURE_WINDOW: u64 = 256;
+
 /// Configuration of the flow table.
 #[derive(Clone, Copy, Debug)]
 pub struct FlowTableConfig {
@@ -106,6 +114,48 @@ impl FlowTableStats {
             occupancy: self.occupancy + other.occupancy,
             capacity: self.capacity + other.capacity,
             collision_packets: self.collision_packets + other.collision_packets,
+        }
+    }
+}
+
+/// Point-in-time pressure summary of one shard (or a merge of many): the
+/// live pressure signal plus the high-water marks that show how bad the
+/// worst window so far was. See [`FlowShard::pressure_milli`] for the
+/// signal definition.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PressureStats {
+    /// Current pressure, 0..=1000 (per-mille). Max over merged shards.
+    pub pressure_milli: u32,
+    /// Churn rate of the last completed window, 0..=1000. Max over shards.
+    pub churn_milli: u32,
+    /// Highest completed-window churn rate seen. Max over shards.
+    pub churn_milli_hwm: u32,
+    /// Most resident flows ever held at once. Summed over shards (an
+    /// upper bound on the table-wide simultaneous high-water mark).
+    pub occupancy_hwm: usize,
+    /// Most collision packets in one completed window. Max over shards.
+    pub collision_window_hwm: u64,
+    /// Most displacements in one completed window. Max over shards.
+    pub eviction_window_hwm: u64,
+    /// Total residents displaced by newer flows (timed-out or classified
+    /// slot reuse) plus budget evictions. Summed over shards.
+    pub evictions: u64,
+}
+
+impl PressureStats {
+    /// Folds another shard's pressure view into this one: rates and their
+    /// high-water marks take the max (pressure is a per-shard signal — one
+    /// hot shard must stay visible in the aggregate), while occupancy
+    /// high-water and eviction totals sum.
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            pressure_milli: self.pressure_milli.max(other.pressure_milli),
+            churn_milli: self.churn_milli.max(other.churn_milli),
+            churn_milli_hwm: self.churn_milli_hwm.max(other.churn_milli_hwm),
+            occupancy_hwm: self.occupancy_hwm + other.occupancy_hwm,
+            collision_window_hwm: self.collision_window_hwm.max(other.collision_window_hwm),
+            eviction_window_hwm: self.eviction_window_hwm.max(other.eviction_window_hwm),
+            evictions: self.evictions + other.evictions,
         }
     }
 }
@@ -207,6 +257,28 @@ pub struct FlowShard {
     pow2_mask: Option<u64>,
     /// Count of packets that hit the collision path (telemetry).
     pub collision_packets: u64,
+    /// Occupied slots across both tables, maintained O(1) at every slot
+    /// mutation so the pressure signal never scans the tables.
+    resident: usize,
+    /// Most resident flows ever held at once.
+    occupancy_hwm: usize,
+    /// Residents displaced by newer flows plus budget evictions (total).
+    evictions: u64,
+    /// Packets observed in the current churn window.
+    win_obs: u64,
+    /// Collision packets in the current churn window.
+    win_collisions: u64,
+    /// Displacements (timed-out / classified slot reuse) in the current
+    /// churn window.
+    win_evictions: u64,
+    /// Churn rate of the last completed window (per-mille of the window).
+    churn_milli: u32,
+    /// Highest completed-window churn rate seen.
+    churn_milli_hwm: u32,
+    /// Most collision packets in one completed window.
+    collision_window_hwm: u64,
+    /// Most displacements in one completed window.
+    eviction_window_hwm: u64,
 }
 
 impl FlowShard {
@@ -222,6 +294,16 @@ impl FlowShard {
                 .then(|| cfg.slots_per_table as u64 - 1),
             cfg,
             collision_packets: 0,
+            resident: 0,
+            occupancy_hwm: 0,
+            evictions: 0,
+            win_obs: 0,
+            win_collisions: 0,
+            win_evictions: 0,
+            churn_milli: 0,
+            churn_milli_hwm: 0,
+            collision_window_hwm: 0,
+            eviction_window_hwm: 0,
         }
     }
 
@@ -234,6 +316,69 @@ impl FlowShard {
         match self.pow2_mask {
             Some(mask) => (h & mask) as usize,
             None => (h % self.cfg.slots_per_table as u64) as usize,
+        }
+    }
+
+    /// Advances the churn window by one observed packet, folding the
+    /// window's collision/eviction tallies into `churn_milli` when it
+    /// completes. Called once per packet from the resident probe.
+    #[inline]
+    fn note_observe(&mut self) {
+        self.win_obs += 1;
+        if self.win_obs >= PRESSURE_WINDOW {
+            // A packet either collides or displaces, never both, so the
+            // sum stays within the window.
+            let churn = (self.win_collisions + self.win_evictions).min(self.win_obs);
+            self.churn_milli = (churn * 1000 / self.win_obs) as u32;
+            self.churn_milli_hwm = self.churn_milli_hwm.max(self.churn_milli);
+            self.collision_window_hwm = self.collision_window_hwm.max(self.win_collisions);
+            self.eviction_window_hwm = self.eviction_window_hwm.max(self.win_evictions);
+            self.win_obs = 0;
+            self.win_collisions = 0;
+            self.win_evictions = 0;
+        }
+    }
+
+    /// Resident-count / churn bookkeeping of one slot claim.
+    #[inline]
+    fn note_claim(&mut self, claim: &SlotClaim) {
+        match claim {
+            SlotClaim::Fresh => {
+                self.resident += 1;
+                self.occupancy_hwm = self.occupancy_hwm.max(self.resident);
+            }
+            SlotClaim::Displaced(_) => {
+                self.evictions += 1;
+                self.win_evictions += 1;
+            }
+            SlotClaim::Unclaimed => {}
+        }
+    }
+
+    /// The live pressure signal, 0..=1000 (per-mille): the max of the
+    /// last completed window's churn rate (collisions + displacements per
+    /// observed packet) and *half* the occupancy fill. Churn-primary by
+    /// design — a full but quiet table tops out at 500, below the
+    /// degraded-mode entry threshold, so sustained slot fighting (the
+    /// state-exhaustion signature) is what reads as overload, and the
+    /// signal can fall back through the exit threshold in pulse gaps even
+    /// while the table is still full of stale residents.
+    #[inline]
+    pub fn pressure_milli(&self) -> u32 {
+        let occ = (self.resident * 500 / self.capacity()) as u32;
+        self.churn_milli.max(occ)
+    }
+
+    /// Pressure + high-water-mark summary of this shard.
+    pub fn pressure_stats(&self) -> PressureStats {
+        PressureStats {
+            pressure_milli: self.pressure_milli(),
+            churn_milli: self.churn_milli,
+            churn_milli_hwm: self.churn_milli_hwm,
+            occupancy_hwm: self.occupancy_hwm,
+            collision_window_hwm: self.collision_window_hwm,
+            eviction_window_hwm: self.eviction_window_hwm,
+            evictions: self.evictions,
         }
     }
 
@@ -326,6 +471,7 @@ impl FlowShard {
     ) -> Option<InsertOutcome> {
         debug_assert_eq!(key, p.five.canonical());
         debug_assert_eq!((i1, i2), self.slot_index_pair(&key));
+        self.note_observe();
         let (i1, i2) = (i1 as usize, i2 as usize);
 
         // Probe for the flow itself first (either table).
@@ -392,10 +538,14 @@ impl FlowShard {
                 Some(_) => None,
             };
             if let Some(claim) = claim {
-                *slot_opt = Some(Slot { key, stats: FlowStats::from_first_packet(p), label: None });
+                // Build the stats once and install a copy: the threshold-1
+                // fast path below reads the same value without re-probing
+                // the slot it just wrote (no unwrap on the hot path).
+                let stats = FlowStats::from_first_packet(p);
+                *slot_opt = Some(Slot { key, stats, label: None });
+                self.note_claim(&claim);
                 tallies.install += 1;
                 let out = if self.cfg.pkt_threshold == 1 {
-                    let stats = slot_opt.as_ref().unwrap().stats;
                     tallies.ready += 1;
                     InsertOutcome::Ready { stats, timed_out: false }
                 } else {
@@ -417,16 +567,16 @@ impl FlowShard {
                     let displaced = s.key;
                     *slot_opt =
                         Some(Slot { key, stats: FlowStats::from_first_packet(p), label: None });
+                    let claim = SlotClaim::Displaced(displaced);
+                    self.note_claim(&claim);
                     tallies.evict_classified += 1;
                     tallies.install += 1;
-                    return (
-                        InsertOutcome::ReplacedClassified { pkt_count: 1 },
-                        SlotClaim::Displaced(displaced),
-                    );
+                    return (InsertOutcome::ReplacedClassified { pkt_count: 1 }, claim);
                 }
             }
         }
         self.collision_packets += 1;
+        self.win_collisions += 1;
         tallies.collision += 1;
         (InsertOutcome::Collision, SlotClaim::Unclaimed)
     }
@@ -441,12 +591,16 @@ impl FlowShard {
         let i1 = self.idx1(&key);
         if matches!(&self.table1[i1], Some(s) if s.key == key) {
             self.table1[i1] = None;
+            self.resident -= 1;
+            self.evictions += 1;
             counter!("flow.table.evict_budget").inc();
             return true;
         }
         let i2 = self.idx2(&key);
         if matches!(&self.table2[i2], Some(s) if s.key == key) {
             self.table2[i2] = None;
+            self.resident -= 1;
+            self.evictions += 1;
             counter!("flow.table.evict_budget").inc();
             return true;
         }
@@ -505,12 +659,14 @@ impl FlowShard {
         let i1 = self.idx1(&key);
         if matches!(&self.table1[i1], Some(s) if s.key == key) {
             self.table1[i1] = None;
+            self.resident -= 1;
             counter!("flow.table.clear").inc();
             return true;
         }
         let i2 = self.idx2(&key);
         if matches!(&self.table2[i2], Some(s) if s.key == key) {
             self.table2[i2] = None;
+            self.resident -= 1;
             counter!("flow.table.clear").inc();
             return true;
         }
@@ -529,9 +685,16 @@ impl FlowShard {
         }
     }
 
-    /// Number of occupied slots across both tables.
+    /// Number of occupied slots across both tables. O(1): reads the
+    /// maintained resident counter; debug builds cross-check it against a
+    /// full slot scan.
     pub fn occupancy(&self) -> usize {
-        self.table1.iter().chain(&self.table2).filter(|s| s.is_some()).count()
+        debug_assert_eq!(
+            self.resident,
+            self.table1.iter().chain(&self.table2).filter(|s| s.is_some()).count(),
+            "resident counter drifted from slot scan"
+        );
+        self.resident
     }
 
     /// Total slot capacity across both tables.
@@ -615,6 +778,16 @@ impl FlowTable {
 
     pub fn stats(&self) -> FlowTableStats {
         self.shard.stats()
+    }
+
+    /// See [`FlowShard::pressure_milli`].
+    pub fn pressure_milli(&self) -> u32 {
+        self.shard.pressure_milli()
+    }
+
+    /// See [`FlowShard::pressure_stats`].
+    pub fn pressure_stats(&self) -> PressureStats {
+        self.shard.pressure_stats()
     }
 }
 
@@ -760,6 +933,83 @@ mod tests {
             InsertOutcome::Ready { stats, .. } => assert_eq!(stats.pkt_count, 1),
             other => panic!("expected Ready, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn pressure_rises_under_collision_churn_and_sets_high_water_marks() {
+        // One slot per table, huge threshold: after the first two flows
+        // claim the slots, every further distinct flow collides. Run two
+        // full churn windows so churn_milli reflects a completed window.
+        let mut small = FlowTableConfig { slots_per_table: 1, ..cfg() };
+        small.pkt_threshold = 1_000;
+        let mut t = FlowTable::new(small);
+        for f in 0..(2 * PRESSURE_WINDOW as u16) {
+            let _ = t.observe(&pkt(f, 0), 0);
+        }
+        let ps = t.pressure_stats();
+        assert!(ps.churn_milli > 900, "near-total collision churn, got {}", ps.churn_milli);
+        assert!(t.pressure_milli() >= ps.churn_milli);
+        assert_eq!(ps.churn_milli_hwm, ps.churn_milli);
+        assert!(ps.collision_window_hwm > 0);
+        assert_eq!(ps.occupancy_hwm, 2);
+    }
+
+    #[test]
+    fn full_but_quiet_table_reads_at_most_half_pressure() {
+        // Both slots taken, zero churn: the occupancy component alone caps
+        // at 500 per-mille, below any degraded-mode entry threshold — a
+        // full table that nobody is fighting over is not overload.
+        let mut small = FlowTableConfig { slots_per_table: 1, ..cfg() };
+        small.pkt_threshold = 1_000;
+        let mut t = FlowTable::new(small);
+        let _ = t.observe(&pkt(1, 0), 0);
+        let _ = t.observe(&pkt(2, 0), 0);
+        assert_eq!(t.occupancy(), 2);
+        assert_eq!(t.pressure_milli(), 500);
+    }
+
+    #[test]
+    fn timed_out_displacement_counts_as_eviction_churn() {
+        let mut small = FlowTableConfig { slots_per_table: 1, ..cfg() };
+        small.pkt_threshold = 1_000;
+        let mut t = FlowTable::new(small);
+        let _ = t.observe(&pkt(1, 0), 0);
+        let _ = t.observe(&pkt(2, 0), 0);
+        // 5 s later a new flow displaces the stale resident in table 1.
+        let _ = t.observe(&pkt(3, 5000), 5_000_000_000);
+        let ps = t.pressure_stats();
+        assert_eq!(ps.evictions, 1);
+        // Displacement keeps the resident count flat (one out, one in).
+        assert_eq!(t.occupancy(), 2);
+    }
+
+    #[test]
+    fn pressure_stats_merge_maxes_rates_and_sums_totals() {
+        let a = PressureStats {
+            pressure_milli: 800,
+            churn_milli: 800,
+            churn_milli_hwm: 900,
+            occupancy_hwm: 10,
+            collision_window_hwm: 100,
+            eviction_window_hwm: 5,
+            evictions: 7,
+        };
+        let b = PressureStats {
+            pressure_milli: 100,
+            churn_milli: 100,
+            churn_milli_hwm: 950,
+            occupancy_hwm: 3,
+            collision_window_hwm: 40,
+            eviction_window_hwm: 9,
+            evictions: 2,
+        };
+        let m = a.merge(&b);
+        assert_eq!(m.pressure_milli, 800);
+        assert_eq!(m.churn_milli_hwm, 950);
+        assert_eq!(m.occupancy_hwm, 13);
+        assert_eq!(m.collision_window_hwm, 100);
+        assert_eq!(m.eviction_window_hwm, 9);
+        assert_eq!(m.evictions, 9);
     }
 
     #[test]

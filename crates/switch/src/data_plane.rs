@@ -32,7 +32,7 @@
 
 use iguard_flow::five_tuple::FiveTuple;
 use iguard_flow::packet::Packet;
-use iguard_flow::table::FlowTableStats;
+use iguard_flow::table::{FlowTableStats, PressureStats};
 use iguard_runtime::Dataset;
 
 use iguard_core::error::SwitchError;
@@ -64,6 +64,55 @@ pub struct SketchStats {
     pub absorbed: u64,
     /// Tracked flows evicted under budget pressure.
     pub evicted: u64,
+}
+
+/// Overload-layer observability of a backend: the merged pressure view
+/// of its flow-table shards plus the degraded-mode and digest-shedding
+/// accounting (see `crate::pipeline::OverloadConfig`). Rates and
+/// high-water marks in `pressure` merge by max across shards — one hot
+/// shard stays visible in the aggregate — while the event counts sum.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OverloadStats {
+    /// Merged flow-table pressure view (see
+    /// [`iguard_flow::table::PressureStats::merge`]).
+    pub pressure: PressureStats,
+    /// Logical shards currently in degraded mode.
+    pub degraded_shards: u32,
+    /// Degraded-mode entries across all shards so far.
+    pub degraded_entries: u64,
+    /// Degraded-mode exits across all shards so far.
+    pub degraded_exits: u64,
+    /// Total batches spent degraded, summed over shards (residency).
+    pub degraded_batches: u64,
+    /// Benign digests shed (at the source while degraded, or displaced /
+    /// dropped at the buffer cap).
+    pub shed_benign: u64,
+    /// Malicious digests dropped because the buffer was cap-full of
+    /// malicious evidence already.
+    pub shed_malicious: u64,
+    /// Sketch admissions rejected only because pressure raised the
+    /// promote threshold (sketch-assisted backends; 0 elsewhere).
+    pub admission_tightened: u64,
+    /// Most digests any one shard ever buffered at once.
+    pub digest_buffered_hwm: usize,
+}
+
+impl OverloadStats {
+    /// Folds another shard's view into this one (sum events, merge
+    /// pressure, max the buffer high-water mark).
+    pub fn merge(&self, other: &Self) -> Self {
+        Self {
+            pressure: self.pressure.merge(&other.pressure),
+            degraded_shards: self.degraded_shards + other.degraded_shards,
+            degraded_entries: self.degraded_entries + other.degraded_entries,
+            degraded_exits: self.degraded_exits + other.degraded_exits,
+            degraded_batches: self.degraded_batches + other.degraded_batches,
+            shed_benign: self.shed_benign + other.shed_benign,
+            shed_malicious: self.shed_malicious + other.shed_malicious,
+            admission_tightened: self.admission_tightened + other.admission_tightened,
+            digest_buffered_hwm: self.digest_buffered_hwm.max(other.digest_buffered_hwm),
+        }
+    }
 }
 
 /// A switch data-plane backend.
@@ -151,6 +200,14 @@ pub trait DataPlane {
     /// default), `Some` for sketch-assisted ones.
     fn sketch_stats(&self) -> Option<SketchStats> {
         None
+    }
+
+    /// Overload-layer statistics: merged pressure view, degraded-mode
+    /// residency, and digest-shedding counts. Stock backends override
+    /// this; the default is the all-zero view for backends that predate
+    /// the overload layer.
+    fn overload_stats(&self) -> OverloadStats {
+        OverloadStats::default()
     }
 
     /// Convenience allocating drain; prefer [`Self::drain_digests_into`]

@@ -63,12 +63,15 @@ pub use channel::{ActionChannel, ChannelStats, DigestChannel};
 pub use controller::{
     Controller, ControllerConfig, ControllerSnapshot, EvictionPolicy, RetryPolicy,
 };
-pub use data_plane::{DataPlane, SketchStats};
+pub use data_plane::{DataPlane, OverloadStats, SketchStats};
 pub use pipeline::{
-    PacketVerdict, PathTaken, Pipeline, PipelineConfig, ScalarPipeline, SeqDigest,
+    OverloadConfig, PacketVerdict, PathTaken, Pipeline, PipelineConfig, ScalarPipeline, SeqDigest,
     WhitelistCounters, RESYNC_SEQ_BASE,
 };
-pub use replay::{ChaosConfig, CrashRecovery, CrashSpec};
+pub use replay::{
+    replay_chaos_traced_checked, ChaosConfig, CrashRecovery, CrashSpec, MitigationLog,
+    MitigationRecord,
+};
 pub use resources::{ResourceModel, ResourceUsage};
 pub use rule_index::{RangeIndex, RangeScratch};
 pub use ruleset::{canonical_entries, RulesetCounters, RulesetDiff, RulesetTxn};

@@ -24,6 +24,10 @@
 //! processing), so `batch_size` is purely a throughput knob; larger
 //! batches amortise feature extraction and index probes across rows.
 
+use std::collections::HashMap;
+
+use iguard_core::error::IguardError;
+use iguard_flow::five_tuple::FiveTuple;
 use iguard_flow::packet::Packet;
 use iguard_metrics::ConfusionMatrix;
 use iguard_runtime::{ChannelKind, FaultPlan};
@@ -154,6 +158,108 @@ pub struct ReplayReport {
 impl ReplayReport {
     pub fn confusion(&self) -> ConfusionMatrix {
         ConfusionMatrix { tp: self.tp, fp: self.fp, tn: self.tn, fn_: self.fn_ }
+    }
+}
+
+/// One mitigated flow's timeline: first truth-malicious packet seen →
+/// blacklist rule live on the data plane.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MitigationRecord {
+    /// Canonical key of the mitigated flow.
+    pub five: FiveTuple,
+    /// Global arrival index of the flow's first truth-malicious packet.
+    pub first_seen_seq: u64,
+    /// Replay tick that processed that packet.
+    pub first_seen_tick: u64,
+    /// Tick whose control phase landed the blacklist install.
+    pub installed_tick: u64,
+    /// Truth-malicious packets of this flow the data plane had to judge
+    /// without a blacklist rule — the flow's exposure, in packets.
+    pub packets_before_install: u64,
+}
+
+impl MitigationRecord {
+    /// Time to mitigation in replay ticks (0 = installed within the same
+    /// batch's control phase).
+    pub fn ticks_to_mitigation(&self) -> u64 {
+        self.installed_tick - self.first_seen_tick
+    }
+}
+
+/// In-flight exposure accounting of one not-yet-mitigated flow.
+#[derive(Clone, Copy, Debug)]
+struct PendingMitigation {
+    first_seen_seq: u64,
+    first_seen_tick: u64,
+    packets: u64,
+    installed: bool,
+}
+
+/// Per-flow time-to-mitigation log, threaded through the replay
+/// digest/action loop by [`replay_chaos_traced`]. The replay loop notes
+/// every truth-malicious packet; the control loop finalises a record the
+/// moment the flow's blacklist install lands on the data plane. Records
+/// accumulate in install order — a deterministic order, since installs
+/// are driven by the seq-merged digest stream — so the log is
+/// byte-comparable across backends, shard counts, and worker counts.
+#[derive(Clone, Debug, Default)]
+pub struct MitigationLog {
+    flows: HashMap<FiveTuple, PendingMitigation>,
+    /// Finalised records, in blacklist-install order.
+    pub records: Vec<MitigationRecord>,
+}
+
+impl MitigationLog {
+    /// Notes one truth-malicious packet of `five` (canonical key).
+    fn note_malicious(&mut self, five: FiveTuple, seq: u64, tick: u64) {
+        let p = self.flows.entry(five).or_insert(PendingMitigation {
+            first_seen_seq: seq,
+            first_seen_tick: tick,
+            packets: 0,
+            installed: false,
+        });
+        if !p.installed {
+            p.packets += 1;
+        }
+    }
+
+    /// A blacklist install for `five` (canonical key) just landed.
+    fn note_install(&mut self, five: FiveTuple, tick: u64) {
+        // Installs for flows never seen as truth-malicious (controller
+        // false positives) carry no mitigation timeline; skip them.
+        let Some(p) = self.flows.get_mut(&five) else { return };
+        if p.installed {
+            return;
+        }
+        p.installed = true;
+        self.records.push(MitigationRecord {
+            five,
+            first_seen_seq: p.first_seen_seq,
+            first_seen_tick: p.first_seen_tick,
+            installed_tick: tick,
+            packets_before_install: p.packets,
+        });
+    }
+
+    /// Truth-malicious flows that never got a blacklist rule (undetected,
+    /// or their install was still in flight when replay ended).
+    pub fn unmitigated(&self) -> usize {
+        self.flows.values().filter(|p| !p.installed).count()
+    }
+
+    /// Sorted per-flow exposure in packets — the time-to-mitigation CDF's
+    /// sample set (packet axis).
+    pub fn ttm_packets_sorted(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.records.iter().map(|r| r.packets_before_install).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Sorted per-flow time to mitigation in replay ticks.
+    pub fn ttm_ticks_sorted(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.records.iter().map(|r| r.ticks_to_mitigation()).collect();
+        v.sort_unstable();
+        v
     }
 }
 
@@ -355,6 +461,7 @@ impl ControlLoop {
         tick: u64,
         do_resync: bool,
         report: &mut ReplayReport,
+        mut mitigation: Option<&mut MitigationLog>,
     ) -> bool {
         self.seq_buf.clear();
         dp.drain_seq_digests_into(&mut self.seq_buf);
@@ -371,12 +478,12 @@ impl ControlLoop {
         controller.process_seq_digests_into(&self.delivered, &mut self.actions);
         for i in 0..self.actions.len() {
             let action = self.actions[i];
-            self.send(dp, controller, action, 1, tick, report);
+            self.send(dp, controller, action, 1, tick, report, mitigation.as_deref_mut());
         }
         controller.take_due_retries(tick, &mut self.due);
         for i in 0..self.due.len() {
             let (action, attempt) = self.due[i];
-            self.send(dp, controller, action, attempt, tick, report);
+            self.send(dp, controller, action, attempt, tick, report, mitigation.as_deref_mut());
         }
         // Ruleset lifecycle: a staged (drift-retrained or scripted)
         // transaction rides the same fallible channel as per-flow
@@ -404,11 +511,15 @@ impl ControlLoop {
         attempt: u32,
         tick: u64,
         report: &mut ReplayReport,
+        mitigation: Option<&mut MitigationLog>,
     ) {
         match self.action_chan.send(dp, action, tick) {
             Ok(()) => {
-                if matches!(action, ControlAction::InstallBlacklist(_)) {
+                if let ControlAction::InstallBlacklist(five) = action {
                     self.last_install_tick = Some(tick);
+                    if let Some(m) = mitigation {
+                        m.note_install(five.canonical(), tick);
+                    }
                 }
             }
             Err(_) => {
@@ -464,6 +575,43 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
     cfg: &ReplayConfig,
     chaos: &ChaosConfig,
 ) -> ReplayReport {
+    replay_chaos_traced(trace, data_plane, controller, cfg, chaos, None)
+}
+
+/// [`replay_chaos`] that additionally fills a per-flow
+/// [`MitigationLog`]: every truth-malicious packet is noted against its
+/// flow, and the control loop stamps the tick at which the flow's
+/// blacklist install lands. `None` disables the tracking entirely (no
+/// per-packet map work), making this a drop-in superset of
+/// [`replay_chaos`].
+pub fn replay_chaos_traced<D: DataPlane + ?Sized>(
+    trace: &Trace,
+    data_plane: &mut D,
+    controller: &mut Controller,
+    cfg: &ReplayConfig,
+    chaos: &ChaosConfig,
+    mitigation: Option<&mut MitigationLog>,
+) -> ReplayReport {
+    // Infallible convenience over the checked loop: the only fallible
+    // step is the wire round-trip of `exercise_wire`, and a trace whose
+    // packets came from [`Packet::to_bytes`] re-parses by construction.
+    replay_chaos_traced_checked(trace, data_plane, controller, cfg, chaos, mitigation)
+        .unwrap_or_else(|e| panic!("replay wire exercise failed: {e}"))
+}
+
+/// [`replay_chaos_traced`] with the wire-exercise parse failures
+/// surfaced as typed [`IguardError::Wire`] values instead of a panic —
+/// for callers feeding externally sourced (pcap-derived or fuzzed)
+/// traces through `exercise_wire`, where a malformed packet is an input
+/// condition, not a codec bug.
+pub fn replay_chaos_traced_checked<D: DataPlane + ?Sized>(
+    trace: &Trace,
+    data_plane: &mut D,
+    controller: &mut Controller,
+    cfg: &ReplayConfig,
+    chaos: &ChaosConfig,
+    mut mitigation: Option<&mut MitigationLog>,
+) -> Result<ReplayReport, IguardError> {
     let mut report = ReplayReport::default();
     let wl_start = data_plane.whitelist_counters();
     let mut latency_total = 0.0f64;
@@ -511,10 +659,7 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
             wire_buf.clear();
             for pkt in &trace.packets[start..end] {
                 let bytes = pkt.to_bytes();
-                wire_buf.push(
-                    Packet::from_bytes(pkt.ts_ns, &bytes)
-                        .expect("self-generated packet must parse"),
-                );
+                wire_buf.push(Packet::from_bytes(pkt.ts_ns, &bytes)?);
             }
             &wire_buf
         } else {
@@ -528,7 +673,9 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
         let mut mirrored = 0u64;
         let mut dropped = 0u64;
         let mut bytes = 0u64;
-        for ((outcome, pkt), &truth) in outcomes.iter().zip(batch).zip(&trace.labels[start..end]) {
+        for (i, ((outcome, pkt), &truth)) in
+            outcomes.iter().zip(batch).zip(&trace.labels[start..end]).enumerate()
+        {
             bytes += pkt.wire_len as u64;
             let flagged = outcome.verdict == PacketVerdict::Drop;
             dropped += flagged as u64;
@@ -537,6 +684,11 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
                 (true, false) => report.fn_ += 1,
                 (false, true) => report.fp += 1,
                 (false, false) => report.tn += 1,
+            }
+            if truth {
+                if let Some(m) = mitigation.as_deref_mut() {
+                    m.note_malicious(pkt.five.canonical(), start as u64 + i as u64, tick);
+                }
             }
             mirrored += outcome.mirrored as u64;
         }
@@ -549,7 +701,7 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
         // drain (in arrival order) through the channel and actions apply
         // between batches.
         let do_resync = chaos.resync_interval.is_some_and(|iv| tick > 0 && tick % iv == 0);
-        ctl.tick(data_plane, controller, tick, do_resync, &mut report);
+        ctl.tick(data_plane, controller, tick, do_resync, &mut report, mitigation.as_deref_mut());
         if chaos.checkpoint_interval.is_some_and(|iv| tick % iv == 0) {
             checkpoint = Some(controller.snapshot());
         }
@@ -574,7 +726,14 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
         if !ctl.has_outstanding(controller) && !resync_enabled && next_swap >= swaps.len() {
             break;
         }
-        let active = ctl.tick(data_plane, controller, tick, resync_enabled, &mut report);
+        let active = ctl.tick(
+            data_plane,
+            controller,
+            tick,
+            resync_enabled,
+            &mut report,
+            mitigation.as_deref_mut(),
+        );
         tick += 1;
         flush_ticks += 1;
         if !active && !ctl.has_outstanding(controller) && next_swap >= swaps.len() {
@@ -627,7 +786,7 @@ pub fn replay_chaos<D: DataPlane + ?Sized>(
     }
     report.throughput_gbps = throughput.min(cfg.line_rate_gbps);
     report.digest_kbps = controller.overhead_kbps(report.duration_secs);
-    report
+    Ok(report)
 }
 
 /// A pull-based packet supplier for [`replay_stream`]: fills caller-owned
@@ -711,7 +870,7 @@ pub fn replay_stream<D: DataPlane + ?Sized, S: PacketSource + ?Sized>(
         report.dropped += dropped;
         report.loopback += mirrored;
         report.avg_latency_ns += (outcomes.len() as u64 + mirrored) as f64 * base_ns;
-        ctl.tick(data_plane, controller, tick, false, &mut report);
+        ctl.tick(data_plane, controller, tick, false, &mut report, None);
         tick += 1;
     }
     // Flush in-transit control work (the ideal channel is synchronous, so
@@ -721,7 +880,7 @@ pub fn replay_stream<D: DataPlane + ?Sized, S: PacketSource + ?Sized>(
         if !ctl.has_outstanding(controller) {
             break;
         }
-        let active = ctl.tick(data_plane, controller, tick, false, &mut report);
+        let active = ctl.tick(data_plane, controller, tick, false, &mut report, None);
         tick += 1;
         flush_ticks += 1;
         if !active && !ctl.has_outstanding(controller) {
@@ -799,6 +958,7 @@ mod tests {
                 },
                 drop_malicious: true,
                 log_compress: false,
+                ..Default::default()
             },
             fl,
             accept_all(4),
@@ -830,6 +990,52 @@ mod tests {
         assert!(cm.recall() > 0.8, "recall {} too low", cm.recall());
         assert!(p.blacklist_len() > 0, "malicious flows should be blacklisted");
         assert!(r.digests > 0);
+    }
+
+    /// Unwrap-audit regression: the checked wire-exercise entry returns
+    /// the identical report to the infallible convenience wrapper on a
+    /// self-generated trace — converting the reparse `expect` to a typed
+    /// `Result` changed no accounting.
+    #[test]
+    fn checked_wire_replay_matches_infallible() {
+        let mut rng = Rng::seed_from_u64(11);
+        let trace = benign_trace(60, 3.0, &mut rng);
+        let cfg = ReplayConfig::default().with_exercise_wire(true);
+        let run = |checked: bool| -> ReplayReport {
+            let mut p = pipeline(accept_all(13));
+            let mut c = Controller::new(ControllerConfig::default());
+            if checked {
+                replay_chaos_traced_checked(
+                    &trace,
+                    &mut p,
+                    &mut c,
+                    &cfg,
+                    &ChaosConfig::default(),
+                    None,
+                )
+                .expect("self-generated trace round-trips")
+            } else {
+                replay_chaos(&trace, &mut p, &mut c, &cfg, &ChaosConfig::default())
+            }
+        };
+        let (a, b) = (run(true), run(false));
+        assert_eq!(a.packets, b.packets);
+        assert_eq!((a.tp, a.fp, a.tn, a.fn_), (b.tp, b.fp, b.tn, b.fn_));
+        assert_eq!(a.digests, b.digests);
+        assert_eq!(a.bytes, b.bytes);
+    }
+
+    /// Unwrap-audit regression: a malformed wire buffer surfaces as the
+    /// typed [`IguardError::Wire`] the checked replay propagates, not a
+    /// panic.
+    #[test]
+    fn wire_parse_failure_is_typed() {
+        let mut rng = Rng::seed_from_u64(12);
+        let trace = benign_trace(2, 1.0, &mut rng);
+        let bytes = trace.packets[0].to_bytes();
+        let err = Packet::from_bytes(0, &bytes[..bytes.len() - 4]).unwrap_err();
+        let lifted: IguardError = err.into();
+        assert!(matches!(lifted, IguardError::Wire(_)), "{lifted}");
     }
 
     #[test]
@@ -971,6 +1177,107 @@ mod tests {
             assert_eq!(a.bytes, r.bytes);
             assert_eq!(a.tp + a.fn_, r.tp + r.fn_, "ground-truth positives differ");
             assert_eq!(a.fp + a.tn, r.fp + r.tn, "ground-truth negatives differ");
+        }
+    }
+
+    #[test]
+    fn mitigation_log_times_first_malicious_packet_to_install() {
+        let mut rng = Rng::seed_from_u64(7);
+        let benign = benign_trace(80, 5.0, &mut rng);
+        let attack = Attack::UdpDdos.trace(20, 5.0, &mut rng);
+        let trace = iguard_synth::trace::Trace::merge(vec![benign, attack]);
+        let mut p = pipeline(fl_ipd_jitter_above(0.0008));
+        let mut c = Controller::new(ControllerConfig::default());
+        let mut log = MitigationLog::default();
+        let r = replay_chaos_traced(
+            &trace,
+            &mut p,
+            &mut c,
+            &ReplayConfig::default(),
+            &ChaosConfig::default(),
+            Some(&mut log),
+        );
+        assert!(!log.records.is_empty(), "flood flows must get mitigation records");
+        // False-positive installs (benign flows the FL rules rejected)
+        // carry no mitigation timeline, so records ≤ installs.
+        assert!(log.records.len() <= p.blacklist_len());
+        for rec in &log.records {
+            assert!(rec.installed_tick >= rec.first_seen_tick);
+            // A flow needs pkt_threshold packets to reach the blue path,
+            // so its exposure is at least that many packets.
+            assert!(rec.packets_before_install >= 4, "exposure {}", rec.packets_before_install);
+        }
+        // Packet-axis samples are bounded by the flow's own traffic.
+        let ttm = log.ttm_packets_sorted();
+        assert!(*ttm.last().unwrap() <= r.tp + r.fn_);
+        assert_eq!(ttm.len(), log.records.len());
+        // Fast per-packet feedback (batch 1) mitigates within a few
+        // packets of the classification threshold.
+        assert!(ttm[ttm.len() / 2] <= 16, "median exposure {} packets", ttm[ttm.len() / 2]);
+    }
+
+    #[test]
+    fn mitigation_log_is_identical_across_backends() {
+        use crate::sharded::{ShardedPipeline, ShardedPipelineConfig};
+        let mut rng = Rng::seed_from_u64(8);
+        let benign = benign_trace(60, 5.0, &mut rng);
+        let attack = Attack::TcpDdos.trace(15, 5.0, &mut rng);
+        let trace = iguard_synth::trace::Trace::merge(vec![benign, attack]);
+        let cfg = ReplayConfig::default().with_batch_size(32);
+        let run = |shards: Option<usize>| {
+            let mut c = Controller::new(ControllerConfig::default());
+            let mut log = MitigationLog::default();
+            let fl = fl_ipd_jitter_above(0.0008);
+            match shards {
+                None => {
+                    let mut p = pipeline(fl);
+                    replay_chaos_traced(
+                        &trace,
+                        &mut p,
+                        &mut c,
+                        &cfg,
+                        &ChaosConfig::default(),
+                        Some(&mut log),
+                    );
+                }
+                Some(s) => {
+                    let pcfg = PipelineConfig {
+                        flow_table: FlowTableConfig {
+                            slots_per_table: 8192,
+                            pkt_threshold: 4,
+                            ..Default::default()
+                        },
+                        ..Default::default()
+                    };
+                    let mut p = ShardedPipeline::new(
+                        ShardedPipelineConfig::from(pcfg).with_shards(s),
+                        fl,
+                        accept_all(4),
+                    );
+                    replay_chaos_traced(
+                        &trace,
+                        &mut p,
+                        &mut c,
+                        &cfg,
+                        &ChaosConfig::default(),
+                        Some(&mut log),
+                    );
+                }
+            }
+            (log.records.clone(), log.unmitigated())
+        };
+        let serial = run(None);
+        for shards in [1, 8] {
+            let sharded = run(Some(shards));
+            // Collision sets differ between the serial and sharded tables,
+            // so only the sharded grid must agree record-for-record; the
+            // serial run pins the same unmitigated count.
+            if shards == 1 {
+                assert_eq!(sharded.1, serial.1, "unmitigated count differs from serial");
+            } else {
+                assert_eq!(sharded, run(Some(1)), "sharded mitigation records differ");
+            }
+            assert!(!sharded.0.is_empty());
         }
     }
 }

@@ -50,8 +50,8 @@ use iguard_core::error::SwitchError;
 
 use crate::data_plane::DataPlane;
 use crate::pipeline::{
-    record_batch_telemetry, ControlAction, Digest, MatchEngine, MatchScratch, PacketVerdict,
-    PathCounters, PathTaken, PipelineConfig, ProcessOutcome, SeqDigest, ShardState,
+    record_batch_telemetry, update_overload, ControlAction, Digest, MatchEngine, MatchScratch,
+    PacketVerdict, PathCounters, PathTaken, PipelineConfig, ProcessOutcome, SeqDigest, ShardState,
     WhitelistCounters, BATCH_CHUNK, RESYNC_SEQ_BASE,
 };
 use crate::ruleset::{RulesetCounters, RulesetTxn};
@@ -213,6 +213,14 @@ impl ShardedPipeline {
         (0..LOGICAL_SHARDS).map(|l| self.shard(l).flow.occupancy()).collect()
     }
 
+    /// Overload view per logical shard, in logical-shard order — the
+    /// unmerged constituents of [`DataPlane::overload_stats`], for tests
+    /// and tooling that need to see *which* shards are degraded or what
+    /// each shard's pressure reads rather than the fleet-wide summary.
+    pub fn shard_overload_views(&self) -> Vec<crate::data_plane::OverloadStats> {
+        (0..LOGICAL_SHARDS).map(|l| self.shard(l).overload_view()).collect()
+    }
+
     /// Load-imbalance ratio: max over mean of per-shard packet counts
     /// (1.0 = perfectly balanced; 0.0 when nothing was processed).
     pub fn imbalance_ratio(&self) -> f64 {
@@ -222,7 +230,7 @@ impl ShardedPipeline {
             return 0.0;
         }
         let mean = total as f64 / counts.len() as f64;
-        let max = *counts.iter().max().expect("non-empty") as f64;
+        let max = counts.iter().copied().max().unwrap_or(0) as f64;
         max / mean
     }
 
@@ -278,8 +286,9 @@ impl DataPlane for ShardedPipeline {
         if pkts.is_empty() {
             return;
         }
-        let Self { groups, bins, engine, processed, batch, rows_idx, .. } = self;
+        let Self { groups, bins, engine, processed, batch, rows_idx, cfg, .. } = self;
         let phys = groups.len();
+        let overload_cfg = cfg.pipeline.overload;
 
         counter!("switch.sharded.batches").inc();
         histogram!("switch.sharded.batch_packets").record(pkts.len() as u64);
@@ -313,6 +322,12 @@ impl DataPlane for ShardedPipeline {
                 scratch,
                 out,
             );
+            // Hysteresis steps once per batch per *logical* shard — the
+            // same schedule as the multi-group path below, so degraded-mode
+            // transitions are grouping/worker invariant.
+            for st in shards.iter_mut() {
+                update_overload(st, &overload_cfg);
+            }
             *processed += pkts.len() as u64;
             return;
         }
@@ -340,6 +355,12 @@ impl DataPlane for ShardedPipeline {
                 scratch,
                 outcomes,
             );
+            // Every group steps all of its shards every batch (even shards
+            // whose bin was empty this batch): the hysteresis clock is
+            // per-batch, not per-packet, so it must tick uniformly.
+            for st in shards.iter_mut() {
+                update_overload(st, &overload_cfg);
+            }
         });
 
         // Reassemble outcomes into packet order: each group emits one
@@ -479,6 +500,14 @@ impl DataPlane for ShardedPipeline {
             .fold(FlowTableStats::default(), |acc, l| acc.merge(&self.shard(l).flow.stats()))
     }
 
+    fn overload_stats(&self) -> crate::data_plane::OverloadStats {
+        // Logical-shard order, like every other fold here, so the merged
+        // view is identical at any physical grouping.
+        (0..LOGICAL_SHARDS).fold(crate::data_plane::OverloadStats::default(), |acc, l| {
+            acc.merge(&self.shard(l).overload_view())
+        })
+    }
+
     fn blacklist_len(&self) -> usize {
         (0..LOGICAL_SHARDS).map(|l| self.shard(l).blacklist.len()).sum()
     }
@@ -523,6 +552,19 @@ mod tests {
             out.push(pkt(f, i, len));
         }
         out
+    }
+
+    /// Unwrap-audit regression: the imbalance ratio is total-function —
+    /// zero traffic reads 0.0 (no division, no panic on the max fold)
+    /// and stays finite after a single packet.
+    #[test]
+    fn imbalance_ratio_is_total() {
+        let mut dp = ShardedPipeline::new(cfg(3, 4), accept_all(13), accept_all(4));
+        assert_eq!(dp.imbalance_ratio(), 0.0);
+        let mut out = Vec::new();
+        dp.process_batch(&[pkt(1, 0, 120)], &mut out);
+        let r = dp.imbalance_ratio();
+        assert!(r.is_finite() && r >= 1.0, "ratio {r}");
     }
 
     #[test]

@@ -53,8 +53,8 @@ use iguard_telemetry::{counter, histogram};
 
 use crate::data_plane::{DataPlane, SketchStats};
 use crate::pipeline::{
-    record_batch_telemetry, ControlAction, Digest, MatchEngine, MatchScratch, PacketVerdict,
-    PathCounters, PathTaken, PipelineConfig, ProcessOutcome, SeqDigest, ShardState,
+    record_batch_telemetry, update_overload, ControlAction, Digest, MatchEngine, MatchScratch,
+    PacketVerdict, PathCounters, PathTaken, PipelineConfig, ProcessOutcome, SeqDigest, ShardState,
     WhitelistCounters, BATCH_CHUNK, RESYNC_SEQ_BASE,
 };
 use crate::ruleset::{RulesetCounters, RulesetTxn};
@@ -341,6 +341,27 @@ impl SketchedPipeline {
         self.book.len()
     }
 
+    /// Promotion bar after pressure-adaptive tightening: the base
+    /// threshold doubles once the flow table crosses the degraded-enter
+    /// pressure and quadruples near saturation (≥ 900‰), demanding more
+    /// repeat evidence per exact slot exactly when slots are scarcest.
+    /// Inert in exact-parity mode (base ≤ 1 never consults the sketch).
+    fn effective_promote_threshold(&self) -> u32 {
+        let base = self.cfg.promote_threshold;
+        if base <= 1 {
+            return base;
+        }
+        let p = self.state.flow.pressure_milli();
+        let mult = if p >= 900 {
+            4
+        } else if p >= self.cfg.pipeline.overload.degrade_enter_milli {
+            2
+        } else {
+            1
+        };
+        base.saturating_mul(mult)
+    }
+
     /// One sketch observation of an untracked flow: returns true when the
     /// flow's (over-)estimated packet count reaches the promotion bar.
     fn sketch_admit(&mut self, key: &FiveTuple) -> bool {
@@ -355,7 +376,14 @@ impl SketchedPipeline {
         // First sighting is the implicit estimate 1; repeats go through
         // the CMS (whose count starts at the *second* packet, hence +1).
         let est = if seen { self.cms.increment(key).saturating_add(1) } else { 1 };
-        est >= self.cfg.promote_threshold
+        let eff = self.effective_promote_threshold();
+        if est >= self.cfg.promote_threshold && est < eff {
+            // Would have been admitted at the calm threshold — rejected
+            // only because pressure raised the bar.
+            self.state.overload.admission_tightened += 1;
+            counter!("switch.overload.admission_tightened").inc();
+        }
+        est >= eff
     }
 
     /// The scalar sketch-assisted walk: identical to
@@ -464,9 +492,12 @@ impl SketchedPipeline {
                 self.state.paths.blue += 1;
                 counter!("switch.pipeline.path.blue").inc();
                 let malicious = self.engine.predict_blue(&stats, &pl, &mut self.scratch);
-                self.state
-                    .digests
-                    .push(SeqDigest { seq, digest: Digest { five: pkt.five, malicious } });
+                let ShardState { overload, digests, .. } = &mut self.state;
+                overload.push_digest(
+                    digests,
+                    SeqDigest { seq, digest: Digest { five: pkt.five, malicious } },
+                    &self.cfg.pipeline.overload,
+                );
                 self.state.paths.green_loopback += 1;
                 counter!("switch.pipeline.path.green_loopback").inc();
                 self.state.flow.set_label(&pkt.five, malicious);
@@ -504,6 +535,8 @@ impl DataPlane for SketchedPipeline {
             out.push(o);
         }
         self.tallies.flush();
+        let ocfg = self.cfg.pipeline.overload;
+        update_overload(&mut self.state, &ocfg);
         let tracked = self.book.len();
         histogram!("switch.sketch.occupancy").record(tracked as u64);
         if tracked > 0 {
@@ -597,6 +630,10 @@ impl DataPlane for SketchedPipeline {
 
     fn packets_processed(&self) -> u64 {
         self.state.processed
+    }
+
+    fn overload_stats(&self) -> crate::data_plane::OverloadStats {
+        self.state.overload_view()
     }
 
     fn sketch_stats(&self) -> Option<SketchStats> {

@@ -29,9 +29,11 @@ pub mod attacks;
 pub mod benign;
 pub mod pcap;
 pub mod profile;
+pub mod scenarios;
 pub mod streaming;
 pub mod trace;
 
 pub use attacks::{Attack, ALL_ATTACKS};
+pub use scenarios::{Scenario, ALL_SCENARIOS};
 pub use streaming::{StreamingConfig, StreamingTrace, Zipf};
 pub use trace::{LabeledFlows, Trace};

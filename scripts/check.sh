@@ -59,17 +59,29 @@ echo "== ruleset swap gate: rule-diff engine + hitless versioned swap (workers 1
 IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test ruleset_swap
 IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test ruleset_swap
 
-echo "== bench reporter smoke run (shard + chaos + rule-index + sketch + swap sweeps) =="
+echo "== overload gate: state-exhaustion canon + timeout rebirth (workers 1 and 8) =="
+# Idle-timeout boundary properties, grid-invariant overload fingerprints
+# under the adversarial scenario canon, and the degraded-mode
+# enter/shed/exit cycle with full recovery (DESIGN.md sec. 15).
+IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test overload
+IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test overload
+
+echo "== bench reporter smoke run (shard + chaos + rule-index + sketch + swap + overload sweeps) =="
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 smoke7_out="$(mktemp /tmp/bench_smoke_pr7.XXXXXX.json)"
 smoke8_out="$(mktemp /tmp/bench_smoke_pr8.XXXXXX.json)"
-trap 'rm -f "$smoke_out" "$smoke7_out" "$smoke8_out"' EXIT
+smoke9_out="$(mktemp /tmp/bench_smoke_pr9.XXXXXX.json)"
+trap 'rm -f "$smoke_out" "$smoke7_out" "$smoke8_out" "$smoke9_out"' EXIT
 # bench_report itself hard-fails on indexed-vs-linear verdict divergence,
 # on a sub-2x index speedup at >=256 rules, on sketched/exact fingerprint
-# divergence, on a budget overrun, and on a per-batch steady-state
-# allocation. IGUARD_PR7_FLOWS shrinks the 1M-flow streaming sweep for CI.
+# divergence, on a budget overrun, on a per-batch steady-state
+# allocation, and on any PR-9 overload gate (grid fingerprint
+# divergence, missed degraded cycle, FP inflation, stale storm state,
+# admission seam, golden matrix). IGUARD_PR7_FLOWS shrinks the 1M-flow
+# streaming sweep for CI.
 IGUARD_PR7_FLOWS=8000 cargo run -q --release --offline -p iguard-bench --bin bench_report -- \
-    --smoke --out "$smoke_out" --out-pr7 "$smoke7_out" --out-pr8 "$smoke8_out"
+    --smoke --out "$smoke_out" --out-pr7 "$smoke7_out" --out-pr8 "$smoke8_out" \
+    --out-pr9 "$smoke9_out"
 test -s "$smoke_out" || { echo "bench_report wrote an empty report"; exit 1; }
 grep -q '"schema": "iguard-bench-pr6"' "$smoke_out" \
     || { echo "bench_report schema marker missing"; exit 1; }
@@ -127,5 +139,29 @@ grep -q '"misclassified_during_swap": 0' "$smoke8_out" \
     || { echo "bench_report hitless-swap marker missing"; exit 1; }
 grep -q '"byte_identical": true' "$smoke8_out" \
     || { echo "bench_report swap-determinism marker missing"; exit 1; }
+test -s "$smoke9_out" || { echo "bench_report wrote an empty PR9 report"; exit 1; }
+grep -q '"schema": "iguard-bench-pr9"' "$smoke9_out" \
+    || { echo "bench_report pr9 schema marker missing"; exit 1; }
+# Every canon scenario's shard x worker grid must carry the
+# byte-identical certificate, and the storm scenarios must have cycled
+# degraded mode (entered, shed, exited, fully recovered).
+[ "$(grep -c '"grid_byte_identical": true' "$smoke9_out")" -eq 4 ] \
+    || { echo "bench_report overload grid-determinism markers missing"; exit 1; }
+grep -q '"degraded_cycle_observed": true' "$smoke9_out" \
+    || { echo "bench_report degraded-cycle marker missing"; exit 1; }
+grep -q '"confusion_matches_fresh": true' "$smoke9_out" \
+    || { echo "bench_report overload recovery marker missing"; exit 1; }
+grep -q '"tightens_only_under_pressure": true' "$smoke9_out" \
+    || { echo "bench_report admission-tightening marker missing"; exit 1; }
+grep -q '"ttm_packets"' "$smoke9_out" \
+    || { echo "bench_report time-to-mitigation CDF missing"; exit 1; }
+# The overload sweep shares the process, so its pressure/shedding
+# telemetry must be on the board in the verified snapshot.
+for marker in switch.flow_table.pressure switch.overload.degraded_enter \
+              switch.overload.degraded_exit switch.overload.shed_benign \
+              switch.overload.admission_tightened; do
+    grep -q "\"$marker\"" "$smoke_out" \
+        || { echo "telemetry marker $marker missing"; exit 1; }
+done
 
 echo "All checks passed."
