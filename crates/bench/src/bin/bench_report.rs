@@ -30,13 +30,20 @@
 //! grid, observable degraded-mode entry/exit, bounded benign-FP inflation
 //! while degraded, post-storm reconvergence to the fresh-pipeline
 //! confusion matrix, and the unchanged PR-2 golden matrix on the
-//! non-overloaded exact path).
+//! non-overloaded exact path), and `BENCH_PR10.json` (the phase-aware
+//! classification sweep: per-phase whitelists consulted at intermediate
+//! packet-count boundaries, scored as a detection-latency CDF — packets
+//! seen before verdict, per deciding phase — against the single-shot
+//! baseline on the same storm workloads, gated on byte-identical
+//! shard × worker fingerprints with phases enabled, a phases-disabled
+//! run matching the single-shot fingerprint exactly, strictly improved
+//! pulse-wave median exposure, and nonzero state-exhaustion mitigation).
 //!
 //! Usage:
 //!
 //! ```text
 //! bench_report [--smoke] [--seed N] [--out PATH] [--out-pr7 PATH] [--out-pr8 PATH]
-//!              [--out-pr9 PATH]
+//!              [--out-pr9 PATH] [--out-pr10 PATH]
 //! ```
 //!
 //! `--smoke` runs one iteration of each stage (CI sanity); the default is
@@ -53,12 +60,13 @@ use std::time::Instant;
 use iguard_core::drift::DriftConfig;
 use iguard_core::early::EarlyModel;
 use iguard_core::forest::{IGuardConfig, IGuardForest};
+use iguard_core::phase::{train_phases, PhaseTrainConfig};
 use iguard_core::rules::{Hypercube, RuleSet};
 use iguard_core::teacher::OracleTeacher;
 use iguard_flow::features::packet_level_features;
 use iguard_flow::five_tuple::{FiveTuple, PROTO_TCP};
 use iguard_flow::packet::{Packet, TcpFlags};
-use iguard_flow::table::FlowTableConfig;
+use iguard_flow::table::{FlowTableConfig, PhaseSchedule};
 use iguard_iforest::IsolationForestConfig;
 use iguard_runtime::rng::Rng;
 use iguard_runtime::{ChannelKind, FaultPlan};
@@ -124,6 +132,7 @@ struct Args {
     out_pr7: String,
     out_pr8: String,
     out_pr9: String,
+    out_pr10: String,
 }
 
 fn parse_args() -> Args {
@@ -134,6 +143,7 @@ fn parse_args() -> Args {
         out_pr7: "BENCH_PR7.json".into(),
         out_pr8: "BENCH_PR8.json".into(),
         out_pr9: "BENCH_PR9.json".into(),
+        out_pr10: "BENCH_PR10.json".into(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -147,10 +157,11 @@ fn parse_args() -> Args {
             "--out-pr7" => args.out_pr7 = it.next().expect("--out-pr7 needs a path"),
             "--out-pr8" => args.out_pr8 = it.next().expect("--out-pr8 needs a path"),
             "--out-pr9" => args.out_pr9 = it.next().expect("--out-pr9 needs a path"),
+            "--out-pr10" => args.out_pr10 = it.next().expect("--out-pr10 needs a path"),
             other => {
                 eprintln!("unknown argument {other:?}");
                 eprintln!(
-                    "usage: bench_report [--smoke] [--seed N] [--out PATH] [--out-pr7 PATH] [--out-pr8 PATH] [--out-pr9 PATH]"
+                    "usage: bench_report [--smoke] [--seed N] [--out PATH] [--out-pr7 PATH] [--out-pr8 PATH] [--out-pr9 PATH] [--out-pr10 PATH]"
                 );
                 std::process::exit(2);
             }
@@ -2090,6 +2101,287 @@ fn run_overload_sweep(seed: u64, fl_rules: &RuleSet, pl_rules: &RuleSet) -> Over
     }
 }
 
+/// Intermediate phase boundaries for the PR-10 sweep, against the
+/// overload canon's packet threshold of 4. Boundary 2 is mandatory for
+/// the state-exhaustion scenario: its probe flows send 1–3 packets, so
+/// any later boundary (or the single-shot threshold) never sees them.
+const PHASE_BOUNDARIES: [u64; 2] = [2, 3];
+
+/// The overload canon flow table plus the phase schedule.
+fn phase_pipe_cfg() -> PipelineConfig {
+    PipelineConfig::default().with_flow_table(
+        FlowTableConfig::default()
+            .with_pkt_threshold(4)
+            .with_slots_per_table(OVERLOAD_SLOTS)
+            .with_phases(PhaseSchedule::new(&PHASE_BOUNDARIES)),
+    )
+}
+
+/// One phase-enabled scenario replay at a given shard/worker point. The
+/// phase schedule is in the flow-table config; `phase_rules` (one
+/// whitelist per boundary, possibly empty = phases disabled in all but
+/// the boundary bookkeeping) install through the hitless epoch flip
+/// before the first packet.
+fn run_phase_case(
+    trace: &Trace,
+    fl_rules: &RuleSet,
+    pl_rules: &RuleSet,
+    phase_rules: &[RuleSet],
+    shards: usize,
+    workers: usize,
+) -> OverloadRun {
+    iguard_runtime::par::with_workers(workers, || {
+        let cfg = ShardedPipelineConfig::from(phase_pipe_cfg()).with_shards(shards);
+        let mut sp = ShardedPipeline::new(cfg, fl_rules.clone(), pl_rules.clone());
+        if !phase_rules.is_empty() {
+            sp.set_phase_rulesets(phase_rules);
+        }
+        let mut controller = Controller::new(ControllerConfig::default());
+        let mut log = MitigationLog::default();
+        let rcfg = ReplayConfig::default().with_batch_size(OVERLOAD_BATCH);
+        let report = replay_chaos_traced(
+            trace,
+            &mut sp,
+            &mut controller,
+            &rcfg,
+            &ChaosConfig::default(),
+            Some(&mut log),
+        );
+        OverloadRun {
+            confusion: (report.tp, report.fp, report.tn, report.fn_),
+            packets: report.packets,
+            dropped: report.dropped,
+            digests: report.digests,
+            blacklist: sp.blacklist_contents(),
+            unmitigated: log.unmitigated() as u64,
+            ttm_packets: log.ttm_packets_sorted(),
+            ttm_ticks: log.ttm_ticks_sorted(),
+            records: log.records,
+            overload: sp.overload_stats(),
+        }
+    })
+}
+
+/// Trains the per-boundary phase whitelists: one guided forest per
+/// boundary on flow features truncated to that boundary's packet prefix
+/// (later phases warm-started from the previous phase's forest), under a
+/// prefix-shape oracle teacher — fast, small packets are the storm
+/// signature at two packets; every benign profile in the canon either
+/// paces slower or sends larger packets.
+fn train_phase_rulesets(seed: u64) -> (Vec<RuleSet>, usize, Vec<u64>) {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x0F1A_5E10);
+    // The training mix must straddle the teacher's boundary: a guided
+    // forest only learns splits its training envelope can express, so
+    // benign background alone (all on one side) would compile an
+    // all-benign whitelist that never convicts.
+    let mixed = Trace::merge(vec![
+        benign_trace(150, 8.0, &mut rng),
+        Scenario::StateExhaustion.trace(600, 8.0, &mut rng),
+        Scenario::PulseWave.trace(300, 8.0, &mut rng),
+        Scenario::Slowloris.trace(80, 8.0, &mut rng),
+        Scenario::C2Beacon.trace(60, 8.0, &mut rng),
+    ]);
+    let teacher = OracleTeacher(|x: &[f32]| x[7] < 0.008 && x[6] <= 130.0);
+    let datasets: Vec<iguard_runtime::Dataset> = PHASE_BOUNDARIES
+        .iter()
+        .map(|&b| {
+            let cfg = ExtractConfig { pkt_threshold: b, ..Default::default() };
+            extract_flows(&mixed, &cfg).features
+        })
+        .collect();
+    let cfg = PhaseTrainConfig {
+        forest: IGuardConfig { n_trees: 7, subsample: 64, k_augment: 64, ..Default::default() },
+        // Super-majority certainty: early convictions are cheap to get
+        // wrong (a wrongly blacklisted benign flow stays dropped), so
+        // demand 6-of-7 trees rather than a plain majority.
+        certainty: 0.7,
+        max_regions: 600_000,
+        warm_start: true,
+    };
+    let models = train_phases(&datasets, &teacher, &cfg, &mut rng).expect("phase training data");
+    let lens = models.rulesets.iter().map(|r| r.len() as u64).collect();
+    (models.rulesets, models.warm_started, lens)
+}
+
+/// Median of a sorted sample set (0 when empty), matching `cdf_json`'s
+/// p50.
+fn sorted_p50(v: &[u64]) -> u64 {
+    if v.is_empty() {
+        return 0;
+    }
+    v[((v.len() - 1) as f64 * 0.5).round() as usize]
+}
+
+/// Rendered sections of `BENCH_PR10.json`.
+struct PhaseSweepDoc {
+    training: String,
+    scenarios: String,
+    golden: String,
+}
+
+/// The PR-10 tentpole sweep. Per canon scenario, three runs on the PR-9
+/// storm workload: the single-shot baseline (no phase schedule), a
+/// phases-configured-but-no-rulesets run (must fingerprint-match the
+/// baseline exactly — disabling phases recovers single-shot semantics),
+/// and the phase-enabled run, grid-gated byte-identical across
+/// 1/2/8 shards × 1/2/8 workers. The phase-enabled run's
+/// detection-latency CDF (packets of exposure before the blacklist
+/// install, split by deciding phase) is scored against the baseline:
+/// pulse-wave median exposure must strictly improve, and
+/// state-exhaustion — unmitigatable single-shot, its probes die before
+/// the threshold — must show nonzero mitigation.
+fn run_phase_sweep(seed: u64, fl_rules: &RuleSet, pl_rules: &RuleSet) -> PhaseSweepDoc {
+    eprintln!("bench_report: phase training ({:?} boundaries)", PHASE_BOUNDARIES);
+    let (phase_rules, warm_started, rule_lens) = train_phase_rulesets(seed);
+
+    let mut scenario_sections = Vec::new();
+    for sc in ALL_SCENARIOS {
+        eprintln!("bench_report: phase scenario {}", sc.name());
+        let (trace, _) = overload_scenario_trace(sc, seed);
+
+        // Single-shot baseline: the PR-9 configuration, no phase schedule.
+        let (single, _) = run_overload_case(&trace, fl_rules, pl_rules, 1, 1);
+
+        // Phases-disabled gate: a schedule with no installed rulesets
+        // must escalate every boundary and reproduce the single-shot
+        // fingerprint byte-for-byte.
+        let disabled = run_phase_case(&trace, fl_rules, pl_rules, &[], 1, 1);
+        if disabled != single {
+            eprintln!(
+                "bench_report: {} phases-disabled run diverged from the single-shot baseline",
+                sc.name()
+            );
+            std::process::exit(1);
+        }
+
+        // Phase-enabled grid: every point byte-identical to 1×1.
+        let base = run_phase_case(&trace, fl_rules, pl_rules, &phase_rules, 1, 1);
+        let mut grid_points = 1u64;
+        for shards in OVERLOAD_GRID {
+            for workers in OVERLOAD_GRID {
+                if (shards, workers) == (1, 1) {
+                    continue;
+                }
+                let got = run_phase_case(&trace, fl_rules, pl_rules, &phase_rules, shards, workers);
+                if got != base {
+                    eprintln!(
+                        "bench_report: {} phase fingerprint diverged at {shards} shards / {workers} workers",
+                        sc.name()
+                    );
+                    std::process::exit(1);
+                }
+                grid_points += 1;
+            }
+        }
+
+        // Detection-latency gates against the single-shot baseline.
+        let base_p50 = sorted_p50(&base.ttm_packets);
+        let single_p50 = sorted_p50(&single.ttm_packets);
+        match sc {
+            Scenario::PulseWave => {
+                if base.records.is_empty() || base_p50 >= single_p50 {
+                    eprintln!(
+                        "bench_report: pulse-wave median exposure did not improve \
+                         (phased p50 {base_p50} vs single-shot p50 {single_p50})"
+                    );
+                    std::process::exit(1);
+                }
+            }
+            Scenario::StateExhaustion => {
+                if base.records.is_empty() {
+                    eprintln!(
+                        "bench_report: state-exhaustion mitigated no flows with phases enabled \
+                         (single-shot mitigated {}, unmitigated {})",
+                        single.records.len(),
+                        single.unmitigated
+                    );
+                    std::process::exit(1);
+                }
+            }
+            _ => {}
+        }
+
+        // Per-deciding-phase exposure CDFs, FINAL_PHASE (single-shot
+        // verdicts within the phased run) last.
+        let mut by_phase: std::collections::BTreeMap<u8, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        for r in &base.records {
+            by_phase.entry(r.deciding_phase).or_default().push(r.packets_before_install);
+        }
+        let mut phase_cdfs = Vec::new();
+        for (ph, mut v) in by_phase {
+            v.sort_unstable();
+            let mut o = json::Object::new();
+            if ph == iguard_switch::pipeline::FINAL_PHASE {
+                o.str("phase", "final");
+            } else {
+                o.u64("phase", ph as u64).u64("boundary_packets", PHASE_BOUNDARIES[ph as usize]);
+            }
+            o.raw("ttm_packets", cdf_json(&v, 4));
+            phase_cdfs.push(o.render(3));
+        }
+
+        let (tp, fp, tn, fn_) = base.confusion;
+        let mut single_json = json::Object::new();
+        single_json
+            .u64("tp", single.confusion.0)
+            .u64("fp", single.confusion.1)
+            .u64("tn", single.confusion.2)
+            .u64("fn", single.confusion.3)
+            .u64("mitigated_flows", single.records.len() as u64)
+            .u64("unmitigated_flows", single.unmitigated)
+            .raw("ttm_packets", cdf_json(&single.ttm_packets, 3));
+
+        let mut sj = json::Object::new();
+        sj.str("scenario", sc.name())
+            .u64("packets", base.packets)
+            .u64("tp", tp)
+            .u64("fp", fp)
+            .u64("tn", tn)
+            .u64("fn", fn_)
+            .u64("digests", base.digests)
+            .u64("blacklist_len", base.blacklist.len() as u64)
+            .u64("mitigated_flows", base.records.len() as u64)
+            .u64("unmitigated_flows", base.unmitigated)
+            .u64("grid_points", grid_points)
+            .bool("grid_byte_identical", true)
+            .bool("disabled_matches_single_shot", true)
+            .raw("ttm_packets", cdf_json(&base.ttm_packets, 3))
+            .raw("ttm_packets_by_phase", json::array(&phase_cdfs, 3))
+            .raw("single_shot_baseline", single_json.render(3));
+        scenario_sections.push(sj.render(2));
+    }
+
+    // Golden gate, phases disabled: the PR-2 exact-path deployment has no
+    // phase schedule, so its confusion matrix must sit on the constant.
+    eprintln!("bench_report: phase golden gate (PR-2 exact path, phases disabled)");
+    let (golden_packets, golden) = run_golden_exact_gate();
+    let mut golden_json = json::Object::new();
+    golden_json
+        .u64("packets", golden_packets)
+        .u64("tp", golden.0)
+        .u64("fp", golden.1)
+        .u64("tn", golden.2)
+        .u64("fn", golden.3)
+        .bool("unchanged", true);
+
+    let boundary_strs: Vec<String> = PHASE_BOUNDARIES.iter().map(|b| b.to_string()).collect();
+    let rule_len_strs: Vec<String> = rule_lens.iter().map(|l| l.to_string()).collect();
+    let mut training_json = json::Object::new();
+    training_json
+        .raw("boundaries", json::array(&boundary_strs, 1))
+        .u64("pkt_threshold", 4)
+        .u64("phases", phase_rules.len() as u64)
+        .u64("warm_started", warm_started as u64)
+        .raw("rules_per_phase", json::array(&rule_len_strs, 1));
+
+    PhaseSweepDoc {
+        training: training_json.render(1),
+        scenarios: json::array(&scenario_sections, 1),
+        golden: golden_json.render(1),
+    }
+}
+
 fn main() {
     let args = parse_args();
     let iterations = if args.smoke { 1 } else { 3 };
@@ -2146,6 +2438,9 @@ fn main() {
 
     eprintln!("bench_report: overload-resilience sweep (PR-9 adversarial scenario canon)");
     let overload_doc = run_overload_sweep(args.seed, &run.fl_rules, &run.pl_rules);
+
+    eprintln!("bench_report: phase-aware classification sweep (PR-10 early verdicts)");
+    let phase_doc = run_phase_sweep(args.seed, &run.fl_rules, &run.pl_rules);
 
     let snapshot = iguard_telemetry::registry::snapshot().expect("telemetry enabled");
     if let Err(e) = snapshot.verify() {
@@ -2518,4 +2813,25 @@ fn main() {
     let doc9 = root9.render(0) + "\n";
     std::fs::write(&args.out_pr9, &doc9).expect("write PR9 report");
     eprintln!("bench_report: wrote {}", args.out_pr9);
+
+    // --- BENCH_PR10.json: the phase-aware detection-latency scorecard.
+    let mut root10 = json::Object::new();
+    root10
+        .str("schema", "iguard-bench-pr10")
+        .u64("version", 1)
+        .u64("seed", args.seed)
+        .bool("smoke", args.smoke)
+        // Every gate in run_phase_sweep is hard: the run aborts before
+        // writing this file if a phases-disabled run diverges from the
+        // single-shot baseline, any shard/worker grid point's fingerprint
+        // diverges with phases enabled, pulse-wave median exposure fails
+        // to strictly improve on single-shot, state-exhaustion mitigates
+        // nothing, or the PR-2 golden matrix moves with phases disabled.
+        .bool("gates_enforced", true)
+        .raw("phase_training", phase_doc.training)
+        .raw("scenarios", phase_doc.scenarios)
+        .raw("golden_exact_path", phase_doc.golden);
+    let doc10 = root10.render(0) + "\n";
+    std::fs::write(&args.out_pr10, &doc10).expect("write PR10 report");
+    eprintln!("bench_report: wrote {}", args.out_pr10);
 }

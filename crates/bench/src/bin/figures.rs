@@ -464,7 +464,7 @@ fn digest_overhead() {
         let mut c = Controller::new(ControllerConfig { digest_bytes: bytes, ..Default::default() });
         for i in 0..50_000u32 {
             let five = iguard_flow::five_tuple::FiveTuple::new(i, 1, 1, 80, 6);
-            let sd = SeqDigest { seq: i as u64, digest: Digest { five, malicious: false } };
+            let sd = SeqDigest { seq: i as u64, digest: Digest::new(five, false) };
             let _ = c.process_seq_digests(&[sd]);
         }
         c.overhead_kbps(30.0)

@@ -72,6 +72,9 @@ pub fn iforest_rules_with_backoff(
         match RuleSet::from_iforest(&forest, bounds, MAX_REGIONS) {
             Ok(rules) => return (forest, rules),
             Err(RuleGenError::TooManyRegions { .. }) => continue,
+            Err(e @ RuleGenError::EmptyTrainingSet) => {
+                panic!("baseline compile failed: {e}")
+            }
         }
     }
     panic!("even the smallest baseline forest exceeded the region budget");
@@ -132,6 +135,9 @@ pub fn train_deployment(s: &Scenario, effort: Effort, seed: u64) -> Deployment {
                 break;
             }
             Err(RuleGenError::TooManyRegions { .. }) => continue,
+            Err(e @ RuleGenError::EmptyTrainingSet) => {
+                panic!("iGuard compile failed: {e}")
+            }
         }
     }
     let (forest, iguard_rules) =

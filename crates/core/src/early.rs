@@ -33,7 +33,9 @@ impl EarlyModel {
         max_regions: usize,
         rng: &mut Rng,
     ) -> Result<Self, RuleGenError> {
-        assert!(pl_features.rows() > 0, "empty early-packet training set");
+        if pl_features.rows() == 0 {
+            return Err(RuleGenError::EmptyTrainingSet);
+        }
         let forest = IsolationForest::fit(pl_features, cfg, rng);
         let bounds = feature_bounds(pl_features);
         let rules = RuleSet::from_iforest(&forest, &bounds, max_regions)?;
@@ -113,6 +115,18 @@ mod tests {
         let test = benign_pl(100, &mut rng);
         let fps = test.iter_rows().filter(|x| model.predict(x)).count();
         assert!(fps < 15, "{fps}/100 benign early packets flagged");
+    }
+
+    #[test]
+    fn empty_training_set_is_a_typed_error_not_a_panic() {
+        let mut rng = Rng::seed_from_u64(4);
+        let empty = Dataset::new(4);
+        let cfg = IsolationForestConfig { n_trees: 5, subsample: 16, contamination: 0.05 };
+        let err = match EarlyModel::train(&empty, &cfg, 500_000, &mut rng) {
+            Err(e) => e,
+            Ok(_) => panic!("empty training set must not produce a model"),
+        };
+        assert_eq!(err, RuleGenError::EmptyTrainingSet);
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod early;
 pub mod error;
 pub mod forest;
 pub mod guided;
+pub mod phase;
 pub mod rule_index;
 pub mod rules;
 pub mod teacher;
@@ -53,6 +54,7 @@ pub mod tuner;
 pub use drift::{DriftConfig, DriftDetector};
 pub use error::{IguardError, SwitchError, TcamError};
 pub use forest::{IGuardConfig, IGuardForest};
+pub use phase::{PhaseModels, PhaseTrainConfig, DEFAULT_PHASE_BOUNDARIES};
 pub use rule_index::{IndexBuilder, IntervalIndex, RuleIndex};
 pub use rules::{Hypercube, RuleSet};
 pub use teacher::Teacher;

@@ -52,6 +52,10 @@ pub enum RuleGenError {
     /// `reached` is the region count at the point the budget was blown,
     /// so callers can tell a near miss from a runaway decomposition.
     TooManyRegions { budget: usize, reached: usize },
+    /// A model constructor was handed zero training rows. Feature bounds
+    /// (and therefore rule hypercubes) are undefined on an empty set, so
+    /// the caller gets a typed error instead of a library panic.
+    EmptyTrainingSet,
 }
 
 impl std::fmt::Display for RuleGenError {
@@ -62,6 +66,9 @@ impl std::fmt::Display for RuleGenError {
                     f,
                     "region decomposition exceeded budget of {budget}: reached {reached} regions"
                 )
+            }
+            RuleGenError::EmptyTrainingSet => {
+                write!(f, "empty training set: cannot derive feature bounds or rules")
             }
         }
     }

@@ -40,4 +40,6 @@ pub use five_tuple::FiveTuple;
 pub use packet::{Packet, TcpFlags};
 pub use sketch::{BloomFilter, CountMinSketch};
 pub use stats::FlowStats;
-pub use table::{FlowShard, FlowTable, FlowTableConfig, FlowTableStats, InsertOutcome, SlotClaim};
+pub use table::{
+    FlowShard, FlowTable, FlowTableConfig, FlowTableStats, InsertOutcome, PhaseSchedule, SlotClaim,
+};

@@ -32,6 +32,67 @@ use iguard_telemetry::counter;
 /// counts, and shard groupings.
 pub const PRESSURE_WINDOW: u64 = 256;
 
+/// Maximum number of intermediate phase boundaries a schedule can hold.
+/// Fixed so [`PhaseSchedule`] (and therefore [`FlowTableConfig`]) stays
+/// `Copy` — four early looks before the final threshold is already more
+/// than the pForest-style designs use.
+pub const MAX_PHASES: usize = 4;
+
+/// Intermediate classification boundaries for phase-aware operation
+/// (pForest-style): a tracked flow additionally surfaces its frozen
+/// feature state at each boundary `b < pkt_threshold` packets, so the
+/// pipeline can consult a per-phase model long before the final
+/// threshold. The default (no boundaries) reproduces single-shot
+/// semantics exactly — every packet path is bit-identical to a build
+/// without this type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PhaseSchedule {
+    boundaries: [u64; MAX_PHASES],
+    len: u8,
+}
+
+impl Default for PhaseSchedule {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl PhaseSchedule {
+    /// The single-shot schedule: no intermediate boundaries.
+    pub const fn disabled() -> Self {
+        Self { boundaries: [0; MAX_PHASES], len: 0 }
+    }
+
+    /// A schedule with the given boundaries (at most [`MAX_PHASES`]).
+    /// Ordering/range validity is enforced against the owning config by
+    /// [`FlowShard::new`], which knows the final threshold.
+    pub fn new(bounds: &[u64]) -> Self {
+        assert!(bounds.len() <= MAX_PHASES, "at most {MAX_PHASES} phase boundaries");
+        let mut boundaries = [0u64; MAX_PHASES];
+        boundaries[..bounds.len()].copy_from_slice(bounds);
+        Self { boundaries, len: bounds.len() as u8 }
+    }
+
+    /// Number of intermediate boundaries.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether any intermediate boundary is configured.
+    pub fn is_enabled(&self) -> bool {
+        self.len > 0
+    }
+
+    /// The configured boundaries, in ascending packet-count order.
+    pub fn boundaries(&self) -> &[u64] {
+        &self.boundaries[..self.len as usize]
+    }
+}
+
 /// Configuration of the flow table.
 #[derive(Clone, Copy, Debug)]
 pub struct FlowTableConfig {
@@ -45,6 +106,8 @@ pub struct FlowTableConfig {
     pub seed1: u64,
     /// Hash seed of table 2.
     pub seed2: u64,
+    /// Intermediate phase boundaries (default: disabled / single-shot).
+    pub phases: PhaseSchedule,
 }
 
 impl Default for FlowTableConfig {
@@ -55,6 +118,7 @@ impl Default for FlowTableConfig {
             timeout_ns: 2_000_000_000, // 2 s
             seed1: 0x5151_5151,
             seed2: 0xA3A3_A3A3,
+            phases: PhaseSchedule::disabled(),
         }
     }
 }
@@ -82,6 +146,12 @@ impl FlowTableConfig {
     pub fn with_seeds(mut self, seed1: u64, seed2: u64) -> Self {
         self.seed1 = seed1;
         self.seed2 = seed2;
+        self
+    }
+
+    /// Builder: intermediate phase boundaries.
+    pub fn with_phases(mut self, phases: PhaseSchedule) -> Self {
+        self.phases = phases;
         self
     }
 }
@@ -167,6 +237,10 @@ struct Slot {
     stats: FlowStats,
     /// `None` = unclassified (-1 in the paper), `Some(m)` = classified.
     label: Option<bool>,
+    /// Index of the next [`PhaseSchedule`] boundary this flow has yet to
+    /// cross. Reset to 0 on install *and* on idle-timeout rebirth — a
+    /// reborn flow restarts its phase ladder from scratch.
+    phase: u8,
 }
 
 /// What [`FlowShard::admit_prehashed`] did to slot storage — the
@@ -195,6 +269,12 @@ pub enum InsertOutcome {
     /// The n-th packet arrived, or the resident flow timed out: the frozen
     /// feature state is handed out and the slot awaits a label (blue path).
     Ready { stats: FlowStats, timed_out: bool },
+    /// The flow crossed an intermediate [`PhaseSchedule`] boundary: its
+    /// current feature state is surfaced for an early per-phase look, but
+    /// the slot stays resident and unlabeled — tracking continues toward
+    /// the next boundary or the final threshold. `phase` is the index of
+    /// the boundary just crossed.
+    PhaseReady { stats: FlowStats, phase: u8 },
     /// The flow was already classified; early decision (purple path).
     Classified { label: bool },
     /// Both candidate slots hold other *unclassified* live flows
@@ -216,6 +296,7 @@ pub struct ObserveTallies {
     pub classified: u64,
     pub ready_timeout: u64,
     pub ready: u64,
+    pub phase_ready: u64,
     pub early: u64,
     pub install: u64,
     pub evict_classified: u64,
@@ -234,6 +315,7 @@ impl ObserveTallies {
         flush_one(self.classified, counter!("flow.table.classified"));
         flush_one(self.ready_timeout, counter!("flow.table.ready_timeout"));
         flush_one(self.ready, counter!("flow.table.ready"));
+        flush_one(self.phase_ready, counter!("flow.table.phase_ready"));
         flush_one(self.early, counter!("flow.table.early"));
         flush_one(self.install, counter!("flow.table.install"));
         flush_one(self.evict_classified, counter!("flow.table.evict_classified"));
@@ -285,6 +367,17 @@ impl FlowShard {
     pub fn new(cfg: FlowTableConfig) -> Self {
         assert!(cfg.slots_per_table > 0, "table must have at least one slot");
         assert!(cfg.pkt_threshold >= 1, "packet threshold must be >= 1");
+        // Phase boundaries must be strictly increasing, at least 2 (the
+        // first packet of a flow takes the install path, which never emits
+        // a phase look), and strictly below the final threshold (the
+        // threshold itself is the single-shot blue path).
+        let mut prev = 1u64;
+        for &b in cfg.phases.boundaries() {
+            assert!(b >= 2, "phase boundary {b} must be >= 2");
+            assert!(b > prev, "phase boundaries must be strictly increasing");
+            assert!(b < cfg.pkt_threshold, "phase boundary {b} must be below the packet threshold");
+            prev = b;
+        }
         Self {
             table1: vec![None; cfg.slots_per_table],
             table2: vec![None; cfg.slots_per_table],
@@ -488,8 +581,11 @@ impl FlowShard {
                     // classified on whatever state it accumulated.
                     if slot.stats.timed_out(now_ns, self.cfg.timeout_ns) {
                         let stats = slot.stats;
-                        // Restart tracking from this packet.
+                        // Restart tracking from this packet. The reborn
+                        // incarnation restarts its phase ladder too — phase
+                        // progress must not leak across the idle gap.
                         slot.stats = FlowStats::from_first_packet(p);
+                        slot.phase = 0;
                         tallies.ready_timeout += 1;
                         return Some(InsertOutcome::Ready { stats, timed_out: true });
                     }
@@ -498,6 +594,23 @@ impl FlowShard {
                         let stats = slot.stats;
                         tallies.ready += 1;
                         return Some(InsertOutcome::Ready { stats, timed_out: false });
+                    }
+                    // Intermediate phase boundary: surface the current
+                    // state for an early look but keep tracking. `>=`
+                    // (not `==`) catches up a ladder that skipped a
+                    // boundary, though with one outcome per packet and
+                    // strictly increasing boundaries that cannot happen
+                    // from this walk alone.
+                    let ph = slot.phase as usize;
+                    if ph < self.cfg.phases.len()
+                        && slot.stats.pkt_count >= self.cfg.phases.boundaries()[ph]
+                    {
+                        slot.phase += 1;
+                        tallies.phase_ready += 1;
+                        return Some(InsertOutcome::PhaseReady {
+                            stats: slot.stats,
+                            phase: ph as u8,
+                        });
                     }
                     tallies.early += 1;
                     return Some(InsertOutcome::Early { pkt_count: slot.stats.pkt_count });
@@ -542,7 +655,7 @@ impl FlowShard {
                 // fast path below reads the same value without re-probing
                 // the slot it just wrote (no unwrap on the hot path).
                 let stats = FlowStats::from_first_packet(p);
-                *slot_opt = Some(Slot { key, stats, label: None });
+                *slot_opt = Some(Slot { key, stats, label: None, phase: 0 });
                 self.note_claim(&claim);
                 tallies.install += 1;
                 let out = if self.cfg.pkt_threshold == 1 {
@@ -565,8 +678,12 @@ impl FlowShard {
             if let Some(s) = slot_opt {
                 if s.label.is_some() {
                     let displaced = s.key;
-                    *slot_opt =
-                        Some(Slot { key, stats: FlowStats::from_first_packet(p), label: None });
+                    *slot_opt = Some(Slot {
+                        key,
+                        stats: FlowStats::from_first_packet(p),
+                        label: None,
+                        phase: 0,
+                    });
                     let claim = SlotClaim::Displaced(displaced);
                     self.note_claim(&claim);
                     tallies.evict_classified += 1;
@@ -804,6 +921,7 @@ mod tests {
             timeout_ns: 1_000_000_000,
             seed1: 1,
             seed2: 2,
+            phases: PhaseSchedule::disabled(),
         }
     }
 
@@ -865,6 +983,69 @@ mod tests {
         }
         // Tracking restarted with the new packet.
         assert_eq!(t.label_of(&pkt(1, 0).five), Some(None));
+    }
+
+    #[test]
+    fn phase_boundaries_surface_state_and_keep_tracking() {
+        let c = FlowTableConfig { pkt_threshold: 6, phases: PhaseSchedule::new(&[2, 4]), ..cfg() };
+        let mut t = FlowTable::new(c);
+        assert_eq!(t.observe(&pkt(1, 0), 0), InsertOutcome::Early { pkt_count: 1 });
+        match t.observe(&pkt(1, 1), 1_000_000) {
+            InsertOutcome::PhaseReady { stats, phase } => {
+                assert_eq!(phase, 0);
+                assert_eq!(stats.pkt_count, 2);
+            }
+            other => panic!("expected PhaseReady 0, got {other:?}"),
+        }
+        assert_eq!(t.observe(&pkt(1, 2), 2_000_000), InsertOutcome::Early { pkt_count: 3 });
+        match t.observe(&pkt(1, 3), 3_000_000) {
+            InsertOutcome::PhaseReady { stats, phase } => {
+                assert_eq!(phase, 1);
+                assert_eq!(stats.pkt_count, 4);
+            }
+            other => panic!("expected PhaseReady 1, got {other:?}"),
+        }
+        assert_eq!(t.observe(&pkt(1, 4), 4_000_000), InsertOutcome::Early { pkt_count: 5 });
+        assert!(matches!(
+            t.observe(&pkt(1, 5), 5_000_000),
+            InsertOutcome::Ready { timed_out: false, .. }
+        ));
+    }
+
+    #[test]
+    fn reborn_flow_restarts_at_phase_zero() {
+        let c = FlowTableConfig { pkt_threshold: 6, phases: PhaseSchedule::new(&[2]), ..cfg() };
+        let mut t = FlowTable::new(c);
+        let _ = t.observe(&pkt(1, 0), 0);
+        // Cross the boundary: phase ladder advances past boundary 0.
+        assert!(matches!(
+            t.observe(&pkt(1, 1), 1_000_000),
+            InsertOutcome::PhaseReady { phase: 0, .. }
+        ));
+        // Idle past the 1 s timeout: the old incarnation flushes.
+        assert!(matches!(
+            t.observe(&pkt(1, 2000), 2_000_000_000),
+            InsertOutcome::Ready { timed_out: true, .. }
+        ));
+        // The reborn incarnation must cross boundary 0 again at packet 2.
+        assert!(matches!(
+            t.observe(&pkt(1, 2001), 2_001_000_000),
+            InsertOutcome::PhaseReady { phase: 0, .. }
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "below the packet threshold")]
+    fn phase_boundary_at_threshold_is_rejected() {
+        let c = FlowTableConfig { pkt_threshold: 4, phases: PhaseSchedule::new(&[2, 4]), ..cfg() };
+        let _ = FlowTable::new(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn phase_boundaries_must_increase() {
+        let c = FlowTableConfig { pkt_threshold: 10, phases: PhaseSchedule::new(&[4, 4]), ..cfg() };
+        let _ = FlowTable::new(c);
     }
 
     #[test]

@@ -282,10 +282,7 @@ mod tests {
     fn sd(seq: u64) -> SeqDigest {
         SeqDigest {
             seq,
-            digest: Digest {
-                five: FiveTuple::new(1, 2, 1000 + seq as u16, 80, PROTO_TCP),
-                malicious: true,
-            },
+            digest: Digest::new(FiveTuple::new(1, 2, 1000 + seq as u16, 80, PROTO_TCP), true),
         }
     }
 

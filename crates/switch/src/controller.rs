@@ -685,7 +685,7 @@ mod tests {
     use iguard_flow::five_tuple::PROTO_TCP;
 
     fn digest(flow: u16, malicious: bool) -> Digest {
-        Digest { five: FiveTuple::new(1, 2, 1000 + flow, 80, PROTO_TCP), malicious }
+        Digest::new(FiveTuple::new(1, 2, 1000 + flow, 80, PROTO_TCP), malicious)
     }
 
     fn seq_digest(seq: u64, flow: u16, malicious: bool) -> SeqDigest {
@@ -773,7 +773,7 @@ mod tests {
         let mut actions = Vec::new();
         for i in 0..10_000u32 {
             let five = FiveTuple::new(i + 1, 2, 7, 80, PROTO_TCP);
-            let sd = SeqDigest { seq: i as u64, digest: Digest { five, malicious: true } };
+            let sd = SeqDigest { seq: i as u64, digest: Digest::new(five, true) };
             c.process_seq_digests_into(&[sd], &mut actions);
         }
         assert_eq!(c.installed_len(), 16);
@@ -788,7 +788,7 @@ mod tests {
         let mut actions = Vec::new();
         for i in 0..10_000u32 {
             let five = FiveTuple::new(i + 1, 2, 7, 80, PROTO_TCP);
-            let sd = SeqDigest { seq: i as u64, digest: Digest { five, malicious: true } };
+            let sd = SeqDigest { seq: i as u64, digest: Digest::new(five, true) };
             c.process_seq_digests_into(&[sd], &mut actions);
         }
         assert_eq!(c.installed_len(), 16);
@@ -946,7 +946,7 @@ mod tests {
     fn digest_overhead_matches_paper_appendix() {
         let mut iguard = Controller::new(ControllerConfig::default());
         for i in 0..50_000u32 {
-            let d = Digest { five: FiveTuple::new(i, 2, 1, 80, PROTO_TCP), malicious: false };
+            let d = Digest::new(FiveTuple::new(i, 2, 1, 80, PROTO_TCP), false);
             let _ = iguard.process_seq_digests(&[SeqDigest { seq: i as u64, digest: d }]);
         }
         let kbps = iguard.overhead_kbps(30.0);
@@ -957,7 +957,7 @@ mod tests {
             ..Default::default()
         });
         for i in 0..50_000u32 {
-            let d = Digest { five: FiveTuple::new(i, 2, 1, 80, PROTO_TCP), malicious: false };
+            let d = Digest::new(FiveTuple::new(i, 2, 1, 80, PROTO_TCP), false);
             let _ = horuseye.process_seq_digests(&[SeqDigest { seq: i as u64, digest: d }]);
         }
         let ratio = horuseye.overhead_kbps(30.0) / kbps;
@@ -976,7 +976,7 @@ mod tests {
         let mut feed = |c: &mut Controller, n: u64, malicious: bool| {
             for i in 0..n {
                 let five = FiveTuple::new((seq + i) as u32 + 1, 2, 7, 80, PROTO_TCP);
-                let sd = SeqDigest { seq: seq + i, digest: Digest { five, malicious } };
+                let sd = SeqDigest { seq: seq + i, digest: Digest::new(five, malicious) };
                 c.process_seq_digests_into(&[sd], &mut actions);
             }
             seq += n;

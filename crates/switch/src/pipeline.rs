@@ -56,12 +56,34 @@ use crate::tcam::RangeTable;
 /// totals, and verdict vectors never depend on worker or shard count.
 pub(crate) const BATCH_CHUNK: usize = 1024;
 
+/// Phase tag of a digest produced outside the phase ladder: the final
+/// packet-threshold blue path, an idle-timeout flush, or a post-outage
+/// resync rederivation. Intermediate phase convictions carry their
+/// 0-based boundary index instead.
+pub const FINAL_PHASE: u8 = u8::MAX;
+
 /// Digest payload sent to the controller: 13 B flow ID + 1-bit label
-/// (paper App. B.2).
+/// (paper App. B.2), plus the deciding phase — which look at the flow
+/// produced this verdict (an intermediate boundary index, or
+/// [`FINAL_PHASE`] for the single-shot path).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Digest {
     pub five: FiveTuple,
     pub malicious: bool,
+    /// Deciding phase: 0-based boundary index, or [`FINAL_PHASE`].
+    pub phase: u8,
+}
+
+impl Digest {
+    /// A single-shot digest (final threshold / timeout / resync).
+    pub fn new(five: FiveTuple, malicious: bool) -> Self {
+        Self { five, malicious, phase: FINAL_PHASE }
+    }
+
+    /// A digest emitted by an intermediate phase-boundary conviction.
+    pub fn at_phase(five: FiveTuple, malicious: bool, phase: u8) -> Self {
+        Self { five, malicious, phase }
+    }
 }
 
 /// Effective digest size on the wire for iGuard (13 B + 1 bit).
@@ -564,6 +586,11 @@ struct WhitelistEpoch {
     table: RangeTable,
     /// Compiled first-match index of `table`.
     index: RangeIndex,
+    /// Per-phase whitelists, index-aligned with the flow table's
+    /// [`iguard_flow::table::PhaseSchedule`] boundaries. Empty = phase
+    /// evaluation disabled (every boundary look escalates). Part of the
+    /// epoch so a swap flips all phases and the final ruleset together.
+    phases: Vec<IndexedWhitelist>,
 }
 
 /// The per-packet match-action logic, factored out of [`Pipeline`] so the
@@ -610,6 +637,7 @@ impl MatchEngine {
                 fl: IndexedWhitelist::new(fl_rules.clone()),
                 index: RangeIndex::build(&table),
                 table,
+                phases: Vec::new(),
             }
         };
         Self {
@@ -627,6 +655,40 @@ impl MatchEngine {
     /// The live FL whitelist generation.
     fn fl_rules(&self) -> &IndexedWhitelist {
         &self.epochs[self.active].fl
+    }
+
+    /// The live whitelist of intermediate phase `phase`, if one is
+    /// installed. `None` means the boundary look has no model — the
+    /// packet escalates exactly like a brown early packet.
+    fn phase_rules(&self, phase: u8) -> Option<&IndexedWhitelist> {
+        self.epochs[self.active].phases.get(phase as usize)
+    }
+
+    /// Number of per-phase whitelists in the live epoch.
+    pub(crate) fn phase_count(&self) -> usize {
+        self.epochs[self.active].phases.len()
+    }
+
+    /// Installs one whitelist ruleset per intermediate phase, replacing
+    /// any previous phase array. Hitless: the phase array is staged in
+    /// the inactive epoch next to a copy of the live FL generation, and
+    /// `active` flips only once the slot is complete — the same
+    /// double-buffer discipline as [`MatchEngine::apply_ruleset`], so all
+    /// phases (and the final ruleset) always swap together.
+    pub(crate) fn set_phase_rulesets(&mut self, rulesets: &[RuleSet]) {
+        for rs in rulesets {
+            assert_eq!(rs.bounds.len(), 13, "phase rules must cover the 13 switch features");
+        }
+        let live = &self.epochs[self.active];
+        let staged = WhitelistEpoch {
+            fl: live.fl.clone(),
+            index: RangeIndex::build(&live.table),
+            table: live.table.clone(),
+            phases: rulesets.iter().map(|r| IndexedWhitelist::new(r.clone())).collect(),
+        };
+        self.epochs[1 - self.active] = staged;
+        self.active = 1 - self.active;
+        counter!("switch.phase.rulesets_installed").add(rulesets.len() as u64);
     }
 
     /// Applies a versioned ruleset transaction (see [`crate::ruleset`]).
@@ -677,6 +739,9 @@ impl MatchEngine {
             fl: IndexedWhitelist::new(txn.fl_rules.clone()),
             index: RangeIndex::build(&table),
             table,
+            // Phase whitelists ride along unchanged: a final-ruleset swap
+            // must never silently drop the phase array.
+            phases: self.epochs[self.active].phases.clone(),
         };
         self.active = 1 - self.active;
         self.version = txn.version;
@@ -756,6 +821,28 @@ impl MatchEngine {
         self.fl_rules().predict(row, words, wl) || self.pl_rules.predict(pl, words, wl)
     }
 
+    /// Phase-boundary conviction probe: the per-phase FL whitelist only
+    /// (convict-only — the PL rules never pull a verdict forward).
+    /// `false` when no whitelist is installed for this phase.
+    pub(crate) fn predict_phase(
+        &self,
+        phase: u8,
+        stats: &iguard_flow::stats::FlowStats,
+        scratch: &mut MatchScratch,
+    ) -> bool {
+        match self.phase_rules(phase) {
+            Some(pwl) => {
+                iguard_flow::features::switch_fl_features_into(stats, &mut scratch.row);
+                if self.log_compress {
+                    log_compress_vec(&mut scratch.row);
+                }
+                let MatchScratch { row, words, wl, .. } = scratch;
+                pwl.predict(row, words, wl)
+            }
+            None => false,
+        }
+    }
+
     /// Runs one packet through the six-path pipeline against the given
     /// shard state. `seq` is the packet's global arrival index; a blue-path
     /// digest is tagged with it so per-shard digest streams can be merged
@@ -819,7 +906,7 @@ impl MatchEngine {
                     || self.pl_rules.predict(&pl, &mut scratch.words, &mut scratch.wl);
                 overload.push_digest(
                     digests,
-                    SeqDigest { seq, digest: Digest { five: pkt.five, malicious } },
+                    SeqDigest { seq, digest: Digest::new(pkt.five, malicious) },
                     &self.overload,
                 );
                 // Green path: the loopback copy writes the flow label.
@@ -830,6 +917,53 @@ impl MatchEngine {
                     verdict: self.verdict_for(malicious),
                     path: PathTaken::Blue,
                     mirrored: true,
+                }
+            }
+            InsertOutcome::PhaseReady { stats, phase } => {
+                counter!("switch.phase.boundary").inc();
+                // Convict-only early look: the per-phase whitelist can
+                // pull the blue verdict forward to this boundary, but a
+                // benign-looking flow is *not* labelled — it escalates to
+                // the next phase (or the final threshold) like a brown
+                // early packet. No model installed for this phase ⇒
+                // escalate unconditionally.
+                let convicted = match self.phase_rules(phase) {
+                    Some(wl) => {
+                        let mut fl = switch_fl_features(&stats);
+                        if self.log_compress {
+                            iguard_flow::features::log_compress_vec(&mut fl);
+                        }
+                        wl.predict(&fl, &mut scratch.words, &mut scratch.wl)
+                    }
+                    None => false,
+                };
+                if convicted {
+                    counter!("switch.phase.convicted").inc();
+                    paths.blue += 1;
+                    counter!("switch.pipeline.path.blue").inc();
+                    overload.push_digest(
+                        digests,
+                        SeqDigest { seq, digest: Digest::at_phase(pkt.five, true, phase) },
+                        &self.overload,
+                    );
+                    paths.green_loopback += 1;
+                    counter!("switch.pipeline.path.green_loopback").inc();
+                    flow.set_label(&pkt.five, true);
+                    ProcessOutcome {
+                        verdict: self.verdict_for(true),
+                        path: PathTaken::Blue,
+                        mirrored: true,
+                    }
+                } else {
+                    counter!("switch.phase.escalated").inc();
+                    paths.brown += 1;
+                    counter!("switch.pipeline.path.brown").inc();
+                    let malicious = self.pl_rules.predict(&pl, &mut scratch.words, &mut scratch.wl);
+                    ProcessOutcome {
+                        verdict: self.verdict_for(malicious),
+                        path: PathTaken::Brown,
+                        mirrored: false,
+                    }
                 }
             }
             InsertOutcome::Collision | InsertOutcome::ReplacedClassified { .. } => {
@@ -965,7 +1099,7 @@ impl MatchEngine {
                             &mut s.digests,
                             SeqDigest {
                                 seq: base_seq + r as u64,
-                                digest: Digest { five: pkt.five, malicious },
+                                digest: Digest::new(pkt.five, malicious),
                             },
                             &self.overload,
                         );
@@ -977,6 +1111,58 @@ impl MatchEngine {
                             path: PathTaken::Blue,
                             mirrored: true,
                         });
+                    }
+                    InsertOutcome::PhaseReady { stats, phase } => {
+                        counter!("switch.phase.boundary").inc();
+                        // Resolved fully inline (not deferred to the
+                        // pending pass): a conviction mutates shard state
+                        // — label write + digest — which later rows of
+                        // the same flow in this chunk must observe, and
+                        // the escalation's PL probe runs here too so the
+                        // probe order matches the scalar oracle exactly.
+                        let convicted = match self.phase_rules(phase) {
+                            Some(pwl) => {
+                                switch_fl_features_into(&stats, &mut scratch.row);
+                                if self.log_compress {
+                                    log_compress_vec(&mut scratch.row);
+                                }
+                                let MatchScratch { words, row, wl, .. } = &mut *scratch;
+                                pwl.predict(row, words, wl)
+                            }
+                            None => false,
+                        };
+                        if convicted {
+                            counter!("switch.phase.convicted").inc();
+                            s.paths.blue += 1;
+                            t_blue += 1;
+                            s.overload.push_digest(
+                                &mut s.digests,
+                                SeqDigest {
+                                    seq: base_seq + r as u64,
+                                    digest: Digest::at_phase(pkt.five, true, phase),
+                                },
+                                &self.overload,
+                            );
+                            s.paths.green_loopback += 1;
+                            counter!("switch.pipeline.path.green_loopback").inc();
+                            s.flow.set_label(&pkt.five, true);
+                            out.push(ProcessOutcome {
+                                verdict: self.verdict_for(true),
+                                path: PathTaken::Blue,
+                                mirrored: true,
+                            });
+                        } else {
+                            counter!("switch.phase.escalated").inc();
+                            s.paths.brown += 1;
+                            t_brown += 1;
+                            let MatchScratch { words, wl, .. } = &mut *scratch;
+                            let malicious = self.pl_rules.predict(&batch.pl_row(i), words, wl);
+                            out.push(ProcessOutcome {
+                                verdict: self.verdict_for(malicious),
+                                path: PathTaken::Brown,
+                                mirrored: false,
+                            });
+                        }
                     }
                     InsertOutcome::Collision | InsertOutcome::ReplacedClassified { .. } => {
                         s.paths.orange += 1;
@@ -1179,6 +1365,19 @@ impl Pipeline {
         self.engine.apply_ruleset(txn)
     }
 
+    /// Installs one whitelist per intermediate phase boundary of the flow
+    /// table's [`iguard_flow::table::PhaseSchedule`] (hitless epoch flip;
+    /// all phases swap together). An empty slice disables phase
+    /// evaluation — every boundary look escalates.
+    pub fn set_phase_rulesets(&mut self, rulesets: &[RuleSet]) {
+        self.engine.set_phase_rulesets(rulesets);
+    }
+
+    /// Number of per-phase whitelists installed in the live epoch.
+    pub fn phase_count(&self) -> usize {
+        self.engine.phase_count()
+    }
+
     /// Version of the installed whitelist ruleset (0 until the first
     /// transaction).
     pub fn ruleset_version(&self) -> u64 {
@@ -1264,7 +1463,7 @@ impl DataPlane for Pipeline {
         for (five, malicious) in flows {
             out.push(SeqDigest {
                 seq: RESYNC_SEQ_BASE + self.resync_seq,
-                digest: Digest { five, malicious },
+                digest: Digest::new(five, malicious),
             });
             self.resync_seq += 1;
         }
@@ -1333,6 +1532,12 @@ impl ScalarPipeline {
     /// The wrapped serial pipeline.
     pub fn inner(&self) -> &Pipeline {
         &self.0
+    }
+
+    /// Installs per-phase whitelists on the wrapped pipeline (see
+    /// [`Pipeline::set_phase_rulesets`]).
+    pub fn set_phase_rulesets(&mut self, rulesets: &[RuleSet]) {
+        self.0.set_phase_rulesets(rulesets);
     }
 }
 
@@ -1454,6 +1659,7 @@ mod tests {
     use super::*;
     use iguard_flow::five_tuple::PROTO_TCP;
     use iguard_flow::packet::TcpFlags;
+    use iguard_flow::table::PhaseSchedule;
     use testutil::*;
 
     fn pkt(flow: u16, ts_ms: u64, len: u16) -> Packet {
@@ -1491,7 +1697,7 @@ mod tests {
         let o4 = p.process(&pkt(1, 3, 100));
         assert_eq!(o4.path, PathTaken::Purple);
         assert_eq!(p.paths().green_loopback, 1);
-        assert_eq!(p.drain_digests(), vec![Digest { five: pkt(1, 0, 0).five, malicious: false }]);
+        assert_eq!(p.drain_digests(), vec![Digest::new(pkt(1, 0, 0).five, false)]);
     }
 
     #[test]
@@ -1581,8 +1787,135 @@ mod tests {
         assert_eq!(p.packets_processed(), 40);
     }
 
+    /// The overload canon config with an intermediate phase boundary.
+    fn cfg_phases(n: u64, boundaries: &[u64]) -> PipelineConfig {
+        let mut c = cfg(n);
+        c.flow_table.phases = PhaseSchedule::new(boundaries);
+        c
+    }
+
+    /// Off-by-one pin for the blue transition (exact-`pkt_threshold`
+    /// boundary): the n-th packet of a flow — count == threshold, not
+    /// threshold+1 — must take blue, and the scalar and columnar walks
+    /// must agree packet-for-packet.
+    #[test]
+    fn blue_fires_at_exactly_the_threshold_packet_scalar_and_columnar() {
+        let n = 4u64;
+        let pkts: Vec<Packet> = (0..6).map(|i| pkt(1, i, 100)).collect();
+
+        // Scalar oracle: process_one via Pipeline::process.
+        let mut scalar = Pipeline::new(cfg(n), accept_all(13), accept_all(4));
+        let scalar_paths: Vec<PathTaken> = pkts.iter().map(|p| scalar.process(p).path).collect();
+        assert_eq!(
+            scalar_paths,
+            vec![
+                PathTaken::Brown,  // 1st
+                PathTaken::Brown,  // 2nd
+                PathTaken::Brown,  // 3rd: count 3 < n, still early
+                PathTaken::Blue,   // 4th: count == n exactly
+                PathTaken::Purple, // classified thereafter
+                PathTaken::Purple,
+            ],
+            "blue must fire at exactly the n-th packet"
+        );
+
+        // Columnar walk (process_rows) must place the transition on the
+        // same packet.
+        let mut columnar = Pipeline::new(cfg(n), accept_all(13), accept_all(4));
+        let mut out = Vec::new();
+        columnar.process_batch(&pkts, &mut out);
+        let col_paths: Vec<PathTaken> = out.iter().map(|o| o.path).collect();
+        assert_eq!(col_paths, scalar_paths, "columnar boundary diverged from scalar");
+        assert_eq!(columnar.drain_digests(), scalar.drain_digests());
+    }
+
+    #[test]
+    fn phase_boundary_convicts_confident_malicious_early() {
+        // Threshold 4, boundary at 2: a large-packet flow fails the phase
+        // whitelist on its 2nd packet and is convicted two packets early.
+        let mut p = Pipeline::new(cfg_phases(4, &[2]), accept_all(13), accept_all(4));
+        p.set_phase_rulesets(&[fl_mean_size_below(200.0)]);
+        assert_eq!(p.phase_count(), 1);
+        assert_eq!(p.process(&pkt(1, 0, 1000)).path, PathTaken::Brown);
+        let o2 = p.process(&pkt(1, 1, 1000));
+        assert_eq!(o2.path, PathTaken::Blue);
+        assert_eq!(o2.verdict, PacketVerdict::Drop);
+        assert!(o2.mirrored);
+        // Classified from here on — the label write happened at the
+        // boundary.
+        let o3 = p.process(&pkt(1, 2, 1000));
+        assert_eq!(o3.path, PathTaken::Purple);
+        assert_eq!(o3.verdict, PacketVerdict::Drop);
+        let d = p.drain_digests();
+        assert_eq!(d.len(), 1);
+        assert!(d[0].malicious);
+        assert_eq!(d[0].phase, 0, "digest must carry the deciding phase");
+    }
+
+    #[test]
+    fn phase_boundary_escalates_uncertain_flows_to_the_final_threshold() {
+        // Small packets pass the phase whitelist: no early verdict, no
+        // label write — the flow escalates and keeps single-shot
+        // semantics at the threshold.
+        let mut p = Pipeline::new(cfg_phases(4, &[2]), accept_all(13), accept_all(4));
+        p.set_phase_rulesets(&[fl_mean_size_below(200.0)]);
+        assert_eq!(p.process(&pkt(2, 0, 100)).path, PathTaken::Brown);
+        let o2 = p.process(&pkt(2, 1, 100));
+        assert_eq!(o2.path, PathTaken::Brown, "escalation rides the brown path");
+        assert!(!o2.mirrored);
+        assert_eq!(p.process(&pkt(2, 2, 100)).path, PathTaken::Brown);
+        let o4 = p.process(&pkt(2, 3, 100));
+        assert_eq!(o4.path, PathTaken::Blue);
+        let d = p.drain_digests();
+        assert_eq!(d.len(), 1, "escalated flows digest once, at the threshold");
+        assert_eq!(d[0].phase, FINAL_PHASE);
+    }
+
+    #[test]
+    fn phase_schedule_without_rulesets_keeps_single_shot_semantics() {
+        // A configured schedule with no installed phase whitelists must
+        // behave exactly like today's pipeline: every boundary escalates.
+        let pkts: Vec<Packet> = (0..5).map(|i| pkt(3, i, 1000)).collect();
+        let mut plain = Pipeline::new(cfg(4), accept_all(13), accept_all(4));
+        let mut phased = Pipeline::new(cfg_phases(4, &[2, 3]), accept_all(13), accept_all(4));
+        for p in &pkts {
+            let a = plain.process(p);
+            let b = phased.process(p);
+            assert_eq!((a.verdict, a.path, a.mirrored), (b.verdict, b.path, b.mirrored));
+        }
+        assert_eq!(plain.drain_digests(), phased.drain_digests());
+    }
+
+    #[test]
+    fn phase_walk_parity_scalar_vs_columnar() {
+        // Mixed flows — convicted at the boundary, escalated to blue, and
+        // short-lived — through both walks, interleaved in one batch.
+        let phase_rules = [fl_mean_size_below(200.0)];
+        let mut pkts = Vec::new();
+        for i in 0..5u64 {
+            pkts.push(pkt(1, i * 3, 1000)); // convicted at boundary
+            pkts.push(pkt(2, i * 3 + 1, 100)); // escalates, blue at 4
+            if i < 1 {
+                pkts.push(pkt(3, i * 3 + 2, 100)); // stays early
+            }
+        }
+        let mut scalar = ScalarPipeline::new(cfg_phases(4, &[2]), accept_all(13), accept_all(4));
+        scalar.set_phase_rulesets(&phase_rules);
+        let mut columnar = Pipeline::new(cfg_phases(4, &[2]), accept_all(13), accept_all(4));
+        columnar.set_phase_rulesets(&phase_rules);
+        let (mut so, mut co) = (Vec::new(), Vec::new());
+        scalar.process_batch(&pkts, &mut so);
+        columnar.process_batch(&pkts, &mut co);
+        assert_eq!(so, co, "phase walks diverged between scalar and columnar");
+        let (mut sd_, mut cd) = (Vec::new(), Vec::new());
+        scalar.drain_seq_digests_into(&mut sd_);
+        columnar.drain_seq_digests_into(&mut cd);
+        assert_eq!(sd_, cd);
+        assert!(sd_.iter().any(|d| d.digest.phase == 0), "expected a phase-0 conviction");
+    }
+
     fn sd(seq: u64, malicious: bool) -> SeqDigest {
-        SeqDigest { seq, digest: Digest { five: pkt(seq as u16, 0, 0).five, malicious } }
+        SeqDigest { seq, digest: Digest::new(pkt(seq as u16, 0, 0).five, malicious) }
     }
 
     #[test]

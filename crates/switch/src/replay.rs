@@ -176,6 +176,10 @@ pub struct MitigationRecord {
     /// Truth-malicious packets of this flow the data plane had to judge
     /// without a blacklist rule — the flow's exposure, in packets.
     pub packets_before_install: u64,
+    /// Phase index of the first malicious digest delivered for this flow
+    /// ([`crate::pipeline::FINAL_PHASE`] when the single-shot threshold,
+    /// an idle timeout, or a label resync decided it).
+    pub deciding_phase: u8,
 }
 
 impl MitigationRecord {
@@ -193,6 +197,9 @@ struct PendingMitigation {
     first_seen_tick: u64,
     packets: u64,
     installed: bool,
+    /// Phase of the first delivered malicious digest (first-wins; `None`
+    /// until one arrives).
+    phase: Option<u8>,
 }
 
 /// Per-flow time-to-mitigation log, threaded through the replay
@@ -217,9 +224,23 @@ impl MitigationLog {
             first_seen_tick: tick,
             packets: 0,
             installed: false,
+            phase: None,
         });
         if !p.installed {
             p.packets += 1;
+        }
+    }
+
+    /// A malicious digest for `five` (canonical key) was delivered to the
+    /// controller, decided at `phase`. First delivery wins — the digest
+    /// stream is seq-merged, so "first" is deterministic across backends
+    /// and shard/worker counts. Flows never seen truth-malicious
+    /// (controller false positives) are skipped, like in
+    /// [`MitigationLog::note_install`].
+    fn note_digest_phase(&mut self, five: FiveTuple, phase: u8) {
+        let Some(p) = self.flows.get_mut(&five) else { return };
+        if p.phase.is_none() {
+            p.phase = Some(phase);
         }
     }
 
@@ -238,6 +259,7 @@ impl MitigationLog {
             first_seen_tick: p.first_seen_tick,
             installed_tick: tick,
             packets_before_install: p.packets,
+            deciding_phase: p.phase.unwrap_or(crate::pipeline::FINAL_PHASE),
         });
     }
 
@@ -260,6 +282,24 @@ impl MitigationLog {
         let mut v: Vec<u64> = self.records.iter().map(|r| r.ticks_to_mitigation()).collect();
         v.sort_unstable();
         v
+    }
+
+    /// Per-deciding-phase exposure CDF samples: `(phase, sorted packet
+    /// exposures)` in ascending phase order, with
+    /// [`crate::pipeline::FINAL_PHASE`] (single-shot verdicts) last.
+    pub fn ttm_packets_by_phase(&self) -> Vec<(u8, Vec<u64>)> {
+        let mut by_phase: std::collections::BTreeMap<u8, Vec<u64>> =
+            std::collections::BTreeMap::new();
+        for r in &self.records {
+            by_phase.entry(r.deciding_phase).or_default().push(r.packets_before_install);
+        }
+        by_phase
+            .into_iter()
+            .map(|(p, mut v)| {
+                v.sort_unstable();
+                (p, v)
+            })
+            .collect()
     }
 }
 
@@ -475,6 +515,17 @@ impl ControlLoop {
             self.digest_chan.offer(tick, &self.seq_buf);
         }
         self.digest_chan.deliver_into(tick, &mut self.delivered);
+        if let Some(m) = mitigation.as_deref_mut() {
+            // Attribute each flow's verdict to the phase of its first
+            // *delivered* malicious digest — delivery is what drives the
+            // install, and the delivered stream is seq-merged, so the
+            // attribution is deterministic.
+            for sd in &self.delivered {
+                if sd.digest.malicious {
+                    m.note_digest_phase(sd.digest.five.canonical(), sd.digest.phase);
+                }
+            }
+        }
         controller.process_seq_digests_into(&self.delivered, &mut self.actions);
         for i in 0..self.actions.len() {
             let action = self.actions[i];

@@ -184,6 +184,14 @@ impl ShardedPipeline {
         }
     }
 
+    /// Installs one whitelist per intermediate phase boundary. One engine
+    /// is shared read-only by every shard group, so the single hitless
+    /// epoch flip swaps the phase array for all 16 logical shards at once
+    /// — between batches, like [`ShardedPipeline::apply_ruleset`].
+    pub fn set_phase_rulesets(&mut self, rulesets: &[RuleSet]) {
+        self.engine.set_phase_rulesets(rulesets);
+    }
+
     pub fn config(&self) -> &ShardedPipelineConfig {
         &self.cfg
     }
@@ -443,7 +451,7 @@ impl DataPlane for ShardedPipeline {
         for (five, malicious) in flows {
             out.push(SeqDigest {
                 seq: RESYNC_SEQ_BASE + self.resync_seq,
-                digest: Digest { five, malicious },
+                digest: Digest::new(five, malicious),
             });
             self.resync_seq += 1;
         }

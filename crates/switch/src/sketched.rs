@@ -495,7 +495,7 @@ impl SketchedPipeline {
                 let ShardState { overload, digests, .. } = &mut self.state;
                 overload.push_digest(
                     digests,
-                    SeqDigest { seq, digest: Digest { five: pkt.five, malicious } },
+                    SeqDigest { seq, digest: Digest::new(pkt.five, malicious) },
                     &self.cfg.pipeline.overload,
                 );
                 self.state.paths.green_loopback += 1;
@@ -505,6 +505,42 @@ impl SketchedPipeline {
                     verdict: self.engine.verdict_for(malicious),
                     path: PathTaken::Blue,
                     mirrored: true,
+                }
+            }
+            InsertOutcome::PhaseReady { stats, phase } => {
+                counter!("switch.phase.boundary").inc();
+                // Convict-only early look, same semantics as the exact
+                // pipeline: a phase-whitelist hit pulls the blue verdict
+                // forward; a benign-looking flow escalates like brown.
+                let convicted = self.engine.predict_phase(phase, &stats, &mut self.scratch);
+                if convicted {
+                    counter!("switch.phase.convicted").inc();
+                    self.state.paths.blue += 1;
+                    counter!("switch.pipeline.path.blue").inc();
+                    let ShardState { overload, digests, .. } = &mut self.state;
+                    overload.push_digest(
+                        digests,
+                        SeqDigest { seq, digest: Digest::at_phase(pkt.five, true, phase) },
+                        &self.cfg.pipeline.overload,
+                    );
+                    self.state.paths.green_loopback += 1;
+                    counter!("switch.pipeline.path.green_loopback").inc();
+                    self.state.flow.set_label(&pkt.five, true);
+                    ProcessOutcome {
+                        verdict: self.engine.verdict_for(true),
+                        path: PathTaken::Blue,
+                        mirrored: true,
+                    }
+                } else {
+                    counter!("switch.phase.escalated").inc();
+                    self.state.paths.brown += 1;
+                    counter!("switch.pipeline.path.brown").inc();
+                    let malicious = self.engine.predict_pl(&pl, &mut self.scratch);
+                    ProcessOutcome {
+                        verdict: self.engine.verdict_for(malicious),
+                        path: PathTaken::Brown,
+                        mirrored: false,
+                    }
                 }
             }
             InsertOutcome::Collision | InsertOutcome::ReplacedClassified { .. } => {
@@ -518,6 +554,12 @@ impl SketchedPipeline {
                 }
             }
         }
+    }
+
+    /// Installs one whitelist per intermediate phase boundary via the
+    /// engine's hitless epoch flip (see [`MatchEngine::set_phase_rulesets`]).
+    pub fn set_phase_rulesets(&mut self, rulesets: &[RuleSet]) {
+        self.engine.set_phase_rulesets(rulesets);
     }
 }
 
@@ -593,7 +635,7 @@ impl DataPlane for SketchedPipeline {
         for (five, malicious) in flows {
             out.push(SeqDigest {
                 seq: RESYNC_SEQ_BASE + self.resync_seq,
-                digest: Digest { five, malicious },
+                digest: Digest::new(five, malicious),
             });
             self.resync_seq += 1;
         }

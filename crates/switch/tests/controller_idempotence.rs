@@ -84,10 +84,7 @@ fn check(rng: &mut Rng, policy: EvictionPolicy) {
     let base: Vec<SeqDigest> = (0..len)
         .map(|seq| SeqDigest {
             seq,
-            digest: Digest {
-                five: five(rng.gen_range(0u16..n_flows)),
-                malicious: rng.gen_bool(0.5),
-            },
+            digest: Digest::new(five(rng.gen_range(0u16..n_flows)), rng.gen_bool(0.5)),
         })
         .collect();
     // Duplicated stream: every message delivered, plus immediate

@@ -10,12 +10,15 @@ use std::collections::HashMap;
 use iguard_core::rules::{Hypercube, RuleSet};
 use iguard_flow::five_tuple::{FiveTuple, PROTO_TCP, PROTO_UDP};
 use iguard_flow::packet::{Packet, TcpFlags};
+use iguard_flow::table::PhaseSchedule;
 use iguard_flow::table::{FlowShard, FlowTableConfig, InsertOutcome};
 use iguard_runtime::par::with_workers;
 use iguard_runtime::proptest_lite;
 use iguard_runtime::rng::Rng;
 use iguard_switch::data_plane::OverloadStats;
-use iguard_switch::pipeline::{ControlAction, Pipeline, PipelineConfig, ProcessOutcome, SeqDigest};
+use iguard_switch::pipeline::{
+    ControlAction, PathTaken, Pipeline, PipelineConfig, ProcessOutcome, SeqDigest, FINAL_PHASE,
+};
 use iguard_switch::sharded::{ShardedPipeline, ShardedPipelineConfig, LOGICAL_SHARDS};
 use iguard_switch::DataPlane;
 use iguard_synth::benign::benign_trace;
@@ -30,6 +33,21 @@ fn accept_all(dim: usize) -> RuleSet {
             hi: vec![f32::INFINITY; dim],
         }],
         total_regions: 1,
+    }
+}
+
+/// Phase whitelist whose benign envelope is "mean packet size below
+/// `cut`": flows of large packets fall outside it and convict at the
+/// boundary, flows of small packets escalate.
+fn fl_mean_size_below(cut: f32) -> RuleSet {
+    let mut lo = vec![f32::NEG_INFINITY; 13];
+    let mut hi = vec![f32::INFINITY; 13];
+    lo[2] = f32::NEG_INFINITY;
+    hi[2] = cut;
+    RuleSet {
+        bounds: vec![(0.0, 2000.0); 13],
+        whitelist: vec![Hypercube { lo, hi }],
+        total_regions: 2,
     }
 }
 
@@ -181,6 +199,64 @@ proptest_lite! {
             per_flow.values().any(|&n| n >= 2),
             "no flow re-entered across the idle gap: {per_flow:?}"
         );
+    }
+
+    /// A flow reborn after the idle timeout restarts the phase ladder
+    /// at phase 0 (end-to-end, through the full pipeline). The first
+    /// incarnation walks past the phase boundary (escalating), goes
+    /// idle past the timeout, and its stale stats are flushed as a
+    /// benign timeout verdict that the control loop answers with
+    /// `ClearFlow`. The reborn incarnation then sends packets that the
+    /// phase whitelist rejects: if phase progress had leaked across the
+    /// rebirth the boundary would never re-fire and the flow would run
+    /// to the final threshold — instead it must be convicted at its own
+    /// second packet with a digest stamped `phase == 0`.
+    fn reborn_flow_reenters_phase_ladder_at_phase_zero(rng) {
+        let timeout_ns = rng.gen_range(200_000_000u64..2_000_000_000);
+        let cfg = PipelineConfig::default().with_flow_table(
+            FlowTableConfig::default()
+                .with_timeout_ns(timeout_ns)
+                .with_pkt_threshold(4)
+                .with_slots_per_table(64)
+                .with_phases(PhaseSchedule::new(&[2])),
+        );
+        let mut p = Pipeline::new(cfg, accept_all(13), accept_all(4));
+        p.set_phase_rulesets(&[fl_mean_size_below(200.0)]);
+        let ipd = rng.gen_range(1_000_000u64..10_000_000);
+        let mut ts = 1_000_000u64;
+
+        // First incarnation: two small packets. The second crosses the
+        // phase boundary, the whitelist accepts (mean 100 < 200), and
+        // the flow escalates — phase progress now points past boundary 0.
+        assert_eq!(p.process(&pkt(7, ts, 100)).path, PathTaken::Brown);
+        ts += ipd;
+        assert_eq!(p.process(&pkt(7, ts, 100)).path, PathTaken::Brown);
+        assert!(p.drain_digests().is_empty(), "escalation emits no digest");
+
+        // Idle strictly past the timeout. The returning packet flushes
+        // the stale stats as a single-shot timeout verdict (benign under
+        // accept-all FL) and the controller releases the slot.
+        ts += timeout_ns + rng.gen_range(1u64..50_000_000);
+        assert_eq!(p.process(&pkt(7, ts, 1000)).path, PathTaken::Blue);
+        let flushed = p.drain_digests();
+        assert_eq!(flushed.len(), 1);
+        assert!(!flushed[0].malicious, "stale small-packet stats judge benign");
+        assert_eq!(flushed[0].phase, FINAL_PHASE, "timeout flush is a single-shot verdict");
+        p.apply(ControlAction::ClearFlow(flushed[0].five));
+
+        // Reborn incarnation, large packets: the boundary must re-fire
+        // at the *reborn* flow's second packet and convict on post-gap
+        // stats only (mean 1000 > 200).
+        ts += ipd;
+        assert_eq!(p.process(&pkt(7, ts, 1000)).path, PathTaken::Brown);
+        ts += ipd;
+        let out = p.process(&pkt(7, ts, 1000));
+        assert_eq!(out.path, PathTaken::Blue, "reborn flow must re-enter the phase ladder");
+        assert!(out.mirrored, "phase conviction mirrors the deciding packet");
+        let convicted = p.drain_digests();
+        assert_eq!(convicted.len(), 1);
+        assert!(convicted[0].malicious);
+        assert_eq!(convicted[0].phase, 0, "reborn flow restarts at phase 0");
     }
 }
 

@@ -66,12 +66,21 @@ echo "== overload gate: state-exhaustion canon + timeout rebirth (workers 1 and 
 IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test overload
 IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test overload
 
+echo "== phase parity gate: early verdicts across the grid (workers 1 and 8) =="
+# Phase fingerprints byte-identical across shard x worker combinations
+# for every phase configuration, a ruleset-free schedule bit-identical
+# to single-shot, and scalar/columnar/sharded/sketched backends in
+# packet-for-packet agreement with phases live (DESIGN.md sec. 16).
+IGUARD_WORKERS=1 cargo test -q --offline -p iguard-switch --test phase_parity
+IGUARD_WORKERS=8 cargo test -q --offline -p iguard-switch --test phase_parity
+
 echo "== bench reporter smoke run (shard + chaos + rule-index + sketch + swap + overload sweeps) =="
 smoke_out="$(mktemp /tmp/bench_smoke.XXXXXX.json)"
 smoke7_out="$(mktemp /tmp/bench_smoke_pr7.XXXXXX.json)"
 smoke8_out="$(mktemp /tmp/bench_smoke_pr8.XXXXXX.json)"
 smoke9_out="$(mktemp /tmp/bench_smoke_pr9.XXXXXX.json)"
-trap 'rm -f "$smoke_out" "$smoke7_out" "$smoke8_out" "$smoke9_out"' EXIT
+smoke10_out="$(mktemp /tmp/bench_smoke_pr10.XXXXXX.json)"
+trap 'rm -f "$smoke_out" "$smoke7_out" "$smoke8_out" "$smoke9_out" "$smoke10_out"' EXIT
 # bench_report itself hard-fails on indexed-vs-linear verdict divergence,
 # on a sub-2x index speedup at >=256 rules, on sketched/exact fingerprint
 # divergence, on a budget overrun, on a per-batch steady-state
@@ -81,7 +90,7 @@ trap 'rm -f "$smoke_out" "$smoke7_out" "$smoke8_out" "$smoke9_out"' EXIT
 # streaming sweep for CI.
 IGUARD_PR7_FLOWS=8000 cargo run -q --release --offline -p iguard-bench --bin bench_report -- \
     --smoke --out "$smoke_out" --out-pr7 "$smoke7_out" --out-pr8 "$smoke8_out" \
-    --out-pr9 "$smoke9_out"
+    --out-pr9 "$smoke9_out" --out-pr10 "$smoke10_out"
 test -s "$smoke_out" || { echo "bench_report wrote an empty report"; exit 1; }
 grep -q '"schema": "iguard-bench-pr6"' "$smoke_out" \
     || { echo "bench_report schema marker missing"; exit 1; }
@@ -160,6 +169,26 @@ grep -q '"ttm_packets"' "$smoke9_out" \
 for marker in switch.flow_table.pressure switch.overload.degraded_enter \
               switch.overload.degraded_exit switch.overload.shed_benign \
               switch.overload.admission_tightened; do
+    grep -q "\"$marker\"" "$smoke_out" \
+        || { echo "telemetry marker $marker missing"; exit 1; }
+done
+test -s "$smoke10_out" || { echo "bench_report wrote an empty PR10 report"; exit 1; }
+grep -q '"schema": "iguard-bench-pr10"' "$smoke10_out" \
+    || { echo "bench_report pr10 schema marker missing"; exit 1; }
+# Every canon scenario must certify both the phases-disabled twin
+# (bit-identical to single-shot) and the shard x worker grid.
+[ "$(grep -c '"disabled_matches_single_shot": true' "$smoke10_out")" -eq 4 ] \
+    || { echo "bench_report phase single-shot-equivalence markers missing"; exit 1; }
+[ "$(grep -c '"grid_byte_identical": true' "$smoke10_out")" -eq 4 ] \
+    || { echo "bench_report phase grid-determinism markers missing"; exit 1; }
+grep -q '"ttm_packets_by_phase"' "$smoke10_out" \
+    || { echo "bench_report per-phase detection-latency CDF missing"; exit 1; }
+grep -q '"unchanged": true' "$smoke10_out" \
+    || { echo "bench_report phase golden-matrix marker missing"; exit 1; }
+# The phase sweep shares the process: boundary/convict/escalate
+# telemetry and the training-side counters must be on the board.
+for marker in switch.phase.boundary switch.phase.convicted switch.phase.escalated \
+              core.phase.trained core.phase.warm_starts; do
     grep -q "\"$marker\"" "$smoke_out" \
         || { echo "telemetry marker $marker missing"; exit 1; }
 done
